@@ -1,0 +1,112 @@
+//! Storage for deferred reclamation callbacks.
+
+use std::fmt;
+
+/// A deferred unit of work executed after a grace period.
+///
+/// Internally this is a boxed `FnOnce`; the indirection costs one allocation
+/// per retirement, which is acceptable because retirements are write-side
+/// operations (the Bonsai tree retires about one node per insert).
+pub(crate) struct Deferred {
+    call: Box<dyn FnOnce() + Send>,
+}
+
+impl Deferred {
+    /// Wraps a callback for later execution.
+    pub(crate) fn new<F: FnOnce() + Send + 'static>(f: F) -> Self {
+        Self { call: Box::new(f) }
+    }
+
+    /// Runs the callback, consuming the deferred unit.
+    pub(crate) fn call(self) {
+        (self.call)();
+    }
+}
+
+impl fmt::Debug for Deferred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deferred").finish_non_exhaustive()
+    }
+}
+
+/// A batch of deferred callbacks retired during the same epoch.
+#[derive(Debug, Default)]
+pub(crate) struct Bag {
+    /// Epoch in which the contents were retired.
+    pub(crate) epoch: u64,
+    /// The retired callbacks.
+    pub(crate) items: Vec<Deferred>,
+}
+
+impl Bag {
+    /// Creates an empty bag tagged with `epoch`.
+    pub(crate) fn new(epoch: u64) -> Self {
+        Self {
+            epoch,
+            items: Vec::new(),
+        }
+    }
+
+    /// Number of retired callbacks held by the bag.
+    pub(crate) fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the bag holds no callbacks.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Executes every callback in the bag.
+    pub(crate) fn fire(self) -> usize {
+        let n = self.items.len();
+        for d in self.items {
+            d.call();
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn deferred_runs_once() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        let d = Deferred::new(move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 0);
+        d.call();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn bag_fires_all_items() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut bag = Bag::new(7);
+        assert!(bag.is_empty());
+        for _ in 0..10 {
+            let c = counter.clone();
+            bag.items.push(Deferred::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        assert_eq!(bag.len(), 10);
+        assert_eq!(bag.epoch, 7);
+        assert_eq!(bag.fire(), 10);
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let d = Deferred::new(|| {});
+        assert!(!format!("{d:?}").is_empty());
+        let b = Bag::new(0);
+        assert!(!format!("{b:?}").is_empty());
+    }
+}

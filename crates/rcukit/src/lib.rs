@@ -1,0 +1,82 @@
+//! # rcukit — an epoch-based RCU runtime
+//!
+//! This crate provides the read-copy-update (RCU) substrate used by the
+//! [Bonsai tree](https://pdos.csail.mit.edu/papers/bonsai:asplos12.pdf)
+//! reproduction: lock-free read-side critical sections and deferred
+//! reclamation of memory that may still be referenced by concurrent readers.
+//!
+//! The design mirrors classic epoch-based reclamation (EBR):
+//!
+//! * Readers *pin* the current epoch before touching shared pointers and
+//!   *unpin* when done ([`LocalHandle::pin`], the paper's `rcu_read_begin` /
+//!   `rcu_read_end`). Pinning touches only thread-local state, so page-fault
+//!   style readers never contend on a shared cache line.
+//! * Writers retire garbage with [`Guard::defer`] or [`Guard::defer_free`]
+//!   (the paper's `rcu_free`). Retired objects are freed only after a *grace
+//!   period*: two epoch advances, which guarantee that every reader that
+//!   could have observed the object has unpinned.
+//! * [`Collector::synchronize`] blocks until a full grace period has elapsed
+//!   (the classic `synchronize_rcu`).
+//!
+//! Two reclamation flavours are provided:
+//!
+//! * [`Collector`] — epoch-based, pin/unpin per critical section, suitable
+//!   for preemptible user space (analogous to Linux's sleepable RCU).
+//! * [`qsbr::QsbrDomain`] — quiescent-state-based, where long-running threads
+//!   periodically announce a quiescent state (analogous to classic
+//!   scheduler-driven kernel RCU).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use rcukit::Collector;
+//! use std::sync::atomic::{AtomicPtr, Ordering};
+//!
+//! let collector = Collector::new();
+//! let handle = collector.register();
+//!
+//! // A writer publishes a new value and retires the old one.
+//! let shared = AtomicPtr::new(Box::into_raw(Box::new(1u64)));
+//! {
+//!     let guard = handle.pin();
+//!     let new = Box::into_raw(Box::new(2u64));
+//!     let old = shared.swap(new, Ordering::AcqRel);
+//!     // Safety: `old` was just unlinked and is never freed twice.
+//!     unsafe { guard.defer_free(old) };
+//! }
+//!
+//! // A reader dereferences the pointer under a guard.
+//! {
+//!     let guard = handle.pin();
+//!     let p = shared.load(Ordering::Acquire);
+//!     // Safety: the pointer was published by the writer above and cannot be
+//!     // freed while this guard is live.
+//!     assert_eq!(unsafe { *p }, 2);
+//!     drop(guard);
+//! }
+//!
+//! collector.synchronize();
+//! # let p = shared.load(Ordering::Acquire);
+//! # unsafe { drop(Box::from_raw(p)) };
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod collector;
+mod deferred;
+mod global_default;
+mod guard;
+pub mod qsbr;
+mod stats;
+
+pub use collector::{Collector, LocalHandle};
+pub use global_default::{default_collector, pin, synchronize};
+pub use guard::Guard;
+pub use stats::CollectorStats;
+
+/// Number of epoch advances that constitute a grace period.
+///
+/// Garbage retired in epoch `e` is reclaimable once the global epoch has
+/// reached `e + GRACE_EPOCHS`.
+pub const GRACE_EPOCHS: u64 = 2;
