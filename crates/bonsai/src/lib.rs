@@ -1,0 +1,41 @@
+//! # bonsai — an RCU-balanced binary tree
+//!
+//! Reproduction of the *Bonsai tree* from Clements, Kaashoek and Zeldovich,
+//! ["Scalable Address Spaces Using RCU Balanced
+//! Trees"](https://pdos.csail.mit.edu/papers/bonsai:asplos12.pdf)
+//! (ASPLOS'12): a balanced binary search tree whose lookups run lock-free
+//! inside an RCU read-side critical section while a single writer rebuilds
+//! the update path out of freshly-allocated immutable nodes and retires the
+//! replaced nodes to an [`rcukit`] collector.
+//!
+//! Two layers are provided:
+//!
+//! * [`BonsaiTree`] — the ordered map itself: `get`/`get_le`/`get_ge`
+//!   under a [`Guard`](rcukit::Guard), `insert`/`remove` behind an internal
+//!   single-writer lock.
+//! * [`RangeMap`] — a VMA-style interval map over the tree, modeling the
+//!   paper's page-fault workload: `lookup(addr)` finds the mapped region
+//!   containing an address without taking any lock.
+//!
+//! ```
+//! use bonsai::RangeMap;
+//!
+//! let vmas: RangeMap<&'static str> = RangeMap::with_default();
+//! assert!(vmas.map(0x1000, 0x3000, "text"));
+//! assert!(vmas.map(0x4000, 0x5000, "stack"));
+//! assert!(!vmas.map(0x2000, 0x6000, "overlaps"));
+//!
+//! let guard = vmas.pin();
+//! assert_eq!(vmas.lookup(0x2fff, &guard), Some(&"text"));
+//! assert_eq!(vmas.lookup(0x3000, &guard), None);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(unsafe_op_in_unsafe_fn)]
+
+mod range_map;
+mod tree;
+
+pub use range_map::RangeMap;
+pub use tree::BonsaiTree;

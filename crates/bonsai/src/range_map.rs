@@ -1,0 +1,204 @@
+//! A VMA-style interval map over the Bonsai tree.
+//!
+//! Models the paper's address-space workload: page faults translate an
+//! address to the mapped region containing it (`lookup`), concurrently with
+//! `mmap`/`munmap`-style mutations (`map`/`unmap`). Lookups are lock-free
+//! reads of the underlying [`BonsaiTree`]; mutations serialize on the map's
+//! writer lock so the overlap check and the tree update are atomic with
+//! respect to other writers.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use rcukit::{Collector, Guard};
+
+use crate::tree::BonsaiTree;
+
+/// A mapped region: keyed in the tree by its start address, carrying its
+/// exclusive end and a payload.
+#[derive(Clone)]
+struct Extent<V> {
+    end: u64,
+    value: V,
+}
+
+/// An interval map of non-overlapping half-open ranges `[start, end)`,
+/// backed by a [`BonsaiTree`] keyed on range start.
+///
+/// The address-space analogy: `map` is `mmap`, `unmap` is `munmap`, and
+/// `lookup` is the page-fault handler's VMA search — the operation the
+/// paper makes scale by running it under RCU instead of a lock.
+pub struct RangeMap<V> {
+    tree: BonsaiTree<u64, Extent<V>>,
+    /// Serializes `map`'s check-then-insert against other mutators.
+    writer: Mutex<()>,
+}
+
+impl<V> RangeMap<V>
+where
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates an empty map reclaiming through `collector`.
+    pub fn new(collector: Collector) -> Self {
+        Self {
+            tree: BonsaiTree::new(collector),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Creates an empty map on the process-wide default collector.
+    pub fn with_default() -> Self {
+        Self::new(rcukit::default_collector().clone())
+    }
+
+    /// The collector backing this map.
+    pub fn collector(&self) -> &Collector {
+        self.tree.collector()
+    }
+
+    /// Pins the current thread against the map's collector.
+    pub fn pin(&self) -> Guard {
+        self.tree.pin()
+    }
+
+    /// Number of mapped regions.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether no region is mapped.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Maps `[start, end)` to `value`. Returns `false` (and maps nothing)
+    /// if the range overlaps an existing region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn map(&self, start: u64, end: u64, value: V) -> bool {
+        assert!(start < end, "empty or inverted range {start:#x}..{end:#x}");
+        let _w = self.writer.lock().unwrap();
+        {
+            let guard = self.pin();
+            // Predecessor overlap: a region starting at or before `start`
+            // that has not ended by `start`.
+            if let Some((_, extent)) = self.tree.get_le(&start, &guard) {
+                if extent.end > start {
+                    return false;
+                }
+            }
+            // Successor overlap: a region starting inside `[start, end)`.
+            if let Some((succ_start, _)) = self.tree.get_ge(&start, &guard) {
+                if *succ_start < end {
+                    return false;
+                }
+            }
+        }
+        self.tree.insert(start, Extent { end, value });
+        true
+    }
+
+    /// Unmaps the region that starts exactly at `start`, returning its
+    /// payload.
+    pub fn unmap(&self, start: u64) -> Option<V> {
+        let _w = self.writer.lock().unwrap();
+        self.tree.remove(&start).map(|extent| extent.value)
+    }
+
+    /// Finds the region containing `addr` (the page-fault path). Lock-free;
+    /// the reference is valid for the guard's critical section.
+    pub fn lookup<'g>(&self, addr: u64, guard: &'g Guard) -> Option<&'g V> {
+        let (_, extent) = self.tree.get_le(&addr, guard)?;
+        if addr < extent.end {
+            Some(&extent.value)
+        } else {
+            None
+        }
+    }
+
+    /// Like [`lookup`](Self::lookup), also returning the region bounds.
+    pub fn translate<'g>(&self, addr: u64, guard: &'g Guard) -> Option<(u64, u64, &'g V)> {
+        let (start, extent) = self.tree.get_le(&addr, guard)?;
+        if addr < extent.end {
+            Some((*start, extent.end, &extent.value))
+        } else {
+            None
+        }
+    }
+
+    /// Clones the regions in address order as `(start, end, value)`.
+    /// Intended for tests and debugging.
+    pub fn to_vec(&self) -> Vec<(u64, u64, V)> {
+        self.tree
+            .to_vec()
+            .into_iter()
+            .map(|(start, extent)| (start, extent.end, extent.value))
+            .collect()
+    }
+}
+
+impl<V> fmt::Debug for RangeMap<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RangeMap")
+            .field("tree", &self.tree)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_unmap() {
+        let m: RangeMap<u32> = RangeMap::new(Collector::new());
+        assert!(m.map(0x1000, 0x2000, 1));
+        assert!(m.map(0x3000, 0x5000, 2));
+        assert_eq!(m.len(), 2);
+
+        let g = m.pin();
+        assert_eq!(m.lookup(0x0fff, &g), None);
+        assert_eq!(m.lookup(0x1000, &g), Some(&1));
+        assert_eq!(m.lookup(0x1fff, &g), Some(&1));
+        assert_eq!(m.lookup(0x2000, &g), None);
+        assert_eq!(m.translate(0x4000, &g), Some((0x3000, 0x5000, &2)));
+        drop(g);
+
+        assert_eq!(m.unmap(0x1000), Some(1));
+        assert_eq!(m.unmap(0x1000), None);
+        let g = m.pin();
+        assert_eq!(m.lookup(0x1500, &g), None);
+    }
+
+    #[test]
+    fn overlaps_are_rejected() {
+        let m: RangeMap<u32> = RangeMap::new(Collector::new());
+        assert!(m.map(0x2000, 0x4000, 1));
+        // Overlapping the middle, start, end, and enclosing.
+        assert!(!m.map(0x2800, 0x3000, 2));
+        assert!(!m.map(0x1000, 0x2001, 2));
+        assert!(!m.map(0x3fff, 0x5000, 2));
+        assert!(!m.map(0x1000, 0x6000, 2));
+        assert!(!m.map(0x2000, 0x4000, 2));
+        // Exactly adjacent ranges are fine.
+        assert!(m.map(0x1000, 0x2000, 3));
+        assert!(m.map(0x4000, 0x5000, 4));
+        assert_eq!(m.len(), 3);
+        assert_eq!(
+            m.to_vec()
+                .into_iter()
+                .map(|(s, e, _)| (s, e))
+                .collect::<Vec<_>>(),
+            vec![(0x1000, 0x2000), (0x2000, 0x4000), (0x4000, 0x5000)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty or inverted range")]
+    fn empty_range_panics() {
+        let m: RangeMap<u32> = RangeMap::new(Collector::new());
+        m.map(0x1000, 0x1000, 1);
+    }
+}

@@ -1,0 +1,715 @@
+//! The RCU-balanced Bonsai tree.
+//!
+//! # Structure
+//!
+//! The tree is a weight-balanced BST (Adams' bounded-balance variant with
+//! `DELTA = 3`, `RATIO = 2`, the parameters proven sound for one-element
+//! updates). Every node is immutable after publication: an update clones the
+//! key/value pairs along the root-to-site path into freshly allocated nodes,
+//! rebalancing copy-on-write, and finally swings the root pointer with a
+//! release store. Replaced nodes are retired to the tree's
+//! [`Collector`] with [`Guard::defer_free`] and reclaimed only after a grace
+//! period, so concurrent readers traversing the old path never touch freed
+//! memory.
+//!
+//! # Concurrency contract
+//!
+//! * Lookups ([`BonsaiTree::get`], [`get_le`](BonsaiTree::get_le),
+//!   [`get_ge`](BonsaiTree::get_ge)) take a pinned [`Guard`] from the tree's
+//!   collector and are lock-free: they only load the root pointer and walk
+//!   immutable nodes.
+//! * Updates ([`insert`](BonsaiTree::insert),
+//!   [`remove`](BonsaiTree::remove)) serialize on an internal writer mutex,
+//!   mirroring the paper's single-writer address-space lock.
+
+use std::cmp::Ordering as Cmp;
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rcukit::{Collector, Guard};
+
+/// Weight-balance factor: a subtree may be at most `DELTA` times heavier
+/// than its sibling.
+const DELTA: usize = 3;
+/// Rotation selector: single vs. double rotation threshold.
+const RATIO: usize = 2;
+
+/// An immutable tree node. Published nodes are never mutated; readers walk
+/// `left`/`right` as plain loads under a pinned guard.
+struct Node<K, V> {
+    /// Number of nodes in the subtree rooted here (including this node).
+    size: usize,
+    key: K,
+    value: V,
+    left: *mut Node<K, V>,
+    right: *mut Node<K, V>,
+}
+
+// Safety: a retired node is dropped as a `Box<Node>` on whichever thread
+// runs the deferred callback. Dropping a node drops only its own key and
+// value — the child pointers are plain data, never followed — so sending a
+// node requires exactly `K: Send + V: Send`.
+unsafe impl<K: Send, V: Send> Send for Node<K, V> {}
+
+/// The paper's RCU-balanced tree: lock-free lookups, single-writer
+/// copy-on-write updates with grace-period reclamation.
+///
+/// See the [module docs](self) for the concurrency contract.
+pub struct BonsaiTree<K, V> {
+    root: AtomicPtr<Node<K, V>>,
+    /// Serializes writers (the paper's per-address-space update lock).
+    writer: Mutex<()>,
+    collector: Collector,
+    len: AtomicUsize,
+}
+
+// Safety: the raw node pointers are owned by the tree (plus the collector's
+// deferred-free queue) and all cross-thread access is mediated by the
+// epoch protocol; sharing the tree is sound whenever K and V themselves can
+// be shared and sent (nodes are dropped on reclaiming threads).
+unsafe impl<K: Send + Sync, V: Send + Sync> Send for BonsaiTree<K, V> {}
+// Safety: see the `Send` justification above.
+unsafe impl<K: Send + Sync, V: Send + Sync> Sync for BonsaiTree<K, V> {}
+
+impl<K, V> BonsaiTree<K, V>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates an empty tree whose nodes are reclaimed through `collector`.
+    pub fn new(collector: Collector) -> Self {
+        Self {
+            root: AtomicPtr::new(ptr::null_mut()),
+            writer: Mutex::new(()),
+            collector,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Creates an empty tree on the process-wide default collector.
+    pub fn with_default() -> Self {
+        Self::new(rcukit::default_collector().clone())
+    }
+
+    /// The collector this tree retires nodes to.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+
+    /// Pins the current thread against the tree's collector.
+    pub fn pin(&self) -> Guard {
+        self.collector.pin()
+    }
+
+    /// Number of keys in the tree.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// Whether the tree holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Panics unless `guard` is pinned against this tree's collector; a
+    /// foreign guard would not protect our nodes from reclamation.
+    fn check_guard(&self, guard: &Guard) {
+        assert!(
+            *guard.collector() == self.collector,
+            "guard is pinned against a different collector than this tree"
+        );
+    }
+
+    /// Looks up `key`. The returned reference is valid for the guard's
+    /// critical section.
+    pub fn get<'g>(&self, key: &K, guard: &'g Guard) -> Option<&'g V> {
+        self.check_guard(guard);
+        let mut cur = self.root.load(Ordering::Acquire);
+        while !cur.is_null() {
+            // Safety: `cur` is a published node; the pinned guard keeps it
+            // from being reclaimed, and published nodes are immutable.
+            let node = unsafe { &*cur };
+            match key.cmp(&node.key) {
+                Cmp::Less => cur = node.left,
+                Cmp::Greater => cur = node.right,
+                Cmp::Equal => return Some(&node.value),
+            }
+        }
+        None
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key(&self, key: &K) -> bool {
+        let guard = self.pin();
+        self.get(key, &guard).is_some()
+    }
+
+    /// Finds the greatest entry with key `<= key` (predecessor query, the
+    /// primitive behind VMA lookup).
+    pub fn get_le<'g>(&self, key: &K, guard: &'g Guard) -> Option<(&'g K, &'g V)> {
+        self.check_guard(guard);
+        let mut cur = self.root.load(Ordering::Acquire);
+        let mut best: *mut Node<K, V> = ptr::null_mut();
+        while !cur.is_null() {
+            // Safety: as in `get`.
+            let node = unsafe { &*cur };
+            if *key < node.key {
+                cur = node.left;
+            } else {
+                best = cur;
+                cur = node.right;
+            }
+        }
+        if best.is_null() {
+            None
+        } else {
+            // Safety: `best` is a published node protected by the guard.
+            let node = unsafe { &*best };
+            Some((&node.key, &node.value))
+        }
+    }
+
+    /// Finds the least entry with key `>= key` (successor query).
+    pub fn get_ge<'g>(&self, key: &K, guard: &'g Guard) -> Option<(&'g K, &'g V)> {
+        self.check_guard(guard);
+        let mut cur = self.root.load(Ordering::Acquire);
+        let mut best: *mut Node<K, V> = ptr::null_mut();
+        while !cur.is_null() {
+            // Safety: as in `get`.
+            let node = unsafe { &*cur };
+            if *key > node.key {
+                cur = node.right;
+            } else {
+                best = cur;
+                cur = node.left;
+            }
+        }
+        if best.is_null() {
+            None
+        } else {
+            // Safety: `best` is a published node protected by the guard.
+            let node = unsafe { &*best };
+            Some((&node.key, &node.value))
+        }
+    }
+
+    /// Inserts `key -> value`, returning the previous value for `key` if it
+    /// was present. Takes the writer lock.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        let _w = self.writer.lock().unwrap();
+        let guard = self.collector.pin();
+        let root = self.root.load(Ordering::Relaxed);
+        // Safety: writer lock held; `root` is the current published tree.
+        let (new_root, old) = unsafe { Self::insert_rec(root, &key, &value, &guard) };
+        self.root.store(new_root, Ordering::Release);
+        if old.is_none() {
+            self.len.fetch_add(1, Ordering::Release);
+        }
+        old
+    }
+
+    /// Removes `key`, returning its value if it was present. Takes the
+    /// writer lock.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        let _w = self.writer.lock().unwrap();
+        let guard = self.collector.pin();
+        let root = self.root.load(Ordering::Relaxed);
+        // Safety: writer lock held; `root` is the current published tree.
+        let (new_root, old) = unsafe { Self::remove_rec(root, key, &guard) };
+        if old.is_some() {
+            self.root.store(new_root, Ordering::Release);
+            self.len.fetch_sub(1, Ordering::Release);
+        }
+        old
+    }
+
+    /// Clones the tree contents in key order. Intended for tests and
+    /// debugging; runs under a single pinned guard.
+    pub fn to_vec(&self) -> Vec<(K, V)> {
+        let guard = self.pin();
+        self.check_guard(&guard);
+        let mut out = Vec::with_capacity(self.len());
+        // Safety: traversal of published immutable nodes under the guard.
+        unsafe { Self::inorder(self.root.load(Ordering::Acquire), &mut out) };
+        out
+    }
+
+    /// Verifies the BST ordering, cached sizes, and the weight-balance
+    /// bound. Panics on violation. Test/debug aid; call while no writer is
+    /// active.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let guard = self.pin();
+        self.check_guard(&guard);
+        // Safety: traversal of published immutable nodes under the guard.
+        let n = unsafe { Self::check_rec(self.root.load(Ordering::Acquire), None, None) };
+        assert_eq!(n, self.len(), "cached len disagrees with node count");
+    }
+
+    // ---- internal copy-on-write machinery (writer side) ----
+
+    /// `size` of a possibly-null subtree.
+    #[inline]
+    fn size_of(n: *mut Node<K, V>) -> usize {
+        if n.is_null() {
+            0
+        } else {
+            // Safety: non-null nodes passed here are live (writer-owned or
+            // guard-protected) and immutable.
+            unsafe { (*n).size }
+        }
+    }
+
+    /// Allocates a new node over the given children.
+    fn mk(left: *mut Node<K, V>, key: K, value: V, right: *mut Node<K, V>) -> *mut Node<K, V> {
+        Box::into_raw(Box::new(Node {
+            size: 1 + Self::size_of(left) + Self::size_of(right),
+            key,
+            value,
+            left,
+            right,
+        }))
+    }
+
+    /// Retires a replaced node to the collector. Also used for nodes created
+    /// and then discarded within the same update — deferring their free is
+    /// merely a little lazy, never wrong.
+    ///
+    /// # Safety
+    ///
+    /// `n` must be unlinked from the (about-to-be-published) tree and not
+    /// retired twice.
+    unsafe fn retire(n: *mut Node<K, V>, guard: &Guard) {
+        // Safety: forwarded contract.
+        unsafe { guard.defer_free(n) };
+    }
+
+    /// Builds a balanced node over `l`, `(key, value)`, `r`, where the two
+    /// subtrees' weights differ by at most one element from a balanced
+    /// state (the single-update invariant).
+    ///
+    /// # Safety
+    ///
+    /// `l`/`r` are valid subtree roots owned by the current update (or
+    /// published and guard-protected); rotated-away nodes are retired.
+    unsafe fn balance(
+        l: *mut Node<K, V>,
+        key: K,
+        value: V,
+        r: *mut Node<K, V>,
+        guard: &Guard,
+    ) -> *mut Node<K, V> {
+        let sl = Self::size_of(l);
+        let sr = Self::size_of(r);
+        if sl + sr <= 1 {
+            return Self::mk(l, key, value, r);
+        }
+        if sr > DELTA * sl {
+            // Right-heavy: rotate left. `r` is non-null since sr >= 2.
+            // Safety: `r` is a valid node per the function contract.
+            let (rl, rr) = unsafe { ((*r).left, (*r).right) };
+            if Self::size_of(rl) < RATIO * Self::size_of(rr) {
+                // Single left rotation.
+                // Safety: `r` valid; its fields are cloned, not moved.
+                let (rk, rv) = unsafe { ((*r).key.clone(), (*r).value.clone()) };
+                let out = Self::mk(Self::mk(l, key, value, rl), rk, rv, rr);
+                // Safety: `r` is replaced by `out` and unlinked.
+                unsafe { Self::retire(r, guard) };
+                out
+            } else {
+                // Double left rotation; `rl` is non-null because
+                // size(rl) >= RATIO * size(rr) and sizes sum to >= 2.
+                // Safety: `r` and `rl` are valid nodes.
+                let (rk, rv) = unsafe { ((*r).key.clone(), (*r).value.clone()) };
+                let (rlk, rlv) = unsafe { ((*rl).key.clone(), (*rl).value.clone()) };
+                let (rll, rlr) = unsafe { ((*rl).left, (*rl).right) };
+                let out = Self::mk(
+                    Self::mk(l, key, value, rll),
+                    rlk,
+                    rlv,
+                    Self::mk(rlr, rk, rv, rr),
+                );
+                // Safety: both are replaced by `out` and unlinked.
+                unsafe {
+                    Self::retire(rl, guard);
+                    Self::retire(r, guard);
+                }
+                out
+            }
+        } else if sl > DELTA * sr {
+            // Left-heavy: rotate right (mirror image).
+            // Safety: `l` is a valid node since sl >= 2.
+            let (ll, lr) = unsafe { ((*l).left, (*l).right) };
+            if Self::size_of(lr) < RATIO * Self::size_of(ll) {
+                // Safety: `l` valid; fields cloned.
+                let (lk, lv) = unsafe { ((*l).key.clone(), (*l).value.clone()) };
+                let out = Self::mk(ll, lk, lv, Self::mk(lr, key, value, r));
+                // Safety: `l` is replaced by `out` and unlinked.
+                unsafe { Self::retire(l, guard) };
+                out
+            } else {
+                // Safety: `l` and `lr` are valid nodes.
+                let (lk, lv) = unsafe { ((*l).key.clone(), (*l).value.clone()) };
+                let (lrk, lrv) = unsafe { ((*lr).key.clone(), (*lr).value.clone()) };
+                let (lrl, lrr) = unsafe { ((*lr).left, (*lr).right) };
+                let out = Self::mk(
+                    Self::mk(ll, lk, lv, lrl),
+                    lrk,
+                    lrv,
+                    Self::mk(lrr, key, value, r),
+                );
+                // Safety: both are replaced by `out` and unlinked.
+                unsafe {
+                    Self::retire(lr, guard);
+                    Self::retire(l, guard);
+                }
+                out
+            }
+        } else {
+            Self::mk(l, key, value, r)
+        }
+    }
+
+    /// Copy-on-write insert. Returns the new subtree root and the displaced
+    /// value, retiring every replaced node.
+    ///
+    /// # Safety
+    ///
+    /// Caller holds the writer lock and a pinned guard; `n` is the current
+    /// (published) subtree root or null.
+    unsafe fn insert_rec(
+        n: *mut Node<K, V>,
+        key: &K,
+        value: &V,
+        guard: &Guard,
+    ) -> (*mut Node<K, V>, Option<V>) {
+        if n.is_null() {
+            return (
+                Self::mk(ptr::null_mut(), key.clone(), value.clone(), ptr::null_mut()),
+                None,
+            );
+        }
+        // Safety: `n` is a valid published node, immutable under the guard.
+        let node = unsafe { &*n };
+        match key.cmp(&node.key) {
+            Cmp::Equal => {
+                let old = node.value.clone();
+                let out = Self::mk(node.left, key.clone(), value.clone(), node.right);
+                // Safety: `n` is replaced by `out`.
+                unsafe { Self::retire(n, guard) };
+                (out, Some(old))
+            }
+            Cmp::Less => {
+                // Safety: recursing with the same contract.
+                let (nl, old) = unsafe { Self::insert_rec(node.left, key, value, guard) };
+                let out =
+                    // Safety: `nl` is owned by this update, `node.right` is
+                    // published; both valid.
+                    unsafe { Self::balance(nl, node.key.clone(), node.value.clone(), node.right, guard) };
+                // Safety: `n` is replaced by `out`.
+                unsafe { Self::retire(n, guard) };
+                (out, old)
+            }
+            Cmp::Greater => {
+                // Safety: recursing with the same contract.
+                let (nr, old) = unsafe { Self::insert_rec(node.right, key, value, guard) };
+                let out =
+                    // Safety: as in the `Less` arm, mirrored.
+                    unsafe { Self::balance(node.left, node.key.clone(), node.value.clone(), nr, guard) };
+                // Safety: `n` is replaced by `out`.
+                unsafe { Self::retire(n, guard) };
+                (out, old)
+            }
+        }
+    }
+
+    /// Copy-on-write remove. If the key is absent the original subtree is
+    /// returned untouched (no reallocation along the path).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Self::insert_rec`].
+    unsafe fn remove_rec(
+        n: *mut Node<K, V>,
+        key: &K,
+        guard: &Guard,
+    ) -> (*mut Node<K, V>, Option<V>) {
+        if n.is_null() {
+            return (n, None);
+        }
+        // Safety: `n` is a valid published node.
+        let node = unsafe { &*n };
+        match key.cmp(&node.key) {
+            Cmp::Equal => {
+                let old = node.value.clone();
+                // Safety: joining the two published child subtrees.
+                let out = unsafe { Self::join(node.left, node.right, guard) };
+                // Safety: `n` is replaced by `out`.
+                unsafe { Self::retire(n, guard) };
+                (out, Some(old))
+            }
+            Cmp::Less => {
+                // Safety: recursing with the same contract.
+                let (nl, old) = unsafe { Self::remove_rec(node.left, key, guard) };
+                if old.is_none() {
+                    return (n, None);
+                }
+                // Safety: `nl` owned by this update, `node.right` published.
+                let out = unsafe {
+                    Self::balance(nl, node.key.clone(), node.value.clone(), node.right, guard)
+                };
+                // Safety: `n` is replaced by `out`.
+                unsafe { Self::retire(n, guard) };
+                (out, old)
+            }
+            Cmp::Greater => {
+                // Safety: recursing with the same contract.
+                let (nr, old) = unsafe { Self::remove_rec(node.right, key, guard) };
+                if old.is_none() {
+                    return (n, None);
+                }
+                // Safety: as in the `Less` arm, mirrored.
+                let out = unsafe {
+                    Self::balance(node.left, node.key.clone(), node.value.clone(), nr, guard)
+                };
+                // Safety: `n` is replaced by `out`.
+                unsafe { Self::retire(n, guard) };
+                (out, old)
+            }
+        }
+    }
+
+    /// Joins two subtrees whose every key in `l` is less than every key in
+    /// `r`, where the pair was balanced around a now-removed root.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Self::insert_rec`].
+    unsafe fn join(l: *mut Node<K, V>, r: *mut Node<K, V>, guard: &Guard) -> *mut Node<K, V> {
+        if l.is_null() {
+            return r;
+        }
+        if r.is_null() {
+            return l;
+        }
+        // Safety: `r` is a valid non-null subtree.
+        let (k, v, r2) = unsafe { Self::extract_min(r, guard) };
+        // Safety: `l` published, `r2` owned by this update.
+        unsafe { Self::balance(l, k, v, r2, guard) }
+    }
+
+    /// Removes and returns the minimum entry of non-null subtree `n`,
+    /// retiring the path.
+    ///
+    /// # Safety
+    ///
+    /// `n` must be a valid non-null subtree root; same contract as
+    /// [`Self::insert_rec`].
+    unsafe fn extract_min(n: *mut Node<K, V>, guard: &Guard) -> (K, V, *mut Node<K, V>) {
+        // Safety: `n` is valid and non-null per the contract.
+        let node = unsafe { &*n };
+        if node.left.is_null() {
+            let out = (node.key.clone(), node.value.clone(), node.right);
+            // Safety: `n` is unlinked; its right child is reused.
+            unsafe { Self::retire(n, guard) };
+            out
+        } else {
+            // Safety: `node.left` is non-null and valid.
+            let (k, v, nl) = unsafe { Self::extract_min(node.left, guard) };
+            // Safety: `nl` owned by this update, `node.right` published.
+            let out = unsafe {
+                Self::balance(nl, node.key.clone(), node.value.clone(), node.right, guard)
+            };
+            // Safety: `n` is replaced by `out`.
+            unsafe { Self::retire(n, guard) };
+            (k, v, out)
+        }
+    }
+
+    // ---- read-side helpers ----
+
+    /// In-order traversal cloning entries into `out`.
+    ///
+    /// # Safety
+    ///
+    /// `n` must be null or a guard-protected published subtree.
+    unsafe fn inorder(n: *mut Node<K, V>, out: &mut Vec<(K, V)>) {
+        if n.is_null() {
+            return;
+        }
+        // Safety: valid published node per the contract.
+        let node = unsafe { &*n };
+        // Safety: children satisfy the same contract.
+        unsafe { Self::inorder(node.left, out) };
+        out.push((node.key.clone(), node.value.clone()));
+        // Safety: children satisfy the same contract.
+        unsafe { Self::inorder(node.right, out) };
+    }
+
+    /// Recursive invariant check; returns the subtree's node count.
+    ///
+    /// # Safety
+    ///
+    /// `n` must be null or a guard-protected published subtree.
+    unsafe fn check_rec(n: *mut Node<K, V>, lo: Option<&K>, hi: Option<&K>) -> usize {
+        if n.is_null() {
+            return 0;
+        }
+        // Safety: valid published node per the contract.
+        let node = unsafe { &*n };
+        if let Some(lo) = lo {
+            assert!(*lo < node.key, "BST order violated (low bound)");
+        }
+        if let Some(hi) = hi {
+            assert!(node.key < *hi, "BST order violated (high bound)");
+        }
+        // Safety: children satisfy the same contract.
+        let sl = unsafe { Self::check_rec(node.left, lo, Some(&node.key)) };
+        // Safety: children satisfy the same contract.
+        let sr = unsafe { Self::check_rec(node.right, Some(&node.key), hi) };
+        assert_eq!(node.size, 1 + sl + sr, "cached size wrong");
+        if sl + sr > 1 {
+            assert!(
+                sl <= DELTA * sr && sr <= DELTA * sl,
+                "weight balance violated: sl={sl} sr={sr}"
+            );
+        }
+        1 + sl + sr
+    }
+}
+
+impl<K, V> Drop for BonsaiTree<K, V> {
+    fn drop(&mut self) {
+        // Frees the published tree immediately, without a grace period:
+        // `&mut self` proves no reader can reach the root anymore (a live
+        // guard does not keep the tree alive, and lookups require `&self`).
+        // Nodes already retired to the collector are owned by its deferred
+        // callbacks and are NOT freed here.
+        fn free<K, V>(n: *mut Node<K, V>) {
+            if n.is_null() {
+                return;
+            }
+            // Safety: exclusive access per the reasoning above; each node
+            // is reachable exactly once.
+            let node = unsafe { Box::from_raw(n) };
+            free(node.left);
+            free(node.right);
+        }
+        free(*self.root.get_mut());
+    }
+}
+
+impl<K, V> fmt::Debug for BonsaiTree<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BonsaiTree")
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Small deterministic RNG (xorshift64*), since the workspace carries no
+    /// external dependencies.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let t: BonsaiTree<u64, u64> = BonsaiTree::new(Collector::new());
+        assert!(t.is_empty());
+        assert_eq!(t.insert(5, 50), None);
+        assert_eq!(t.insert(3, 30), None);
+        assert_eq!(t.insert(7, 70), None);
+        assert_eq!(t.insert(5, 55), Some(50));
+        assert_eq!(t.len(), 3);
+        let g = t.pin();
+        assert_eq!(t.get(&5, &g), Some(&55));
+        assert_eq!(t.get(&4, &g), None);
+        drop(g);
+        assert_eq!(t.remove(&3), Some(30));
+        assert_eq!(t.remove(&3), None);
+        assert_eq!(t.len(), 2);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn ordered_queries() {
+        let t: BonsaiTree<u64, &str> = BonsaiTree::new(Collector::new());
+        for k in [10u64, 20, 30, 40] {
+            t.insert(k, "x");
+        }
+        let g = t.pin();
+        assert_eq!(t.get_le(&25, &g).map(|(k, _)| *k), Some(20));
+        assert_eq!(t.get_le(&20, &g).map(|(k, _)| *k), Some(20));
+        assert_eq!(t.get_le(&5, &g), None);
+        assert_eq!(t.get_ge(&25, &g).map(|(k, _)| *k), Some(30));
+        assert_eq!(t.get_ge(&40, &g).map(|(k, _)| *k), Some(40));
+        assert_eq!(t.get_ge(&41, &g), None);
+    }
+
+    #[test]
+    fn matches_btreemap_under_random_ops() {
+        let collector = Collector::new();
+        let t: BonsaiTree<u64, u64> = BonsaiTree::new(collector.clone());
+        let mut model = BTreeMap::new();
+        let mut rng = Rng(0xDEADBEEF);
+        for i in 0..4000u64 {
+            let k = rng.next() % 512;
+            if rng.next().is_multiple_of(3) {
+                assert_eq!(t.remove(&k), model.remove(&k), "op {i}: remove {k}");
+            } else {
+                assert_eq!(t.insert(k, i), model.insert(k, i), "op {i}: insert {k}");
+            }
+            if i % 512 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        let got = t.to_vec();
+        let want: Vec<(u64, u64)> = model.into_iter().collect();
+        assert_eq!(got, want);
+        // Everything replaced along the way is eventually reclaimed.
+        collector.synchronize();
+        let s = collector.stats();
+        assert_eq!(s.objects_retired, s.objects_freed);
+    }
+
+    #[test]
+    fn sequential_insert_stays_balanced() {
+        let t: BonsaiTree<u64, u64> = BonsaiTree::new(Collector::new());
+        for k in 0..2000u64 {
+            t.insert(k, k);
+        }
+        t.check_invariants();
+        for k in (0..2000u64).rev().step_by(2) {
+            t.remove(&k);
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), 1000);
+    }
+
+    #[test]
+    fn foreign_guard_is_rejected() {
+        let t: BonsaiTree<u64, u64> = BonsaiTree::new(Collector::new());
+        let other = Collector::new();
+        let g = other.pin();
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| { t.get(&1, &g) })).is_err()
+        );
+    }
+}

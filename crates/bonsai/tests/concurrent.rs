@@ -1,0 +1,199 @@
+//! Concurrent smoke tests: readers sustain lock-free lookups while a writer
+//! churns the structure, and reclamation fully drains afterwards.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use bonsai::{BonsaiTree, RangeMap};
+use rcukit::Collector;
+
+/// xorshift64* — the workspace carries no external dependencies.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+const PAGE: u64 = 0x1000;
+const READERS: usize = 4;
+const WRITER_OPS: usize = 10_000;
+
+/// The acceptance scenario: 4 reader threads sustain `lookup`s against a
+/// `RangeMap` while the writer performs 10k map/unmap operations. A set of
+/// permanent regions must never be lost mid-flight, and after a final
+/// `synchronize` every retired node has been freed.
+#[test]
+fn rangemap_readers_never_lose_keys_during_churn() {
+    let collector = Collector::new();
+    let map: Arc<RangeMap<u64>> = Arc::new(RangeMap::new(collector.clone()));
+
+    // Permanent regions the writer never touches: region i covers
+    // [i * 8 pages, i * 8 pages + 4 pages) with payload i.
+    const PERMANENT: u64 = 64;
+    for i in 0..PERMANENT {
+        let start = i * 8 * PAGE;
+        assert!(map.map(start, start + 4 * PAGE, i));
+    }
+    // Churn slots live above the permanent area.
+    let churn_base = PERMANENT * 8 * PAGE;
+    const CHURN_SLOTS: u64 = 256;
+
+    let start_barrier = Arc::new(Barrier::new(READERS + 1));
+    let done = Arc::new(AtomicBool::new(false));
+    let lost = Arc::new(AtomicUsize::new(0));
+    let lookups = Arc::new(AtomicUsize::new(0));
+
+    let mut readers = Vec::new();
+    for t in 0..READERS {
+        let map = map.clone();
+        let start_barrier = start_barrier.clone();
+        let done = done.clone();
+        let lost = lost.clone();
+        let lookups = lookups.clone();
+        readers.push(thread::spawn(move || {
+            let mut rng = Rng(0x1234_5678 + t as u64);
+            start_barrier.wait();
+            let mut n = 0usize;
+            while !done.load(SeqCst) {
+                let guard = map.pin();
+                // A permanent region must always translate, to its payload.
+                let i = rng.next() % PERMANENT;
+                let addr = i * 8 * PAGE + rng.next() % (4 * PAGE);
+                match map.lookup(addr, &guard) {
+                    Some(&v) if v == i => {}
+                    _ => {
+                        lost.fetch_add(1, SeqCst);
+                    }
+                }
+                // Churn lookups may hit or miss; they must not crash or
+                // return a foreign payload.
+                let slot = rng.next() % CHURN_SLOTS;
+                let addr = churn_base + slot * 8 * PAGE + rng.next() % (4 * PAGE);
+                if let Some(&v) = map.lookup(addr, &guard) {
+                    if v != PERMANENT + slot {
+                        lost.fetch_add(1, SeqCst);
+                    }
+                }
+                n += 2;
+            }
+            lookups.fetch_add(n, SeqCst);
+        }));
+    }
+
+    start_barrier.wait();
+    let mut rng = Rng(0xFEED_F00D);
+    for _ in 0..WRITER_OPS {
+        let slot = rng.next() % CHURN_SLOTS;
+        let start = churn_base + slot * 8 * PAGE;
+        if map.unmap(start).is_none() {
+            let pages = 1 + rng.next() % 4;
+            assert!(map.map(start, start + pages * PAGE, PERMANENT + slot));
+        }
+    }
+    done.store(true, SeqCst);
+    for t in readers {
+        t.join().unwrap();
+    }
+
+    assert_eq!(
+        lost.load(SeqCst),
+        0,
+        "a reader lost a permanent region or saw a foreign payload"
+    );
+    assert!(
+        lookups.load(SeqCst) > 0,
+        "readers made no progress during the churn"
+    );
+
+    // All permanent regions are intact afterwards.
+    let guard = map.pin();
+    for i in 0..PERMANENT {
+        assert_eq!(map.lookup(i * 8 * PAGE, &guard), Some(&i));
+    }
+    drop(guard);
+
+    collector.synchronize();
+    let stats = collector.stats();
+    assert_eq!(
+        stats.objects_retired, stats.objects_freed,
+        "outstanding garbage after final synchronize: {stats:?}"
+    );
+    assert_eq!(stats.pending_objects, 0);
+}
+
+/// Same shape against the raw tree: permanent keys stay visible with their
+/// values while the writer churns a disjoint key range, and the tree's
+/// structural invariants hold afterwards.
+#[test]
+fn tree_readers_never_lose_keys_during_churn() {
+    let collector = Collector::new();
+    let tree: Arc<BonsaiTree<u64, u64>> = Arc::new(BonsaiTree::new(collector.clone()));
+
+    const PERMANENT: u64 = 128;
+    for k in 0..PERMANENT {
+        tree.insert(k, k * 10);
+    }
+    const CHURN_KEYS: u64 = 512;
+
+    let start_barrier = Arc::new(Barrier::new(READERS + 1));
+    let done = Arc::new(AtomicBool::new(false));
+    let lost = Arc::new(AtomicUsize::new(0));
+
+    let mut readers = Vec::new();
+    for t in 0..READERS {
+        let tree = tree.clone();
+        let start_barrier = start_barrier.clone();
+        let done = done.clone();
+        let lost = lost.clone();
+        readers.push(thread::spawn(move || {
+            let mut rng = Rng(0xABCD_EF01 + t as u64);
+            start_barrier.wait();
+            while !done.load(SeqCst) {
+                let guard = tree.pin();
+                let k = rng.next() % PERMANENT;
+                match tree.get(&k, &guard) {
+                    Some(&v) if v == k * 10 => {}
+                    _ => {
+                        lost.fetch_add(1, SeqCst);
+                    }
+                }
+                // Ordered queries stay consistent under churn too.
+                let probe = PERMANENT + rng.next() % CHURN_KEYS;
+                if let Some((pk, _)) = tree.get_le(&probe, &guard) {
+                    if *pk > probe {
+                        lost.fetch_add(1, SeqCst);
+                    }
+                }
+            }
+        }));
+    }
+
+    start_barrier.wait();
+    let mut rng = Rng(0x0BAD_CAFE);
+    for i in 0..WRITER_OPS as u64 {
+        let k = PERMANENT + rng.next() % CHURN_KEYS;
+        if rng.next().is_multiple_of(2) {
+            tree.insert(k, i);
+        } else {
+            tree.remove(&k);
+        }
+    }
+    done.store(true, SeqCst);
+    for t in readers {
+        t.join().unwrap();
+    }
+
+    assert_eq!(lost.load(SeqCst), 0, "a reader lost a permanent key");
+    tree.check_invariants();
+
+    collector.synchronize();
+    let stats = collector.stats();
+    assert_eq!(stats.objects_retired, stats.objects_freed);
+}

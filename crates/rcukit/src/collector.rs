@@ -1,0 +1,551 @@
+//! The global epoch collector and per-thread registration.
+//!
+//! # Epoch protocol
+//!
+//! The collector maintains a global epoch counter. Each registered thread
+//! ([`LocalHandle`]) publishes its *status* word: `0` when not in a read-side
+//! critical section, or `(epoch << 1) | 1` while pinned. The global epoch may
+//! advance from `E` to `E + 1` only when every pinned thread's recorded epoch
+//! equals `E`; consequently a thread pinned at epoch `p` keeps the global
+//! epoch at most `p + 1` for as long as it stays pinned.
+//!
+//! Retired garbage is tagged with the global epoch observed *at retire time*.
+//! Any reader that could still hold a reference to a retired object must have
+//! pinned no later than the retirement, so its pinned epoch is at most the
+//! tag `e`. Once the global epoch reaches `e + `[`GRACE_EPOCHS`]` = e + 2`,
+//! every such reader has unpinned and the garbage may be freed.
+//!
+//! [`GRACE_EPOCHS`]: crate::GRACE_EPOCHS
+
+use std::cell::RefCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::mem;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use crate::deferred::{Bag, Deferred};
+use crate::guard::Guard;
+use crate::stats::CollectorStats;
+use crate::GRACE_EPOCHS;
+
+/// Seal a thread-local bag into the global garbage queue once it holds this
+/// many retirements, even if the owning guard is still pinned.
+const BAG_SEAL_THRESHOLD: usize = 64;
+
+/// Packs an epoch into a pinned status word.
+#[inline]
+pub(crate) fn pack(epoch: u64) -> u64 {
+    (epoch << 1) | 1
+}
+
+/// Extracts the epoch from a pinned status word.
+#[inline]
+pub(crate) fn unpack(status: u64) -> u64 {
+    status >> 1
+}
+
+/// Per-thread state shared between a [`LocalHandle`], its [`Guard`]s, and the
+/// collector's registry.
+pub(crate) struct LocalState {
+    /// `0` when unpinned, `(epoch << 1) | 1` while pinned.
+    pub(crate) status: AtomicU64,
+    /// Number of live guards for this handle (nesting depth). Only the owning
+    /// thread mutates this; the collector never reads it.
+    pub(crate) guard_count: AtomicUsize,
+    /// Set when the owning [`LocalHandle`] was dropped while a guard was
+    /// still live; the last guard then unregisters the state.
+    pub(crate) orphaned: AtomicBool,
+    /// Garbage retired by this thread that has not yet been sealed into the
+    /// collector's global queue. Only the owning thread pushes; the lock is
+    /// effectively uncontended.
+    pub(crate) bag: Mutex<Bag>,
+}
+
+impl LocalState {
+    fn new() -> Self {
+        Self {
+            status: AtomicU64::new(0),
+            guard_count: AtomicUsize::new(0),
+            orphaned: AtomicBool::new(false),
+            bag: Mutex::new(Bag::new(0)),
+        }
+    }
+}
+
+/// Shared collector state behind the [`Collector`] handle.
+pub(crate) struct Inner {
+    /// The global epoch.
+    pub(crate) epoch: AtomicU64,
+    /// Every registered thread's state.
+    registry: Mutex<Vec<Arc<LocalState>>>,
+    /// Sealed bags awaiting a grace period.
+    garbage: Mutex<Vec<Bag>>,
+    /// Total number of successful epoch advances.
+    epochs_advanced: AtomicU64,
+    /// Total objects retired via `defer`/`defer_free`.
+    pub(crate) retired: AtomicU64,
+    /// Total deferred callbacks executed.
+    freed: AtomicU64,
+}
+
+impl Inner {
+    /// Attempts one epoch advance. Returns `true` if the global epoch moved.
+    fn try_advance(&self) -> bool {
+        let e = self.epoch.load(SeqCst);
+        {
+            let registry = self.registry.lock().unwrap();
+            for local in registry.iter() {
+                let s = local.status.load(SeqCst);
+                if s != 0 && unpack(s) != e {
+                    return false;
+                }
+            }
+        }
+        if self
+            .epoch
+            .compare_exchange(e, e + 1, SeqCst, SeqCst)
+            .is_ok()
+        {
+            self.epochs_advanced.fetch_add(1, SeqCst);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Fires every sealed bag whose grace period has elapsed. Returns the
+    /// number of callbacks executed.
+    fn reclaim(&self) -> usize {
+        let e = self.epoch.load(SeqCst);
+        let ready: Vec<Bag> = {
+            let mut garbage = self.garbage.lock().unwrap();
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < garbage.len() {
+                if garbage[i].epoch + GRACE_EPOCHS <= e {
+                    ready.push(garbage.swap_remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            ready
+        };
+        let mut n = 0;
+        for bag in ready {
+            n += bag.fire();
+        }
+        self.freed.fetch_add(n as u64, SeqCst);
+        n
+    }
+
+    /// Moves a thread's local bag (if non-empty) into the global queue.
+    pub(crate) fn seal_bag(&self, local: &LocalState) {
+        let sealed = {
+            let mut bag = local.bag.lock().unwrap();
+            if bag.is_empty() {
+                return;
+            }
+            let epoch = bag.epoch;
+            mem::replace(&mut *bag, Bag::new(epoch))
+        };
+        self.garbage.lock().unwrap().push(sealed);
+    }
+
+    /// Adds one deferred callback to `local`'s bag, tagged with the current
+    /// global epoch. Seals oversized or stale-epoch bags along the way.
+    pub(crate) fn defer(&self, local: &LocalState, d: Deferred) {
+        let tag = self.epoch.load(SeqCst);
+        let sealed = {
+            let mut bag = local.bag.lock().unwrap();
+            let stale = if !bag.is_empty() && bag.epoch != tag {
+                Some(mem::replace(&mut *bag, Bag::new(tag)))
+            } else {
+                None
+            };
+            bag.epoch = tag;
+            bag.items.push(d);
+            let full = if bag.len() >= BAG_SEAL_THRESHOLD {
+                Some(mem::replace(&mut *bag, Bag::new(tag)))
+            } else {
+                None
+            };
+            (stale, full)
+        };
+        self.retired.fetch_add(1, SeqCst);
+        let mut garbage = None;
+        if sealed.0.is_some() || sealed.1.is_some() {
+            garbage = Some(self.garbage.lock().unwrap());
+        }
+        if let Some(bag) = sealed.0 {
+            garbage.as_mut().unwrap().push(bag);
+        }
+        if let Some(bag) = sealed.1 {
+            garbage.as_mut().unwrap().push(bag);
+        }
+    }
+
+    /// Removes `local` from the registry (idempotent).
+    pub(crate) fn unregister(&self, local: &Arc<LocalState>) {
+        self.registry
+            .lock()
+            .unwrap()
+            .retain(|l| !Arc::ptr_eq(l, local));
+    }
+
+    /// One non-blocking advance-and-reclaim step.
+    pub(crate) fn collect(&self) -> usize {
+        self.try_advance();
+        self.reclaim()
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        // No handle or guard can be alive here (they hold an `Arc<Inner>`),
+        // so every remaining retirement is safe to execute immediately.
+        let mut n = 0;
+        for local in self.registry.get_mut().unwrap().drain(..) {
+            let bag = mem::replace(&mut *local.bag.lock().unwrap(), Bag::new(0));
+            n += bag.fire();
+        }
+        for bag in self.garbage.get_mut().unwrap().drain(..) {
+            n += bag.fire();
+        }
+        self.freed.fetch_add(n as u64, SeqCst);
+    }
+}
+
+thread_local! {
+    /// Per-thread cache of handles, keyed by collector identity, backing
+    /// [`Collector::pin`].
+    static HANDLES: RefCell<Vec<(usize, LocalHandle)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An epoch-based garbage collector.
+///
+/// `Collector` is a cheaply clonable handle to shared state; clones refer to
+/// the same collector. Threads participate by [`register`](Self::register)ing
+/// a [`LocalHandle`] (or implicitly through [`pin`](Self::pin)) and retire
+/// garbage through a [`Guard`].
+pub struct Collector {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl Collector {
+    /// Creates a new collector with no registered threads.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                epoch: AtomicU64::new(0),
+                registry: Mutex::new(Vec::new()),
+                garbage: Mutex::new(Vec::new()),
+                epochs_advanced: AtomicU64::new(0),
+                retired: AtomicU64::new(0),
+                freed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A process-unique identity for this collector, stable for its lifetime.
+    #[inline]
+    pub(crate) fn id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// Registers the calling context and returns its [`LocalHandle`].
+    ///
+    /// Registration takes the registry lock; it is intended to happen once
+    /// per thread, not once per critical section.
+    pub fn register(&self) -> LocalHandle {
+        let local = Arc::new(LocalState::new());
+        self.inner.registry.lock().unwrap().push(local.clone());
+        LocalHandle {
+            collector: self.clone(),
+            local,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Pins the current thread using a cached per-thread handle, registering
+    /// it on first use.
+    ///
+    /// This is the ergonomic entry point for code that does not want to
+    /// thread a [`LocalHandle`] around. The cached handle is unregistered
+    /// when the thread exits.
+    pub fn pin(&self) -> Guard {
+        HANDLES.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            // Evict handles for collectors nobody else references: a cached
+            // handle is then the sole owner (`strong_count == 1` — pinning
+            // always adds an external `Collector`/`Guard` reference first),
+            // and dropping it unregisters the thread and lets `Inner::drop`
+            // fire any garbage still pending. Without this sweep, a
+            // long-lived thread would keep every collector it ever pinned
+            // alive until thread exit.
+            cache.retain(|(_, handle)| Arc::strong_count(&handle.collector.inner) > 1);
+            let id = self.id();
+            if let Some((_, handle)) = cache.iter().find(|(i, _)| *i == id) {
+                handle.pin()
+            } else {
+                let handle = self.register();
+                let guard = handle.pin();
+                cache.push((id, handle));
+                guard
+            }
+        })
+    }
+
+    /// Blocks until a full grace period has elapsed: every read-side critical
+    /// section that was live when `synchronize` was called has ended, and all
+    /// garbage retired before the call has been reclaimed.
+    ///
+    /// Equivalent to the paper's `synchronize_rcu`. The calling thread must
+    /// **not** be pinned, otherwise this deadlocks (the epoch cannot advance
+    /// past a pinned thread).
+    pub fn synchronize(&self) {
+        let start = self.inner.epoch.load(SeqCst);
+        while self.inner.epoch.load(SeqCst) < start + GRACE_EPOCHS {
+            if !self.inner.try_advance() {
+                thread::yield_now();
+            }
+        }
+        self.inner.reclaim();
+    }
+
+    /// Attempts one non-blocking epoch advance and reclaims any garbage whose
+    /// grace period has elapsed. Returns the number of callbacks executed.
+    pub fn collect(&self) -> usize {
+        self.inner.collect()
+    }
+
+    /// The current value of the global epoch.
+    pub fn global_epoch(&self) -> u64 {
+        self.inner.epoch.load(SeqCst)
+    }
+
+    /// A point-in-time snapshot of the collector's counters.
+    pub fn stats(&self) -> CollectorStats {
+        let (pending_bags, pending_objects, registered_threads) = {
+            let registry = self.inner.registry.lock().unwrap();
+            let mut bags = 0;
+            let mut objects = 0;
+            for local in registry.iter() {
+                let bag = local.bag.lock().unwrap();
+                if !bag.is_empty() {
+                    bags += 1;
+                    objects += bag.len();
+                }
+            }
+            (bags, objects, registry.len())
+        };
+        let (gbags, gobjects) = {
+            let garbage = self.inner.garbage.lock().unwrap();
+            (garbage.len(), garbage.iter().map(Bag::len).sum::<usize>())
+        };
+        CollectorStats {
+            global_epoch: self.inner.epoch.load(SeqCst),
+            epochs_advanced: self.inner.epochs_advanced.load(SeqCst),
+            objects_retired: self.inner.retired.load(SeqCst),
+            objects_freed: self.inner.freed.load(SeqCst),
+            pending_bags: pending_bags + gbags,
+            pending_objects: pending_objects + gobjects,
+            registered_threads,
+        }
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for Collector {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl PartialEq for Collector {
+    /// Two `Collector` handles are equal when they refer to the same
+    /// underlying collector.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Eq for Collector {}
+
+impl fmt::Debug for Collector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Collector")
+            .field("epoch", &self.global_epoch())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A thread's registration with a [`Collector`].
+///
+/// Obtained from [`Collector::register`]. The handle is `Send` (it can be
+/// moved to another thread) but not `Sync`: each handle serves exactly one
+/// thread at a time, which is what makes [`pin`](Self::pin) a thread-local
+/// operation.
+pub struct LocalHandle {
+    pub(crate) collector: Collector,
+    pub(crate) local: Arc<LocalState>,
+    /// `Cell` is `Send + !Sync`, making the handle single-thread-at-a-time.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl LocalHandle {
+    /// Enters a read-side critical section (the paper's `rcu_read_begin`).
+    ///
+    /// Pinning is re-entrant: nested guards share the outermost guard's
+    /// epoch. Only thread-local state and the global epoch word are touched,
+    /// so readers never contend on a shared cache line.
+    pub fn pin(&self) -> Guard {
+        Guard::enter(&self.collector, &self.local)
+    }
+
+    /// Whether this handle currently has a live guard.
+    pub fn is_pinned(&self) -> bool {
+        self.local.guard_count.load(SeqCst) > 0
+    }
+
+    /// The collector this handle is registered with.
+    pub fn collector(&self) -> &Collector {
+        &self.collector
+    }
+}
+
+impl Drop for LocalHandle {
+    fn drop(&mut self) {
+        if self.local.guard_count.load(SeqCst) == 0 {
+            self.collector.inner.seal_bag(&self.local);
+            self.collector.inner.unregister(&self.local);
+        } else {
+            // A guard outlives its handle: mark the state orphaned so the
+            // last guard unregisters it, then re-check in case that guard
+            // dropped concurrently (the handle may live on another thread).
+            self.local.orphaned.store(true, SeqCst);
+            if self.local.guard_count.load(SeqCst) == 0 {
+                self.collector.inner.seal_bag(&self.local);
+                self.collector.inner.unregister(&self.local);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for LocalHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalHandle")
+            .field("pinned", &self.is_pinned())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn epoch_advances_without_readers() {
+        let c = Collector::new();
+        let e0 = c.global_epoch();
+        c.synchronize();
+        assert!(c.global_epoch() >= e0 + GRACE_EPOCHS);
+    }
+
+    #[test]
+    fn pinned_reader_blocks_advance_past_next_epoch() {
+        let c = Collector::new();
+        let h = c.register();
+        let g = h.pin();
+        let pinned_at = g.epoch();
+        // The epoch can advance at most once past the pinned epoch.
+        for _ in 0..10 {
+            c.collect();
+        }
+        assert!(c.global_epoch() <= pinned_at + 1);
+        drop(g);
+        c.synchronize();
+        assert!(c.global_epoch() >= pinned_at + GRACE_EPOCHS);
+    }
+
+    #[test]
+    fn register_and_drop_updates_registry() {
+        let c = Collector::new();
+        assert_eq!(c.stats().registered_threads, 0);
+        let h1 = c.register();
+        let h2 = c.register();
+        assert_eq!(c.stats().registered_threads, 2);
+        drop(h1);
+        assert_eq!(c.stats().registered_threads, 1);
+        drop(h2);
+        assert_eq!(c.stats().registered_threads, 0);
+    }
+
+    #[test]
+    fn orphaned_guard_unregisters_on_drop() {
+        let c = Collector::new();
+        let h = c.register();
+        let g = h.pin();
+        drop(h);
+        // Handle gone but guard live: still registered (it must keep
+        // blocking the epoch).
+        assert_eq!(c.stats().registered_threads, 1);
+        drop(g);
+        assert_eq!(c.stats().registered_threads, 0);
+    }
+
+    #[test]
+    fn collector_drop_fires_pending_garbage() {
+        static FIRED: AtomicUsize = AtomicUsize::new(0);
+        let c = Collector::new();
+        let h = c.register();
+        {
+            let g = h.pin();
+            g.defer(|| {
+                FIRED.fetch_add(1, SeqCst);
+            });
+        }
+        drop(h);
+        drop(c);
+        assert_eq!(FIRED.load(SeqCst), 1);
+    }
+
+    #[test]
+    fn tls_cache_releases_abandoned_collectors() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        {
+            let c = Collector::new();
+            let g = c.pin(); // caches a handle in this thread's TLS
+            let f = fired.clone();
+            g.defer(move || {
+                f.fetch_add(1, SeqCst);
+            });
+        }
+        // The collector is now owned only by the TLS cache; its garbage has
+        // not reached a grace period yet.
+        assert_eq!(fired.load(SeqCst), 0);
+        // Pinning any collector sweeps the cache, dropping the abandoned
+        // entry and firing its remaining garbage via Inner::drop.
+        let other = Collector::new();
+        let _g = other.pin();
+        assert_eq!(fired.load(SeqCst), 1);
+    }
+
+    #[test]
+    fn clone_eq_identity() {
+        let a = Collector::new();
+        let b = a.clone();
+        let c = Collector::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,55 @@
+//! A lazily-initialized process-wide default collector.
+//!
+//! Most programs need exactly one reclamation domain; these free functions
+//! mirror the [`Collector`] API against a global instance, the way the
+//! kernel's `rcu_read_lock()` / `synchronize_rcu()` are domain-less.
+
+use std::sync::OnceLock;
+
+use crate::collector::Collector;
+use crate::guard::Guard;
+
+static DEFAULT: OnceLock<Collector> = OnceLock::new();
+
+/// The process-wide default collector, created on first use.
+pub fn default_collector() -> &'static Collector {
+    DEFAULT.get_or_init(Collector::new)
+}
+
+/// Pins the current thread against the default collector, registering the
+/// thread on first use (the paper's `rcu_read_begin`).
+pub fn pin() -> Guard {
+    default_collector().pin()
+}
+
+/// Waits for a full grace period on the default collector (the paper's
+/// `synchronize_rcu`). The calling thread must not be pinned.
+pub fn synchronize() {
+    default_collector().synchronize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+    use std::sync::Arc;
+
+    #[test]
+    fn default_collector_is_a_singleton() {
+        assert_eq!(default_collector(), default_collector());
+    }
+
+    #[test]
+    fn free_function_roundtrip() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let guard = pin();
+            let n = counter.clone();
+            guard.defer(move || {
+                n.fetch_add(1, SeqCst);
+            });
+        }
+        synchronize();
+        assert_eq!(counter.load(SeqCst), 1);
+    }
+}

@@ -55,13 +55,22 @@
 //!     drop(guard);
 //! }
 //!
+//! // A full grace period reclaims the retired allocation.
 //! collector.synchronize();
-//! # let p = shared.load(Ordering::Acquire);
-//! # unsafe { drop(Box::from_raw(p)) };
+//! let stats = collector.stats();
+//! assert_eq!(stats.objects_retired, 1);
+//! assert_eq!(stats.objects_freed, 1);
+//!
+//! // The currently-published value is still owned by `shared`; clean it up
+//! // now that no reader can be running.
+//! let p = shared.swap(std::ptr::null_mut(), Ordering::AcqRel);
+//! // Safety: `p` was the sole remaining published allocation.
+//! unsafe { drop(Box::from_raw(p)) };
 //! ```
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![warn(unsafe_op_in_unsafe_fn)]
 
 mod collector;
 mod deferred;

@@ -1,0 +1,386 @@
+//! Quiescent-state-based reclamation (QSBR).
+//!
+//! The epoch collector in [`crate::Collector`] brackets every read-side
+//! critical section with a pin/unpin pair. QSBR inverts the contract:
+//! registered threads are assumed to be *inside* a critical section at all
+//! times, except when they explicitly announce a quiescent state with
+//! [`QsbrHandle::quiescent`] (the analogue of a kernel thread passing
+//! through the scheduler). This suits long-running loop threads — e.g. a
+//! page-fault handling loop — that would otherwise pay a pin per iteration.
+//!
+//! Reclamation: garbage retired while the grace counter reads `g` may run
+//! once every online thread has observed a counter value of at least
+//! `g + 1`, because observing `g + 1` requires a quiescent-state
+//! announcement that happened after the retirement.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+use crate::deferred::Deferred;
+
+/// Per-thread QSBR state.
+struct QsbrLocal {
+    /// The last grace-counter value this thread observed at a quiescent
+    /// state.
+    seen: AtomicU64,
+    /// Offline threads are guaranteed to hold no references and are skipped
+    /// when computing grace periods.
+    online: AtomicBool,
+}
+
+struct QsbrInner {
+    /// The grace counter, bumped by reclaimers to start a new grace period.
+    grace: AtomicU64,
+    registry: Mutex<Vec<Arc<QsbrLocal>>>,
+    /// Retired callbacks, each tagged with the grace-counter value whose
+    /// completion makes it safe.
+    garbage: Mutex<Vec<(u64, Deferred)>>,
+    retired: AtomicU64,
+    freed: AtomicU64,
+}
+
+impl QsbrInner {
+    /// The grace-counter value every online thread has reached, or the
+    /// current counter when no thread is online.
+    fn min_seen(&self) -> u64 {
+        let registry = self.registry.lock().unwrap();
+        registry
+            .iter()
+            .filter(|l| l.online.load(SeqCst))
+            .map(|l| l.seen.load(SeqCst))
+            .min()
+            .unwrap_or_else(|| self.grace.load(SeqCst))
+    }
+
+    /// Runs every callback whose tag is at most `upto`. Returns the count.
+    fn reclaim_upto(&self, upto: u64) -> usize {
+        let ready: Vec<Deferred> = {
+            let mut garbage = self.garbage.lock().unwrap();
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < garbage.len() {
+                if garbage[i].0 <= upto {
+                    ready.push(garbage.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            ready
+        };
+        let n = ready.len();
+        for d in ready {
+            d.call();
+        }
+        self.freed.fetch_add(n as u64, SeqCst);
+        n
+    }
+}
+
+impl Drop for QsbrInner {
+    fn drop(&mut self) {
+        // No handle can be alive (each holds an Arc to this inner), so all
+        // remaining garbage is unreachable and safe to run.
+        let garbage = std::mem::take(&mut *self.garbage.get_mut().unwrap());
+        let n = garbage.len();
+        for (_, d) in garbage {
+            d.call();
+        }
+        self.freed.fetch_add(n as u64, SeqCst);
+    }
+}
+
+/// A quiescent-state-based reclamation domain.
+///
+/// Cheaply clonable; clones refer to the same domain. See the
+/// [module docs](self) for the contract.
+pub struct QsbrDomain {
+    inner: Arc<QsbrInner>,
+}
+
+impl QsbrDomain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(QsbrInner {
+                grace: AtomicU64::new(0),
+                registry: Mutex::new(Vec::new()),
+                garbage: Mutex::new(Vec::new()),
+                retired: AtomicU64::new(0),
+                freed: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Registers the calling thread, initially online and current.
+    pub fn register(&self) -> QsbrHandle {
+        let local = Arc::new(QsbrLocal {
+            seen: AtomicU64::new(self.inner.grace.load(SeqCst)),
+            online: AtomicBool::new(true),
+        });
+        self.inner.registry.lock().unwrap().push(local.clone());
+        QsbrHandle {
+            domain: self.clone(),
+            local,
+            _not_sync: PhantomData,
+        }
+    }
+
+    /// Defers `f` until every registered online thread has announced a
+    /// quiescent state after this call.
+    pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
+        let tag = self.inner.grace.load(SeqCst) + 1;
+        self.inner
+            .garbage
+            .lock()
+            .unwrap()
+            .push((tag, Deferred::new(f)));
+        self.inner.retired.fetch_add(1, SeqCst);
+    }
+
+    /// Retires a heap allocation; the QSBR analogue of
+    /// [`Guard::defer_free`](crate::Guard::defer_free).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Guard::defer_free`](crate::Guard::defer_free):
+    /// `ptr` came from [`Box::into_raw`], is unlinked, and is not freed
+    /// elsewhere.
+    pub unsafe fn defer_free<T: Send + 'static>(&self, ptr: *mut T) {
+        debug_assert!(!ptr.is_null());
+        let addr = ptr as usize;
+        self.defer(move || {
+            // Safety: sole owner per the contract above.
+            unsafe { drop(Box::from_raw(addr as *mut T)) };
+        });
+    }
+
+    /// Starts a new grace period and reclaims whatever is already safe,
+    /// without blocking. Returns the number of callbacks executed.
+    pub fn try_reclaim(&self) -> usize {
+        self.inner.grace.fetch_add(1, SeqCst);
+        self.inner.reclaim_upto(self.inner.min_seen())
+    }
+
+    /// Blocks until every online thread passes a quiescent state, then
+    /// reclaims all garbage retired before the call.
+    ///
+    /// The calling thread's own handle (if any) must be offline or have
+    /// announced a quiescent state it keeps renewing — in practice, call
+    /// this from a thread without a handle, or after
+    /// [`QsbrHandle::offline`].
+    pub fn synchronize(&self) {
+        let target = self.inner.grace.fetch_add(1, SeqCst) + 1;
+        while self.inner.min_seen() < target {
+            thread::yield_now();
+        }
+        self.inner.reclaim_upto(target);
+    }
+
+    /// Total objects retired via `defer` / `defer_free`.
+    pub fn retired(&self) -> u64 {
+        self.inner.retired.load(SeqCst)
+    }
+
+    /// Total deferred callbacks executed.
+    pub fn freed(&self) -> u64 {
+        self.inner.freed.load(SeqCst)
+    }
+
+    /// Retirements still waiting for a grace period.
+    pub fn pending(&self) -> usize {
+        self.inner.garbage.lock().unwrap().len()
+    }
+
+    /// Number of currently registered threads.
+    pub fn registered_threads(&self) -> usize {
+        self.inner.registry.lock().unwrap().len()
+    }
+}
+
+impl Default for QsbrDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for QsbrDomain {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for QsbrDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QsbrDomain")
+            .field("grace", &self.inner.grace.load(SeqCst))
+            .field("pending", &self.pending())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A thread's registration with a [`QsbrDomain`].
+///
+/// While online, the thread is assumed to be inside one long read-side
+/// critical section, punctuated by [`quiescent`](Self::quiescent) calls.
+pub struct QsbrHandle {
+    domain: QsbrDomain,
+    local: Arc<QsbrLocal>,
+    /// `Cell` is `Send + !Sync`: one thread at a time.
+    _not_sync: PhantomData<std::cell::Cell<()>>,
+}
+
+impl QsbrHandle {
+    /// Announces a quiescent state: the thread holds no references obtained
+    /// before this call (the analogue of `rcu_quiescent_state`).
+    pub fn quiescent(&self) {
+        let g = self.domain.inner.grace.load(SeqCst);
+        self.local.seen.store(g, SeqCst);
+    }
+
+    /// Marks the thread offline: it promises to hold no references and stops
+    /// participating in grace periods (the analogue of
+    /// `rcu_thread_offline`), e.g. before blocking on I/O.
+    pub fn offline(&self) {
+        self.local.online.store(false, SeqCst);
+    }
+
+    /// Brings the thread back online. Implies a quiescent state.
+    pub fn online(&self) {
+        self.quiescent();
+        self.local.online.store(true, SeqCst);
+    }
+
+    /// Whether this thread currently participates in grace periods.
+    pub fn is_online(&self) -> bool {
+        self.local.online.load(SeqCst)
+    }
+
+    /// The grace-counter value this thread last observed.
+    pub fn last_seen(&self) -> u64 {
+        self.local.seen.load(SeqCst)
+    }
+
+    /// The domain this handle is registered with.
+    pub fn domain(&self) -> &QsbrDomain {
+        &self.domain
+    }
+}
+
+impl Drop for QsbrHandle {
+    fn drop(&mut self) {
+        let local = &self.local;
+        self.domain
+            .inner
+            .registry
+            .lock()
+            .unwrap()
+            .retain(|l| !Arc::ptr_eq(l, local));
+    }
+}
+
+impl fmt::Debug for QsbrHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QsbrHandle")
+            .field("online", &self.is_online())
+            .field("last_seen", &self.last_seen())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn reclaim_waits_for_quiescent_states() {
+        let d = QsbrDomain::new();
+        let h1 = d.register();
+        let h2 = d.register();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let n = counter.clone();
+        d.defer(move || {
+            n.fetch_add(1, SeqCst);
+        });
+        assert_eq!(d.try_reclaim(), 0);
+        h1.quiescent();
+        // h2 has not passed a quiescent state yet.
+        assert_eq!(d.try_reclaim(), 0);
+        assert_eq!(counter.load(SeqCst), 0);
+        h2.quiescent();
+        h1.quiescent();
+        assert_eq!(d.try_reclaim(), 1);
+        assert_eq!(counter.load(SeqCst), 1);
+        assert_eq!(d.retired(), 1);
+        assert_eq!(d.freed(), 1);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn offline_threads_do_not_block_grace_periods() {
+        let d = QsbrDomain::new();
+        let h1 = d.register();
+        let h2 = d.register();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let n = counter.clone();
+        d.defer(move || {
+            n.fetch_add(1, SeqCst);
+        });
+        h2.offline();
+        assert!(!h2.is_online());
+        h1.quiescent();
+        // Only h1 is online; one more grace bump and its quiescent state
+        // suffice.
+        d.try_reclaim();
+        h1.quiescent();
+        assert_eq!(d.try_reclaim(), 1);
+        assert_eq!(counter.load(SeqCst), 1);
+        h2.online();
+        assert!(h2.is_online());
+    }
+
+    #[test]
+    fn synchronize_blocks_until_threads_quiesce() {
+        let d = QsbrDomain::new();
+        let stop = Arc::new(AtomicBool::new(false));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let worker = {
+            let d = d.clone();
+            let stop = stop.clone();
+            thread::spawn(move || {
+                let h = d.register();
+                while !stop.load(SeqCst) {
+                    h.quiescent();
+                    thread::yield_now();
+                }
+            })
+        };
+        let n = counter.clone();
+        d.defer(move || {
+            n.fetch_add(1, SeqCst);
+        });
+        d.synchronize();
+        assert_eq!(counter.load(SeqCst), 1);
+        stop.store(true, SeqCst);
+        worker.join().unwrap();
+        assert_eq!(d.registered_threads(), 0);
+    }
+
+    #[test]
+    fn domain_drop_fires_pending_garbage() {
+        static FIRED: AtomicUsize = AtomicUsize::new(0);
+        let d = QsbrDomain::new();
+        let h = d.register();
+        d.defer(|| {
+            FIRED.fetch_add(1, SeqCst);
+        });
+        drop(h);
+        drop(d);
+        assert_eq!(FIRED.load(SeqCst), 1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Observability counters for a [`Collector`](crate::Collector).
+
+/// A point-in-time snapshot of a collector's counters, from
+/// [`Collector::stats`](crate::Collector::stats).
+///
+/// `objects_retired - objects_freed` equals the number of retirements still
+/// waiting for a grace period (also broken out as `pending_objects`). After
+/// a [`synchronize`](crate::Collector::synchronize) with no concurrent
+/// writers, retired and freed converge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Current value of the global epoch.
+    pub global_epoch: u64,
+    /// Total number of successful epoch advances since creation.
+    pub epochs_advanced: u64,
+    /// Total objects retired via `defer` / `defer_free`.
+    pub objects_retired: u64,
+    /// Total deferred callbacks that have been executed.
+    pub objects_freed: u64,
+    /// Bags (local and sealed) still holding retirements.
+    pub pending_bags: usize,
+    /// Retirements still waiting for their grace period.
+    pub pending_objects: usize,
+    /// Threads currently registered with the collector.
+    pub registered_threads: usize,
+}
+
+impl CollectorStats {
+    /// Retirements not yet reclaimed (`objects_retired - objects_freed`).
+    pub fn outstanding(&self) -> u64 {
+        self.objects_retired - self.objects_freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Collector;
+
+    #[test]
+    fn counters_track_retire_and_free() {
+        let c = Collector::new();
+        let h = c.register();
+        {
+            let g = h.pin();
+            for _ in 0..5 {
+                g.defer(|| {});
+            }
+        }
+        let before = c.stats();
+        assert_eq!(before.objects_retired, 5);
+        c.synchronize();
+        let after = c.stats();
+        assert_eq!(after.objects_retired, 5);
+        assert_eq!(after.objects_freed, 5);
+        assert_eq!(after.outstanding(), 0);
+        assert_eq!(after.pending_objects, 0);
+        assert_eq!(after.pending_bags, 0);
+        assert!(after.epochs_advanced >= 2);
+        assert_eq!(after.registered_threads, 1);
+    }
+
+    #[test]
+    fn default_is_zeroed() {
+        let s = super::CollectorStats::default();
+        assert_eq!(s.outstanding(), 0);
+        assert_eq!(s.global_epoch, 0);
+    }
+}
