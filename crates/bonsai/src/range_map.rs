@@ -12,7 +12,7 @@ use std::sync::Mutex;
 
 use rcukit::{Collector, Guard};
 
-use crate::tree::BonsaiTree;
+use crate::tree::{with_writer, BonsaiTree};
 
 /// A mapped region: keyed in the tree by its start address, carrying its
 /// exclusive end and a payload.
@@ -30,7 +30,10 @@ struct Extent<V> {
 /// paper makes scale by running it under RCU instead of a lock.
 pub struct RangeMap<V> {
     tree: BonsaiTree<u64, Extent<V>>,
-    /// Serializes `map`'s check-then-insert against other mutators.
+    /// Serializes `map`'s check-then-insert against other mutators. This is
+    /// the *only* writer lock on the mutation path: the tree is updated
+    /// through its unlocked crate-private entry points, so each `map`/
+    /// `unmap` pays a single lock acquisition.
     writer: Mutex<()>,
 }
 
@@ -79,37 +82,44 @@ where
     /// Panics if `start >= end`.
     pub fn map(&self, start: u64, end: u64, value: V) -> bool {
         assert!(start < end, "empty or inverted range {start:#x}..{end:#x}");
-        let _w = self.writer.lock().unwrap();
-        {
-            let guard = self.pin();
+        with_writer(&self.writer, self.tree.collector(), |guard| {
             // Predecessor overlap: a region starting at or before `start`
             // that has not ended by `start`.
-            if let Some((_, extent)) = self.tree.get_le(&start, &guard) {
+            if let Some((_, extent)) = self.tree.get_le(&start, guard) {
                 if extent.end > start {
                     return false;
                 }
             }
             // Successor overlap: a region starting inside `[start, end)`.
-            if let Some((succ_start, _)) = self.tree.get_ge(&start, &guard) {
+            if let Some((succ_start, _)) = self.tree.get_ge(&start, guard) {
                 if *succ_start < end {
                     return false;
                 }
             }
-        }
-        self.tree.insert(start, Extent { end, value });
-        true
+            // Safety: `with_writer` holds `self.writer`, serializing every
+            // tree mutation (all mutations go through `map`/`unmap`), and
+            // `guard` is pinned against the tree's collector.
+            unsafe {
+                self.tree
+                    .insert_unlocked(start, Extent { end, value }, guard)
+            };
+            true
+        })
     }
 
     /// Unmaps the region that starts exactly at `start`, returning its
     /// payload.
     pub fn unmap(&self, start: u64) -> Option<V> {
-        let _w = self.writer.lock().unwrap();
-        self.tree.remove(&start).map(|extent| extent.value)
+        with_writer(&self.writer, self.tree.collector(), |guard| {
+            // Safety: as in `map`.
+            unsafe { self.tree.remove_unlocked(&start, guard) }.map(|extent| extent.value)
+        })
     }
 
     /// Finds the region containing `addr` (the page-fault path). Lock-free;
-    /// the reference is valid for the guard's critical section.
-    pub fn lookup<'g>(&self, addr: u64, guard: &'g Guard) -> Option<&'g V> {
+    /// the reference is valid for the guard's critical section and borrows
+    /// the map, so the map cannot be dropped while it is live.
+    pub fn lookup<'g>(&'g self, addr: u64, guard: &'g Guard) -> Option<&'g V> {
         let (_, extent) = self.tree.get_le(&addr, guard)?;
         if addr < extent.end {
             Some(&extent.value)
@@ -119,7 +129,7 @@ where
     }
 
     /// Like [`lookup`](Self::lookup), also returning the region bounds.
-    pub fn translate<'g>(&self, addr: u64, guard: &'g Guard) -> Option<(u64, u64, &'g V)> {
+    pub fn translate<'g>(&'g self, addr: u64, guard: &'g Guard) -> Option<(u64, u64, &'g V)> {
         let (start, extent) = self.tree.get_le(&addr, guard)?;
         if addr < extent.end {
             Some((*start, extent.end, &extent.value))

@@ -7,10 +7,12 @@
 //! updates). Every node is immutable after publication: an update clones the
 //! key/value pairs along the root-to-site path into freshly allocated nodes,
 //! rebalancing copy-on-write, and finally swings the root pointer with a
-//! release store. Replaced nodes are retired to the tree's
-//! [`Collector`] with [`Guard::defer_free`] and reclaimed only after a grace
-//! period, so concurrent readers traversing the old path never touch freed
-//! memory.
+//! release store. Only *after* that store are the replaced nodes retired to
+//! the tree's [`Collector`], batched into a single [`Guard::defer`]red
+//! [`RetiredNodes`] free — retiring earlier would let a reader pin after
+//! the retirement yet still reach the nodes through the still-published old
+//! root. Retired nodes are reclaimed only after a grace period, so
+//! concurrent readers traversing the old path never touch freed memory.
 //!
 //! # Concurrency contract
 //!
@@ -52,6 +54,62 @@ struct Node<K, V> {
 // value — the child pointers are plain data, never followed — so sending a
 // node requires exactly `K: Send + V: Send`.
 unsafe impl<K: Send, V: Send> Send for Node<K, V> {}
+
+/// The nodes replaced by one update, freed together by a single deferred
+/// callback after the grace period — one epoch-tag sample (and its StoreLoad
+/// fence) per update instead of one per node.
+struct RetiredNodes<K, V>(Vec<*mut Node<K, V>>);
+
+// Safety: as for `Node` — the drop below frees each node's key and value on
+// the reclaiming thread.
+unsafe impl<K: Send, V: Send> Send for RetiredNodes<K, V> {}
+
+impl<K, V> Drop for RetiredNodes<K, V> {
+    fn drop(&mut self) {
+        for &n in &self.0 {
+            // Safety: each pointer was unlinked by the publishing root store
+            // and appears exactly once across all batches.
+            unsafe { drop(Box::from_raw(n)) };
+        }
+    }
+}
+
+/// Runs `f` with `lock` held and a guard pinned against `collector`, in the
+/// only safe order for a writer entry point:
+///
+/// 1. lock first, pin second — a writer queued on the mutex must not hold a
+///    pin, or its wait would stall epoch advance (and all reclamation) for
+///    the whole collector;
+/// 2. the pin is housekeeping-free ([`Collector::pin_quiet`]) — pin-time
+///    cache eviction can fire deferred callbacks, and one re-entering a
+///    writer entry point would relock the non-reentrant mutex;
+/// 3. the mutex is released before the guard — enforced structurally (field
+///    declaration order = drop order), so it holds even when `f` unwinds —
+///    because the outermost unpin may also fire callbacks;
+/// 4. the skipped pin-time housekeeping runs afterwards, once no lock is
+///    held and no guard is live.
+///
+/// Every writer entry point (tree and `RangeMap`) must go through here so
+/// the ordering invariant cannot be broken in one call site.
+pub(crate) fn with_writer<R>(
+    lock: &Mutex<()>,
+    collector: &Collector,
+    f: impl FnOnce(&Guard) -> R,
+) -> R {
+    struct Session<'a> {
+        _w: std::sync::MutexGuard<'a, ()>,
+        guard: Guard,
+    }
+    // Struct fields evaluate in written order: lock acquired before the pin.
+    let session = Session {
+        _w: lock.lock().unwrap(),
+        guard: collector.pin_quiet(),
+    };
+    let out = f(&session.guard);
+    drop(session);
+    collector.housekeep();
+    out
+}
 
 /// The paper's RCU-balanced tree: lock-free lookups, single-writer
 /// copy-on-write updates with grace-period reclamation.
@@ -123,8 +181,22 @@ where
     }
 
     /// Looks up `key`. The returned reference is valid for the guard's
-    /// critical section.
-    pub fn get<'g>(&self, key: &K, guard: &'g Guard) -> Option<&'g V> {
+    /// critical section; it also borrows the tree, so the tree cannot be
+    /// dropped (which frees all nodes without a grace period) while the
+    /// reference is live:
+    ///
+    /// ```compile_fail,E0505
+    /// use bonsai::BonsaiTree;
+    /// use rcukit::Collector;
+    ///
+    /// let t: BonsaiTree<u64, u64> = BonsaiTree::new(Collector::new());
+    /// t.insert(1, 10);
+    /// let g = t.pin();
+    /// let v = t.get(&1, &g).unwrap();
+    /// drop(t); // ERROR: `t` is still borrowed by `v`
+    /// println!("{v}");
+    /// ```
+    pub fn get<'g>(&'g self, key: &K, guard: &'g Guard) -> Option<&'g V> {
         self.check_guard(guard);
         let mut cur = self.root.load(Ordering::Acquire);
         while !cur.is_null() {
@@ -147,8 +219,8 @@ where
     }
 
     /// Finds the greatest entry with key `<= key` (predecessor query, the
-    /// primitive behind VMA lookup).
-    pub fn get_le<'g>(&self, key: &K, guard: &'g Guard) -> Option<(&'g K, &'g V)> {
+    /// primitive behind VMA lookup). Borrows as in [`get`](Self::get).
+    pub fn get_le<'g>(&'g self, key: &K, guard: &'g Guard) -> Option<(&'g K, &'g V)> {
         self.check_guard(guard);
         let mut cur = self.root.load(Ordering::Acquire);
         let mut best: *mut Node<K, V> = ptr::null_mut();
@@ -171,8 +243,9 @@ where
         }
     }
 
-    /// Finds the least entry with key `>= key` (successor query).
-    pub fn get_ge<'g>(&self, key: &K, guard: &'g Guard) -> Option<(&'g K, &'g V)> {
+    /// Finds the least entry with key `>= key` (successor query). Borrows as
+    /// in [`get`](Self::get).
+    pub fn get_ge<'g>(&'g self, key: &K, guard: &'g Guard) -> Option<(&'g K, &'g V)> {
         self.check_guard(guard);
         let mut cur = self.root.load(Ordering::Acquire);
         let mut best: *mut Node<K, V> = ptr::null_mut();
@@ -198,12 +271,38 @@ where
     /// Inserts `key -> value`, returning the previous value for `key` if it
     /// was present. Takes the writer lock.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
-        let _w = self.writer.lock().unwrap();
-        let guard = self.collector.pin();
+        with_writer(&self.writer, &self.collector, |guard| {
+            // Safety: `with_writer` holds the writer lock for the whole
+            // update and `guard` is pinned against our collector.
+            unsafe { self.insert_unlocked(key, value, guard) }
+        })
+    }
+
+    /// [`insert`](Self::insert) without taking the writer lock, for callers
+    /// that already serialize mutations under their own lock (e.g.
+    /// `RangeMap`'s check-then-insert) and hold a pinned guard.
+    ///
+    /// # Safety
+    ///
+    /// The caller must hold a lock serializing every mutation of this tree
+    /// for the duration of the call; concurrent unlocked updates race on the
+    /// root and double-retire nodes. `guard` must be pinned against this
+    /// tree's collector.
+    pub(crate) unsafe fn insert_unlocked(&self, key: K, value: V, guard: &Guard) -> Option<V> {
+        self.check_guard(guard);
         let root = self.root.load(Ordering::Relaxed);
+        let mut retired = Vec::new();
         // Safety: writer lock held; `root` is the current published tree.
-        let (new_root, old) = unsafe { Self::insert_rec(root, &key, &value, &guard) };
+        let (new_root, old) = unsafe { Self::insert_rec(root, &key, &value, &mut retired) };
         self.root.store(new_root, Ordering::Release);
+        // Retire strictly after the store: until the new root is published,
+        // a freshly pinned reader could still reach the replaced nodes
+        // through `self.root`. The whole path goes into one deferred batch,
+        // paying a single epoch-tag sample per update.
+        if !retired.is_empty() {
+            let batch = RetiredNodes(retired);
+            guard.defer(move || drop(batch));
+        }
         if old.is_none() {
             self.len.fetch_add(1, Ordering::Release);
         }
@@ -213,14 +312,34 @@ where
     /// Removes `key`, returning its value if it was present. Takes the
     /// writer lock.
     pub fn remove(&self, key: &K) -> Option<V> {
-        let _w = self.writer.lock().unwrap();
-        let guard = self.collector.pin();
+        with_writer(&self.writer, &self.collector, |guard| {
+            // Safety: as in `insert`.
+            unsafe { self.remove_unlocked(key, guard) }
+        })
+    }
+
+    /// [`remove`](Self::remove) without taking the writer lock.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`Self::insert_unlocked`].
+    pub(crate) unsafe fn remove_unlocked(&self, key: &K, guard: &Guard) -> Option<V> {
+        self.check_guard(guard);
         let root = self.root.load(Ordering::Relaxed);
+        let mut retired = Vec::new();
         // Safety: writer lock held; `root` is the current published tree.
-        let (new_root, old) = unsafe { Self::remove_rec(root, key, &guard) };
+        let (new_root, old) = unsafe { Self::remove_rec(root, key, &mut retired) };
         if old.is_some() {
             self.root.store(new_root, Ordering::Release);
             self.len.fetch_sub(1, Ordering::Release);
+            // Retire strictly after the store, as one batch; see `insert`.
+            if !retired.is_empty() {
+                let batch = RetiredNodes(retired);
+                guard.defer(move || drop(batch));
+            }
+        } else {
+            // A miss rebuilds nothing and therefore replaces nothing.
+            debug_assert!(retired.is_empty());
         }
         old
     }
@@ -273,17 +392,20 @@ where
         }))
     }
 
-    /// Retires a replaced node to the collector. Also used for nodes created
-    /// and then discarded within the same update — deferring their free is
-    /// merely a little lazy, never wrong.
+    /// Marks a replaced node for retirement. The node is only handed to the
+    /// collector (as part of the update's single [`RetiredNodes`] batch,
+    /// freed by [`Guard::defer`]) by `insert`/`remove` *after* the new root
+    /// is published — retiring mid-rebuild would let a reader pin after the
+    /// retirement yet still reach the node through the old root, defeating
+    /// the grace-period argument. Also used for nodes created and then
+    /// discarded within the same update — deferring their free is merely a
+    /// little lazy, never wrong.
     ///
-    /// # Safety
-    ///
-    /// `n` must be unlinked from the (about-to-be-published) tree and not
-    /// retired twice.
-    unsafe fn retire(n: *mut Node<K, V>, guard: &Guard) {
-        // Safety: forwarded contract.
-        unsafe { guard.defer_free(n) };
+    /// `n` must be absent from the about-to-be-published tree and pushed at
+    /// most once.
+    #[inline]
+    fn retire(n: *mut Node<K, V>, retired: &mut Vec<*mut Node<K, V>>) {
+        retired.push(n);
     }
 
     /// Builds a balanced node over `l`, `(key, value)`, `r`, where the two
@@ -293,13 +415,14 @@ where
     /// # Safety
     ///
     /// `l`/`r` are valid subtree roots owned by the current update (or
-    /// published and guard-protected); rotated-away nodes are retired.
+    /// published and guard-protected); rotated-away nodes are pushed onto
+    /// `retired`.
     unsafe fn balance(
         l: *mut Node<K, V>,
         key: K,
         value: V,
         r: *mut Node<K, V>,
-        guard: &Guard,
+        retired: &mut Vec<*mut Node<K, V>>,
     ) -> *mut Node<K, V> {
         let sl = Self::size_of(l);
         let sr = Self::size_of(r);
@@ -315,8 +438,8 @@ where
                 // Safety: `r` valid; its fields are cloned, not moved.
                 let (rk, rv) = unsafe { ((*r).key.clone(), (*r).value.clone()) };
                 let out = Self::mk(Self::mk(l, key, value, rl), rk, rv, rr);
-                // Safety: `r` is replaced by `out` and unlinked.
-                unsafe { Self::retire(r, guard) };
+                // `r` is replaced by `out` and unlinked.
+                Self::retire(r, retired);
                 out
             } else {
                 // Double left rotation; `rl` is non-null because
@@ -331,11 +454,9 @@ where
                     rlv,
                     Self::mk(rlr, rk, rv, rr),
                 );
-                // Safety: both are replaced by `out` and unlinked.
-                unsafe {
-                    Self::retire(rl, guard);
-                    Self::retire(r, guard);
-                }
+                // Both are replaced by `out` and unlinked.
+                Self::retire(rl, retired);
+                Self::retire(r, retired);
                 out
             }
         } else if sl > DELTA * sr {
@@ -346,8 +467,8 @@ where
                 // Safety: `l` valid; fields cloned.
                 let (lk, lv) = unsafe { ((*l).key.clone(), (*l).value.clone()) };
                 let out = Self::mk(ll, lk, lv, Self::mk(lr, key, value, r));
-                // Safety: `l` is replaced by `out` and unlinked.
-                unsafe { Self::retire(l, guard) };
+                // `l` is replaced by `out` and unlinked.
+                Self::retire(l, retired);
                 out
             } else {
                 // Safety: `l` and `lr` are valid nodes.
@@ -360,11 +481,9 @@ where
                     lrv,
                     Self::mk(lrr, key, value, r),
                 );
-                // Safety: both are replaced by `out` and unlinked.
-                unsafe {
-                    Self::retire(lr, guard);
-                    Self::retire(l, guard);
-                }
+                // Both are replaced by `out` and unlinked.
+                Self::retire(lr, retired);
+                Self::retire(l, retired);
                 out
             }
         } else {
@@ -373,7 +492,7 @@ where
     }
 
     /// Copy-on-write insert. Returns the new subtree root and the displaced
-    /// value, retiring every replaced node.
+    /// value, collecting every replaced node into `retired`.
     ///
     /// # Safety
     ///
@@ -383,7 +502,7 @@ where
         n: *mut Node<K, V>,
         key: &K,
         value: &V,
-        guard: &Guard,
+        retired: &mut Vec<*mut Node<K, V>>,
     ) -> (*mut Node<K, V>, Option<V>) {
         if n.is_null() {
             return (
@@ -397,29 +516,29 @@ where
             Cmp::Equal => {
                 let old = node.value.clone();
                 let out = Self::mk(node.left, key.clone(), value.clone(), node.right);
-                // Safety: `n` is replaced by `out`.
-                unsafe { Self::retire(n, guard) };
+                // `n` is replaced by `out`.
+                Self::retire(n, retired);
                 (out, Some(old))
             }
             Cmp::Less => {
                 // Safety: recursing with the same contract.
-                let (nl, old) = unsafe { Self::insert_rec(node.left, key, value, guard) };
+                let (nl, old) = unsafe { Self::insert_rec(node.left, key, value, retired) };
                 let out =
                     // Safety: `nl` is owned by this update, `node.right` is
                     // published; both valid.
-                    unsafe { Self::balance(nl, node.key.clone(), node.value.clone(), node.right, guard) };
-                // Safety: `n` is replaced by `out`.
-                unsafe { Self::retire(n, guard) };
+                    unsafe { Self::balance(nl, node.key.clone(), node.value.clone(), node.right, retired) };
+                // `n` is replaced by `out`.
+                Self::retire(n, retired);
                 (out, old)
             }
             Cmp::Greater => {
                 // Safety: recursing with the same contract.
-                let (nr, old) = unsafe { Self::insert_rec(node.right, key, value, guard) };
+                let (nr, old) = unsafe { Self::insert_rec(node.right, key, value, retired) };
                 let out =
                     // Safety: as in the `Less` arm, mirrored.
-                    unsafe { Self::balance(node.left, node.key.clone(), node.value.clone(), nr, guard) };
-                // Safety: `n` is replaced by `out`.
-                unsafe { Self::retire(n, guard) };
+                    unsafe { Self::balance(node.left, node.key.clone(), node.value.clone(), nr, retired) };
+                // `n` is replaced by `out`.
+                Self::retire(n, retired);
                 (out, old)
             }
         }
@@ -434,7 +553,7 @@ where
     unsafe fn remove_rec(
         n: *mut Node<K, V>,
         key: &K,
-        guard: &Guard,
+        retired: &mut Vec<*mut Node<K, V>>,
     ) -> (*mut Node<K, V>, Option<V>) {
         if n.is_null() {
             return (n, None);
@@ -445,37 +564,43 @@ where
             Cmp::Equal => {
                 let old = node.value.clone();
                 // Safety: joining the two published child subtrees.
-                let out = unsafe { Self::join(node.left, node.right, guard) };
-                // Safety: `n` is replaced by `out`.
-                unsafe { Self::retire(n, guard) };
+                let out = unsafe { Self::join(node.left, node.right, retired) };
+                // `n` is replaced by `out`.
+                Self::retire(n, retired);
                 (out, Some(old))
             }
             Cmp::Less => {
                 // Safety: recursing with the same contract.
-                let (nl, old) = unsafe { Self::remove_rec(node.left, key, guard) };
+                let (nl, old) = unsafe { Self::remove_rec(node.left, key, retired) };
                 if old.is_none() {
                     return (n, None);
                 }
                 // Safety: `nl` owned by this update, `node.right` published.
                 let out = unsafe {
-                    Self::balance(nl, node.key.clone(), node.value.clone(), node.right, guard)
+                    Self::balance(
+                        nl,
+                        node.key.clone(),
+                        node.value.clone(),
+                        node.right,
+                        retired,
+                    )
                 };
-                // Safety: `n` is replaced by `out`.
-                unsafe { Self::retire(n, guard) };
+                // `n` is replaced by `out`.
+                Self::retire(n, retired);
                 (out, old)
             }
             Cmp::Greater => {
                 // Safety: recursing with the same contract.
-                let (nr, old) = unsafe { Self::remove_rec(node.right, key, guard) };
+                let (nr, old) = unsafe { Self::remove_rec(node.right, key, retired) };
                 if old.is_none() {
                     return (n, None);
                 }
                 // Safety: as in the `Less` arm, mirrored.
                 let out = unsafe {
-                    Self::balance(node.left, node.key.clone(), node.value.clone(), nr, guard)
+                    Self::balance(node.left, node.key.clone(), node.value.clone(), nr, retired)
                 };
-                // Safety: `n` is replaced by `out`.
-                unsafe { Self::retire(n, guard) };
+                // `n` is replaced by `out`.
+                Self::retire(n, retired);
                 (out, old)
             }
         }
@@ -487,7 +612,11 @@ where
     /// # Safety
     ///
     /// Same contract as [`Self::insert_rec`].
-    unsafe fn join(l: *mut Node<K, V>, r: *mut Node<K, V>, guard: &Guard) -> *mut Node<K, V> {
+    unsafe fn join(
+        l: *mut Node<K, V>,
+        r: *mut Node<K, V>,
+        retired: &mut Vec<*mut Node<K, V>>,
+    ) -> *mut Node<K, V> {
         if l.is_null() {
             return r;
         }
@@ -495,35 +624,44 @@ where
             return l;
         }
         // Safety: `r` is a valid non-null subtree.
-        let (k, v, r2) = unsafe { Self::extract_min(r, guard) };
+        let (k, v, r2) = unsafe { Self::extract_min(r, retired) };
         // Safety: `l` published, `r2` owned by this update.
-        unsafe { Self::balance(l, k, v, r2, guard) }
+        unsafe { Self::balance(l, k, v, r2, retired) }
     }
 
     /// Removes and returns the minimum entry of non-null subtree `n`,
-    /// retiring the path.
+    /// collecting the replaced path into `retired`.
     ///
     /// # Safety
     ///
     /// `n` must be a valid non-null subtree root; same contract as
     /// [`Self::insert_rec`].
-    unsafe fn extract_min(n: *mut Node<K, V>, guard: &Guard) -> (K, V, *mut Node<K, V>) {
+    unsafe fn extract_min(
+        n: *mut Node<K, V>,
+        retired: &mut Vec<*mut Node<K, V>>,
+    ) -> (K, V, *mut Node<K, V>) {
         // Safety: `n` is valid and non-null per the contract.
         let node = unsafe { &*n };
         if node.left.is_null() {
             let out = (node.key.clone(), node.value.clone(), node.right);
-            // Safety: `n` is unlinked; its right child is reused.
-            unsafe { Self::retire(n, guard) };
+            // `n` is unlinked; its right child is reused.
+            Self::retire(n, retired);
             out
         } else {
             // Safety: `node.left` is non-null and valid.
-            let (k, v, nl) = unsafe { Self::extract_min(node.left, guard) };
+            let (k, v, nl) = unsafe { Self::extract_min(node.left, retired) };
             // Safety: `nl` owned by this update, `node.right` published.
             let out = unsafe {
-                Self::balance(nl, node.key.clone(), node.value.clone(), node.right, guard)
+                Self::balance(
+                    nl,
+                    node.key.clone(),
+                    node.value.clone(),
+                    node.right,
+                    retired,
+                )
             };
-            // Safety: `n` is replaced by `out`.
-            unsafe { Self::retire(n, guard) };
+            // `n` is replaced by `out`.
+            Self::retire(n, retired);
             (k, v, out)
         }
     }
@@ -582,11 +720,13 @@ where
 
 impl<K, V> Drop for BonsaiTree<K, V> {
     fn drop(&mut self) {
-        // Frees the published tree immediately, without a grace period:
-        // `&mut self` proves no reader can reach the root anymore (a live
-        // guard does not keep the tree alive, and lookups require `&self`).
-        // Nodes already retired to the collector are owned by its deferred
-        // callbacks and are NOT freed here.
+        // Frees the published tree immediately, without a grace period.
+        // Sound because no reference into the tree can outlive it: lookups
+        // require `&self` for their whole traversal, and the references
+        // they return borrow `&'g self` (not just the guard), so holding
+        // one keeps the tree borrowed and `drop` unreachable. Nodes already
+        // retired to the collector are owned by its deferred callbacks and
+        // are NOT freed here.
         fn free<K, V>(n: *mut Node<K, V>) {
             if n.is_null() {
                 return;

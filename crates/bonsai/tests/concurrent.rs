@@ -1,5 +1,10 @@
 //! Concurrent smoke tests: readers sustain lock-free lookups while a writer
 //! churns the structure, and reclamation fully drains afterwards.
+//!
+//! Both churn tests also run a dedicated reclaimer thread hammering
+//! [`Collector::collect`], so the global epoch advances *during* mid-flight
+//! updates — the schedule that would catch retire-before-publish bugs, which
+//! writer-only epoch advances (between operations) never exercise.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Barrier};
@@ -49,6 +54,18 @@ fn rangemap_readers_never_lose_keys_during_churn() {
     let done = Arc::new(AtomicBool::new(false));
     let lost = Arc::new(AtomicUsize::new(0));
     let lookups = Arc::new(AtomicUsize::new(0));
+
+    // Advance the epoch and reclaim concurrently with mid-flight updates.
+    let reclaimer = {
+        let collector = collector.clone();
+        let done = done.clone();
+        thread::spawn(move || {
+            while !done.load(SeqCst) {
+                collector.collect();
+                thread::yield_now();
+            }
+        })
+    };
 
     let mut readers = Vec::new();
     for t in 0..READERS {
@@ -101,6 +118,7 @@ fn rangemap_readers_never_lose_keys_during_churn() {
     for t in readers {
         t.join().unwrap();
     }
+    reclaimer.join().unwrap();
 
     assert_eq!(
         lost.load(SeqCst),
@@ -146,6 +164,18 @@ fn tree_readers_never_lose_keys_during_churn() {
     let done = Arc::new(AtomicBool::new(false));
     let lost = Arc::new(AtomicUsize::new(0));
 
+    // Advance the epoch and reclaim concurrently with mid-flight updates.
+    let reclaimer = {
+        let collector = collector.clone();
+        let done = done.clone();
+        thread::spawn(move || {
+            while !done.load(SeqCst) {
+                collector.collect();
+                thread::yield_now();
+            }
+        })
+    };
+
     let mut readers = Vec::new();
     for t in 0..READERS {
         let tree = tree.clone();
@@ -189,6 +219,7 @@ fn tree_readers_never_lose_keys_during_churn() {
     for t in readers {
         t.join().unwrap();
     }
+    reclaimer.join().unwrap();
 
     assert_eq!(lost.load(SeqCst), 0, "a reader lost a permanent key");
     tree.check_invariants();

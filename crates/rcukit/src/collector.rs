@@ -21,7 +21,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
@@ -57,6 +57,10 @@ pub(crate) struct LocalState {
     /// Set when the owning [`LocalHandle`] was dropped while a guard was
     /// still live; the last guard then unregisters the state.
     pub(crate) orphaned: AtomicBool,
+    /// Set when an outermost unpin sealed garbage but skipped the
+    /// opportunistic collect because the thread still held other guards;
+    /// this handle's next guard-free unpin collects instead.
+    pub(crate) collect_pending: AtomicBool,
     /// Garbage retired by this thread that has not yet been sealed into the
     /// collector's global queue. Only the owning thread pushes; the lock is
     /// effectively uncontended.
@@ -69,6 +73,7 @@ impl LocalState {
             status: AtomicU64::new(0),
             guard_count: AtomicUsize::new(0),
             orphaned: AtomicBool::new(false),
+            collect_pending: AtomicBool::new(false),
             bag: Mutex::new(Bag::new(0)),
         }
     }
@@ -84,10 +89,18 @@ pub(crate) struct Inner {
     garbage: Mutex<Vec<Bag>>,
     /// Total number of successful epoch advances.
     epochs_advanced: AtomicU64,
-    /// Total objects retired via `defer`/`defer_free`.
+    /// Total deferred callbacks retired via `defer`/`defer_free`. Units are
+    /// callbacks, not heap objects: a caller batching several frees into
+    /// one `defer` closure counts once (see [`CollectorStats`]).
     pub(crate) retired: AtomicU64,
     /// Total deferred callbacks executed.
     freed: AtomicU64,
+    /// Number of per-thread TLS cache entries (see [`HANDLES`]) currently
+    /// holding a handle to this collector. Used by the cache sweep to tell
+    /// "alive only because caches hold it" apart from "externally owned":
+    /// the collector is abandoned exactly when every strong reference is a
+    /// cache entry, i.e. `strong_count <= tls_cached`.
+    tls_cached: AtomicUsize,
 }
 
 impl Inner {
@@ -116,10 +129,12 @@ impl Inner {
     }
 
     /// Fires every sealed bag whose grace period has elapsed. Returns the
-    /// number of callbacks executed.
-    fn reclaim(&self) -> usize {
+    /// number of callbacks executed and whether bags are still queued
+    /// (observed inside the same lock, so no extra acquisition is needed to
+    /// learn it).
+    fn reclaim(&self) -> (usize, bool) {
         let e = self.epoch.load(SeqCst);
-        let ready: Vec<Bag> = {
+        let (ready, remaining) = {
             let mut garbage = self.garbage.lock().unwrap();
             let mut ready = Vec::new();
             let mut i = 0;
@@ -130,32 +145,41 @@ impl Inner {
                     i += 1;
                 }
             }
-            ready
+            (ready, !garbage.is_empty())
         };
         let mut n = 0;
         for bag in ready {
             n += bag.fire();
         }
         self.freed.fetch_add(n as u64, SeqCst);
-        n
+        (n, remaining)
     }
 
     /// Moves a thread's local bag (if non-empty) into the global queue.
-    pub(crate) fn seal_bag(&self, local: &LocalState) {
+    /// Returns whether anything was sealed.
+    pub(crate) fn seal_bag(&self, local: &LocalState) -> bool {
         let sealed = {
             let mut bag = local.bag.lock().unwrap();
             if bag.is_empty() {
-                return;
+                return false;
             }
             let epoch = bag.epoch;
             mem::replace(&mut *bag, Bag::new(epoch))
         };
         self.garbage.lock().unwrap().push(sealed);
+        true
     }
 
     /// Adds one deferred callback to `local`'s bag, tagged with the current
     /// global epoch. Seals oversized or stale-epoch bags along the way.
     pub(crate) fn defer(&self, local: &LocalState, d: Deferred) {
+        // StoreLoad fence: the caller's unlink store (e.g. a Release store
+        // of a new tree root) must be globally visible before the epoch tag
+        // is sampled. Without it the unlink can linger in the store buffer
+        // while the epoch advances past the stale tag, letting a reader pin
+        // at `tag + 1`, load the *old* pointer, and outlive the grace
+        // period computed from `tag`.
+        fence(SeqCst);
         let tag = self.epoch.load(SeqCst);
         let sealed = {
             let mut bag = local.bag.lock().unwrap();
@@ -176,6 +200,10 @@ impl Inner {
         self.retired.fetch_add(1, SeqCst);
         let mut garbage = None;
         if sealed.0.is_some() || sealed.1.is_some() {
+            // A bag sealed mid-critical-section leaves the local bag empty
+            // at unpin, so `Guard::drop`'s `had_garbage` check alone would
+            // never collect it; arm the handle's pending flag.
+            local.collect_pending.store(true, SeqCst);
             garbage = Some(self.garbage.lock().unwrap());
         }
         if let Some(bag) = sealed.0 {
@@ -194,8 +222,9 @@ impl Inner {
             .retain(|l| !Arc::ptr_eq(l, local));
     }
 
-    /// One non-blocking advance-and-reclaim step.
-    pub(crate) fn collect(&self) -> usize {
+    /// One non-blocking advance-and-reclaim step. Returns the number of
+    /// callbacks executed and whether bags are still queued.
+    pub(crate) fn collect(&self) -> (usize, bool) {
         self.try_advance();
         self.reclaim()
     }
@@ -217,10 +246,97 @@ impl Drop for Inner {
     }
 }
 
+/// A [`LocalHandle`] owned by a thread's TLS cache. Keeps the collector's
+/// [`Inner::tls_cached`] census accurate: the count is incremented when the
+/// entry is created (in [`Collector::pin`]) and decremented here on drop,
+/// whether the entry dies by sweep eviction or by thread exit.
+struct CachedHandle {
+    id: usize,
+    handle: LocalHandle,
+}
+
+impl Drop for CachedHandle {
+    fn drop(&mut self) {
+        // Runs before `handle` (and its `Arc<Inner>`) is dropped, so the
+        // count transiently underestimates the cache population; sweeps err
+        // toward keeping an entry one round longer, never toward use-after-
+        // free, and re-run on every cache miss and every
+        // [`SWEEP_PERIOD`]-th cache-hit pin.
+        self.handle.collector.inner.tls_cached.fetch_sub(1, SeqCst);
+    }
+}
+
+/// A thread's handle cache plus the pin counter driving the sampled sweep.
+struct HandleCache {
+    entries: Vec<CachedHandle>,
+    /// Cache-hit pins since the last sweep; at [`SWEEP_PERIOD`] the hit path
+    /// sweeps too, so a thread that only ever cache-hits still releases
+    /// abandoned collectors instead of holding them until thread exit.
+    pins_since_sweep: u32,
+}
+
+impl HandleCache {
+    /// The sampled eviction gate shared by [`Collector::pin`] and
+    /// [`Collector::housekeep`]: counts the pin, and sweeps when due
+    /// (`force` skips the cadence check — used on cache misses, which are
+    /// already the slow path) but only while the thread holds no guard (an
+    /// evicted collector's callbacks run inline and may block on a grace
+    /// period the thread's own pin would stall forever). The counter resets
+    /// only when the sweep actually runs, so a skipped sweep retries on the
+    /// next guard-free opportunity. The caller must drop the returned
+    /// entries outside the `HANDLES` borrow.
+    fn sweep_if_due(&mut self, force: bool) -> Vec<CachedHandle> {
+        let due = if force {
+            true
+        } else {
+            self.pins_since_sweep = self.pins_since_sweep.saturating_add(1);
+            self.pins_since_sweep >= SWEEP_PERIOD
+        };
+        if due && crate::guard::live_guards() == 0 {
+            self.pins_since_sweep = 0;
+            sweep_abandoned(&mut self.entries)
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Run the eviction sweep on the hit path after this many pins. Misses
+/// always sweep (they already take the registry lock to register).
+const SWEEP_PERIOD: u32 = 128;
+
+/// Drains entries whose collector *appears* to be referenced only by TLS
+/// caches (`strong_count <= tls_cached`). The two counters are read
+/// separately, so a sweep racing a registration on another thread can
+/// spuriously evict a live collector's entry — benign: the external
+/// reference keeps the collector alive, and the entry is rebuilt on this
+/// thread's next pin of it. Eviction is advisory cleanup, never a safety
+/// hinge. The caller must drop the returned entries *outside* the `HANDLES`
+/// borrow: the last cache to let go triggers `Inner::drop`, which runs user
+/// deferred callbacks that may re-enter [`Collector::pin`].
+fn sweep_abandoned(entries: &mut Vec<CachedHandle>) -> Vec<CachedHandle> {
+    let mut evicted = Vec::new();
+    let mut i = 0;
+    while i < entries.len() {
+        let inner = &entries[i].handle.collector.inner;
+        if Arc::strong_count(inner) <= inner.tls_cached.load(SeqCst) {
+            evicted.push(entries.swap_remove(i));
+        } else {
+            i += 1;
+        }
+    }
+    evicted
+}
+
 thread_local! {
     /// Per-thread cache of handles, keyed by collector identity, backing
     /// [`Collector::pin`].
-    static HANDLES: RefCell<Vec<(usize, LocalHandle)>> = const { RefCell::new(Vec::new()) };
+    static HANDLES: RefCell<HandleCache> = const {
+        RefCell::new(HandleCache {
+            entries: Vec::new(),
+            pins_since_sweep: 0,
+        })
+    };
 }
 
 /// An epoch-based garbage collector.
@@ -244,6 +360,7 @@ impl Collector {
                 epochs_advanced: AtomicU64::new(0),
                 retired: AtomicU64::new(0),
                 freed: AtomicU64::new(0),
+                tls_cached: AtomicUsize::new(0),
             }),
         }
     }
@@ -275,26 +392,111 @@ impl Collector {
     /// thread a [`LocalHandle`] around. The cached handle is unregistered
     /// when the thread exits.
     pub fn pin(&self) -> Guard {
-        HANDLES.with(|cache| {
-            let mut cache = cache.borrow_mut();
-            // Evict handles for collectors nobody else references: a cached
-            // handle is then the sole owner (`strong_count == 1` — pinning
-            // always adds an external `Collector`/`Guard` reference first),
-            // and dropping it unregisters the thread and lets `Inner::drop`
-            // fire any garbage still pending. Without this sweep, a
-            // long-lived thread would keep every collector it ever pinned
-            // alive until thread exit.
-            cache.retain(|(_, handle)| Arc::strong_count(&handle.collector.inner) > 1);
-            let id = self.id();
-            if let Some((_, handle)) = cache.iter().find(|(i, _)| *i == id) {
-                handle.pin()
-            } else {
-                let handle = self.register();
-                let guard = handle.pin();
-                cache.push((id, handle));
-                guard
+        loop {
+            let outcome = HANDLES.try_with(|cache| {
+                let mut cache = cache.borrow_mut();
+                let cache = &mut *cache;
+                let id = self.id();
+                let pos = cache.entries.iter().position(|e| e.id == id);
+                // Without the sweep, a long-lived thread would keep every
+                // collector it ever pinned alive until thread exit.
+                let evicted = cache.sweep_if_due(pos.is_none());
+                if !evicted.is_empty() {
+                    // Hand them out and retry: the drop must happen before
+                    // our own pin exists (a callback may block on a grace
+                    // period our pin would stall) and outside the borrow.
+                    return Err(evicted);
+                }
+                // `pos` is still valid on this path: the sweep either did
+                // not run or evicted nothing (else we returned above), so
+                // the entries vec is unchanged.
+                Ok(if let Some(p) = pos {
+                    cache.entries[p].handle.pin()
+                } else {
+                    self.register_into(cache)
+                })
+            });
+            match outcome {
+                Ok(Ok(guard)) => return guard,
+                Ok(Err(evicted)) => {
+                    // Unpinned and outside the `RefCell` borrow: dropping
+                    // an evicted entry can run user deferred callbacks via
+                    // `Inner::drop`, which may re-enter `pin` or wait on a
+                    // grace period. Then retry; the sweep just ran, so the
+                    // next iteration pins directly.
+                    drop(evicted);
+                }
+                Err(_) => return self.pin_orphan(),
             }
-        })
+        }
+    }
+
+    /// Like [`pin`](Self::pin) but never runs cache-eviction housekeeping,
+    /// so no deferred callback can fire during the call.
+    ///
+    /// Use this to pin *inside* a critical section (a non-reentrant lock
+    /// held): a callback fired by `pin`-time eviction could re-enter code
+    /// that takes the same lock. Housekeeping happens on regular `pin`
+    /// calls; code that pins *exclusively* through `pin_quiet` should pair
+    /// each critical section with a [`housekeep`](Self::housekeep) call at
+    /// a point where no lock is held and no guard is live, or abandoned
+    /// collectors cached on the thread are only released at thread exit.
+    pub fn pin_quiet(&self) -> Guard {
+        let cached = HANDLES.try_with(|cache| {
+            let mut cache = cache.borrow_mut();
+            let cache = &mut *cache;
+            let id = self.id();
+            if let Some(entry) = cache.entries.iter().find(|e| e.id == id) {
+                entry.handle.pin()
+            } else {
+                self.register_into(cache)
+            }
+        });
+        match cached {
+            Ok(guard) => guard,
+            Err(_) => self.pin_orphan(),
+        }
+    }
+
+    /// Runs the sampled cache-eviction sweep a regular [`pin`](Self::pin)
+    /// would run, without pinning. The complement of
+    /// [`pin_quiet`](Self::pin_quiet): call it after leaving the critical
+    /// section (no locks held, no guard live — evicted collectors' deferred
+    /// callbacks run inline here and may themselves pin, block on a grace
+    /// period, or take locks).
+    pub fn housekeep(&self) {
+        let evicted = HANDLES.try_with(|cache| cache.borrow_mut().sweep_if_due(false));
+        if let Ok(evicted) = evicted {
+            // Outside the borrow, as in `pin`.
+            drop(evicted);
+        }
+    }
+
+    /// Registers this thread with the collector and caches the handle.
+    /// Shared miss path of [`pin`](Self::pin)/[`pin_quiet`](Self::pin_quiet).
+    fn register_into(&self, cache: &mut HandleCache) -> Guard {
+        let handle = self.register();
+        let guard = handle.pin();
+        cache.entries.push(CachedHandle {
+            id: self.id(),
+            handle,
+        });
+        // Count the entry only once it exists: during the window the
+        // entry's reference is live but uncounted, so a concurrent sweep
+        // reads `strong_count > tls_cached` and keeps its own entries. This
+        // narrows (it cannot fully close — see `sweep_abandoned`) the
+        // spurious-eviction race.
+        self.inner.tls_cached.fetch_add(1, SeqCst);
+        guard
+    }
+
+    /// One-shot registration for contexts where the TLS cache is being (or
+    /// has been) destroyed — a thread-exit path, e.g. a deferred callback
+    /// fired by the cache's own destructor. Dropping the handle with the
+    /// guard live orphans the state, and the guard unregisters it on drop.
+    fn pin_orphan(&self) -> Guard {
+        let handle = self.register();
+        handle.pin()
     }
 
     /// Blocks until a full grace period has elapsed: every read-side critical
@@ -316,8 +518,13 @@ impl Collector {
 
     /// Attempts one non-blocking epoch advance and reclaims any garbage whose
     /// grace period has elapsed. Returns the number of callbacks executed.
+    ///
+    /// Ready deferred callbacks run inline in the caller's context,
+    /// regardless of any guards the caller holds — do not call this while
+    /// pinned if a retired callback may wait on a grace period (see
+    /// [`Guard::defer`]).
     pub fn collect(&self) -> usize {
-        self.inner.collect()
+        self.inner.collect().0
     }
 
     /// The current value of the global epoch.
@@ -538,6 +745,198 @@ mod tests {
         let other = Collector::new();
         let _g = other.pin();
         assert_eq!(fired.load(SeqCst), 1);
+    }
+
+    /// An abandoned collector cached in several threads' TLS must still be
+    /// evicted: each sweep sees `strong_count == tls_cached` and drops its
+    /// own entry, and the last eviction fires the pending garbage.
+    #[test]
+    fn abandoned_collector_cached_in_two_threads_is_evicted() {
+        use std::sync::mpsc;
+
+        let fired = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+
+        let mut steps = Vec::new();
+        let mut readies = Vec::new();
+        let mut joins = Vec::new();
+        for _ in 0..2 {
+            let (step_tx, step_rx) = mpsc::channel::<()>();
+            let (ready_tx, ready_rx) = mpsc::channel::<()>();
+            let c = c.clone();
+            let fired = fired.clone();
+            joins.push(thread::spawn(move || {
+                {
+                    let g = c.pin(); // cache a handle in this thread's TLS
+                    let fired = fired.clone();
+                    g.defer(move || {
+                        fired.fetch_add(1, SeqCst);
+                    });
+                }
+                drop(c);
+                ready_tx.send(()).unwrap();
+                step_rx.recv().unwrap(); // main has dropped its handle
+                let other = Collector::new();
+                let _g = other.pin(); // sweep evicts this thread's entry
+                ready_tx.send(()).unwrap();
+                step_rx.recv().unwrap(); // stay alive until both swept
+            }));
+            steps.push(step_tx);
+            readies.push(ready_rx);
+        }
+        for rx in &readies {
+            rx.recv().unwrap();
+        }
+        // Only the two TLS caches own the collector now. Sweep one thread at
+        // a time so each observes the other's entry consistently.
+        drop(c);
+        for (tx, rx) in steps.iter().zip(&readies) {
+            tx.send(()).unwrap();
+            rx.recv().unwrap();
+        }
+        assert_eq!(fired.load(SeqCst), 2);
+        for tx in &steps {
+            tx.send(()).unwrap();
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+    }
+
+    /// A deferred callback fired by a sweep eviction (via `Inner::drop`) may
+    /// itself pin a collector; this must not panic on the TLS `RefCell`.
+    #[test]
+    fn eviction_fired_callback_may_repin() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let other = Collector::new();
+        {
+            let c = Collector::new();
+            let g = c.pin(); // caches a handle to `c` in this thread's TLS
+            let f = fired.clone();
+            let o = other.clone();
+            g.defer(move || {
+                let _g = o.pin(); // re-enters the TLS cache
+                f.fetch_add(1, SeqCst);
+            });
+        }
+        // Sweeping evicts `c`, dropping its last reference; `Inner::drop`
+        // runs the callback above, which pins `other` recursively.
+        let _g = other.pin();
+        assert_eq!(fired.load(SeqCst), 1);
+    }
+
+    /// A thread whose every pin is a cache hit must still release abandoned
+    /// collectors: the hit path sweeps every `SWEEP_PERIOD`-th pin.
+    #[test]
+    fn hit_path_sampled_sweep_releases_abandoned_collectors() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let b = Collector::new();
+        drop(b.pin()); // cache `b` while `a` does not exist yet
+        {
+            let a = Collector::new();
+            let g = a.pin();
+            let f = fired.clone();
+            g.defer(move || {
+                f.fetch_add(1, SeqCst);
+            });
+        }
+        // `a` is now owned only by this thread's TLS cache; every further
+        // pin of `b` is a cache hit, so only the sampled sweep can evict it.
+        assert_eq!(fired.load(SeqCst), 0);
+        for _ in 0..=SWEEP_PERIOD {
+            drop(b.pin());
+        }
+        assert_eq!(fired.load(SeqCst), 1);
+    }
+
+    /// `pin_quiet` must never run eviction housekeeping (it exists to be
+    /// callable with non-reentrant locks held); a regular pin still does.
+    #[test]
+    fn pin_quiet_runs_no_housekeeping() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let other = Collector::new();
+        drop(other.pin_quiet());
+        {
+            let c = Collector::new();
+            let g = c.pin();
+            let f = fired.clone();
+            g.defer(move || {
+                f.fetch_add(1, SeqCst);
+            });
+        }
+        // `c` is abandoned in this thread's TLS; quiet pins must not evict
+        // it no matter how often they run.
+        for _ in 0..=SWEEP_PERIOD {
+            drop(other.pin_quiet());
+        }
+        assert_eq!(fired.load(SeqCst), 0);
+        // A regular sweeping pin (cache miss) still reclaims it.
+        let fresh = Collector::new();
+        drop(fresh.pin());
+        assert_eq!(fired.load(SeqCst), 1);
+    }
+
+    /// An eviction-fired callback may block on a grace period (e.g. call
+    /// `synchronize`). The sweep must therefore never run — and never drop
+    /// evicted handles — while this thread holds any guard, or the callback
+    /// would wait forever on our own pin.
+    #[test]
+    fn eviction_callback_blocking_on_grace_does_not_deadlock() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let x = Collector::new();
+        drop(x.pin()); // cache `x` so later pins are hits, not sweeping misses
+        {
+            let y = Collector::new();
+            let g = y.pin();
+            let f = fired.clone();
+            let x2 = x.clone();
+            g.defer(move || {
+                x2.synchronize(); // completes only if the thread is unpinned
+                f.fetch_add(1, SeqCst);
+            });
+        }
+        // `y` is abandoned in this thread's TLS. While pinned on `x`, even
+        // sweep-due nested pins must skip the sweep.
+        let outer = x.pin();
+        for _ in 0..=SWEEP_PERIOD {
+            drop(x.pin());
+        }
+        assert_eq!(fired.load(SeqCst), 0);
+        drop(outer);
+        // First guard-free pin runs the overdue sweep; the callback's
+        // synchronize() now makes progress.
+        drop(x.pin());
+        assert_eq!(fired.load(SeqCst), 1);
+    }
+
+    /// A deferred callback can also fire from the TLS cache's *destructor*
+    /// when an exiting thread owns an abandoned collector's last reference.
+    /// Re-entrant pinning then cannot touch the dying TLS value; the
+    /// fallback path must register-and-pin without it (and clean up).
+    #[test]
+    fn thread_exit_fired_callback_may_repin() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let other = Collector::new();
+        let o = other.clone();
+        let f = fired.clone();
+        thread::spawn(move || {
+            let c = Collector::new();
+            let g = c.pin(); // caches a handle to `c` in this thread's TLS
+            g.defer(move || {
+                let _g = o.pin();
+                f.fetch_add(1, SeqCst);
+            });
+            drop(g);
+            drop(c);
+            // The thread now exits owning `c` only through its TLS cache;
+            // the cache destructor drops the last reference and
+            // `Inner::drop` fires the callback above mid-TLS-destruction.
+        })
+        .join()
+        .unwrap();
+        assert_eq!(fired.load(SeqCst), 1);
+        // The fallback registration was cleaned up when its guard dropped.
+        assert_eq!(other.stats().registered_threads, 0);
     }
 
     #[test]

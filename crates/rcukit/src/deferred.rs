@@ -6,7 +6,8 @@ use std::fmt;
 ///
 /// Internally this is a boxed `FnOnce`; the indirection costs one allocation
 /// per retirement, which is acceptable because retirements are write-side
-/// operations (the Bonsai tree retires about one node per insert).
+/// operations (the Bonsai tree retires one batch — the whole replaced
+/// root-to-site path — per update).
 pub(crate) struct Deferred {
     call: Box<dyn FnOnce() + Send>,
 }

@@ -1,5 +1,6 @@
 //! RAII read-side critical sections.
 
+use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering::SeqCst;
@@ -7,6 +8,21 @@ use std::sync::Arc;
 
 use crate::collector::{pack, unpack, Collector, LocalState};
 use crate::deferred::Deferred;
+
+thread_local! {
+    /// Number of live guards on this thread, across all collectors and
+    /// handles (cached or explicitly registered).
+    static LIVE_GUARDS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// How many guards the current thread holds. `Collector::pin` consults this
+/// before running eviction callbacks inline: a callback may block on a grace
+/// period, which can never elapse while this thread stays pinned. Reports
+/// "pinned" when the TLS value is unavailable (thread exit) — the
+/// conservative answer.
+pub(crate) fn live_guards() -> usize {
+    LIVE_GUARDS.try_with(Cell::get).unwrap_or(1)
+}
 
 /// A pinned read-side critical section (the paper's `rcu_read_begin` /
 /// `rcu_read_end` pair).
@@ -30,6 +46,9 @@ pub struct Guard {
 impl Guard {
     /// Pins `local` against `collector`'s epoch and returns the guard.
     pub(crate) fn enter(collector: &Collector, local: &Arc<LocalState>) -> Guard {
+        // A dying thread's TLS may be gone; the count only gates inline
+        // callback execution, so missing a dying thread's guards is safe.
+        let _ = LIVE_GUARDS.try_with(|c| c.set(c.get() + 1));
         let prev = local.guard_count.fetch_add(1, SeqCst);
         if prev == 0 {
             // Publish our pinned epoch, re-reading the global epoch until it
@@ -69,6 +88,21 @@ impl Guard {
     ///
     /// This is the general form of the paper's `rcu_free`; use
     /// [`defer_free`](Self::defer_free) to retire a `Box` allocation.
+    ///
+    /// # Callback context
+    ///
+    /// `f` may run inline on any participating thread — at an explicit
+    /// [`collect`](Collector::collect)/[`synchronize`](Collector::synchronize),
+    /// when the last reference to an abandoned collector dies, or when a
+    /// thread drops its last guard. At the *implicit* points (unpin,
+    /// pin-time cache eviction) the runtime guarantees `f` never runs while
+    /// the executing thread holds a guard, so `f` may pin or wait on a
+    /// grace period; the *explicit* `collect`/`synchronize` calls run ready
+    /// callbacks in the caller's context unconditionally — do not make them
+    /// while pinned if any retired callback may wait on a grace period.
+    /// The runtime also cannot know about caller locks: `f` must not
+    /// acquire a non-reentrant lock that callers hold around pin/unpin or
+    /// collect/synchronize points.
     pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
         self.collector.inner.defer(&self.local, Deferred::new(f));
     }
@@ -96,27 +130,62 @@ impl Guard {
     /// queue so another thread's `collect`/`synchronize` can reclaim them
     /// without waiting for this guard to drop.
     pub fn flush(&self) {
-        self.collector.inner.seal_bag(&self.local);
+        if self.collector.inner.seal_bag(&self.local) {
+            // The local bag is empty now, so the unpin's `had_garbage`
+            // check won't see this garbage; arm the pending flag so the
+            // next guard-free unpin still collects it (as `Inner::defer`
+            // does for its full/stale-bag seals).
+            self.local.collect_pending.store(true, SeqCst);
+        }
     }
 }
 
 impl Drop for Guard {
     fn drop(&mut self) {
+        let _ = LIVE_GUARDS.try_with(|c| c.set(c.get().saturating_sub(1)));
         let prev = self.local.guard_count.fetch_sub(1, SeqCst);
         debug_assert!(prev >= 1);
         if prev == 1 {
-            let had_garbage = !self.local.bag.lock().unwrap().is_empty();
-            if had_garbage {
-                self.collector.inner.seal_bag(&self.local);
-            }
+            // `seal_bag` checks emptiness itself, so the bag lock is taken
+            // exactly once on this hot path.
+            let had_garbage = self.collector.inner.seal_bag(&self.local);
             self.local.status.store(0, SeqCst);
             if self.local.orphaned.load(SeqCst) {
                 self.collector.inner.unregister(&self.local);
             }
-            if had_garbage {
-                // Opportunistic advance + reclaim keeps garbage bounded for
-                // writer threads without a dedicated reclaimer.
-                self.collector.inner.collect();
+            // Opportunistic advance + reclaim keeps garbage bounded for
+            // writer threads without a dedicated reclaimer. Gated on the
+            // thread holding no guard (ours is already decremented):
+            // reclaim fires user callbacks inline, and a callback that
+            // blocks on a grace period — of any collector this thread is
+            // still pinned on — would never return. A skipped or
+            // incomplete collect sets `collect_pending`, so this handle's
+            // next guard-free unpin retries even if it seals nothing;
+            // garbage is never stranded short of the thread not unpinning
+            // this collector again (explicit collect/synchronize covers
+            // that).
+            if live_guards() == 0 {
+                // The flag is consumed up front and only ever re-SET after
+                // the collect, never cleared: a callback fired inside
+                // `collect()` may re-enter this collector, defer, and arm
+                // the flag for its own freshly sealed bag — a blind
+                // `store(remaining)` with the pre-callback snapshot would
+                // clobber that and strand the bag.
+                let pending = self.local.collect_pending.swap(false, SeqCst);
+                if had_garbage || pending {
+                    // Re-arm while bags remain queued (observed inside
+                    // collect's own lock). Tradeoff, by design: a handle
+                    // that ever deferred keeps driving reclamation until
+                    // the queue drains — writers are the reclaim drivers,
+                    // while handles that never defer stay off the locks
+                    // entirely.
+                    let (_, remaining) = self.collector.inner.collect();
+                    if remaining {
+                        self.local.collect_pending.store(true, SeqCst);
+                    }
+                }
+            } else if had_garbage {
+                self.local.collect_pending.store(true, SeqCst);
             }
         }
     }
@@ -186,6 +255,65 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.objects_retired, 1);
         assert_eq!(s.objects_freed, 1);
+    }
+
+    /// Unpinning must not fire deferred callbacks while the thread still
+    /// holds a guard on another collector: a callback blocking on that
+    /// collector's grace period (here, `synchronize`) would deadlock under
+    /// the thread's own pin.
+    #[test]
+    fn unpin_defers_callbacks_while_other_guards_live() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let x = Collector::new();
+        let y = Collector::new();
+        let hy = y.register();
+        let gx = x.pin();
+        {
+            let gy = hy.pin();
+            let f = fired.clone();
+            let x2 = x.clone();
+            gy.defer(move || {
+                x2.synchronize(); // completes only if the thread is unpinned
+                f.fetch_add(1, SeqCst);
+            });
+        }
+        {
+            // A second retire/unpin cycle would advance y's epoch far enough
+            // to fire the first callback — were the inline collect not gated
+            // on the thread holding zero guards.
+            let gy = hy.pin();
+            gy.defer(|| {});
+        }
+        assert_eq!(fired.load(SeqCst), 0);
+        drop(gx);
+        // The skipped collect is pending on the handle: guard-free unpins
+        // that seal nothing still retry it until the queue drains, without
+        // needing an explicit collect/synchronize.
+        for _ in 0..3 {
+            drop(hy.pin());
+        }
+        assert_eq!(fired.load(SeqCst), 1);
+    }
+
+    /// `flush` empties the local bag, so the unpin's `had_garbage` check
+    /// alone would never reclaim it; the pending flag must carry it.
+    #[test]
+    fn flushed_garbage_is_collected_by_later_unpins() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let c = Collector::new();
+        let h = c.register();
+        {
+            let g = h.pin();
+            let f = fired.clone();
+            g.defer(move || {
+                f.fetch_add(1, SeqCst);
+            });
+            g.flush();
+        }
+        for _ in 0..3 {
+            drop(h.pin());
+        }
+        assert_eq!(fired.load(SeqCst), 1);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering::SeqCst};
 use std::sync::{Arc, Mutex};
 use std::thread;
 
@@ -131,6 +131,11 @@ impl QsbrDomain {
     /// Defers `f` until every registered online thread has announced a
     /// quiescent state after this call.
     pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
+        // StoreLoad fence, as in the epoch collector's `Inner::defer`: the
+        // caller's unlink store must be globally visible before the grace
+        // counter is sampled, or a reader quiescing at `tag` could still
+        // load the stale pointer after the tag's grace period completes.
+        fence(SeqCst);
         let tag = self.inner.grace.load(SeqCst) + 1;
         self.inner
             .garbage

@@ -3,9 +3,13 @@
 /// A point-in-time snapshot of a collector's counters, from
 /// [`Collector::stats`](crate::Collector::stats).
 ///
-/// `objects_retired - objects_freed` equals the number of retirements still
-/// waiting for a grace period (also broken out as `pending_objects`). After
-/// a [`synchronize`](crate::Collector::synchronize) with no concurrent
+/// All `objects_*` counters are in units of *deferred callbacks*, not
+/// heap allocations: one `defer_free` retires one allocation, but a caller
+/// batching several frees into one `defer` closure (as `bonsai` does for a
+/// whole replaced tree path) counts once. `objects_retired - objects_freed`
+/// equals the number of retirements still waiting for a grace period (also
+/// broken out as `pending_objects`). After a
+/// [`synchronize`](crate::Collector::synchronize) with no concurrent
 /// writers, retired and freed converge.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CollectorStats {
@@ -13,13 +17,14 @@ pub struct CollectorStats {
     pub global_epoch: u64,
     /// Total number of successful epoch advances since creation.
     pub epochs_advanced: u64,
-    /// Total objects retired via `defer` / `defer_free`.
+    /// Total deferred callbacks retired via `defer` / `defer_free` (see the
+    /// struct docs: a batched `defer` counts once).
     pub objects_retired: u64,
     /// Total deferred callbacks that have been executed.
     pub objects_freed: u64,
     /// Bags (local and sealed) still holding retirements.
     pub pending_bags: usize,
-    /// Retirements still waiting for their grace period.
+    /// Deferred callbacks still waiting for their grace period.
     pub pending_objects: usize,
     /// Threads currently registered with the collector.
     pub registered_threads: usize,
