@@ -8,7 +8,7 @@
 //! the update path out of freshly-allocated immutable nodes and retires the
 //! replaced nodes to an [`rcukit`] collector.
 //!
-//! Two layers are provided:
+//! Three layers are provided:
 //!
 //! * [`BonsaiTree`] — the ordered map itself: `get`/`get_le`/`get_ge`
 //!   under a [`Guard`](rcukit::Guard), `insert`/`remove` behind an internal
@@ -16,6 +16,9 @@
 //! * [`RangeMap`] — a VMA-style interval map over the tree, modeling the
 //!   paper's page-fault workload: `lookup(addr)` finds the mapped region
 //!   containing an address without taking any lock.
+//! * [`AddressSpace`] — the backend abstraction the benchmark harness
+//!   drives, so the same fault/map/unmap trace runs against [`RangeMap`]
+//!   and against a lock-serialized baseline for the paper's comparison.
 //!
 //! ```
 //! use bonsai::RangeMap;
@@ -34,8 +37,10 @@
 #![warn(missing_debug_implementations)]
 #![warn(unsafe_op_in_unsafe_fn)]
 
+mod addrspace;
 mod range_map;
 mod tree;
 
+pub use addrspace::AddressSpace;
 pub use range_map::RangeMap;
 pub use tree::BonsaiTree;

@@ -128,6 +128,16 @@ where
         }
     }
 
+    /// Whether any mapped region contains `addr`. Pins internally for the
+    /// duration of the check — the self-contained page-fault probe used by
+    /// the [`AddressSpace`](crate::AddressSpace) backend abstraction. Use
+    /// [`lookup`](Self::lookup) with an explicit guard when the payload is
+    /// needed or when batching many probes under one pin.
+    pub fn contains(&self, addr: u64) -> bool {
+        let guard = self.pin();
+        self.lookup(addr, &guard).is_some()
+    }
+
     /// Like [`lookup`](Self::lookup), also returning the region bounds.
     pub fn translate<'g>(&'g self, addr: u64, guard: &'g Guard) -> Option<(u64, u64, &'g V)> {
         let (start, extent) = self.tree.get_le(&addr, guard)?;

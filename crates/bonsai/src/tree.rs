@@ -114,7 +114,18 @@ pub(crate) fn with_writer<R>(
 /// The paper's RCU-balanced tree: lock-free lookups, single-writer
 /// copy-on-write updates with grace-period reclamation.
 ///
-/// See the [module docs](self) for the concurrency contract.
+/// # Concurrency contract
+///
+/// * Lookups ([`get`](Self::get), [`get_le`](Self::get_le),
+///   [`get_ge`](Self::get_ge)) take a pinned [`Guard`] from the tree's
+///   collector and are lock-free: they only load the root pointer and walk
+///   immutable nodes. Returned references stay valid for the shorter of
+///   the guard's critical section and the tree's lifetime.
+/// * Updates ([`insert`](Self::insert), [`remove`](Self::remove))
+///   serialize on an internal writer mutex — the paper's single-writer
+///   address-space lock — rebuild the root-to-site path copy-on-write,
+///   publish the new root, and only then retire the replaced nodes to the
+///   collector for grace-period reclamation.
 pub struct BonsaiTree<K, V> {
     root: AtomicPtr<Node<K, V>>,
     /// Serializes writers (the paper's per-address-space update lock).

@@ -1,0 +1,91 @@
+//! The lock-serialized comparison baseline.
+//!
+//! Models the pre-Bonsai kernel design the paper argues against: one
+//! address-space-wide reader/writer lock (`mmap_sem`) protecting an
+//! ordered map of regions. Faults take the lock shared, mutations take it
+//! exclusive — so every fault still bounces the lock's cache line between
+//! cores, which is precisely the serialization the RCU backend removes.
+
+use std::collections::BTreeMap;
+use std::sync::RwLock;
+
+use bonsai::AddressSpace;
+
+/// A `RwLock<BTreeMap>` address space: regions keyed by start address,
+/// carrying their exclusive end.
+#[derive(Debug, Default)]
+pub struct LockedAddressSpace {
+    regions: RwLock<BTreeMap<u64, u64>>,
+}
+
+impl LockedAddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl AddressSpace for LockedAddressSpace {
+    fn fault(&self, addr: u64) -> bool {
+        let regions = self.regions.read().unwrap();
+        regions
+            .range(..=addr)
+            .next_back()
+            .is_some_and(|(_, &end)| addr < end)
+    }
+
+    fn map(&self, start: u64, end: u64) -> bool {
+        assert!(start < end, "empty or inverted range {start:#x}..{end:#x}");
+        let mut regions = self.regions.write().unwrap();
+        if let Some((_, &pred_end)) = regions.range(..=start).next_back() {
+            if pred_end > start {
+                return false;
+            }
+        }
+        if let Some((&succ_start, _)) = regions.range(start..).next() {
+            if succ_start < end {
+                return false;
+            }
+        }
+        regions.insert(start, end);
+        true
+    }
+
+    fn unmap(&self, start: u64) -> bool {
+        self.regions.write().unwrap().remove(&start).is_some()
+    }
+
+    fn regions(&self) -> usize {
+        self.regions.read().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirrors_range_map_semantics() {
+        let s = LockedAddressSpace::new();
+        assert!(s.map(0x2000, 0x4000));
+        // Middle, start-straddling, end-straddling, enclosing, identical.
+        assert!(!s.map(0x2800, 0x3000));
+        assert!(!s.map(0x1000, 0x2001));
+        assert!(!s.map(0x3fff, 0x5000));
+        assert!(!s.map(0x1000, 0x6000));
+        assert!(!s.map(0x2000, 0x4000));
+        // Adjacent is fine.
+        assert!(s.map(0x1000, 0x2000));
+        assert!(s.map(0x4000, 0x5000));
+        assert_eq!(s.regions(), 3);
+
+        assert!(!s.fault(0x0fff));
+        assert!(s.fault(0x1000));
+        assert!(s.fault(0x3fff));
+        assert!(!s.fault(0x5000));
+
+        assert!(s.unmap(0x2000));
+        assert!(!s.unmap(0x2000));
+        assert!(!s.fault(0x2800));
+    }
+}

@@ -1,0 +1,225 @@
+//! CLI parsing for the two harness modes.
+//!
+//! * **Legacy mode** (default): the original fixed-duration N-readers/
+//!   1-writer loop — `rcukit-bench [readers=N] [duration_ms=N] [keys=N]
+//!   [workload=tree|range|both]`.
+//! * **Sweep mode** (`--sweep`): the paper's evaluation — deterministic
+//!   trace replay against both backends across thread counts, emitting a
+//!   `BENCH_addrspace.json` trajectory.
+//!
+//! Parsing is pure (`&[String] -> Result<Mode, String>`) so validation is
+//! unit-testable; `main` only turns errors into usage text and exit codes.
+
+use std::time::Duration;
+
+use crate::sweep::{Backend, SweepConfig};
+use crate::workload::Profile;
+
+/// Usage text printed on any parse error.
+pub const USAGE: &str = "usage:
+  rcukit-bench [readers=N] [duration_ms=N] [keys=N] [workload=tree|range|both]
+  rcukit-bench --sweep [threads=1,2,4] [profile=metis|psearchy|uniform|all]
+               [backend=bonsai|locked|both] [ops=N] [slots=N] [pages=N]
+               [seed=N] [out=PATH|-]";
+
+/// Which structure(s) the legacy mode drives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LegacyWorkload {
+    /// Point lookups on `BonsaiTree`.
+    Tree,
+    /// VMA-style `lookup` on `RangeMap`.
+    Range,
+    /// Both, in sequence.
+    Both,
+}
+
+impl LegacyWorkload {
+    /// Parses a CLI workload name.
+    pub fn parse(s: &str) -> Result<LegacyWorkload, String> {
+        match s {
+            "tree" => Ok(LegacyWorkload::Tree),
+            "range" => Ok(LegacyWorkload::Range),
+            "both" => Ok(LegacyWorkload::Both),
+            other => Err(format!(
+                "unknown workload {other:?} (expected tree|range|both)"
+            )),
+        }
+    }
+}
+
+/// Configuration for the legacy fixed-duration mode.
+#[derive(Clone, Debug)]
+pub struct LegacyConfig {
+    /// Reader thread count.
+    pub readers: usize,
+    /// How long each workload runs.
+    pub duration: Duration,
+    /// Key-space size (the range workload maps `keys/4` region slots).
+    pub keys: u64,
+    /// Which structure(s) to drive.
+    pub workload: LegacyWorkload,
+}
+
+/// A fully parsed and validated invocation.
+#[derive(Clone, Debug)]
+pub enum Mode {
+    /// Fixed-duration readers-vs-writer loop.
+    Legacy(LegacyConfig),
+    /// Deterministic trace-replay sweep.
+    Sweep(SweepConfig),
+}
+
+/// Parses an argument list (without the program name).
+pub fn parse(args: &[String]) -> Result<Mode, String> {
+    if args.first().map(String::as_str) == Some("--sweep") {
+        parse_sweep(&args[1..]).map(Mode::Sweep)
+    } else {
+        parse_legacy(args).map(Mode::Legacy)
+    }
+}
+
+fn parse_legacy(args: &[String]) -> Result<LegacyConfig, String> {
+    let mut cfg = LegacyConfig {
+        readers: 4,
+        duration: Duration::from_millis(300),
+        keys: 4096,
+        workload: LegacyWorkload::Both,
+    };
+    for arg in args {
+        match arg.split_once('=') {
+            Some(("readers", v)) => cfg.readers = num(v, "readers")?,
+            Some(("duration_ms", v)) => {
+                cfg.duration = Duration::from_millis(num(v, "duration_ms")?)
+            }
+            Some(("keys", v)) => cfg.keys = num(v, "keys")?,
+            Some(("workload", v)) => cfg.workload = LegacyWorkload::parse(v)?,
+            _ => return Err(format!("unknown argument: {arg}")),
+        }
+    }
+    if cfg.duration.is_zero() {
+        return Err("duration_ms must be >= 1".into());
+    }
+    if cfg.keys < 4 {
+        return Err("keys must be >= 4 (the range workload maps keys/4 region slots)".into());
+    }
+    Ok(cfg)
+}
+
+fn parse_sweep(args: &[String]) -> Result<SweepConfig, String> {
+    let mut cfg = SweepConfig {
+        threads: vec![1, 2, 4],
+        profiles: Profile::ALL.to_vec(),
+        backends: Backend::ALL.to_vec(),
+        ops_per_thread: 200_000,
+        slots_per_thread: 64,
+        pages_per_slot: 16,
+        seed: 42,
+        out: Some("BENCH_addrspace.json".to_string()),
+    };
+    for arg in args {
+        match arg.split_once('=') {
+            Some(("threads", v)) => {
+                cfg.threads = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| num(s, "threads"))
+                    .collect::<Result<_, _>>()?;
+            }
+            Some(("profile", v)) => {
+                cfg.profiles = if v == "all" {
+                    Profile::ALL.to_vec()
+                } else {
+                    vec![Profile::parse(v)?]
+                };
+            }
+            Some(("backend", v)) => {
+                cfg.backends = if v == "both" {
+                    Backend::ALL.to_vec()
+                } else {
+                    vec![Backend::parse(v)?]
+                };
+            }
+            Some(("ops", v)) => cfg.ops_per_thread = num(v, "ops")?,
+            Some(("slots", v)) => cfg.slots_per_thread = num(v, "slots")?,
+            Some(("pages", v)) => cfg.pages_per_slot = num(v, "pages")?,
+            Some(("seed", v)) => cfg.seed = num(v, "seed")?,
+            Some(("out", v)) => cfg.out = (v != "-").then(|| v.to_string()),
+            _ => return Err(format!("unknown argument: {arg}")),
+        }
+    }
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn num<T: std::str::FromStr>(v: &str, key: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("{key}: bad value {v:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_strs(args: &[&str]) -> Result<Mode, String> {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(matches!(parse_strs(&[]), Ok(Mode::Legacy(_))));
+        match parse_strs(&["--sweep"]) {
+            Ok(Mode::Sweep(cfg)) => {
+                assert_eq!(cfg.threads, vec![1, 2, 4]);
+                assert_eq!(cfg.profiles.len(), 3);
+                assert_eq!(cfg.backends.len(), 2);
+                assert_eq!(cfg.out.as_deref(), Some("BENCH_addrspace.json"));
+            }
+            other => panic!("expected sweep mode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_rejects_zero_threads() {
+        assert!(parse_strs(&["--sweep", "threads=0"]).is_err());
+        assert!(parse_strs(&["--sweep", "threads=2,0"]).is_err());
+    }
+
+    #[test]
+    fn sweep_rejects_empty_sweep() {
+        assert!(parse_strs(&["--sweep", "threads="]).is_err());
+        assert!(parse_strs(&["--sweep", "threads=,"]).is_err());
+    }
+
+    #[test]
+    fn sweep_rejects_degenerate_workloads() {
+        assert!(parse_strs(&["--sweep", "ops=0"]).is_err());
+        assert!(parse_strs(&["--sweep", "slots=1"]).is_err());
+        assert!(parse_strs(&["--sweep", "pages=0"]).is_err());
+    }
+
+    #[test]
+    fn sweep_parses_selections() {
+        match parse_strs(&[
+            "--sweep",
+            "threads=2,8",
+            "profile=psearchy",
+            "backend=locked",
+            "out=-",
+        ]) {
+            Ok(Mode::Sweep(cfg)) => {
+                assert_eq!(cfg.threads, vec![2, 8]);
+                assert_eq!(cfg.profiles, vec![Profile::Psearchy]);
+                assert_eq!(cfg.backends, vec![Backend::Locked]);
+                assert_eq!(cfg.out, None);
+            }
+            other => panic!("expected sweep mode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_rejects_what_it_always_rejected() {
+        assert!(parse_strs(&["duration_ms=0"]).is_err());
+        assert!(parse_strs(&["keys=3"]).is_err());
+        assert!(parse_strs(&["workload=none"]).is_err());
+        assert!(parse_strs(&["bogus"]).is_err());
+    }
+}

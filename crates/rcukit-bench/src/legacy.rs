@@ -1,0 +1,180 @@
+//! The original fixed-duration micro-harness: N reader threads doing RCU
+//! lookups against one writer mutating the same structure, printing one
+//! JSON object per workload. Kept alongside the sweep because its numbers
+//! are comparable across the repo's whole history.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::thread;
+
+use bonsai::{BonsaiTree, RangeMap};
+use rcukit::Collector;
+
+use crate::config::{LegacyConfig, LegacyWorkload};
+use crate::workload::Rng;
+
+struct Throughput {
+    reader_ops: u64,
+    writer_ops: u64,
+    hits: u64,
+}
+
+/// Runs `readers` reader threads plus one writer thread until `duration`
+/// elapses. `read` and `write` each perform one operation and report
+/// whether it "hit" (found a value).
+fn run_workload<R, W>(cfg: &LegacyConfig, read: R, write: W) -> Throughput
+where
+    R: Fn(&mut Rng) -> bool + Send + Sync + 'static,
+    W: Fn(&mut Rng) + Send + Sync + 'static,
+{
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader_ops = Arc::new(AtomicU64::new(0));
+    let writer_ops = Arc::new(AtomicU64::new(0));
+    let hits = Arc::new(AtomicU64::new(0));
+    let read = Arc::new(read);
+    let write = Arc::new(write);
+
+    let mut threads = Vec::new();
+    for t in 0..cfg.readers {
+        let stop = stop.clone();
+        let ops = reader_ops.clone();
+        let hits = hits.clone();
+        let read = read.clone();
+        threads.push(thread::spawn(move || {
+            let mut rng = Rng::new(0x9E37_79B9 + t as u64);
+            let mut local_ops = 0u64;
+            let mut local_hits = 0u64;
+            while !stop.load(Relaxed) {
+                // Batch to keep the stop-flag check off the hot path.
+                for _ in 0..64 {
+                    if read(&mut rng) {
+                        local_hits += 1;
+                    }
+                    local_ops += 1;
+                }
+            }
+            ops.fetch_add(local_ops, Relaxed);
+            hits.fetch_add(local_hits, Relaxed);
+        }));
+    }
+    {
+        let stop = stop.clone();
+        let ops = writer_ops.clone();
+        let write = write.clone();
+        threads.push(thread::spawn(move || {
+            let mut rng = Rng::new(0xB529_7A4D);
+            let mut local_ops = 0u64;
+            while !stop.load(Relaxed) {
+                write(&mut rng);
+                local_ops += 1;
+            }
+            ops.fetch_add(local_ops, Relaxed);
+        }));
+    }
+
+    thread::sleep(cfg.duration);
+    stop.store(true, Relaxed);
+    for t in threads {
+        t.join().expect("worker panicked");
+    }
+    Throughput {
+        reader_ops: reader_ops.load(Relaxed),
+        writer_ops: writer_ops.load(Relaxed),
+        hits: hits.load(Relaxed),
+    }
+}
+
+fn report(name: &str, cfg: &LegacyConfig, tp: &Throughput, collector: &Collector) {
+    let secs = cfg.duration.as_secs_f64();
+    let stats = collector.stats();
+    println!(
+        "{{\"workload\":\"{name}\",\"readers\":{},\"duration_ms\":{},\"keys\":{},\
+         \"reader_ops\":{},\"reader_ops_per_sec\":{:.0},\"reader_hit_rate\":{:.3},\
+         \"writer_ops\":{},\"writer_ops_per_sec\":{:.0},\
+         \"epochs_advanced\":{},\"objects_retired\":{},\"objects_freed\":{}}}",
+        cfg.readers,
+        cfg.duration.as_millis(),
+        cfg.keys,
+        tp.reader_ops,
+        tp.reader_ops as f64 / secs,
+        tp.hits as f64 / tp.reader_ops.max(1) as f64,
+        tp.writer_ops,
+        tp.writer_ops as f64 / secs,
+        stats.epochs_advanced,
+        stats.objects_retired,
+        stats.objects_freed,
+    );
+}
+
+/// Point lookups against a tree whose keys churn under one writer.
+fn bench_tree(cfg: &LegacyConfig) {
+    let collector = Collector::new();
+    let tree: Arc<BonsaiTree<u64, u64>> = Arc::new(BonsaiTree::new(collector.clone()));
+    for k in (0..cfg.keys).step_by(2) {
+        tree.insert(k, k);
+    }
+    let keys = cfg.keys;
+    let t_read = tree.clone();
+    let t_write = tree.clone();
+    let tp = run_workload(
+        cfg,
+        move |rng| {
+            let guard = t_read.pin();
+            t_read.get(&(rng.next_u64() % keys), &guard).is_some()
+        },
+        move |rng| {
+            let k = rng.next_u64() % keys;
+            if rng.next_u64().is_multiple_of(2) {
+                t_write.insert(k, k);
+            } else {
+                t_write.remove(&k);
+            }
+        },
+    );
+    collector.synchronize();
+    report("tree", cfg, &tp, &collector);
+}
+
+/// VMA-style translate against a range map with mapping churn: the paper's
+/// page-fault workload.
+fn bench_range(cfg: &LegacyConfig) {
+    let collector = Collector::new();
+    let map: Arc<RangeMap<u64>> = Arc::new(RangeMap::new(collector.clone()));
+    const PAGE: u64 = 0x1000;
+    let regions = cfg.keys / 4; // region slots, each up to 4 pages
+    for r in (0..regions).step_by(2) {
+        map.map(r * 4 * PAGE, (r * 4 + 2) * PAGE, r);
+    }
+    let span = regions * 4 * PAGE;
+    let m_read = map.clone();
+    let m_write = map.clone();
+    let tp = run_workload(
+        cfg,
+        move |rng| {
+            let guard = m_read.pin();
+            m_read.lookup(rng.next_u64() % span, &guard).is_some()
+        },
+        move |rng| {
+            let r = rng.next_u64() % regions;
+            let start = r * 4 * PAGE;
+            if m_write.unmap(start).is_none() {
+                let pages = 1 + rng.next_u64() % 4;
+                m_write.map(start, start + pages * PAGE, r);
+            }
+        },
+    );
+    collector.synchronize();
+    report("range", cfg, &tp, &collector);
+}
+
+/// Runs the selected legacy workload(s).
+pub fn run(cfg: &LegacyConfig) {
+    match cfg.workload {
+        LegacyWorkload::Tree => bench_tree(cfg),
+        LegacyWorkload::Range => bench_range(cfg),
+        LegacyWorkload::Both => {
+            bench_tree(cfg);
+            bench_range(cfg);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Benchmark harness for the ASPLOS'12 Bonsai-tree reproduction.
+//!
+//! Two modes, one binary (`rcukit-bench`):
+//!
+//! * [`legacy`] — the original fixed-duration N-readers/1-writer loop over
+//!   [`bonsai::BonsaiTree`] and [`bonsai::RangeMap`].
+//! * [`sweep`] — the paper's evaluation: a deterministic address-space
+//!   workload ([`workload`]) replayed against both the RCU `RangeMap` and
+//!   the lock-serialized [`baseline`] across a range of thread counts,
+//!   emitting a `BENCH_addrspace.json` trajectory.
+//!
+//! The harness is a library so the sweep can be smoke-tested in-process;
+//! see `BENCHMARKS.md` at the repo root for the CLI and output schema.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![warn(unsafe_op_in_unsafe_fn)]
+
+pub mod baseline;
+pub mod config;
+pub mod legacy;
+pub mod sweep;
+pub mod workload;

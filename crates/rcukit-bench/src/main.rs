@@ -1,247 +1,30 @@
-//! Reader/writer throughput micro-harness for rcukit + bonsai.
-//!
-//! Spawns `readers` threads doing RCU lookups against one writer mutating
-//! the same structure, for `duration_ms`, and prints one JSON object per
-//! workload to stdout. No external dependencies (criterion-free) so results
-//! are comparable across the repo's history.
-//!
-//! Usage:
-//!
-//! ```text
-//! rcukit-bench [readers=4] [duration_ms=300] [keys=4096] [workload=tree|range|both]
-//! ```
+//! `rcukit-bench` entry point; all logic lives in the library crate.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
-use std::sync::Arc;
-use std::thread;
-use std::time::Duration;
-
-use bonsai::{BonsaiTree, RangeMap};
-use rcukit::Collector;
-
-/// Deterministic xorshift64* PRNG, one per thread.
-struct Rng(u64);
-
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed | 1)
-    }
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-}
-
-struct Config {
-    readers: usize,
-    duration: Duration,
-    keys: u64,
-    workload: String,
-}
-
-fn parse_args() -> Config {
-    let mut cfg = Config {
-        readers: 4,
-        duration: Duration::from_millis(300),
-        keys: 4096,
-        workload: "both".to_string(),
-    };
-    for arg in std::env::args().skip(1) {
-        match arg.split_once('=') {
-            Some(("readers", v)) => cfg.readers = v.parse().expect("readers=<usize>"),
-            Some(("duration_ms", v)) => {
-                cfg.duration = Duration::from_millis(v.parse().expect("duration_ms=<u64>"))
-            }
-            Some(("keys", v)) => cfg.keys = v.parse().expect("keys=<u64>"),
-            Some(("workload", v)) => cfg.workload = v.to_string(),
-            _ => {
-                eprintln!("unknown argument: {arg}");
-                eprintln!("usage: rcukit-bench [readers=N] [duration_ms=N] [keys=N] [workload=tree|range|both]");
-                std::process::exit(2);
-            }
-        }
-    }
-    if cfg.duration.is_zero() {
-        eprintln!("duration_ms must be >= 1");
-        std::process::exit(2);
-    }
-    if cfg.keys < 4 {
-        eprintln!("keys must be >= 4 (the range workload maps keys/4 region slots)");
-        std::process::exit(2);
-    }
-    cfg
-}
-
-struct Throughput {
-    reader_ops: u64,
-    writer_ops: u64,
-    hits: u64,
-}
-
-/// Runs `readers` reader threads plus one writer thread until `duration`
-/// elapses. `read` and `write` each perform one operation and report
-/// whether it "hit" (found a value).
-fn run_workload<R, W>(cfg: &Config, read: R, write: W) -> Throughput
-where
-    R: Fn(&mut Rng) -> bool + Send + Sync + 'static,
-    W: Fn(&mut Rng) + Send + Sync + 'static,
-{
-    let stop = Arc::new(AtomicBool::new(false));
-    let reader_ops = Arc::new(AtomicU64::new(0));
-    let writer_ops = Arc::new(AtomicU64::new(0));
-    let hits = Arc::new(AtomicU64::new(0));
-    let read = Arc::new(read);
-    let write = Arc::new(write);
-
-    let mut threads = Vec::new();
-    for t in 0..cfg.readers {
-        let stop = stop.clone();
-        let ops = reader_ops.clone();
-        let hits = hits.clone();
-        let read = read.clone();
-        threads.push(thread::spawn(move || {
-            let mut rng = Rng::new(0x9E37_79B9 + t as u64);
-            let mut local_ops = 0u64;
-            let mut local_hits = 0u64;
-            while !stop.load(Relaxed) {
-                // Batch to keep the stop-flag check off the hot path.
-                for _ in 0..64 {
-                    if read(&mut rng) {
-                        local_hits += 1;
-                    }
-                    local_ops += 1;
-                }
-            }
-            ops.fetch_add(local_ops, Relaxed);
-            hits.fetch_add(local_hits, Relaxed);
-        }));
-    }
-    {
-        let stop = stop.clone();
-        let ops = writer_ops.clone();
-        let write = write.clone();
-        threads.push(thread::spawn(move || {
-            let mut rng = Rng::new(0xB529_7A4D);
-            let mut local_ops = 0u64;
-            while !stop.load(Relaxed) {
-                write(&mut rng);
-                local_ops += 1;
-            }
-            ops.fetch_add(local_ops, Relaxed);
-        }));
-    }
-
-    thread::sleep(cfg.duration);
-    stop.store(true, Relaxed);
-    for t in threads {
-        t.join().expect("worker panicked");
-    }
-    Throughput {
-        reader_ops: reader_ops.load(Relaxed),
-        writer_ops: writer_ops.load(Relaxed),
-        hits: hits.load(Relaxed),
-    }
-}
-
-fn report(name: &str, cfg: &Config, tp: &Throughput, collector: &Collector) {
-    let secs = cfg.duration.as_secs_f64();
-    let stats = collector.stats();
-    println!(
-        "{{\"workload\":\"{name}\",\"readers\":{},\"duration_ms\":{},\"keys\":{},\
-         \"reader_ops\":{},\"reader_ops_per_sec\":{:.0},\"reader_hit_rate\":{:.3},\
-         \"writer_ops\":{},\"writer_ops_per_sec\":{:.0},\
-         \"epochs_advanced\":{},\"objects_retired\":{},\"objects_freed\":{}}}",
-        cfg.readers,
-        cfg.duration.as_millis(),
-        cfg.keys,
-        tp.reader_ops,
-        tp.reader_ops as f64 / secs,
-        tp.hits as f64 / tp.reader_ops.max(1) as f64,
-        tp.writer_ops,
-        tp.writer_ops as f64 / secs,
-        stats.epochs_advanced,
-        stats.objects_retired,
-        stats.objects_freed,
-    );
-}
-
-/// Point lookups against a tree whose keys churn under one writer.
-fn bench_tree(cfg: &Config) {
-    let collector = Collector::new();
-    let tree: Arc<BonsaiTree<u64, u64>> = Arc::new(BonsaiTree::new(collector.clone()));
-    for k in (0..cfg.keys).step_by(2) {
-        tree.insert(k, k);
-    }
-    let keys = cfg.keys;
-    let t_read = tree.clone();
-    let t_write = tree.clone();
-    let tp = run_workload(
-        cfg,
-        move |rng| {
-            let guard = t_read.pin();
-            t_read.get(&(rng.next() % keys), &guard).is_some()
-        },
-        move |rng| {
-            let k = rng.next() % keys;
-            if rng.next().is_multiple_of(2) {
-                t_write.insert(k, k);
-            } else {
-                t_write.remove(&k);
-            }
-        },
-    );
-    collector.synchronize();
-    report("tree", cfg, &tp, &collector);
-}
-
-/// VMA-style translate against a range map with mapping churn: the paper's
-/// page-fault workload.
-fn bench_range(cfg: &Config) {
-    let collector = Collector::new();
-    let map: Arc<RangeMap<u64>> = Arc::new(RangeMap::new(collector.clone()));
-    const PAGE: u64 = 0x1000;
-    let regions = cfg.keys / 4; // region slots, each up to 4 pages
-    for r in (0..regions).step_by(2) {
-        map.map(r * 4 * PAGE, (r * 4 + 2) * PAGE, r);
-    }
-    let span = regions * 4 * PAGE;
-    let m_read = map.clone();
-    let m_write = map.clone();
-    let tp = run_workload(
-        cfg,
-        move |rng| {
-            let guard = m_read.pin();
-            m_read.lookup(rng.next() % span, &guard).is_some()
-        },
-        move |rng| {
-            let r = rng.next() % regions;
-            let start = r * 4 * PAGE;
-            if m_write.unmap(start).is_none() {
-                let pages = 1 + rng.next() % 4;
-                m_write.map(start, start + pages * PAGE, r);
-            }
-        },
-    );
-    collector.synchronize();
-    report("range", cfg, &tp, &collector);
-}
+use rcukit_bench::config::{self, Mode, USAGE};
+use rcukit_bench::{legacy, sweep};
 
 fn main() {
-    let cfg = parse_args();
-    match cfg.workload.as_str() {
-        "tree" => bench_tree(&cfg),
-        "range" => bench_range(&cfg),
-        "both" => {
-            bench_tree(&cfg);
-            bench_range(&cfg);
-        }
-        other => {
-            eprintln!("unknown workload {other:?} (expected tree|range|both)");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = match config::parse(&args) {
+        Ok(mode) => mode,
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("{USAGE}");
             std::process::exit(2);
+        }
+    };
+    match mode {
+        Mode::Legacy(cfg) => legacy::run(&cfg),
+        Mode::Sweep(cfg) => {
+            let results = sweep::run(&cfg);
+            if let Some(path) = &cfg.out {
+                let doc = sweep::render_trajectory(&cfg, &results);
+                if let Err(e) = std::fs::write(path, doc) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("wrote {} records to {path}", results.len());
+            }
         }
     }
 }

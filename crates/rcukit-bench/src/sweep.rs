@@ -1,0 +1,345 @@
+//! The paper's evaluation sweep: replay one deterministic address-space
+//! workload against both backends across a range of thread counts.
+//!
+//! For every `(profile, thread count)` point the driver generates the
+//! per-thread traces once, then replays the *identical* ops against each
+//! backend — the RCU [`RangeMap`] and the [`LockedAddressSpace`] baseline
+//! — timing the whole replay. One JSON record per `(profile, threads,
+//! backend)` point goes to stdout as it completes, and the full run is
+//! written as a `BENCH_addrspace.json` trajectory file.
+//!
+//! Replays are fixed-work (ops per thread), not fixed-duration, so a run
+//! is exactly reproducible from its seed and directly comparable across
+//! backends, machines, and repo history: only the elapsed time varies.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use bonsai::{AddressSpace, RangeMap};
+use rcukit::Collector;
+
+use crate::baseline::LockedAddressSpace;
+use crate::workload::{Op, Profile, WorkloadSpec};
+
+/// Which address-space implementation a replay point runs against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// The RCU Bonsai-tree `RangeMap` (lock-free faults).
+    Bonsai,
+    /// The `RwLock<BTreeMap>` baseline (lock-serialized faults).
+    Locked,
+}
+
+impl Backend {
+    /// All backends, in reporting order.
+    pub const ALL: [Backend; 2] = [Backend::Bonsai, Backend::Locked];
+
+    /// The backend's name as used by the CLI and the JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Bonsai => "bonsai",
+            Backend::Locked => "locked",
+        }
+    }
+
+    /// Parses a CLI backend name.
+    pub fn parse(s: &str) -> Result<Backend, String> {
+        match s {
+            "bonsai" => Ok(Backend::Bonsai),
+            "locked" => Ok(Backend::Locked),
+            other => Err(format!(
+                "unknown backend {other:?} (expected bonsai|locked|both)"
+            )),
+        }
+    }
+}
+
+/// Configuration for one sweep run.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Thread counts to scale across, e.g. `[1, 2, 4]`.
+    pub threads: Vec<usize>,
+    /// Profiles to run, e.g. all three.
+    pub profiles: Vec<Profile>,
+    /// Backends to compare.
+    pub backends: Vec<Backend>,
+    /// Operations each replaying thread performs.
+    pub ops_per_thread: usize,
+    /// Region slots per thread arena.
+    pub slots_per_thread: u64,
+    /// Maximum pages per mapped region.
+    pub pages_per_slot: u64,
+    /// Master seed for trace generation.
+    pub seed: u64,
+    /// Trajectory file path, or `None` for stdout-only.
+    pub out: Option<String>,
+}
+
+impl SweepConfig {
+    /// Validates the sweep shape and every workload spec it implies.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads.is_empty() {
+            return Err("sweep needs at least one thread count".into());
+        }
+        if self.profiles.is_empty() {
+            return Err("sweep needs at least one profile".into());
+        }
+        if self.backends.is_empty() {
+            return Err("sweep needs at least one backend".into());
+        }
+        for &threads in &self.threads {
+            self.spec(self.profiles[0], threads).validate()?;
+        }
+        Ok(())
+    }
+
+    fn spec(&self, profile: Profile, threads: usize) -> WorkloadSpec {
+        WorkloadSpec {
+            profile,
+            threads,
+            ops_per_thread: self.ops_per_thread,
+            slots_per_thread: self.slots_per_thread,
+            pages_per_slot: self.pages_per_slot,
+            seed: self.seed,
+        }
+    }
+}
+
+/// Per-replay operation tallies, summed over threads.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tally {
+    /// Fault ops replayed.
+    pub faults: u64,
+    /// Faults that found a mapped region.
+    pub fault_hits: u64,
+    /// Map ops replayed.
+    pub maps: u64,
+    /// Map ops the backend rejected — always 0 unless a backend is buggy
+    /// (traces are overlap-free by construction).
+    pub map_rejects: u64,
+    /// Unmap ops replayed.
+    pub unmaps: u64,
+    /// Unmap ops that found nothing — always 0 unless a backend is buggy.
+    pub unmap_misses: u64,
+}
+
+impl Tally {
+    fn add(&mut self, other: &Tally) {
+        self.faults += other.faults;
+        self.fault_hits += other.fault_hits;
+        self.maps += other.maps;
+        self.map_rejects += other.map_rejects;
+        self.unmaps += other.unmaps;
+        self.unmap_misses += other.unmap_misses;
+    }
+}
+
+/// One measured `(profile, threads, backend)` point.
+#[derive(Clone, Debug)]
+pub struct PointResult {
+    /// Workload shape replayed.
+    pub profile: Profile,
+    /// Backend driven.
+    pub backend: Backend,
+    /// Replaying thread count.
+    pub threads: usize,
+    /// Wall-clock time for the whole replay.
+    pub elapsed: Duration,
+    /// Operation tallies across all threads.
+    pub tally: Tally,
+    /// Deferred retirements tagged by the collector (bonsai backend only).
+    pub retired: u64,
+    /// Deferred retirements executed after the final grace period.
+    pub freed: u64,
+    /// `retired == freed` after a final `synchronize` — the no-leak check.
+    /// Trivially true for the locked backend (nothing is deferred).
+    pub reclaim_ok: bool,
+}
+
+impl PointResult {
+    /// Total replayed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.tally.faults + self.tally.maps + self.tally.unmaps
+    }
+
+    /// The record as one JSON object (also the stdout progress line).
+    pub fn to_json(&self) -> String {
+        let secs = self.elapsed.as_secs_f64();
+        let t = &self.tally;
+        format!(
+            "{{\"profile\":\"{}\",\"backend\":\"{}\",\"threads\":{},\
+             \"total_ops\":{},\"elapsed_ms\":{:.3},\"ops_per_sec\":{:.0},\
+             \"faults\":{},\"fault_hits\":{},\"fault_hit_rate\":{:.3},\"faults_per_sec\":{:.0},\
+             \"maps\":{},\"map_rejects\":{},\"unmaps\":{},\"unmap_misses\":{},\
+             \"mutations_per_sec\":{:.0},\
+             \"retired\":{},\"freed\":{},\"reclaim_ok\":{}}}",
+            self.profile.name(),
+            self.backend.name(),
+            self.threads,
+            self.total_ops(),
+            secs * 1e3,
+            self.total_ops() as f64 / secs,
+            t.faults,
+            t.fault_hits,
+            t.fault_hits as f64 / t.faults.max(1) as f64,
+            t.faults as f64 / secs,
+            t.maps,
+            t.map_rejects,
+            t.unmaps,
+            t.unmap_misses,
+            (t.maps + t.unmaps) as f64 / secs,
+            self.retired,
+            self.freed,
+            self.reclaim_ok,
+        )
+    }
+}
+
+/// Replays pre-generated traces against `space`, one thread per trace,
+/// started together behind a barrier. Returns wall time and summed tallies.
+///
+/// Each worker timestamps its own start and finish; the replay's wall time
+/// is `max(finish) - min(start)`. Timing on the main thread instead would
+/// under-measure on oversubscribed boxes: workers can replay for
+/// milliseconds before a barrier-released main thread is rescheduled.
+fn replay<A: AddressSpace + 'static>(
+    space: Arc<A>,
+    spec: &WorkloadSpec,
+    traces: Arc<Vec<Vec<Op>>>,
+) -> (Duration, Tally) {
+    for t in 0..spec.threads {
+        for (start, end) in spec.initial_regions(t) {
+            assert!(space.map(start, end), "initial region overlap");
+        }
+    }
+    let barrier = Arc::new(Barrier::new(spec.threads));
+    let mut workers = Vec::with_capacity(spec.threads);
+    for t in 0..spec.threads {
+        let space = space.clone();
+        let traces = traces.clone();
+        let barrier = barrier.clone();
+        workers.push(thread::spawn(move || {
+            let mut tally = Tally::default();
+            barrier.wait();
+            let started = Instant::now();
+            for op in &traces[t] {
+                match *op {
+                    Op::Fault(addr) => {
+                        tally.faults += 1;
+                        if space.fault(addr) {
+                            tally.fault_hits += 1;
+                        }
+                    }
+                    Op::Map(start, end) => {
+                        tally.maps += 1;
+                        if !space.map(start, end) {
+                            tally.map_rejects += 1;
+                        }
+                    }
+                    Op::Unmap(start) => {
+                        tally.unmaps += 1;
+                        if !space.unmap(start) {
+                            tally.unmap_misses += 1;
+                        }
+                    }
+                }
+            }
+            (started, Instant::now(), tally)
+        }));
+    }
+    let mut tally = Tally::default();
+    let mut first_start: Option<Instant> = None;
+    let mut last_finish: Option<Instant> = None;
+    for worker in workers {
+        let (started, finished, t) = worker.join().expect("replay thread panicked");
+        tally.add(&t);
+        first_start = Some(first_start.map_or(started, |s| s.min(started)));
+        last_finish = Some(last_finish.map_or(finished, |f| f.max(finished)));
+    }
+    let elapsed = match (first_start, last_finish) {
+        (Some(s), Some(f)) => f.duration_since(s),
+        _ => Duration::ZERO,
+    };
+    (elapsed, tally)
+}
+
+/// Runs one `(profile, threads, backend)` point.
+fn run_point(
+    cfg: &SweepConfig,
+    profile: Profile,
+    threads: usize,
+    backend: Backend,
+    traces: &Arc<Vec<Vec<Op>>>,
+) -> PointResult {
+    let spec = cfg.spec(profile, threads);
+    let (elapsed, tally, retired, freed) = match backend {
+        Backend::Bonsai => {
+            let collector = Collector::new();
+            let space: Arc<RangeMap<()>> = Arc::new(RangeMap::new(collector.clone()));
+            let (elapsed, tally) = replay(space, &spec, Arc::clone(traces));
+            collector.synchronize();
+            let stats = collector.stats();
+            (elapsed, tally, stats.objects_retired, stats.objects_freed)
+        }
+        Backend::Locked => {
+            let space = Arc::new(LockedAddressSpace::new());
+            let (elapsed, tally) = replay(space, &spec, Arc::clone(traces));
+            (elapsed, tally, 0, 0)
+        }
+    };
+    PointResult {
+        profile,
+        backend,
+        threads,
+        elapsed,
+        tally,
+        retired,
+        freed,
+        reclaim_ok: retired == freed,
+    }
+}
+
+/// Runs the full sweep, printing each point's JSON record to stdout as it
+/// completes. Call [`SweepConfig::validate`] first; this panics on an
+/// invalid config.
+pub fn run(cfg: &SweepConfig) -> Vec<PointResult> {
+    cfg.validate().expect("invalid sweep config");
+    let mut results = Vec::new();
+    for &profile in &cfg.profiles {
+        for &threads in &cfg.threads {
+            // One trace set per point, shared verbatim by every backend —
+            // the comparison is apples-to-apples by construction.
+            let spec = cfg.spec(profile, threads);
+            let traces = Arc::new((0..threads).map(|t| spec.thread_trace(t)).collect());
+            for &backend in &cfg.backends {
+                let point = run_point(cfg, profile, threads, backend, &traces);
+                println!("{}", point.to_json());
+                results.push(point);
+            }
+        }
+    }
+    results
+}
+
+/// Renders the whole run as the `BENCH_addrspace.json` trajectory document.
+pub fn render_trajectory(cfg: &SweepConfig, results: &[PointResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v1\",\n");
+    out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!("  \"ops_per_thread\": {},\n", cfg.ops_per_thread));
+    out.push_str(&format!(
+        "  \"slots_per_thread\": {},\n",
+        cfg.slots_per_thread
+    ));
+    out.push_str(&format!("  \"pages_per_slot\": {},\n", cfg.pages_per_slot));
+    out.push_str("  \"results\": [\n");
+    for (i, point) in results.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&point.to_json());
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -1,0 +1,429 @@
+//! Address-space workload generator.
+//!
+//! Produces deterministic page-fault/mmap/munmap traces shaped like the
+//! paper's evaluation workloads (Section 6): `metis`, an mmap-heavy
+//! MapReduce-style mix; `psearchy`, a fault-heavy indexing-style mix; and
+//! `uniform`, a no-locality microbenchmark. A trace is a pure function of
+//! `(spec, thread_id)` — same seed, same trace — so the identical workload
+//! can be replayed against the RCU `RangeMap` and the locked baseline, and
+//! across repo history.
+//!
+//! # Address layout
+//!
+//! The modeled address space is split into one *arena* per thread, each
+//! holding `slots_per_thread` region slots of `pages_per_slot` pages.
+//! Mutations (`Map`/`Unmap`) stay inside the generating thread's own arena
+//! — mirroring Metis/Psearchy, where each core mostly allocates its own
+//! buffers — which also keeps traces valid by construction: a replayed
+//! `Map` never overlaps another thread's region, so backend `map` calls
+//! only fail on a real bug. Faults target the thread's own arena with
+//! probability `locality` and the whole shared span otherwise (the
+//! cross-core reads of one shared address space that the paper scales).
+//!
+//! # Generator state machine
+//!
+//! Each thread's generator tracks which of its slots are mapped, starting
+//! from the replayer's initial state (even slots mapped, full width). A
+//! `Map` picks a random unmapped slot and maps 1..=`pages_per_slot` pages
+//! from its start; an `Unmap` picks a random mapped slot. When the wanted
+//! kind is impossible (all slots mapped / none mapped) the op degrades to
+//! its dual, keeping the mapped fraction near one half.
+
+/// Page size used by the modeled address space.
+pub const PAGE: u64 = 0x1000;
+
+/// One operation in a replayable trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Translate `addr`; a hit means a mapped region contains it.
+    Fault(u64),
+    /// Map the half-open range `[start, end)`.
+    Map(u64, u64),
+    /// Unmap the region starting at `start`.
+    Unmap(u64),
+}
+
+/// A named workload shape: operation mix plus fault locality.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// Metis (MapReduce) shape: mmap-heavy — the map phase continually
+    /// allocates and frees buffers while reducers fault on shared data.
+    Metis,
+    /// Psearchy (parallel indexing) shape: fault-heavy — long scans of
+    /// mostly-stable mappings with rare allocation.
+    Psearchy,
+    /// Uniform microbenchmark: moderate churn, no locality; every fault
+    /// address is drawn from the whole span.
+    Uniform,
+}
+
+impl Profile {
+    /// All profiles, in reporting order.
+    pub const ALL: [Profile; 3] = [Profile::Metis, Profile::Psearchy, Profile::Uniform];
+
+    /// The profile's name as used by the CLI and the JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Metis => "metis",
+            Profile::Psearchy => "psearchy",
+            Profile::Uniform => "uniform",
+        }
+    }
+
+    /// Parses a CLI profile name.
+    pub fn parse(s: &str) -> Result<Profile, String> {
+        match s {
+            "metis" => Ok(Profile::Metis),
+            "psearchy" => Ok(Profile::Psearchy),
+            "uniform" => Ok(Profile::Uniform),
+            other => Err(format!(
+                "unknown profile {other:?} (expected metis|psearchy|uniform|all)"
+            )),
+        }
+    }
+
+    /// `(fault, map, unmap)` mix in parts per 1024. Sums to 1024.
+    pub fn mix(self) -> (u32, u32, u32) {
+        match self {
+            Profile::Metis => (512, 256, 256),
+            Profile::Psearchy => (1004, 10, 10),
+            Profile::Uniform => (922, 51, 51),
+        }
+    }
+
+    /// Probability (parts per 1024) that a fault targets the generating
+    /// thread's own arena rather than the whole span.
+    pub fn locality(self) -> u32 {
+        match self {
+            Profile::Metis => 921,    // ~0.9: cores chew their own buffers
+            Profile::Psearchy => 819, // ~0.8: per-core index + shared corpus
+            Profile::Uniform => 0,
+        }
+    }
+}
+
+/// Deterministic xorshift64* PRNG.
+///
+/// Streams are keyed by seed only; distinct thread traces use distinct
+/// derived seeds (see [`WorkloadSpec::thread_trace`]).
+#[derive(Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator; the seed is forced odd so the state is nonzero.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw in `[0, bound)`. `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Bernoulli draw with probability `ppk / 1024`.
+    pub fn chance(&mut self, ppk: u32) -> bool {
+        (self.next_u64() & 1023) < ppk as u64
+    }
+}
+
+/// Full description of one generated workload. Traces are pure functions
+/// of this struct, so two replays of the same spec see identical ops.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// The workload shape.
+    pub profile: Profile,
+    /// Number of replaying threads (one arena each).
+    pub threads: usize,
+    /// Operations generated per thread.
+    pub ops_per_thread: usize,
+    /// Region slots per thread arena.
+    pub slots_per_thread: u64,
+    /// Maximum pages per mapped region (slot width).
+    pub pages_per_slot: u64,
+    /// Master seed; thread `t` draws from a seed derived from `(seed, t)`.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Validates the spec, returning a human-readable complaint on error.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.threads == 0 {
+            return Err("threads must be >= 1".into());
+        }
+        if self.ops_per_thread == 0 {
+            return Err("ops per thread must be >= 1".into());
+        }
+        if self.slots_per_thread < 2 {
+            return Err("slots per thread must be >= 2 (the generator keeps ~half mapped)".into());
+        }
+        if self.pages_per_slot == 0 {
+            return Err("pages per slot must be >= 1".into());
+        }
+        // Oversized inputs must be a usage error, not a wrapped-to-zero
+        // panic deep in release-mode address arithmetic.
+        self.pages_per_slot
+            .checked_mul(PAGE)
+            .and_then(|slot| slot.checked_mul(self.slots_per_thread))
+            .and_then(|arena| arena.checked_mul(self.threads as u64))
+            .ok_or("threads * slots * pages * PAGE overflows the u64 address space")?;
+        Ok(())
+    }
+
+    /// Bytes covered by one slot.
+    pub fn slot_bytes(&self) -> u64 {
+        self.pages_per_slot * PAGE
+    }
+
+    /// Bytes covered by one thread arena.
+    pub fn arena_bytes(&self) -> u64 {
+        self.slots_per_thread * self.slot_bytes()
+    }
+
+    /// Total bytes of modeled address space across all arenas.
+    pub fn span(&self) -> u64 {
+        self.threads as u64 * self.arena_bytes()
+    }
+
+    /// Start address of thread `t`'s slot `s`.
+    pub fn slot_start(&self, thread: usize, slot: u64) -> u64 {
+        thread as u64 * self.arena_bytes() + slot * self.slot_bytes()
+    }
+
+    /// The regions every arena starts out with: even slots mapped at full
+    /// width. The replayer must apply these (for every thread) before
+    /// replaying any trace; the generator assumes this initial state.
+    pub fn initial_regions(&self, thread: usize) -> Vec<(u64, u64)> {
+        (0..self.slots_per_thread)
+            .step_by(2)
+            .map(|s| {
+                let start = self.slot_start(thread, s);
+                (start, start + self.slot_bytes())
+            })
+            .collect()
+    }
+
+    /// Generates thread `t`'s trace. Pure: same spec and thread, same ops.
+    pub fn thread_trace(&self, thread: usize) -> Vec<Op> {
+        debug_assert!(self.validate().is_ok() && thread < self.threads);
+        // SplitMix-style seed derivation keeps per-thread streams disjoint
+        // even for adjacent seeds/thread ids.
+        let derived = (self.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(0x243F_6A88_85A3_08D3);
+        let mut rng = Rng::new(derived);
+        let (fault_ppk, map_ppk, _) = self.profile.mix();
+        let locality_ppk = self.profile.locality();
+
+        let mut mapped: Vec<bool> = (0..self.slots_per_thread)
+            .map(|s| s.is_multiple_of(2))
+            .collect();
+        let mut mapped_count = mapped.iter().filter(|&&m| m).count() as u64;
+        let mut trace = Vec::with_capacity(self.ops_per_thread);
+
+        for _ in 0..self.ops_per_thread {
+            let roll = (rng.next_u64() & 1023) as u32;
+            if roll < fault_ppk {
+                let addr = if rng.chance(locality_ppk) {
+                    self.slot_start(thread, 0) + rng.below(self.arena_bytes())
+                } else {
+                    rng.below(self.span())
+                };
+                trace.push(Op::Fault(addr));
+                continue;
+            }
+            // Degrade to the dual when the wanted mutation is impossible.
+            let want_map = roll < fault_ppk + map_ppk;
+            let do_map = if mapped_count == 0 {
+                true
+            } else if mapped_count == self.slots_per_thread {
+                false
+            } else {
+                want_map
+            };
+            if do_map {
+                let slot = Self::pick_slot(&mapped, &mut rng, false);
+                let start = self.slot_start(thread, slot);
+                let pages = 1 + rng.below(self.pages_per_slot);
+                trace.push(Op::Map(start, start + pages * PAGE));
+                mapped[slot as usize] = true;
+                mapped_count += 1;
+            } else {
+                let slot = Self::pick_slot(&mapped, &mut rng, true);
+                trace.push(Op::Unmap(self.slot_start(thread, slot)));
+                mapped[slot as usize] = false;
+                mapped_count -= 1;
+            }
+        }
+        trace
+    }
+
+    /// Picks a uniformly random slot whose mapped-state equals `state`.
+    /// The caller guarantees at least one exists.
+    fn pick_slot(mapped: &[bool], rng: &mut Rng, state: bool) -> u64 {
+        loop {
+            let slot = rng.below(mapped.len() as u64);
+            if mapped[slot as usize] == state {
+                return slot;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(profile: Profile) -> WorkloadSpec {
+        WorkloadSpec {
+            profile,
+            threads: 4,
+            ops_per_thread: 100_000,
+            slots_per_thread: 64,
+            pages_per_slot: 16,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        for profile in Profile::ALL {
+            let s = spec(profile);
+            for t in 0..s.threads {
+                assert_eq!(s.thread_trace(t), s.thread_trace(t), "{profile:?}/{t}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_and_threads_diverge() {
+        let a = spec(Profile::Uniform);
+        let mut b = a.clone();
+        b.seed = 43;
+        assert_ne!(a.thread_trace(0), b.thread_trace(0));
+        assert_ne!(a.thread_trace(0), a.thread_trace(1));
+    }
+
+    #[test]
+    fn mix_ratios_within_tolerance() {
+        for profile in Profile::ALL {
+            let s = spec(profile);
+            let trace = s.thread_trace(0);
+            let total = trace.len() as f64;
+            let faults = trace.iter().filter(|o| matches!(o, Op::Fault(_))).count() as f64;
+            let maps = trace.iter().filter(|o| matches!(o, Op::Map(..))).count() as f64;
+            let unmaps = trace.iter().filter(|o| matches!(o, Op::Unmap(_))).count() as f64;
+            let (f, m, u) = profile.mix();
+            // Map/unmap can trade places when a wanted kind is impossible,
+            // so their tolerance is shared; 2% absolute on 100k ops is wide
+            // enough for the RNG, tight enough to catch a mix regression.
+            assert!(
+                (faults / total - f as f64 / 1024.0).abs() < 0.02,
+                "{profile:?} fault ratio {faults}/{total}"
+            );
+            assert!(
+                (maps / total - m as f64 / 1024.0).abs() < 0.02,
+                "{profile:?} map ratio {maps}/{total}"
+            );
+            assert!(
+                (unmaps / total - u as f64 / 1024.0).abs() < 0.02,
+                "{profile:?} unmap ratio {unmaps}/{total}"
+            );
+        }
+    }
+
+    /// Replaying a trace against a model of slot states must never map an
+    /// already-mapped slot or unmap an unmapped one: traces are valid by
+    /// construction, so backend `map`/`unmap` failures indicate real bugs.
+    #[test]
+    fn traces_are_valid_against_the_initial_state() {
+        for profile in Profile::ALL {
+            let s = spec(profile);
+            for t in 0..s.threads {
+                let mut mapped: Vec<bool> = (0..s.slots_per_thread)
+                    .map(|x| x.is_multiple_of(2))
+                    .collect();
+                for op in s.thread_trace(t) {
+                    match op {
+                        Op::Fault(addr) => assert!(addr < s.span()),
+                        Op::Map(start, end) => {
+                            let rel = start - s.slot_start(t, 0);
+                            assert!(rel.is_multiple_of(s.slot_bytes()));
+                            let slot = (rel / s.slot_bytes()) as usize;
+                            assert!(end - start <= s.slot_bytes());
+                            assert!(!mapped[slot], "{profile:?}: double map");
+                            mapped[slot] = true;
+                        }
+                        Op::Unmap(start) => {
+                            let rel = start - s.slot_start(t, 0);
+                            let slot = (rel / s.slot_bytes()) as usize;
+                            assert!(mapped[slot], "{profile:?}: unmap of unmapped");
+                            mapped[slot] = false;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let good = spec(Profile::Metis);
+        assert!(good.validate().is_ok());
+        for bad in [
+            WorkloadSpec {
+                threads: 0,
+                ..good.clone()
+            },
+            WorkloadSpec {
+                ops_per_thread: 0,
+                ..good.clone()
+            },
+            WorkloadSpec {
+                slots_per_thread: 1,
+                ..good.clone()
+            },
+            WorkloadSpec {
+                pages_per_slot: 0,
+                ..good.clone()
+            },
+            WorkloadSpec {
+                pages_per_slot: u64::MAX / PAGE + 1,
+                ..good.clone()
+            },
+            WorkloadSpec {
+                slots_per_thread: u64::MAX / PAGE,
+                ..good.clone()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn uniform_profile_has_no_locality() {
+        // With locality 0 every fault draws from the whole span; check a
+        // healthy share actually lands outside thread 0's own arena.
+        let s = spec(Profile::Uniform);
+        let arena = s.arena_bytes();
+        let outside = s
+            .thread_trace(0)
+            .iter()
+            .filter(|o| matches!(o, Op::Fault(a) if *a >= arena))
+            .count();
+        let faults = s
+            .thread_trace(0)
+            .iter()
+            .filter(|o| matches!(o, Op::Fault(_)))
+            .count();
+        assert!(outside as f64 > 0.6 * faults as f64);
+    }
+}

@@ -67,6 +67,71 @@
 //! // Safety: `p` was the sole remaining published allocation.
 //! unsafe { drop(Box::from_raw(p)) };
 //! ```
+//!
+//! # Lifecycle: epoch → pin → retire → reclaim
+//!
+//! The collector maintains one global epoch counter; every participating
+//! thread owns a registered status word. An object's life as garbage runs
+//! through four stages:
+//!
+//! 1. **Pin.** A thread's outermost [`pin`](LocalHandle::pin) publishes
+//!    `(epoch << 1) | 1` into its status word and re-reads the global epoch
+//!    until it is stable across the store. From then on the global epoch can
+//!    advance at most once past the pinned value: any later
+//!    advance re-scans the registry and sees this thread. Nested pins only
+//!    bump a thread-local guard count; unpin clears the status word.
+//! 2. **Retire.** A writer unlinks an object from the shared structure,
+//!    then hands it to [`Guard::defer`]/[`Guard::defer_free`]. The
+//!    retirement is tagged with the global epoch *observed at retire time*
+//!    and pushed into the thread's local bag; the bag is sealed into the
+//!    collector's global queue when it grows past a threshold, when the
+//!    epoch tag changes, at the outermost unpin, or at [`Guard::flush`].
+//! 3. **Advance.** `try_advance` (run by `collect`, `synchronize`, and
+//!    opportunistically at guard-free unpins) scans the registry and moves
+//!    the global epoch from `E` to `E + 1` only when every pinned thread's
+//!    recorded epoch equals `E`.
+//! 4. **Reclaim.** A sealed bag tagged `e` fires once the global epoch
+//!    reaches `e + `[`GRACE_EPOCHS`]: every reader that could have observed
+//!    its contents pinned no later than the retirement, so two advances
+//!    prove they have all unpinned.
+//!
+//! Deferred callbacks run inline on whichever thread drives reclamation.
+//! At the *implicit* points (outermost unpin, pin-time cache eviction) the
+//! runtime only runs callbacks while the executing thread holds **zero
+//! guards**, so a callback may itself pin or block on a grace period; the
+//! *explicit* [`Collector::collect`]/[`Collector::synchronize`] calls run
+//! ready callbacks in the caller's context unconditionally (see
+//! [`Guard::defer`] for the precise contract).
+//!
+//! # Memory ordering
+//!
+//! Three orderings carry the proof; everything else is bookkeeping:
+//!
+//! * **Pin publication** — the status-word publish is a `SeqCst` *swap*
+//!   (a full RMW), followed by a re-read of the global epoch, looping until
+//!   the epoch is unchanged across the store. The RMW orders the publish
+//!   before the critical section's pointer loads, and the stable re-read
+//!   guarantees some instant at which the global epoch equalled the
+//!   published value — which is what bounds the epoch to `pinned + 1`
+//!   while the thread stays pinned.
+//! * **The `SeqCst` fence in `defer`** — between the caller's unlink store
+//!   and the retirement-tag load sits a StoreLoad fence. Without it, on
+//!   TSO hardware the unlink (often a plain `Release` store of a new root)
+//!   can linger in the store buffer while this thread reads a stale global
+//!   epoch `tag`; the epoch then advances, a reader pins at `tag + 1`,
+//!   loads the *old* pointer — still visible, the unlink has not drained —
+//!   and outlives the grace period computed from `tag`. The same fence
+//!   guards the QSBR flavour's `defer`.
+//! * **The guard-free gate** — inline callback execution (unpin-time
+//!   collects, pin-time cache eviction) is gated on a thread-local
+//!   live-guard count of zero. This is a liveness invariant, not a
+//!   visibility one: a callback may block on a grace period, and a grace
+//!   period can never elapse while the executing thread itself holds a pin
+//!   — the epoch cannot advance past it.
+//!
+//! Registry scans, bag seals, and statistics ride on mutexes and `SeqCst`
+//! atomics; none of them are on the reader hot path, which touches only
+//! the thread's own status word and the global epoch word.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
