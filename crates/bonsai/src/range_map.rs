@@ -12,7 +12,7 @@ use std::sync::Mutex;
 
 use rcukit::{Collector, Guard};
 
-use crate::tree::{with_writer, BonsaiTree};
+use crate::tree::{with_writer, BonsaiTree, WriterScratch};
 
 /// A mapped region: keyed in the tree by its start address, carrying its
 /// exclusive end and a payload.
@@ -30,11 +30,13 @@ struct Extent<V> {
 /// paper makes scale by running it under RCU instead of a lock.
 pub struct RangeMap<V> {
     tree: BonsaiTree<u64, Extent<V>>,
-    /// Serializes `map`'s check-then-insert against other mutators. This is
-    /// the *only* writer lock on the mutation path: the tree is updated
-    /// through its unlocked crate-private entry points, so each `map`/
-    /// `unmap` pays a single lock acquisition.
-    writer: Mutex<()>,
+    /// Serializes `map`'s check-then-insert against other mutators and owns
+    /// the map's retired-node scratch buffer. This is the *only* writer
+    /// lock on the mutation path: the tree is updated through its unlocked
+    /// crate-private entry points, so each `map`/`unmap` pays a single lock
+    /// acquisition (the tree's own writer lock — and its scratch — go
+    /// unused).
+    writer: Mutex<WriterScratch<u64, Extent<V>>>,
 }
 
 impl<V> RangeMap<V>
@@ -45,7 +47,7 @@ where
     pub fn new(collector: Collector) -> Self {
         Self {
             tree: BonsaiTree::new(collector),
-            writer: Mutex::new(()),
+            writer: Mutex::new(WriterScratch::new()),
         }
     }
 
@@ -59,9 +61,17 @@ where
         self.tree.collector()
     }
 
-    /// Pins the current thread against the map's collector.
-    pub fn pin(&self) -> Guard {
+    /// Pins the current thread against the map's collector. The guard
+    /// borrows the map, so the map cannot be dropped while it is live.
+    pub fn pin(&self) -> Guard<'_> {
         self.tree.pin()
+    }
+
+    /// Capacity of the map's retired-node scratch buffer (see
+    /// `BonsaiTree::writer_scratch_capacity`). Test aid.
+    #[doc(hidden)]
+    pub fn writer_scratch_capacity(&self) -> usize {
+        self.writer.lock().unwrap().capacity()
     }
 
     /// Number of mapped regions.
@@ -82,7 +92,7 @@ where
     /// Panics if `start >= end`.
     pub fn map(&self, start: u64, end: u64, value: V) -> bool {
         assert!(start < end, "empty or inverted range {start:#x}..{end:#x}");
-        with_writer(&self.writer, self.tree.collector(), |guard| {
+        with_writer(&self.writer, self.tree.collector(), |guard, scratch| {
             // Predecessor overlap: a region starting at or before `start`
             // that has not ended by `start`.
             if let Some((_, extent)) = self.tree.get_le(&start, guard) {
@@ -101,7 +111,7 @@ where
             // `guard` is pinned against the tree's collector.
             unsafe {
                 self.tree
-                    .insert_unlocked(start, Extent { end, value }, guard)
+                    .insert_unlocked(start, Extent { end, value }, guard, scratch)
             };
             true
         })
@@ -110,16 +120,16 @@ where
     /// Unmaps the region that starts exactly at `start`, returning its
     /// payload.
     pub fn unmap(&self, start: u64) -> Option<V> {
-        with_writer(&self.writer, self.tree.collector(), |guard| {
+        with_writer(&self.writer, self.tree.collector(), |guard, scratch| {
             // Safety: as in `map`.
-            unsafe { self.tree.remove_unlocked(&start, guard) }.map(|extent| extent.value)
+            unsafe { self.tree.remove_unlocked(&start, guard, scratch) }.map(|extent| extent.value)
         })
     }
 
     /// Finds the region containing `addr` (the page-fault path). Lock-free;
     /// the reference is valid for the guard's critical section and borrows
     /// the map, so the map cannot be dropped while it is live.
-    pub fn lookup<'g>(&'g self, addr: u64, guard: &'g Guard) -> Option<&'g V> {
+    pub fn lookup<'g>(&'g self, addr: u64, guard: &'g Guard<'_>) -> Option<&'g V> {
         let (_, extent) = self.tree.get_le(&addr, guard)?;
         if addr < extent.end {
             Some(&extent.value)
@@ -139,7 +149,7 @@ where
     }
 
     /// Like [`lookup`](Self::lookup), also returning the region bounds.
-    pub fn translate<'g>(&'g self, addr: u64, guard: &'g Guard) -> Option<(u64, u64, &'g V)> {
+    pub fn translate<'g>(&'g self, addr: u64, guard: &'g Guard<'_>) -> Option<(u64, u64, &'g V)> {
         let (start, extent) = self.tree.get_le(&addr, guard)?;
         if addr < extent.end {
             Some((*start, extent.end, &extent.value))
@@ -220,5 +230,35 @@ mod tests {
     fn empty_range_panics() {
         let m: RangeMap<u32> = RangeMap::new(Collector::new());
         m.map(0x1000, 0x1000, 1);
+    }
+
+    /// The map's own writer scratch (distinct from the tree's, which its
+    /// unlocked entry points bypass) must also stop growing on a
+    /// steady-state map/unmap churn — the `RangeMap` half of the
+    /// writer-path allocation diet.
+    #[test]
+    fn steady_state_churn_does_not_regrow_scratch() {
+        const PAGE: u64 = 0x1000;
+        const SLOTS: u64 = 128;
+        let m: RangeMap<u64> = RangeMap::new(Collector::new());
+        let toggle = |rounds: usize| {
+            for _ in 0..rounds {
+                for slot in 0..SLOTS {
+                    let start = slot * 4 * PAGE;
+                    if m.unmap(start).is_none() {
+                        assert!(m.map(start, start + 2 * PAGE, slot));
+                    }
+                }
+            }
+        };
+        toggle(8); // warm-up: reach the workload's peak path length
+        let warm = m.writer_scratch_capacity();
+        assert!(warm > 0, "warm-up retired nothing");
+        toggle(20);
+        assert_eq!(
+            m.writer_scratch_capacity(),
+            warm,
+            "steady-state churn regrew the map's writer scratch buffer"
+        );
     }
 }

@@ -27,8 +27,10 @@ impl Rng {
 }
 
 const PAGE: u64 = 0x1000;
-const READERS: usize = 4;
-const WRITER_OPS: usize = 10_000;
+// Scaled down under Miri (interpreter overhead): the schedules still cross
+// many grace periods, which is what the UB detection needs.
+const READERS: usize = if cfg!(miri) { 2 } else { 4 };
+const WRITER_OPS: usize = if cfg!(miri) { 300 } else { 10_000 };
 
 /// The acceptance scenario: 4 reader threads sustain `lookup`s against a
 /// `RangeMap` while the writer performs 10k map/unmap operations. A set of

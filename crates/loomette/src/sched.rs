@@ -1,0 +1,630 @@
+//! The cooperative scheduler and schedule explorer.
+//!
+//! One model *run* executes the test body with real OS threads, but only one
+//! thread is ever runnable at a time: every instrumented operation (atomic
+//! access, fence, mutex acquire, spawn/join) is a *switch point* where the
+//! scheduler decides which thread runs next. A run is therefore sequentially
+//! consistent by construction and — because the test body is deterministic —
+//! exactly reproducible from the sequence of scheduling decisions.
+//!
+//! Exploration is depth-first over that decision tree: after each run the
+//! deepest decision with an untried alternative is bumped and the prefix is
+//! replayed (the classic stateless-model-checking loop). The tree is pruned
+//! with a context-switch bound: schedules may *preempt* a runnable thread at
+//! most [`preemption_bound`](Explorer::preemption_bound) times (CHESS-style;
+//! most concurrency bugs need very few preemptions). Forced switches — the
+//! current thread blocked or finished — are always free.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread as os_thread;
+
+/// Default preemption bound (see module docs). Overridable per model via
+/// [`Explorer`] or the `LOOMETTE_PREEMPTIONS` environment variable.
+pub const DEFAULT_PREEMPTION_BOUND: usize = 2;
+
+/// Hard cap on runs per [`crate::model`] call; exceeding it means the test
+/// is too big to check exhaustively and should be shrunk.
+pub const DEFAULT_MAX_RUNS: usize = 500_000;
+
+thread_local! {
+    /// The scheduler governing the current OS thread, if it is a model
+    /// thread. `None` outside a model: instrumented ops degrade to their
+    /// plain `std` behaviour.
+    static CURRENT: Cell<Option<(*const Scheduler, usize)>> = const { Cell::new(None) };
+}
+
+/// Runs `f` with this thread registered as model thread `tid` of `sched`.
+fn with_current<R>(sched: &Arc<Scheduler>, tid: usize, f: impl FnOnce() -> R) -> R {
+    CURRENT.with(|c| c.set(Some((Arc::as_ptr(sched), tid))));
+    let out = f();
+    CURRENT.with(|c| c.set(None));
+    out
+}
+
+/// The scheduler handle for the calling thread, or `None` outside a model.
+///
+/// # Safety of the raw pointer
+///
+/// The `Arc<Scheduler>` is kept alive by the spawn wrapper for the whole
+/// time the TLS entry is set, so the pointer is always valid when read.
+fn current() -> Option<(&'static Scheduler, usize)> {
+    CURRENT.with(|c| c.get().map(|(p, tid)| (unsafe { &*p }, tid)))
+}
+
+/// What a model thread is currently able to do.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    /// Ready to execute.
+    Runnable,
+    /// Waiting for a loomette mutex to be released.
+    BlockedMutex(usize),
+    /// Waiting for another model thread to finish.
+    BlockedJoin(usize),
+    /// Body returned (or unwound).
+    Finished,
+}
+
+/// One recorded scheduling decision: the runnable candidates at the point
+/// (in try order) and which one was taken this run.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    options: Vec<usize>,
+    chosen: usize, // index into `options`
+}
+
+/// Mutable scheduler state, shared by every thread of one run.
+struct State {
+    threads: Vec<Run>,
+    /// The single thread allowed to execute.
+    current: usize,
+    /// Decisions to replay from the previous run, as thread ids.
+    prefix: Vec<usize>,
+    /// How many recorded decision points have been passed this run.
+    step: usize,
+    /// Decisions recorded this run (only points with >1 option).
+    trace: Vec<Choice>,
+    /// Preemptive (non-forced) switches taken so far this run.
+    preemptions: usize,
+    preemption_bound: usize,
+    /// Lock words for loomette mutexes, indexed by mutex id.
+    mutexes: Vec<bool>,
+    /// First failure (panic) observed on any model thread.
+    failed: Option<String>,
+    finished: usize,
+}
+
+impl State {
+    /// Picks the next thread to run, given that `me` has reached a switch
+    /// point (`me_runnable` tells whether `me` could continue). Returns the
+    /// chosen tid. Panics the model on deadlock.
+    fn schedule(&mut self, me: usize, me_runnable: bool) -> usize {
+        let runnable: Vec<usize> = (0..self.threads.len())
+            .filter(|&t| self.threads[t] == Run::Runnable && (t != me || me_runnable))
+            .collect();
+        if runnable.is_empty() {
+            if self.finished == self.threads.len() {
+                return me; // run is over; value unused
+            }
+            self.failed = Some(format!(
+                "deadlock: no runnable threads (states: {:?})",
+                self.threads
+            ));
+            return me;
+        }
+        // Candidate order: the current thread first (continuing is free),
+        // then the others, which each cost one preemption while `me` could
+        // have continued. Forced switches (me blocked/finished) are free.
+        let mut options: Vec<usize> = Vec::with_capacity(runnable.len());
+        if me_runnable {
+            options.push(me);
+            if self.preemptions < self.preemption_bound {
+                options.extend(runnable.iter().copied().filter(|&t| t != me));
+            }
+        } else {
+            options = runnable;
+        }
+        let chosen = if options.len() == 1 {
+            // No branching: not a recorded decision point.
+            options[0]
+        } else {
+            let idx = if self.step < self.prefix.len() {
+                let want = self.prefix[self.step];
+                options
+                    .iter()
+                    .position(|&t| t == want)
+                    .expect("replay divergence: recorded choice not available")
+            } else {
+                0
+            };
+            self.step += 1;
+            self.trace.push(Choice {
+                options: options.clone(),
+                chosen: idx,
+            });
+            options[idx]
+        };
+        if me_runnable && chosen != me {
+            self.preemptions += 1;
+        }
+        self.current = chosen;
+        chosen
+    }
+
+    fn done(&self) -> bool {
+        self.finished == self.threads.len() || self.failed.is_some()
+    }
+}
+
+/// The per-run scheduler: shared state plus the condvar every model thread
+/// parks on while it is not `current`.
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+    /// Set on failure so threads parked in their start-wait exit quickly.
+    aborting: AtomicBool,
+    /// Process-unique sequence number for this run. Instrumented mutexes
+    /// cache their scheduler-side lock-word id keyed by this, so a mutex
+    /// object that outlives one run re-registers with the next run's
+    /// scheduler instead of indexing a stale id into a fresh table.
+    run_seq: u64,
+}
+
+impl Scheduler {
+    /// Locks the shared state, ignoring poisoning: a panicking model thread
+    /// (the normal failure path) must not turn every subsequent state access
+    /// — including ones inside destructors running during unwind — into a
+    /// second panic.
+    fn st(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn new(prefix: Vec<usize>, preemption_bound: usize) -> Self {
+        static RUN_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        Scheduler {
+            run_seq: RUN_SEQ.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(State {
+                threads: vec![Run::Runnable], // thread 0 = the model body
+                current: 0,
+                prefix,
+                step: 0,
+                trace: Vec::new(),
+                preemptions: 0,
+                preemption_bound,
+                mutexes: Vec::new(),
+                failed: None,
+                finished: 0,
+            }),
+            cv: Condvar::new(),
+            aborting: AtomicBool::new(false),
+        }
+    }
+
+    /// Terminates this thread's participation after a model failure.
+    ///
+    /// Panics to unwind the thread body — but only if the thread is not
+    /// *already* unwinding: a second panic inside a destructor running
+    /// during unwind would abort the whole process. An unwinding thread
+    /// instead returns and free-runs its teardown: every instrumented
+    /// operation degrades to its real `std` primitive (see
+    /// [`Self::degraded`]), which keeps teardown memory-safe without the
+    /// scheduler.
+    fn die(&self) {
+        if !os_thread::panicking() {
+            panic!("loomette: model failed on another thread");
+        }
+    }
+
+    /// Whether the model has failed and scheduling is abandoned: threads
+    /// finish (or unwind) on real primitives from here on.
+    fn degraded(&self) -> bool {
+        self.aborting.load(Ordering::SeqCst)
+    }
+
+    /// Marks the model failed (if a specific message has not been recorded
+    /// yet, e.g. by the panicking thread itself) and wakes everyone.
+    fn note_failure(&self, mut st: std::sync::MutexGuard<'_, State>) {
+        if st.failed.is_none() {
+            st.failed = Some("model failure".into());
+        }
+        self.aborting.store(true, Ordering::SeqCst);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Blocks the calling model thread until it is scheduled. Returns
+    /// `false` if the model failed in the meantime (the caller decides how
+    /// to terminate — see [`Self::die`]).
+    fn wait_for_turn(&self, me: usize) -> bool {
+        let mut st = self.st();
+        while st.current != me && !st.done() {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        st.failed.is_none()
+    }
+
+    /// The switch point every instrumented operation passes through.
+    fn switch(&self, me: usize) {
+        if self.degraded() {
+            self.die();
+            return;
+        }
+        {
+            let mut st = self.st();
+            st.schedule(me, true);
+            if st.failed.is_some() {
+                self.note_failure(st);
+                self.die();
+                return;
+            }
+            self.cv.notify_all();
+        }
+        if !self.wait_for_turn(me) {
+            self.die();
+        }
+    }
+
+    /// Blocks `me` with the given reason and hands the CPU to someone else.
+    fn block(&self, me: usize, why: Run) {
+        if self.degraded() {
+            self.die();
+            return;
+        }
+        {
+            let mut st = self.st();
+            st.threads[me] = why;
+            st.schedule(me, false);
+            if st.failed.is_some() {
+                self.note_failure(st);
+                self.die();
+                return;
+            }
+            self.cv.notify_all();
+        }
+        if !self.wait_for_turn(me) {
+            // Unblock ourselves for bookkeeping sanity, then terminate.
+            let mut st = self.st();
+            st.threads[me] = Run::Runnable;
+            drop(st);
+            self.die();
+        }
+    }
+
+    /// Registers a new model thread, returning its tid. The thread starts
+    /// runnable but does not execute until scheduled.
+    fn register(&self) -> usize {
+        let mut st = self.st();
+        st.threads.push(Run::Runnable);
+        st.threads.len() - 1
+    }
+
+    /// Marks `me` finished, wakes joiners, and schedules the next thread.
+    fn finish(&self, me: usize) {
+        let mut st = self.st();
+        st.threads[me] = Run::Finished;
+        st.finished += 1;
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Run::BlockedJoin(me) {
+                st.threads[t] = Run::Runnable;
+            }
+        }
+        if !st.done() {
+            st.schedule(me, false);
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn record_failure(&self, me: usize, msg: String) {
+        let mut st = self.st();
+        if st.failed.is_none() {
+            st.failed = Some(format!("thread {me} panicked: {msg}"));
+        }
+        self.aborting.store(true, Ordering::SeqCst);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn alloc_mutex(&self) -> usize {
+        let mut st = self.st();
+        st.mutexes.push(false);
+        st.mutexes.len() - 1
+    }
+
+    /// Scheduler-side mutex acquire: loops through switch points until the
+    /// lock word is free, blocking (scheduler-level) while it is held.
+    ///
+    /// After a model failure the bookkeeping is skipped entirely: the
+    /// caller falls through to the *real* mutex, whose own blocking is
+    /// correct (and deadlock-free, because every holder's guard drop
+    /// releases it during unwind) without the scheduler.
+    fn mutex_lock(&self, me: usize, id: usize) {
+        loop {
+            if self.degraded() {
+                self.die();
+                return;
+            }
+            self.switch(me);
+            {
+                if self.degraded() {
+                    self.die();
+                    return;
+                }
+                let mut st = self.st();
+                if !st.mutexes[id] {
+                    st.mutexes[id] = true;
+                    return;
+                }
+            }
+            self.block(me, Run::BlockedMutex(id));
+        }
+    }
+
+    fn mutex_unlock(&self, _me: usize, id: usize) {
+        let mut st = self.st();
+        st.mutexes[id] = false;
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Run::BlockedMutex(id) {
+                st.threads[t] = Run::Runnable;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    fn join(&self, me: usize, target: usize) {
+        self.switch(me);
+        if self.degraded() {
+            // The caller's OS-level join is enough: the target thread
+            // finishes (or unwinds) on real primitives.
+            return;
+        }
+        let blocked = {
+            let st = self.st();
+            st.threads[target] != Run::Finished
+        };
+        if blocked {
+            self.block(me, Run::BlockedJoin(target));
+        }
+    }
+
+    /// Blocks the (non-model) driver thread until the run completes.
+    fn wait_all_done(&self) {
+        let mut st = self.st();
+        while !st.done() {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+// ---- public hooks used by the sync / thread shims ----
+
+/// A switch point: lets the scheduler preempt here. No-op outside a model.
+pub fn switch_point() {
+    if let Some((sched, tid)) = current() {
+        sched.switch(tid);
+    }
+}
+
+/// Yield: equivalent to a plain switch point (the scheduler may or may not
+/// move on; exploration covers both).
+pub fn yield_now() {
+    switch_point();
+}
+
+pub(crate) fn with_scheduler<R>(f: impl FnOnce(&Scheduler, usize) -> R) -> Option<R> {
+    current().map(|(sched, tid)| f(sched, tid))
+}
+
+pub(crate) fn mutex_id(sched: &Scheduler) -> usize {
+    sched.alloc_mutex()
+}
+
+/// The process-unique sequence number of `sched`'s run; see
+/// [`Scheduler::run_seq`].
+pub(crate) fn run_seq(sched: &Scheduler) -> u64 {
+    sched.run_seq
+}
+
+pub(crate) fn lock(sched: &Scheduler, me: usize, id: usize) {
+    sched.mutex_lock(me, id);
+}
+
+pub(crate) fn unlock(sched: &Scheduler, me: usize, id: usize) {
+    sched.mutex_unlock(me, id);
+}
+
+// ---- thread spawning ----
+
+/// Handle to a spawned model thread.
+pub struct JoinHandle<T> {
+    inner: os_thread::JoinHandle<Option<T>>,
+    tid: usize,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (scheduler-level, then OS-level) for the thread to finish and
+    /// returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (sched, me) = current().expect("loomette join outside a model");
+        sched.join(me, self.tid);
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("model thread failed")),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("tid", &self.tid)
+            .finish()
+    }
+}
+
+/// Spawns a model thread. Must be called from inside a model.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched_ref, _me) = current().expect("loomette spawn outside a model");
+    // Re-create the Arc from the raw pointer we stored: the wrapper below
+    // needs an owned handle that outlives the parent's stack frame.
+    // Safety: `current()` guarantees the scheduler is alive; `ARCS` in the
+    // runner keeps one strong reference for the whole run.
+    let sched: Arc<Scheduler> = RUN_SCHED.with(|s| {
+        s.borrow()
+            .clone()
+            .expect("loomette spawn outside a model run")
+    });
+    debug_assert!(std::ptr::eq(Arc::as_ptr(&sched), sched_ref as *const _));
+    let tid = sched.register();
+    let sched2 = Arc::clone(&sched);
+    let inner = os_thread::spawn(move || {
+        // Make nested `spawn` possible from this thread too.
+        RUN_SCHED.with(|s| *s.borrow_mut() = Some(Arc::clone(&sched2)));
+        with_current(&sched2, tid, || {
+            if !sched2.wait_for_turn(tid) || sched2.degraded() {
+                // The model failed before this thread ever ran its body.
+                sched2.finish(tid);
+                return None;
+            }
+            let out = panic::catch_unwind(AssertUnwindSafe(f));
+            match out {
+                Ok(v) => {
+                    sched2.finish(tid);
+                    Some(v)
+                }
+                Err(e) => {
+                    sched2.record_failure(tid, panic_message(&e));
+                    sched2.finish(tid);
+                    None
+                }
+            }
+        })
+    });
+    JoinHandle { inner, tid }
+}
+
+thread_local! {
+    /// Owned scheduler handle for the current model thread, cloned by
+    /// `spawn` so child wrappers can own one too.
+    static RUN_SCHED: std::cell::RefCell<Option<Arc<Scheduler>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+// ---- the exploration driver ----
+
+/// Exploration limits for one model.
+pub struct Explorer {
+    /// Maximum preemptive context switches per schedule.
+    pub preemption_bound: usize,
+    /// Hard cap on explored schedules.
+    pub max_runs: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        let bound = std::env::var("LOOMETTE_PREEMPTIONS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_PREEMPTION_BOUND);
+        Explorer {
+            preemption_bound: bound,
+            max_runs: DEFAULT_MAX_RUNS,
+        }
+    }
+}
+
+impl Explorer {
+    /// Exhaustively explores every schedule of `f` within the preemption
+    /// bound. Returns the number of schedules run. Panics (with the failing
+    /// schedule) if any execution panics or deadlocks.
+    pub fn explore(&self, f: impl Fn() + Send + Sync + 'static) -> usize {
+        let f = Arc::new(f);
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut runs = 0usize;
+        loop {
+            runs += 1;
+            assert!(
+                runs <= self.max_runs,
+                "loomette: exceeded {} schedules — shrink the model",
+                self.max_runs
+            );
+            let sched = Arc::new(Scheduler::new(prefix.clone(), self.preemption_bound));
+            let f0 = Arc::clone(&f);
+            let sched0 = Arc::clone(&sched);
+            // Thread 0 runs the model body itself.
+            let body = os_thread::spawn(move || {
+                RUN_SCHED.with(|s| *s.borrow_mut() = Some(Arc::clone(&sched0)));
+                with_current(&sched0, 0, || {
+                    let out = panic::catch_unwind(AssertUnwindSafe(|| f0()));
+                    if let Err(e) = out {
+                        sched0.record_failure(0, panic_message(&e));
+                    }
+                    sched0.finish(0);
+                });
+                RUN_SCHED.with(|s| *s.borrow_mut() = None);
+            });
+            sched.wait_all_done();
+            // All model threads have passed `finish`; their OS threads exit
+            // without further scheduling. Reap thread 0 (children are
+            // detached once joined at the model level; OS-level join happens
+            // in JoinHandle::join or leaks harmlessly past `finish`).
+            let _ = body.join();
+            let mut st = sched.st();
+            if let Some(msg) = st.failed.take() {
+                let decisions: Vec<usize> = st.trace.iter().map(|c| c.options[c.chosen]).collect();
+                // Release the state lock before panicking: orphaned model
+                // threads of the failed run may still be unwinding, and
+                // their destructors take this lock.
+                drop(st);
+                panic!(
+                    "loomette: model failed after {runs} schedule(s)\n  \
+                     failure: {msg}\n  schedule (thread ids): {decisions:?}"
+                );
+            }
+            // Depth-first: bump the deepest decision with an untried
+            // alternative; drop everything below it.
+            let mut trace: VecDeque<Choice> = st.trace.drain(..).collect();
+            drop(st);
+            loop {
+                match trace.back_mut() {
+                    None => return runs,
+                    Some(c) if c.chosen + 1 < c.options.len() => {
+                        c.chosen += 1;
+                        break;
+                    }
+                    Some(_) => {
+                        trace.pop_back();
+                    }
+                }
+            }
+            prefix = trace.iter().map(|c| c.options[c.chosen]).collect();
+        }
+    }
+}

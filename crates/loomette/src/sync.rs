@@ -1,0 +1,234 @@
+//! Instrumented drop-in replacements for the `std::sync` primitives the
+//! code under test uses.
+//!
+//! Every operation passes through a scheduler switch point *before* it
+//! executes, so the explorer can interleave threads at exactly the places
+//! where real hardware could. Because only one model thread runs at a time,
+//! the underlying operation then executes on the real `std` primitive
+//! without contention.
+//!
+//! All atomic orderings are executed as `SeqCst`. That makes the model
+//! *sequentially consistent by construction* — exactly the memory model of
+//! code whose atomics are all `SeqCst` (as rcukit's epoch protocol is), and
+//! an under-approximation for weaker orderings (relaxed-memory effects are
+//! out of scope for this checker).
+
+use crate::sched;
+
+/// Instrumented atomics. Same API shape as `std::sync::atomic`, minus
+/// `const fn new`.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched;
+
+    /// An instrumented memory fence: a scheduler switch point followed by
+    /// the real fence.
+    pub fn fence(order: Ordering) {
+        sched::switch_point();
+        std::sync::atomic::fence(order);
+    }
+
+    macro_rules! instrumented_atomic {
+        ($name:ident, $raw:ty, $prim:ty) => {
+            /// An instrumented atomic: every access is a scheduler switch
+            /// point. All orderings execute as `SeqCst` (see module docs).
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $raw,
+            }
+
+            impl $name {
+                /// Creates a new atomic (not `const`, unlike `std`).
+                pub fn new(v: $prim) -> Self {
+                    Self {
+                        inner: <$raw>::new(v),
+                    }
+                }
+
+                /// Instrumented load (always `SeqCst`).
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    sched::switch_point();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Instrumented store (always `SeqCst`).
+                pub fn store(&self, v: $prim, _order: Ordering) {
+                    sched::switch_point();
+                    self.inner.store(v, Ordering::SeqCst)
+                }
+
+                /// Instrumented swap (always `SeqCst`).
+                pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
+                    sched::switch_point();
+                    self.inner.swap(v, Ordering::SeqCst)
+                }
+
+                /// Instrumented compare-exchange (always `SeqCst`).
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    sched::switch_point();
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Unsynchronized access; no switch point (exclusive access
+                /// cannot race).
+                pub fn get_mut(&mut self) -> &mut $prim {
+                    self.inner.get_mut()
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $prim {
+                    self.inner.into_inner()
+                }
+            }
+        };
+    }
+
+    macro_rules! instrumented_fetch_arith {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                /// Instrumented fetch-add (always `SeqCst`).
+                pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
+                    sched::switch_point();
+                    self.inner.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Instrumented fetch-sub (always `SeqCst`).
+                pub fn fetch_sub(&self, v: $prim, _order: Ordering) -> $prim {
+                    sched::switch_point();
+                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    instrumented_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    instrumented_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    instrumented_fetch_arith!(AtomicU64, u64);
+    instrumented_fetch_arith!(AtomicUsize, usize);
+}
+
+/// An instrumented mutex.
+///
+/// Acquisition is mediated by the scheduler: a thread that finds the lock
+/// held blocks at the *scheduler* level (so the explorer can run the
+/// holder), and the underlying `std` mutex is then always taken without
+/// contention. Outside a model it degrades to a plain `std::sync::Mutex`.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+    /// Scheduler-side lock-word id, assigned on first acquisition within a
+    /// model run and keyed by that run's sequence number: a mutex object
+    /// that outlives one `model` run re-registers with the next run's
+    /// scheduler instead of indexing a stale id into its fresh lock table.
+    /// (Assignment order is deterministic per run, so ids are too.)
+    id: std::sync::Mutex<Option<(u64, usize)>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new instrumented mutex.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::sync::Mutex::new(value),
+            id: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// This mutex's lock-word id in `sched`'s run, (re)assigned if it was
+    /// created outside the run (or in an earlier one).
+    fn run_id(&self, sched: &crate::sched::Scheduler) -> usize {
+        let run = sched::run_seq(sched);
+        let mut slot = self
+            .id
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match *slot {
+            Some((r, id)) if r == run => id,
+            _ => {
+                let id = sched::mutex_id(sched);
+                *slot = Some((run, id));
+                id
+            }
+        }
+    }
+
+    /// Acquires the mutex; see the type docs for semantics.
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        let in_model = sched::with_scheduler(|sched, me| {
+            let id = self.run_id(sched);
+            sched::lock(sched, me, id);
+        })
+        .is_some();
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        Ok(MutexGuard {
+            guard: Some(guard),
+            mutex: self,
+            in_model,
+        })
+    }
+
+    /// Exclusive access without locking.
+    pub fn get_mut(&mut self) -> std::sync::LockResult<&mut T> {
+        Ok(self
+            .inner
+            .get_mut()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()))
+    }
+}
+
+/// RAII guard for [`Mutex`]; releases the scheduler-side lock word on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    mutex: &'a Mutex<T>,
+    in_model: bool,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().unwrap()
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().unwrap()
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Real unlock first, then the scheduler lock word: both happen
+        // while this thread is the only one running, so the order is
+        // invisible to the model — but the real lock must be free before
+        // another thread's (uncontended) `inner.lock()`.
+        self.guard.take();
+        if self.in_model {
+            sched::with_scheduler(|sched, me| {
+                let slot = self
+                    .mutex
+                    .id
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+                if let Some((run, id)) = *slot {
+                    if run == sched::run_seq(sched) {
+                        drop(slot);
+                        sched::unlock(sched, me, id);
+                    }
+                }
+            });
+        }
+    }
+}

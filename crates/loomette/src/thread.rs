@@ -1,0 +1,10 @@
+//! Model-thread spawning, mirroring the `std::thread` API subset that
+//! protocol tests need.
+
+pub use crate::sched::{spawn, JoinHandle};
+
+/// A scheduler switch point, semantically a yield: the explorer may run any
+/// other thread here (or keep running this one — both are explored).
+pub fn yield_now() {
+    crate::sched::yield_now();
+}

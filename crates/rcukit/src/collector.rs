@@ -15,19 +15,33 @@
 //! tag `e`. Once the global epoch reaches `e + `[`GRACE_EPOCHS`]` = e + 2`,
 //! every such reader has unpinned and the garbage may be freed.
 //!
+//! # Sharding
+//!
+//! Registered threads and sealed garbage bags live in per-shard lists
+//! (shard count derived from [`std::thread::available_parallelism`], one
+//! shard per core rounded up to a power of two). Registration assigns each
+//! thread a home shard round-robin; its registry entry and its sealed bags
+//! only ever touch that shard's locks. [`Inner::try_advance`] scans the
+//! shards one lock at a time — there is no global registry lock for
+//! advancing writers to convoy on. Reader pin/unpin takes **no** lock at
+//! all (see [`Guard`](crate::Guard)): the hot path is the thread's own
+//! status word plus a read of the global epoch word.
+//!
 //! [`GRACE_EPOCHS`]: crate::GRACE_EPOCHS
 
 use std::cell::RefCell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
 use std::thread;
 
 use crate::deferred::{Bag, Deferred};
 use crate::guard::Guard;
 use crate::stats::CollectorStats;
+use crate::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize};
+use crate::sync::{Mutex, MutexGuard};
 use crate::GRACE_EPOCHS;
 
 /// Seal a thread-local bag into the global garbage queue once it holds this
@@ -46,6 +60,15 @@ pub(crate) fn unpack(status: u64) -> u64 {
     status >> 1
 }
 
+/// Shard count for a new collector: one per hardware thread, rounded up to
+/// a power of two (cheap index masking), at least one.
+fn default_shards() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+}
+
 /// Per-thread state shared between a [`LocalHandle`], its [`Guard`]s, and the
 /// collector's registry.
 pub(crate) struct LocalState {
@@ -54,13 +77,17 @@ pub(crate) struct LocalState {
     /// Number of live guards for this handle (nesting depth). Only the owning
     /// thread mutates this; the collector never reads it.
     pub(crate) guard_count: AtomicUsize,
-    /// Set when the owning [`LocalHandle`] was dropped while a guard was
+    /// Set when this registration has no owning [`LocalHandle`] (the one-shot
+    /// orphan pin path) or its handle was dropped while an owned guard was
     /// still live; the last guard then unregisters the state.
     pub(crate) orphaned: AtomicBool,
     /// Set when an outermost unpin sealed garbage but skipped the
     /// opportunistic collect because the thread still held other guards;
     /// this handle's next guard-free unpin collects instead.
     pub(crate) collect_pending: AtomicBool,
+    /// Index of the home shard holding this thread's registry entry and
+    /// receiving its sealed bags.
+    pub(crate) shard: usize,
     /// Garbage retired by this thread that has not yet been sealed into the
     /// collector's global queue. Only the owning thread pushes; the lock is
     /// effectively uncontended.
@@ -68,13 +95,33 @@ pub(crate) struct LocalState {
 }
 
 impl LocalState {
-    fn new() -> Self {
+    fn new(shard: usize) -> Self {
         Self {
             status: AtomicU64::new(0),
             guard_count: AtomicUsize::new(0),
             orphaned: AtomicBool::new(false),
             collect_pending: AtomicBool::new(false),
+            shard,
             bag: Mutex::new(Bag::new(0)),
+        }
+    }
+}
+
+/// One registry/garbage shard. A thread's registration and its sealed bags
+/// live entirely in its home shard, so writer-side housekeeping from
+/// different shards never contends.
+struct Shard {
+    /// Threads registered in this shard.
+    registry: Mutex<Vec<Arc<LocalState>>>,
+    /// Sealed bags from this shard's threads awaiting a grace period.
+    garbage: Mutex<Vec<Bag>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            registry: Mutex::new(Vec::new()),
+            garbage: Mutex::new(Vec::new()),
         }
     }
 }
@@ -83,10 +130,10 @@ impl LocalState {
 pub(crate) struct Inner {
     /// The global epoch.
     pub(crate) epoch: AtomicU64,
-    /// Every registered thread's state.
-    registry: Mutex<Vec<Arc<LocalState>>>,
-    /// Sealed bags awaiting a grace period.
-    garbage: Mutex<Vec<Bag>>,
+    /// Per-shard registries and sealed-bag queues.
+    shards: Box<[Shard]>,
+    /// Round-robin cursor assigning home shards to new registrations.
+    next_shard: AtomicUsize,
     /// Total number of successful epoch advances.
     epochs_advanced: AtomicU64,
     /// Total deferred callbacks retired via `defer`/`defer_free`. Units are
@@ -95,6 +142,13 @@ pub(crate) struct Inner {
     pub(crate) retired: AtomicU64,
     /// Total deferred callbacks executed.
     freed: AtomicU64,
+    /// Diagnostic: total registry-lock acquisitions, across all shards.
+    /// Reader pin/unpin must never move this counter — the hot-path
+    /// regression test pins in a loop and asserts it stays flat. Counted
+    /// in debug builds only: one shared counter RMW'd by every shard-lock
+    /// taker would reintroduce exactly the cross-shard cache-line traffic
+    /// the sharding removed (release builds report 0).
+    registry_locks: AtomicU64,
     /// Number of per-thread TLS cache entries (see [`HANDLES`]) currently
     /// holding a handle to this collector. Used by the cache sweep to tell
     /// "alive only because caches hold it" apart from "externally owned":
@@ -104,11 +158,28 @@ pub(crate) struct Inner {
 }
 
 impl Inner {
+    /// Locks one shard's registry, counting the acquisition in debug
+    /// builds (the hot-path regression test asserts reader pins never
+    /// reach here).
+    fn registry(&self, shard: usize) -> MutexGuard<'_, Vec<Arc<LocalState>>> {
+        if cfg!(debug_assertions) {
+            self.registry_locks.fetch_add(1, SeqCst);
+        }
+        self.shards[shard].registry.lock().unwrap()
+    }
+
     /// Attempts one epoch advance. Returns `true` if the global epoch moved.
+    ///
+    /// Scans the shards one registry lock at a time; there is no instant at
+    /// which the whole registry is locked. That is sound because the scan
+    /// only needs a *negative* guarantee per thread: any thread observed
+    /// unpinned or pinned at `e` either stays that way or re-pins through
+    /// the publication protocol (publish status, re-read the epoch), which
+    /// bounds its pinned epoch to at least `e`.
     fn try_advance(&self) -> bool {
         let e = self.epoch.load(SeqCst);
-        {
-            let registry = self.registry.lock().unwrap();
+        for shard in 0..self.shards.len() {
+            let registry = self.registry(shard);
             for local in registry.iter() {
                 let s = local.status.load(SeqCst);
                 if s != 0 && unpack(s) != e {
@@ -128,15 +199,16 @@ impl Inner {
         }
     }
 
-    /// Fires every sealed bag whose grace period has elapsed. Returns the
-    /// number of callbacks executed and whether bags are still queued
-    /// (observed inside the same lock, so no extra acquisition is needed to
-    /// learn it).
+    /// Fires every sealed bag whose grace period has elapsed, across all
+    /// shards. Returns the number of callbacks executed and whether bags
+    /// are still queued (observed inside the shard locks, so no extra
+    /// acquisition is needed to learn it).
     fn reclaim(&self) -> (usize, bool) {
         let e = self.epoch.load(SeqCst);
-        let (ready, remaining) = {
-            let mut garbage = self.garbage.lock().unwrap();
-            let mut ready = Vec::new();
+        let mut ready = Vec::new();
+        let mut remaining = false;
+        for shard in self.shards.iter() {
+            let mut garbage = shard.garbage.lock().unwrap();
             let mut i = 0;
             while i < garbage.len() {
                 if garbage[i].epoch + GRACE_EPOCHS <= e {
@@ -145,8 +217,8 @@ impl Inner {
                     i += 1;
                 }
             }
-            (ready, !garbage.is_empty())
-        };
+            remaining |= !garbage.is_empty();
+        }
         let mut n = 0;
         for bag in ready {
             n += bag.fire();
@@ -155,8 +227,8 @@ impl Inner {
         (n, remaining)
     }
 
-    /// Moves a thread's local bag (if non-empty) into the global queue.
-    /// Returns whether anything was sealed.
+    /// Moves a thread's local bag (if non-empty) into its home shard's
+    /// sealed queue. Returns whether anything was sealed.
     pub(crate) fn seal_bag(&self, local: &LocalState) -> bool {
         let sealed = {
             let mut bag = local.bag.lock().unwrap();
@@ -166,7 +238,11 @@ impl Inner {
             let epoch = bag.epoch;
             mem::replace(&mut *bag, Bag::new(epoch))
         };
-        self.garbage.lock().unwrap().push(sealed);
+        self.shards[local.shard]
+            .garbage
+            .lock()
+            .unwrap()
+            .push(sealed);
         true
     }
 
@@ -204,7 +280,7 @@ impl Inner {
             // at unpin, so `Guard::drop`'s `had_garbage` check alone would
             // never collect it; arm the handle's pending flag.
             local.collect_pending.store(true, SeqCst);
-            garbage = Some(self.garbage.lock().unwrap());
+            garbage = Some(self.shards[local.shard].garbage.lock().unwrap());
         }
         if let Some(bag) = sealed.0 {
             garbage.as_mut().unwrap().push(bag);
@@ -214,11 +290,9 @@ impl Inner {
         }
     }
 
-    /// Removes `local` from the registry (idempotent).
+    /// Removes `local` from its home shard's registry (idempotent).
     pub(crate) fn unregister(&self, local: &Arc<LocalState>) {
-        self.registry
-            .lock()
-            .unwrap()
+        self.registry(local.shard)
             .retain(|l| !Arc::ptr_eq(l, local));
     }
 
@@ -232,15 +306,21 @@ impl Inner {
 
 impl Drop for Inner {
     fn drop(&mut self) {
-        // No handle or guard can be alive here (they hold an `Arc<Inner>`),
-        // so every remaining retirement is safe to execute immediately.
+        // No handle or guard can be alive here: a `LocalHandle` holds an
+        // `Arc<Inner>` (via its `Collector`), and a `Guard` borrows either
+        // a `LocalHandle` or a `Collector` — so every guard's lifetime is
+        // bounded by a live strong reference. With the last strong
+        // reference gone, every remaining retirement is safe to execute
+        // immediately.
         let mut n = 0;
-        for local in self.registry.get_mut().unwrap().drain(..) {
-            let bag = mem::replace(&mut *local.bag.lock().unwrap(), Bag::new(0));
-            n += bag.fire();
-        }
-        for bag in self.garbage.get_mut().unwrap().drain(..) {
-            n += bag.fire();
+        for shard in self.shards.iter_mut() {
+            for local in shard.registry.get_mut().unwrap().drain(..) {
+                let bag = mem::replace(&mut *local.bag.lock().unwrap(), Bag::new(0));
+                n += bag.fire();
+            }
+            for bag in shard.garbage.get_mut().unwrap().drain(..) {
+                n += bag.fire();
+            }
         }
         self.freed.fetch_add(n as u64, SeqCst);
     }
@@ -350,16 +430,29 @@ pub struct Collector {
 }
 
 impl Collector {
-    /// Creates a new collector with no registered threads.
+    /// Creates a new collector with no registered threads. The registry is
+    /// sharded by the machine's available parallelism.
     pub fn new() -> Self {
+        Self::with_shards(default_shards())
+    }
+
+    /// Creates a new collector with an explicit registry shard count
+    /// (rounded up to a power of two; minimum one).
+    ///
+    /// [`new`](Self::new) sizes the registry automatically; this exists for
+    /// tests — model checkers want the smallest state space, and sharding
+    /// tests want a count other than the machine's.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1).next_power_of_two();
         Self {
             inner: Arc::new(Inner {
                 epoch: AtomicU64::new(0),
-                registry: Mutex::new(Vec::new()),
-                garbage: Mutex::new(Vec::new()),
+                shards: (0..shards).map(|_| Shard::new()).collect(),
+                next_shard: AtomicUsize::new(0),
                 epochs_advanced: AtomicU64::new(0),
                 retired: AtomicU64::new(0),
                 freed: AtomicU64::new(0),
+                registry_locks: AtomicU64::new(0),
                 tls_cached: AtomicUsize::new(0),
             }),
         }
@@ -371,16 +464,22 @@ impl Collector {
         Arc::as_ptr(&self.inner) as usize
     }
 
+    /// Creates and registers a fresh per-thread state in its home shard.
+    fn register_state(&self) -> Arc<LocalState> {
+        let shard = self.inner.next_shard.fetch_add(1, SeqCst) & (self.inner.shards.len() - 1);
+        let local = Arc::new(LocalState::new(shard));
+        self.inner.registry(shard).push(local.clone());
+        local
+    }
+
     /// Registers the calling context and returns its [`LocalHandle`].
     ///
-    /// Registration takes the registry lock; it is intended to happen once
-    /// per thread, not once per critical section.
+    /// Registration takes a registry-shard lock; it is intended to happen
+    /// once per thread, not once per critical section.
     pub fn register(&self) -> LocalHandle {
-        let local = Arc::new(LocalState::new());
-        self.inner.registry.lock().unwrap().push(local.clone());
         LocalHandle {
             collector: self.clone(),
-            local,
+            local: self.register_state(),
             _not_sync: PhantomData,
         }
     }
@@ -390,8 +489,10 @@ impl Collector {
     ///
     /// This is the ergonomic entry point for code that does not want to
     /// thread a [`LocalHandle`] around. The cached handle is unregistered
-    /// when the thread exits.
-    pub fn pin(&self) -> Guard {
+    /// when the thread exits. The hot path (cache hit) performs no shared
+    /// atomic read-modify-write: the guard borrows `self` instead of
+    /// cloning the collector handle.
+    pub fn pin(&self) -> Guard<'_> {
         loop {
             let outcome = HANDLES.try_with(|cache| {
                 let mut cache = cache.borrow_mut();
@@ -411,7 +512,7 @@ impl Collector {
                 // not run or evicted nothing (else we returned above), so
                 // the entries vec is unchanged.
                 Ok(if let Some(p) = pos {
-                    cache.entries[p].handle.pin()
+                    Guard::enter_owned(self, cache.entries[p].handle.local.clone())
                 } else {
                     self.register_into(cache)
                 })
@@ -441,13 +542,13 @@ impl Collector {
     /// each critical section with a [`housekeep`](Self::housekeep) call at
     /// a point where no lock is held and no guard is live, or abandoned
     /// collectors cached on the thread are only released at thread exit.
-    pub fn pin_quiet(&self) -> Guard {
+    pub fn pin_quiet(&self) -> Guard<'_> {
         let cached = HANDLES.try_with(|cache| {
             let mut cache = cache.borrow_mut();
             let cache = &mut *cache;
             let id = self.id();
             if let Some(entry) = cache.entries.iter().find(|e| e.id == id) {
-                entry.handle.pin()
+                Guard::enter_owned(self, entry.handle.local.clone())
             } else {
                 self.register_into(cache)
             }
@@ -474,9 +575,9 @@ impl Collector {
 
     /// Registers this thread with the collector and caches the handle.
     /// Shared miss path of [`pin`](Self::pin)/[`pin_quiet`](Self::pin_quiet).
-    fn register_into(&self, cache: &mut HandleCache) -> Guard {
+    fn register_into(&self, cache: &mut HandleCache) -> Guard<'_> {
         let handle = self.register();
-        let guard = handle.pin();
+        let guard = Guard::enter_owned(self, handle.local.clone());
         cache.entries.push(CachedHandle {
             id: self.id(),
             handle,
@@ -492,11 +593,13 @@ impl Collector {
 
     /// One-shot registration for contexts where the TLS cache is being (or
     /// has been) destroyed — a thread-exit path, e.g. a deferred callback
-    /// fired by the cache's own destructor. Dropping the handle with the
-    /// guard live orphans the state, and the guard unregisters it on drop.
-    fn pin_orphan(&self) -> Guard {
-        let handle = self.register();
-        handle.pin()
+    /// fired by the cache's own destructor. The registration is born
+    /// orphaned (it has no [`LocalHandle`]); the guard unregisters it on
+    /// drop.
+    fn pin_orphan(&self) -> Guard<'_> {
+        let local = self.register_state();
+        local.orphaned.store(true, SeqCst);
+        Guard::enter_owned(self, local)
     }
 
     /// Blocks until a full grace period has elapsed: every read-side critical
@@ -534,32 +637,44 @@ impl Collector {
 
     /// A point-in-time snapshot of the collector's counters.
     pub fn stats(&self) -> CollectorStats {
-        let (pending_bags, pending_objects, registered_threads) = {
-            let registry = self.inner.registry.lock().unwrap();
-            let mut bags = 0;
-            let mut objects = 0;
+        let mut pending_bags = 0;
+        let mut pending_objects = 0;
+        let mut registered_threads = 0;
+        for shard in 0..self.inner.shards.len() {
+            let registry = self.inner.registry(shard);
+            registered_threads += registry.len();
             for local in registry.iter() {
                 let bag = local.bag.lock().unwrap();
                 if !bag.is_empty() {
-                    bags += 1;
-                    objects += bag.len();
+                    pending_bags += 1;
+                    pending_objects += bag.len();
                 }
             }
-            (bags, objects, registry.len())
-        };
-        let (gbags, gobjects) = {
-            let garbage = self.inner.garbage.lock().unwrap();
-            (garbage.len(), garbage.iter().map(Bag::len).sum::<usize>())
-        };
+            drop(registry);
+            let garbage = self.inner.shards[shard].garbage.lock().unwrap();
+            pending_bags += garbage.len();
+            pending_objects += garbage.iter().map(Bag::len).sum::<usize>();
+        }
         CollectorStats {
             global_epoch: self.inner.epoch.load(SeqCst),
             epochs_advanced: self.inner.epochs_advanced.load(SeqCst),
             objects_retired: self.inner.retired.load(SeqCst),
             objects_freed: self.inner.freed.load(SeqCst),
-            pending_bags: pending_bags + gbags,
-            pending_objects: pending_objects + gobjects,
+            pending_bags,
+            pending_objects,
             registered_threads,
+            registry_shards: self.inner.shards.len(),
+            registry_locks: self.inner.registry_locks.load(SeqCst),
         }
+    }
+
+    /// Number of strong references to the collector's shared state —
+    /// including this handle — i.e. live `Collector` clones plus
+    /// [`LocalHandle`]s. Diagnostic: the hot-path regression test asserts
+    /// that pinning does not move it.
+    #[doc(hidden)]
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
     }
 }
 
@@ -611,11 +726,26 @@ pub struct LocalHandle {
 impl LocalHandle {
     /// Enters a read-side critical section (the paper's `rcu_read_begin`).
     ///
+    /// The returned [`Guard`] borrows this handle, so it cannot outlive it:
+    ///
+    /// ```compile_fail,E0505
+    /// use rcukit::Collector;
+    ///
+    /// let collector = Collector::new();
+    /// let handle = collector.register();
+    /// let guard = handle.pin();
+    /// drop(handle); // ERROR: `handle` is still borrowed by `guard`
+    /// drop(guard);
+    /// ```
+    ///
     /// Pinning is re-entrant: nested guards share the outermost guard's
-    /// epoch. Only thread-local state and the global epoch word are touched,
-    /// so readers never contend on a shared cache line.
-    pub fn pin(&self) -> Guard {
-        Guard::enter(&self.collector, &self.local)
+    /// epoch. The pin performs **no** shared atomic read-modify-write and
+    /// takes no lock — it touches the thread's own status word (a swap on
+    /// an owner-written cache line) and *reads* the global epoch word — so
+    /// readers never contend with each other, however many cores are
+    /// faulting at once.
+    pub fn pin(&self) -> Guard<'_> {
+        Guard::enter_borrowed(&self.collector, &self.local)
     }
 
     /// Whether this handle currently has a live guard.
@@ -635,9 +765,12 @@ impl Drop for LocalHandle {
             self.collector.inner.seal_bag(&self.local);
             self.collector.inner.unregister(&self.local);
         } else {
-            // A guard outlives its handle: mark the state orphaned so the
-            // last guard unregisters it, then re-check in case that guard
-            // dropped concurrently (the handle may live on another thread).
+            // Borrow-based guards cannot outlive the handle, but guards
+            // from the TLS-cached `Collector::pin` path hold the state by
+            // `Arc` and can: when thread-exit TLS destruction drops the
+            // cached handle under a live guard stored elsewhere in TLS,
+            // mark the state orphaned so the last guard unregisters it,
+            // then re-check in case that guard dropped concurrently.
             self.local.orphaned.store(true, SeqCst);
             if self.local.guard_count.load(SeqCst) == 0 {
                 self.collector.inner.seal_bag(&self.local);
@@ -697,17 +830,57 @@ mod tests {
         assert_eq!(c.stats().registered_threads, 0);
     }
 
+    /// Registrations spread across every shard, epoch advance scans them
+    /// all (a pinned thread in any shard blocks it), and unregistration
+    /// finds the right shard.
     #[test]
-    fn orphaned_guard_unregisters_on_drop() {
-        let c = Collector::new();
-        let h = c.register();
-        let g = h.pin();
-        drop(h);
-        // Handle gone but guard live: still registered (it must keep
-        // blocking the epoch).
-        assert_eq!(c.stats().registered_threads, 1);
+    fn sharded_registry_scans_every_shard() {
+        let c = Collector::with_shards(4);
+        assert_eq!(c.stats().registry_shards, 4);
+        // Round-robin: eight handles, two per shard.
+        let handles: Vec<_> = (0..8).map(|_| c.register()).collect();
+        assert_eq!(c.stats().registered_threads, 8);
+        // Pin the handle that landed in the *last* shard; the advance scan
+        // must still see it.
+        let g = handles[3].pin();
+        let pinned_at = g.epoch();
+        for _ in 0..10 {
+            c.collect();
+        }
+        assert!(c.global_epoch() <= pinned_at + 1);
         drop(g);
+        c.synchronize();
+        assert!(c.global_epoch() >= pinned_at + GRACE_EPOCHS);
+        drop(handles);
         assert_eq!(c.stats().registered_threads, 0);
+    }
+
+    /// Garbage sealed into different shards' queues is all reclaimed.
+    #[test]
+    fn garbage_from_every_shard_is_reclaimed() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let c = Collector::with_shards(4);
+        let handles: Vec<_> = (0..4).map(|_| c.register()).collect();
+        for h in &handles {
+            let g = h.pin();
+            let f = fired.clone();
+            g.defer(move || {
+                f.fetch_add(1, SeqCst);
+            });
+        }
+        c.synchronize();
+        assert_eq!(fired.load(SeqCst), 4);
+        let s = c.stats();
+        assert_eq!(s.objects_retired, 4);
+        assert_eq!(s.objects_freed, 4);
+        assert_eq!(s.pending_bags, 0);
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(Collector::with_shards(0).stats().registry_shards, 1);
+        assert_eq!(Collector::with_shards(3).stats().registry_shards, 4);
+        assert_eq!(Collector::with_shards(8).stats().registry_shards, 8);
     }
 
     #[test]

@@ -18,7 +18,11 @@ pub fn default_collector() -> &'static Collector {
 
 /// Pins the current thread against the default collector, registering the
 /// thread on first use (the paper's `rcu_read_begin`).
-pub fn pin() -> Guard {
+///
+/// The guard borrows the (static) default collector, so its lifetime is
+/// `'static` — unlike a guard from
+/// [`LocalHandle::pin`](crate::LocalHandle::pin), which borrows its handle.
+pub fn pin() -> Guard<'static> {
     default_collector().pin()
 }
 

@@ -9,8 +9,11 @@
 //!
 //! * Readers *pin* the current epoch before touching shared pointers and
 //!   *unpin* when done ([`LocalHandle::pin`], the paper's `rcu_read_begin` /
-//!   `rcu_read_end`). Pinning touches only thread-local state, so page-fault
-//!   style readers never contend on a shared cache line.
+//!   `rcu_read_end`). The guard **borrows** its handle (`Guard<'_>`), so a
+//!   pin performs zero shared atomic read-modify-writes and takes no lock:
+//!   it is a swap on the thread's own status word plus a read of the global
+//!   epoch. Page-fault-style readers never contend on a shared cache line,
+//!   however many cores fault at once.
 //! * Writers retire garbage with [`Guard::defer`] or [`Guard::defer_free`]
 //!   (the paper's `rcu_free`). Retired objects are freed only after a *grace
 //!   period*: two epoch advances, which guarantee that every reader that
@@ -87,9 +90,11 @@
 //!    collector's global queue when it grows past a threshold, when the
 //!    epoch tag changes, at the outermost unpin, or at [`Guard::flush`].
 //! 3. **Advance.** `try_advance` (run by `collect`, `synchronize`, and
-//!    opportunistically at guard-free unpins) scans the registry and moves
-//!    the global epoch from `E` to `E + 1` only when every pinned thread's
-//!    recorded epoch equals `E`.
+//!    opportunistically at guard-free unpins) scans the registry — sharded
+//!    per core, one shard lock at a time, so concurrent advancers and
+//!    registrations in other shards never convoy on a global lock — and
+//!    moves the global epoch from `E` to `E + 1` only when every pinned
+//!    thread's recorded epoch equals `E`.
 //! 4. **Reclaim.** A sealed bag tagged `e` fires once the global epoch
 //!    reaches `e + `[`GRACE_EPOCHS`]: every reader that could have observed
 //!    its contents pinned no later than the retirement, so two advances
@@ -129,9 +134,31 @@
 //!   period can never elapse while the executing thread itself holds a pin
 //!   — the epoch cannot advance past it.
 //!
-//! Registry scans, bag seals, and statistics ride on mutexes and `SeqCst`
-//! atomics; none of them are on the reader hot path, which touches only
-//! the thread's own status word and the global epoch word.
+//! Registry scans, bag seals, and statistics ride on per-shard mutexes and
+//! `SeqCst` atomics; none of them are on the reader hot path, which touches
+//! only the thread's own status word and the global epoch word. The
+//! hot-path regression test pins in a loop and asserts both that the
+//! collector's `Arc` strong count stays flat (no shared refcount RMW) and
+//! that [`CollectorStats::registry_locks`] does not move (no lock).
+//!
+//! # Testing tiers
+//!
+//! Three tiers check the protocol, because stress loops alone miss the
+//! schedules that matter:
+//!
+//! * **Tier-1 stress** (`cargo test`): randomized differential tests plus
+//!   real-thread mirrors of every model scenario (`tests/model.rs`).
+//! * **Model checking** (`RUSTFLAGS="--cfg loom" cargo test -p rcukit
+//!   --test loom --release`): the crate's sync primitives (the internal
+//!   `sync` facade module) swap to the in-tree `loomette` checker, and
+//!   `tests/loom.rs` explores every schedule of the core
+//!   scenarios — pin-publication vs. advance, retire-before-publish,
+//!   the guard-free callback gate — within a preemption bound, including
+//!   a meta-test that re-seeds a known use-after-free and requires the
+//!   checker to find it.
+//! * **UB detection** (`cargo +nightly miri test -p rcukit -p bonsai`):
+//!   the unsafe reclamation paths run under Miri with `cfg(miri)`-scaled
+//!   iteration counts.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -143,6 +170,7 @@ mod global_default;
 mod guard;
 pub mod qsbr;
 mod stats;
+mod sync;
 
 pub use collector::{Collector, LocalHandle};
 pub use global_default::{default_collector, pin, synchronize};

@@ -15,11 +15,13 @@
 
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
 use std::thread;
 
 use crate::deferred::Deferred;
+use crate::sync::atomic::{fence, AtomicBool, AtomicU64};
+use crate::sync::Mutex;
 
 /// Per-thread QSBR state.
 struct QsbrLocal {

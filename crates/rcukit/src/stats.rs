@@ -28,6 +28,17 @@ pub struct CollectorStats {
     pub pending_objects: usize,
     /// Threads currently registered with the collector.
     pub registered_threads: usize,
+    /// Number of registry shards (derived from the machine's available
+    /// parallelism unless overridden by `Collector::with_shards`).
+    pub registry_shards: usize,
+    /// Diagnostic: total registry-lock acquisitions across all shards since
+    /// creation (registration, unregistration, epoch-advance scans, and
+    /// `stats` itself — one per shard per call). Counted in **debug builds
+    /// only** (always 0 in release — a shared counter on the lock path
+    /// would reintroduce the cross-shard cache-line traffic the sharding
+    /// removed). Reader pin/unpin never moves it; the hot-path regression
+    /// test asserts exactly that.
+    pub registry_locks: u64,
 }
 
 impl CollectorStats {
@@ -62,6 +73,12 @@ mod tests {
         assert_eq!(after.pending_bags, 0);
         assert!(after.epochs_advanced >= 2);
         assert_eq!(after.registered_threads, 1);
+        assert!(after.registry_shards >= 1);
+        // Registration, advance scans, and the stats calls themselves all
+        // take registry locks; the (debug-only) counter must be moving.
+        if cfg!(debug_assertions) {
+            assert!(after.registry_locks > before.registry_locks);
+        }
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Synchronization-primitive facade: `std` in normal builds, the
+//! [`loomette`] model checker's instrumented types under `--cfg loom`.
+//!
+//! Everything concurrency-relevant in this crate goes through this module,
+//! so the model-checking test tier (`tests/loom.rs`, built with
+//! `RUSTFLAGS="--cfg loom"`) explores real collector code, not a
+//! transliteration. The shimmed surface is exactly what the epoch protocol
+//! touches: atomics, fences, and mutexes. `Arc`, `thread_local!`, and
+//! `Cell` stay `std` — they are either thread-local or internally
+//! synchronized in ways the scheduler does not need to interleave.
+//!
+//! [`loomette`]: https://docs.rs/loom (API-compatible subset, vendored
+//! in-tree as `crates/loomette` because this build environment is offline)
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub(crate) mod atomic {
+    pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize};
+}
+
+#[cfg(loom)]
+pub(crate) use loomette::sync::{Mutex, MutexGuard};
+
+#[cfg(loom)]
+pub(crate) mod atomic {
+    pub(crate) use loomette::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize};
+}

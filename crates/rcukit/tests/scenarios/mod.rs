@@ -1,0 +1,228 @@
+//! Protocol scenarios shared by the model-checking tier (`tests/loom.rs`,
+//! built with `RUSTFLAGS="--cfg loom"`) and its plain-`std` stress mirror
+//! (`tests/model.rs`), so tier-1 always covers the same code paths the
+//! model checker explores exhaustively.
+//!
+//! Each scenario is one deterministic execution of a small two-thread
+//! protocol interaction against the real `rcukit` collector:
+//!
+//! * under loom, `loomette::model` replays it under every schedule within
+//!   the preemption bound, with every atomic and mutex a switch point;
+//! * under `std`, the mirror test loops it with real threads, relying on
+//!   scheduler noise (the classic stress test).
+//!
+//! Scenarios intentionally avoid `Collector::synchronize` (an unbounded
+//! spin the schedule explorer cannot terminate) and the TLS-cached
+//! `Collector::pin` (whose sweep machinery would blow up the state space);
+//! reclamation is driven by bounded `collect` calls, and pins go through
+//! explicitly registered handles — the same hot path the redesign made
+//! lock- and RMW-free.
+
+#[cfg(loom)]
+use loomette::sync::atomic::{AtomicBool, AtomicUsize};
+#[cfg(loom)]
+use loomette::thread::spawn;
+#[cfg(not(loom))]
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+#[cfg(not(loom))]
+use std::thread::spawn;
+
+use std::cell::Cell;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+
+use rcukit::Collector;
+
+/// Pin publication vs. epoch advance: a reader that observed a slot under
+/// a pinned guard must never see that slot's retirement callback fire
+/// while still pinned — in *any* schedule of reader pin, writer unlink +
+/// retire, and an epoch-advance driver.
+///
+/// This is the protocol half the status-word publish loop (swap, re-read
+/// the epoch until stable) exists for: without it, a reader could publish
+/// a stale epoch while the advance scan misses it, the grace period
+/// completes early, and `freed[idx]` flips under the reader's feet.
+pub fn pin_publication() {
+    let c = Collector::with_shards(1);
+    // Two "published objects"; `slot` names the currently linked one and
+    // `freed[i]` is object i's has-been-reclaimed canary.
+    let slot = Arc::new(AtomicUsize::new(0));
+    let freed = Arc::new([AtomicBool::new(false), AtomicBool::new(false)]);
+
+    let reader = {
+        let c = c.clone();
+        let slot = Arc::clone(&slot);
+        let freed = Arc::clone(&freed);
+        spawn(move || {
+            let h = c.register();
+            let g = h.pin();
+            // "Dereference": load the currently published slot index...
+            let idx = slot.load(SeqCst);
+            // ...and observe the object while still pinned. If the epoch
+            // protocol is right, its grace period cannot have elapsed.
+            assert!(
+                !freed[idx].load(SeqCst),
+                "reader observed a retired slot under a pinned guard"
+            );
+            drop(g);
+        })
+    };
+
+    // Writer: unlink object 0 by publishing 1, then retire 0.
+    let h = c.register();
+    slot.store(1, SeqCst);
+    {
+        let g = h.pin();
+        let freed = Arc::clone(&freed);
+        g.defer(move || freed[0].store(true, SeqCst));
+    }
+    // Epoch-advance driver racing the reader's critical section.
+    for _ in 0..2 {
+        c.collect();
+    }
+    reader.join().unwrap();
+    // With every guard dropped, a bounded drain must reclaim: two advances
+    // past the retirement tag plus one reclaim pass.
+    for _ in 0..3 {
+        c.collect();
+    }
+    assert!(
+        freed[0].load(SeqCst),
+        "retirement never fired after a full drain"
+    );
+    assert!(!freed[1].load(SeqCst), "live object was reclaimed");
+}
+
+/// Retire-before-publish ordering, driven purely by writer unpins: the
+/// writer retires only *after* the unlink store, and its outermost unpins
+/// (not an explicit driver) run the opportunistic collect. A pinned reader
+/// must still never catch a retired slot, and both retirements must drain
+/// eventually.
+///
+/// This exercises the seal-at-unpin path, `collect_pending` re-arming, and
+/// the stale-bag seal in `defer` when the second retirement samples a
+/// newer epoch tag.
+pub fn retire_publish_unpin_collect() {
+    let c = Collector::with_shards(1);
+    let slot = Arc::new(AtomicUsize::new(0));
+    let freed = Arc::new([
+        AtomicBool::new(false),
+        AtomicBool::new(false),
+        AtomicBool::new(false),
+    ]);
+
+    let reader = {
+        let c = c.clone();
+        let slot = Arc::clone(&slot);
+        let freed = Arc::clone(&freed);
+        spawn(move || {
+            let h = c.register();
+            for _ in 0..2 {
+                let g = h.pin();
+                let idx = slot.load(SeqCst);
+                assert!(
+                    !freed[idx].load(SeqCst),
+                    "reader observed a retired slot under a pinned guard"
+                );
+                drop(g);
+            }
+        })
+    };
+
+    let h = c.register();
+    // Two publish+retire rounds: 0 -> 1 -> 2. Each unpin seals the bag and
+    // opportunistically collects, so the epoch moves without any explicit
+    // driver thread.
+    for old in 0..2usize {
+        slot.store(old + 1, SeqCst);
+        let g = h.pin();
+        let freed = Arc::clone(&freed);
+        g.defer(move || freed[old].store(true, SeqCst));
+        drop(g);
+    }
+    reader.join().unwrap();
+    // Bounded drain: everything retired must reclaim once guards are gone.
+    for _ in 0..4 {
+        c.collect();
+    }
+    let s = c.stats();
+    assert_eq!(s.objects_retired, 2);
+    assert_eq!(
+        s.objects_freed, 2,
+        "writer-unpin collects never drained the queue"
+    );
+    assert!(!freed[2].load(SeqCst), "live object was reclaimed");
+}
+
+thread_local! {
+    /// Scenario-maintained count of guards held by the current thread;
+    /// every pin site below brackets its guard with inc/dec. The gate
+    /// scenario's callback asserts it is zero — i.e. deferred callbacks
+    /// only ever run on threads holding no guard.
+    static SCENARIO_GUARDS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// The guard-free callback gate: a deferred callback must never execute on
+/// a thread that is inside a read-side critical section (of *any*
+/// collector), in any schedule — otherwise a callback that waits for a
+/// grace period would deadlock under the executing thread's own pin.
+///
+/// The main thread holds a guard on collector `a` across an unpin of
+/// collector `b` that has garbage queued (the exact shape that forces the
+/// gate to skip and re-arm via `collect_pending`), while a second thread
+/// drives `b.collect()` concurrently.
+pub fn guard_free_callback_gate() {
+    let a = Collector::with_shards(1);
+    let b = Collector::with_shards(1);
+    let fired = Arc::new(AtomicUsize::new(0));
+
+    let driver = {
+        let b = b.clone();
+        spawn(move || {
+            // Runs the callback in *this* thread's context if ready; this
+            // thread holds no guard, so the assertion inside it holds.
+            b.collect();
+        })
+    };
+
+    let ha = a.register();
+    let hb = b.register();
+    let ga = ha.pin();
+    SCENARIO_GUARDS.with(|g| g.set(g.get() + 1));
+    {
+        let gb = hb.pin();
+        SCENARIO_GUARDS.with(|g| g.set(g.get() + 1));
+        let fired = Arc::clone(&fired);
+        gb.defer(move || {
+            SCENARIO_GUARDS.with(|g| {
+                assert_eq!(
+                    g.get(),
+                    0,
+                    "deferred callback ran on a thread holding a guard"
+                );
+            });
+            fired.fetch_add(1, SeqCst);
+        });
+        SCENARIO_GUARDS.with(|g| g.set(g.get() - 1));
+        drop(gb);
+        // b's unpin sealed the bag but must have skipped the collect:
+        // this thread still holds `ga`.
+    }
+    // Guard-free unpins of b retry the pending collect; while `ga` is
+    // held they must keep skipping.
+    {
+        let gb = hb.pin();
+        SCENARIO_GUARDS.with(|g| g.set(g.get() + 1));
+        SCENARIO_GUARDS.with(|g| g.set(g.get() - 1));
+        drop(gb);
+    }
+    SCENARIO_GUARDS.with(|g| g.set(g.get() - 1));
+    drop(ga);
+    // Now guard-free: unpin-driven and explicit collects may fire the
+    // callback at will. Drain deterministically.
+    driver.join().unwrap();
+    for _ in 0..4 {
+        b.collect();
+    }
+    assert_eq!(fired.load(SeqCst), 1, "callback never fired after drain");
+}
