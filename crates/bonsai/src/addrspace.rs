@@ -19,11 +19,26 @@ use crate::range_map::RangeMap;
 /// mutations.
 ///
 /// Implementations must be shareable across threads; the benchmark drives
-/// one instance from many faulting threads concurrently.
+/// one instance from many faulting **and mutating** threads concurrently —
+/// since the range-locked writer rework, disjoint-span mutations on the
+/// [`RangeMap`] backend genuinely run in parallel.
 ///
 /// Region semantics follow [`RangeMap`]: ranges are half-open
-/// `[start, end)`, `map` refuses overlaps, and `unmap` removes the region
-/// whose start is exactly `start`.
+/// `[start, end)`, `map` refuses overlaps, `unmap` removes the region
+/// whose start is exactly `start`, and [`unmap_range`](Self::unmap_range)
+/// clears a whole span, splitting and truncating straddling regions.
+///
+/// # Snapshot semantics under concurrent writers
+///
+/// Every method linearizes per call, but values derived from multiple
+/// reads — [`regions`](Self::regions) most visibly — are *snapshots*: by
+/// the time the caller inspects the result, concurrent writers may have
+/// changed the mapping set. Likewise a composite mutation (`unmap_range`
+/// splitting a region) is atomic against other writers but may expose
+/// intermediate states to concurrent `fault`s, exactly as a kernel RCU VMA
+/// walk can observe a partially applied `munmap`. Benchmark invariants are
+/// therefore asserted only at quiescent points (after joins / a final
+/// `synchronize`), never mid-replay.
 pub trait AddressSpace: Send + Sync {
     /// Serves a page fault at `addr`: returns `true` if a mapped region
     /// contains the address (the fault would succeed), `false` if it would
@@ -37,6 +52,12 @@ pub trait AddressSpace: Send + Sync {
     /// Unmaps the region starting exactly at `start`, returning whether a
     /// region was removed.
     fn unmap(&self, start: u64) -> bool;
+
+    /// Unmaps every byte in `[start, end)`, removing regions inside the
+    /// span and splitting/truncating regions straddling its edges. Returns
+    /// the number of regions removed or truncated (`0`: nothing mapped
+    /// there).
+    fn unmap_range(&self, start: u64, end: u64) -> usize;
 
     /// Number of currently mapped regions.
     fn regions(&self) -> usize;
@@ -56,6 +77,10 @@ where
 
     fn unmap(&self, start: u64) -> bool {
         RangeMap::unmap(self, start).is_some()
+    }
+
+    fn unmap_range(&self, start: u64, end: u64) -> usize {
+        RangeMap::unmap_range(self, start, end)
     }
 
     fn regions(&self) -> usize {
@@ -79,5 +104,10 @@ mod tests {
         assert!(space.unmap(0x1000));
         assert!(!space.unmap(0x1000));
         assert!(!space.fault(0x2fff));
+        // The multi-region span path is reachable through the trait too.
+        assert!(space.map(0x1000, 0x3000));
+        assert_eq!(space.unmap_range(0x2000, 0x4000), 1);
+        assert!(space.fault(0x1fff));
+        assert!(!space.fault(0x2000));
     }
 }

@@ -12,13 +12,22 @@
 //!
 //! * [`BonsaiTree`] — the ordered map itself: `get`/`get_le`/`get_ge`
 //!   under a [`Guard`](rcukit::Guard), `insert`/`remove` behind an internal
-//!   single-writer lock.
+//!   single-writer lock; the commit itself is a CAS-with-retry, which is
+//!   what lets `RangeMap` run several writers at once.
 //! * [`RangeMap`] — a VMA-style interval map over the tree, modeling the
 //!   paper's page-fault workload: `lookup(addr)` finds the mapped region
-//!   containing an address without taking any lock.
+//!   containing an address without taking any lock, while mutations take
+//!   a *range lock* on exactly the byte span they touch — disjoint
+//!   `map`/`unmap`/`unmap_range` calls from different threads commit in
+//!   parallel, only overlapping spans serialize.
 //! * [`AddressSpace`] — the backend abstraction the benchmark harness
 //!   drives, so the same fault/map/unmap trace runs against [`RangeMap`]
 //!   and against a lock-serialized baseline for the paper's comparison.
+//!
+//! The full concurrency design — epoch lifecycle, the writer session
+//! ordering invariant, the range-lock coverage rule and its
+//! deadlock-freedom argument — is written up once, in prose, in
+//! `docs/CONCURRENCY.md` at the repository root.
 //!
 //! ```
 //! use bonsai::RangeMap;
@@ -38,7 +47,9 @@
 #![warn(unsafe_op_in_unsafe_fn)]
 
 mod addrspace;
+mod range_lock;
 mod range_map;
+mod sync;
 mod tree;
 
 pub use addrspace::AddressSpace;

@@ -1,18 +1,49 @@
-//! A VMA-style interval map over the Bonsai tree.
+//! A VMA-style interval map over the Bonsai tree, with range-locked
+//! parallel writers.
 //!
 //! Models the paper's address-space workload: page faults translate an
 //! address to the mapped region containing it (`lookup`), concurrently with
-//! `mmap`/`munmap`-style mutations (`map`/`unmap`). Lookups are lock-free
-//! reads of the underlying [`BonsaiTree`]; mutations serialize on the map's
-//! writer lock so the overlap check and the tree update are atomic with
-//! respect to other writers.
+//! `mmap`/`munmap`-style mutations (`map`/`unmap`/`unmap_range`). Lookups
+//! are lock-free reads of the underlying [`BonsaiTree`]; mutations acquire
+//! a [`RangeLocks`](crate::range_lock) span covering exactly the bytes they
+//! decide over and mutate, so **disjoint mutations run in parallel** and
+//! only overlapping spans serialize — the finer-grained successor to the
+//! paper's single per-address-space writer lock.
+//!
+//! # The lock-coverage invariant
+//!
+//! Every mutation holds range locks covering (a) every byte of every
+//! region it inserts, (b) every byte of every region it removes or
+//! replaces, and (c) every byte whose coverage status its decision depends
+//! on. Since any region overlapping a span `[start, end)` necessarily
+//! covers at least one byte *inside* the span, holding `[start, end)`
+//! freezes the span's coverage: no concurrent writer can create or destroy
+//! coverage of any byte in it. That is exactly what makes `map`'s
+//! check-then-insert atomic against other writers, while the tree-level
+//! CAS commit (see `tree.rs`) keeps concurrent disjoint commits physically
+//! sound. Operations whose affected extent is discovered dynamically
+//! (`unmap` of an unknown-length region, `unmap_range` hitting straddling
+//! regions) use a *widening retry*: if the discovered extent escapes the
+//! held span, release, re-acquire the wider monotonically-grown span, and
+//! revalidate — never extending a held lock, so the no-hold-and-wait
+//! deadlock-freedom argument (`docs/CONCURRENCY.md`) is preserved.
+//!
+//! # What readers observe
+//!
+//! Individual tree updates are atomic (one root CAS each), but a composite
+//! mutation — an `unmap_range` that removes several regions, or a
+//! truncation's remove+reinsert pair — is atomic only with respect to
+//! *writers*. A concurrent lock-free reader may observe intermediate
+//! states (e.g. a region missing the instant before its truncated
+//! remainder is republished), exactly as a kernel RCU VMA walk may observe
+//! a partially applied `munmap`.
 
 use std::fmt;
-use std::sync::Mutex;
 
 use rcukit::{Collector, Guard};
 
-use crate::tree::{with_writer, BonsaiTree, WriterScratch};
+use crate::range_lock::{RangeLocks, RangeWriteGuard};
+use crate::tree::{with_write_session, BonsaiTree, WriterScratch};
 
 /// A mapped region: keyed in the tree by its start address, carrying its
 /// exclusive end and a payload.
@@ -22,21 +53,33 @@ struct Extent<V> {
     value: V,
 }
 
+/// The scratch type pooled by the map's range-lock manager.
+type Scratch<V> = WriterScratch<u64, Extent<V>>;
+
+/// Outcome of one locked attempt at an operation whose affected extent is
+/// discovered under the lock: either it completed, or the extent escaped
+/// the held span and the caller must retry with the wider one.
+enum Attempt<T> {
+    Done(T),
+    Widen(u64, u64),
+}
+
 /// An interval map of non-overlapping half-open ranges `[start, end)`,
 /// backed by a [`BonsaiTree`] keyed on range start.
 ///
-/// The address-space analogy: `map` is `mmap`, `unmap` is `munmap`, and
-/// `lookup` is the page-fault handler's VMA search — the operation the
-/// paper makes scale by running it under RCU instead of a lock.
+/// The address-space analogy: `map` is `mmap`, `unmap` is `munmap`
+/// (exact-start), [`unmap_range`](Self::unmap_range) is a multi-region
+/// `munmap` that splits and truncates straddling regions, and `lookup` is
+/// the page-fault handler's VMA search — the operation the paper makes
+/// scale by running it under RCU instead of a lock. Mutations on disjoint
+/// spans commit in parallel under per-span range locks; see the module
+/// docs and `docs/CONCURRENCY.md`.
 pub struct RangeMap<V> {
     tree: BonsaiTree<u64, Extent<V>>,
-    /// Serializes `map`'s check-then-insert against other mutators and owns
-    /// the map's retired-node scratch buffer. This is the *only* writer
-    /// lock on the mutation path: the tree is updated through its unlocked
-    /// crate-private entry points, so each `map`/`unmap` pays a single lock
-    /// acquisition (the tree's own writer lock — and its scratch — go
-    /// unused).
-    writer: Mutex<WriterScratch<u64, Extent<V>>>,
+    /// The range-lock manager: writer mutual exclusion by byte span, plus
+    /// the pool of per-holder scratch buffers (the map's share of the
+    /// writer-path allocation diet).
+    locks: RangeLocks<Scratch<V>>,
 }
 
 impl<V> RangeMap<V>
@@ -47,7 +90,7 @@ where
     pub fn new(collector: Collector) -> Self {
         Self {
             tree: BonsaiTree::new(collector),
-            writer: Mutex::new(WriterScratch::new()),
+            locks: RangeLocks::new(),
         }
     }
 
@@ -67,11 +110,20 @@ where
         self.tree.pin()
     }
 
-    /// Capacity of the map's retired-node scratch buffer (see
-    /// `BonsaiTree::writer_scratch_capacity`). Test aid.
+    /// Largest capacity among the pooled writer scratch buffers (see
+    /// `BonsaiTree::writer_scratch_capacity`). Test aid; call while no
+    /// writer is active.
     #[doc(hidden)]
     pub fn writer_scratch_capacity(&self) -> usize {
-        self.writer.lock().unwrap().capacity()
+        self.locks.max_pooled(Scratch::<V>::capacity)
+    }
+
+    /// Number of range-lock acquisitions that had to wait for an
+    /// overlapping holder. Test aid: disjoint-writer workloads should keep
+    /// this at (or near) zero, overlapping ones must move it.
+    #[doc(hidden)]
+    pub fn contended_acquires(&self) -> u64 {
+        self.locks.contended_acquires()
     }
 
     /// Number of mapped regions.
@@ -84,17 +136,34 @@ where
         self.tree.is_empty()
     }
 
+    /// Runs `f` holding the range lock on `[lo, hi)` and a pinned guard,
+    /// in the writer session order (lock → pin → mutate → unlock → unpin;
+    /// see `with_write_session`).
+    fn locked<R>(
+        &self,
+        lo: u64,
+        hi: u64,
+        f: impl FnOnce(&Guard<'_>, &mut RangeWriteGuard<'_, Scratch<V>>) -> R,
+    ) -> R {
+        with_write_session(|| self.locks.acquire(lo, hi), self.tree.collector(), f)
+    }
+
     /// Maps `[start, end)` to `value`. Returns `false` (and maps nothing)
     /// if the range overlaps an existing region.
+    ///
+    /// Runs under the range lock for exactly `[start, end)`: concurrent
+    /// `map`s of disjoint ranges proceed in parallel.
     ///
     /// # Panics
     ///
     /// Panics if `start >= end`.
     pub fn map(&self, start: u64, end: u64, value: V) -> bool {
         assert!(start < end, "empty or inverted range {start:#x}..{end:#x}");
-        with_writer(&self.writer, self.tree.collector(), |guard, scratch| {
+        self.locked(start, end, |guard, lock| {
             // Predecessor overlap: a region starting at or before `start`
-            // that has not ended by `start`.
+            // that has not ended by `start`. (Reading the predecessor is
+            // covered by the invariant: its overlap status is a fact about
+            // coverage of byte `start`, which our lock freezes.)
             if let Some((_, extent)) = self.tree.get_le(&start, guard) {
                 if extent.end > start {
                     return false;
@@ -106,24 +175,164 @@ where
                     return false;
                 }
             }
-            // Safety: `with_writer` holds `self.writer`, serializing every
-            // tree mutation (all mutations go through `map`/`unmap`), and
-            // `guard` is pinned against the tree's collector.
-            unsafe {
-                self.tree
-                    .insert_unlocked(start, Extent { end, value }, guard, scratch)
-            };
+            self.tree
+                .insert_with(start, Extent { end, value }, guard, lock.scratch());
             true
         })
     }
 
     /// Unmaps the region that starts exactly at `start`, returning its
     /// payload.
+    ///
+    /// The coverage invariant requires holding the lock over the whole
+    /// region being destroyed, whose end is only discoverable under a
+    /// guard — so the span is sized by an optimistic lock-free read and
+    /// revalidated under the lock, widening and retrying if the region
+    /// grew in between.
     pub fn unmap(&self, start: u64) -> Option<V> {
-        with_writer(&self.writer, self.tree.collector(), |guard, scratch| {
-            // Safety: as in `map`.
-            unsafe { self.tree.remove_unlocked(&start, guard, scratch) }.map(|extent| extent.value)
-        })
+        let mut hi = {
+            let guard = self.pin();
+            match self.tree.get(&start, &guard) {
+                // No region starts here as of this read; a valid (and
+                // lock-free) linearization point for the miss.
+                None => return None,
+                Some(extent) => extent.end,
+            }
+        };
+        loop {
+            let attempt = self.locked(start, hi, |guard, lock| {
+                match self.tree.get(&start, guard) {
+                    None => Attempt::Done(None),
+                    Some(extent) if extent.end <= hi => Attempt::Done(
+                        self.tree
+                            .remove_with(&start, guard, lock.scratch())
+                            .map(|extent| extent.value),
+                    ),
+                    // Remapped longer since the optimistic read: the held
+                    // span no longer covers the region.
+                    Some(extent) => Attempt::Widen(start, extent.end),
+                }
+            });
+            match attempt {
+                Attempt::Done(v) => return v,
+                Attempt::Widen(_, end) => hi = end,
+            }
+        }
+    }
+
+    /// Unmaps every byte in `[start, end)`, kernel-`munmap` style: regions
+    /// fully inside the span are removed; a region straddling `start` is
+    /// truncated; one straddling `end` keeps its tail; a region enclosing
+    /// the whole span is split in two. Returns the number of regions
+    /// removed or truncated (`0` if the span touched nothing).
+    ///
+    /// Atomic with respect to other writers (the lock span is widened to
+    /// cover every affected region); concurrent readers may observe
+    /// intermediate states of the split, as under kernel RCU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`.
+    pub fn unmap_range(&self, start: u64, end: u64) -> usize {
+        assert!(start < end, "empty or inverted range {start:#x}..{end:#x}");
+        let (mut lo, mut hi) = (start, end);
+        loop {
+            let attempt = self.locked(lo, hi, |guard, lock| {
+                // Discovery: the affected regions and the byte extent the
+                // invariant requires us to hold for them.
+                let (mut need_lo, mut need_hi) = (lo, hi);
+                // A region starting strictly before `start` that reaches
+                // into the span.
+                let head = match start
+                    .checked_sub(1)
+                    .and_then(|p| self.tree.get_le(&p, guard))
+                {
+                    Some((&a, extent)) if extent.end > start => {
+                        need_lo = need_lo.min(a);
+                        need_hi = need_hi.max(extent.end);
+                        Some(a)
+                    }
+                    _ => None,
+                };
+                // Regions starting inside `[start, end)`.
+                let mut inside: Vec<u64> = Vec::new();
+                let mut probe = start;
+                while let Some((&s, extent)) = self.tree.get_ge(&probe, guard) {
+                    if s >= end {
+                        break;
+                    }
+                    need_hi = need_hi.max(extent.end);
+                    inside.push(s);
+                    probe = s + 1; // s < end <= u64::MAX: no overflow
+                }
+                if need_lo < lo || need_hi > hi {
+                    return Attempt::Widen(need_lo, need_hi);
+                }
+
+                // Mutation: the held span covers every affected byte, so
+                // no concurrent writer can touch these regions now.
+                let mut affected = 0;
+                if let Some(a) = head {
+                    let old = self
+                        .tree
+                        .remove_with(&a, guard, lock.scratch())
+                        .expect("straddling region vanished under its range lock");
+                    // Keep the head piece [a, start)…
+                    self.tree.insert_with(
+                        a,
+                        Extent {
+                            end: start,
+                            value: old.value.clone(),
+                        },
+                        guard,
+                        lock.scratch(),
+                    );
+                    // …and, if the region enclosed the whole span, the
+                    // tail piece [end, old_end) too.
+                    if old.end > end {
+                        self.tree.insert_with(
+                            end,
+                            Extent {
+                                end: old.end,
+                                value: old.value,
+                            },
+                            guard,
+                            lock.scratch(),
+                        );
+                    }
+                    affected += 1;
+                }
+                for s in inside {
+                    let old = self
+                        .tree
+                        .remove_with(&s, guard, lock.scratch())
+                        .expect("inside region vanished under its range lock");
+                    if old.end > end {
+                        // Tail straddler: keep [end, old_end).
+                        self.tree.insert_with(
+                            end,
+                            Extent {
+                                end: old.end,
+                                value: old.value,
+                            },
+                            guard,
+                            lock.scratch(),
+                        );
+                    }
+                    affected += 1;
+                }
+                Attempt::Done(affected)
+            });
+            match attempt {
+                Attempt::Done(n) => return n,
+                Attempt::Widen(new_lo, new_hi) => {
+                    // Monotone widening: the span only ever grows, so the
+                    // retry loop terminates.
+                    lo = lo.min(new_lo);
+                    hi = hi.max(new_hi);
+                }
+            }
+        }
     }
 
     /// Finds the region containing `addr` (the page-fault path). Lock-free;
@@ -173,6 +382,7 @@ impl<V> fmt::Debug for RangeMap<V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RangeMap")
             .field("tree", &self.tree)
+            .field("locks", &self.locks)
             .finish_non_exhaustive()
     }
 }
@@ -232,8 +442,120 @@ mod tests {
         m.map(0x1000, 0x1000, 1);
     }
 
-    /// The map's own writer scratch (distinct from the tree's, which its
-    /// unlocked entry points bypass) must also stop growing on a
+    #[test]
+    fn unmap_range_removes_inside_regions() {
+        let m: RangeMap<u32> = RangeMap::new(Collector::new());
+        assert!(m.map(0x1000, 0x2000, 1));
+        assert!(m.map(0x3000, 0x4000, 2));
+        assert!(m.map(0x5000, 0x6000, 3));
+        // Span covering the middle two entirely.
+        assert_eq!(m.unmap_range(0x3000, 0x6000), 2);
+        assert_eq!(
+            m.to_vec()
+                .into_iter()
+                .map(|(s, e, _)| (s, e))
+                .collect::<Vec<_>>(),
+            vec![(0x1000, 0x2000)]
+        );
+        // Nothing left in the span: a miss.
+        assert_eq!(m.unmap_range(0x3000, 0x6000), 0);
+    }
+
+    #[test]
+    fn unmap_range_truncates_head_straddler() {
+        let m: RangeMap<u32> = RangeMap::new(Collector::new());
+        assert!(m.map(0x1000, 0x4000, 7));
+        // Span starts inside the region: it is truncated to [0x1000,0x2000).
+        assert_eq!(m.unmap_range(0x2000, 0x5000), 1);
+        assert_eq!(m.to_vec(), vec![(0x1000, 0x2000, 7)]);
+        let g = m.pin();
+        assert_eq!(m.lookup(0x1fff, &g), Some(&7));
+        assert_eq!(m.lookup(0x2000, &g), None);
+    }
+
+    #[test]
+    fn unmap_range_keeps_tail_straddler() {
+        let m: RangeMap<u32> = RangeMap::new(Collector::new());
+        assert!(m.map(0x2000, 0x5000, 7));
+        // Span ends inside the region: the tail [0x3000,0x5000) survives.
+        assert_eq!(m.unmap_range(0x1000, 0x3000), 1);
+        assert_eq!(m.to_vec(), vec![(0x3000, 0x5000, 7)]);
+    }
+
+    #[test]
+    fn unmap_range_splits_enclosing_region() {
+        let m: RangeMap<u32> = RangeMap::new(Collector::new());
+        assert!(m.map(0x1000, 0x6000, 9));
+        // Span strictly inside one region: it splits into two pieces.
+        assert_eq!(m.unmap_range(0x3000, 0x4000), 1);
+        assert_eq!(m.to_vec(), vec![(0x1000, 0x3000, 9), (0x4000, 0x6000, 9)]);
+        // The freed hole is mappable again.
+        assert!(m.map(0x3000, 0x4000, 10));
+    }
+
+    #[test]
+    fn unmap_range_mixed_head_inside_tail() {
+        let m: RangeMap<u32> = RangeMap::new(Collector::new());
+        assert!(m.map(0x1000, 0x3000, 1)); // head straddler
+        assert!(m.map(0x3000, 0x4000, 2)); // fully inside
+        assert!(m.map(0x5000, 0x8000, 3)); // tail straddler
+        assert_eq!(m.unmap_range(0x2000, 0x6000), 3);
+        assert_eq!(m.to_vec(), vec![(0x1000, 0x2000, 1), (0x6000, 0x8000, 3)]);
+    }
+
+    #[test]
+    fn unmap_range_at_address_zero() {
+        let m: RangeMap<u32> = RangeMap::new(Collector::new());
+        assert!(m.map(0x0, 0x2000, 1));
+        assert_eq!(m.unmap_range(0x0, 0x1000), 1);
+        assert_eq!(m.to_vec(), vec![(0x1000, 0x2000, 1)]);
+    }
+
+    /// A `V::clone` panicking mid-rebuild must be contained: the aborted
+    /// attempt's speculative nodes are freed on unwind (`DrainOnUnwind`),
+    /// the pooled scratch returns clean, the tree is unchanged, and later
+    /// writers proceed — the pooled-scratch replacement for the old writer
+    /// mutex's poisoning. Without the drain, a release build's next commit
+    /// would defer the aborted attempt's still-published replaced nodes
+    /// (use-after-free); a debug build would fire the is-drained assert.
+    #[test]
+    fn panicking_value_clone_mid_rebuild_is_contained() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+        static ARMED: AtomicBool = AtomicBool::new(false);
+        #[derive(Debug)]
+        struct Fuse(u64);
+        impl Clone for Fuse {
+            fn clone(&self) -> Self {
+                if ARMED.swap(false, SeqCst) {
+                    panic!("fuse blown mid-rebuild");
+                }
+                Fuse(self.0)
+            }
+        }
+        let m: RangeMap<Fuse> = RangeMap::new(Collector::new());
+        for i in 0..8u64 {
+            assert!(m.map(i * 0x2000, i * 0x2000 + 0x1000, Fuse(i)));
+        }
+        // The next map rebuilds a path through existing nodes, cloning
+        // their values; the armed fuse panics on the first such clone.
+        ARMED.store(true, SeqCst);
+        let blown = catch_unwind(AssertUnwindSafe(|| {
+            m.map(8 * 0x2000, 8 * 0x2000 + 0x1000, Fuse(8))
+        }));
+        assert!(blown.is_err(), "the armed clone must panic mid-rebuild");
+        // No trace of the aborted attempt: unchanged map, working writers,
+        // full reclamation.
+        assert_eq!(m.len(), 8);
+        assert!(m.map(8 * 0x2000, 8 * 0x2000 + 0x1000, Fuse(8)));
+        assert_eq!(m.unmap(0).map(|f| f.0), Some(0));
+        m.collector().synchronize();
+        let s = m.collector().stats();
+        assert_eq!(s.objects_retired, s.objects_freed);
+    }
+
+    /// The map's pooled writer scratches (distinct from the tree's, which
+    /// the range-locked entry points bypass) must stop growing on a
     /// steady-state map/unmap churn — the `RangeMap` half of the
     /// writer-path allocation diet.
     #[test]

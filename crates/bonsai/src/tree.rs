@@ -7,8 +7,9 @@
 //! updates). Every node is immutable after publication: an update clones the
 //! key/value pairs along the root-to-site path into freshly allocated nodes,
 //! rebalancing copy-on-write, and finally swings the root pointer with a
-//! release store. Only *after* that store are the replaced nodes retired to
-//! the tree's [`Collector`], batched into a single [`Guard::defer`]red
+//! compare-and-swap against the snapshot it rebuilt from. Only *after* a
+//! successful publication are the replaced nodes retired to the tree's
+//! [`Collector`], batched into a single [`Guard::defer`]red
 //! [`RetiredNodes`] free — retiring earlier would let a reader pin after
 //! the retirement yet still reach the nodes through the still-published old
 //! root. Retired nodes are reclaimed only after a grace period, so
@@ -22,15 +23,28 @@
 //!   immutable nodes.
 //! * Updates ([`insert`](BonsaiTree::insert),
 //!   [`remove`](BonsaiTree::remove)) serialize on an internal writer mutex,
-//!   mirroring the paper's single-writer address-space lock.
+//!   mirroring the paper's single-writer address-space lock. The *commit*
+//!   itself, though, is a CAS-with-retry ([`BonsaiTree::insert_with`] /
+//!   [`BonsaiTree::remove_with`]), so crate-internal callers that provide
+//!   their own finer-grained serialization — `RangeMap`'s range locks —
+//!   may run several writers concurrently: a failed CAS frees the
+//!   never-published speculative path and rebuilds from the new root.
+//!   ABA on the root pointer is impossible because a writer holds a pinned
+//!   guard across the load→CAS window: the snapshot root it read cannot be
+//!   freed (let alone reallocated) until that guard drops, so the CAS
+//!   succeeding proves the root truly never changed. See
+//!   `docs/CONCURRENCY.md` at the repo root for the full protocol
+//!   walkthrough.
 
 use std::cmp::Ordering as Cmp;
 use std::fmt;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::Ordering;
 
 use rcukit::{Collector, Guard};
+
+use crate::sync::atomic::{AtomicPtr, AtomicUsize};
+use crate::sync::Mutex;
 
 /// Weight-balance factor: a subtree may be at most `DELTA` times heavier
 /// than its sibling.
@@ -76,30 +90,49 @@ impl<K, V> Drop for RetiredNodes<K, V> {
     }
 }
 
-/// Writer-owned scratch state, living *inside* the writer mutex so it is
-/// only reachable with the lock held.
+/// Writer-owned scratch state, only reachable while holding a writer lock
+/// (the tree's internal mutex, or one of `RangeMap`'s range locks, whose
+/// manager pools one scratch per concurrently held lock).
 ///
-/// The retired-node buffer is the allocation-diet fix: an update collects
-/// its replaced path in here (amortized zero growth once warm — capacity
-/// persists across updates), then ships an exact-size [`RetiredNodes`]
-/// batch to the collector and clears the buffer. Without it, every update
-/// paid a fresh `Vec` plus its doubling regrowth on top of the O(log n)
-/// node boxes.
+/// The two buffers are the allocation-diet fix *and* the CAS-retry
+/// bookkeeping:
+///
+/// * `retired` collects the published nodes an update replaces. On a
+///   successful commit they ship as one exact-size [`RetiredNodes`] batch
+///   to the collector ([`Self::commit`]); on a failed CAS they are still
+///   published and are simply forgotten.
+/// * `fresh` records every node the update allocated. On success the new
+///   path is published and the list is discarded; on a failed CAS nothing
+///   in it was ever visible to any reader, so [`Self::discard`] frees it
+///   immediately — no grace period needed.
+///
+/// Capacity persists across updates (amortized zero growth once warm), so
+/// steady-state update cost is the O(log n) node boxes plus one exact-size
+/// batch box.
 pub(crate) struct WriterScratch<K, V> {
     retired: Vec<*mut Node<K, V>>,
+    fresh: Vec<*mut Node<K, V>>,
 }
 
-// Safety: the buffer is drained before the writer lock is released (every
-// update ships its contents into a `RetiredNodes` batch and clears it), so
-// a `WriterScratch` observed outside a critical section never carries
-// pointers; moving the empty buffer across threads is trivially sound, and
-// inside a critical section it is confined to the lock-holding thread.
+// Safety: both buffers are drained before the writer lock is released
+// (every update either commits — shipping `retired` into a `RetiredNodes`
+// batch and clearing `fresh` — or discards), so a `WriterScratch` observed
+// outside a critical section never carries pointers; moving the empty
+// buffers across threads is trivially sound, and inside a critical section
+// the scratch is confined to the lock-holding thread.
 unsafe impl<K: Send, V: Send> Send for WriterScratch<K, V> {}
+
+impl<K, V> Default for WriterScratch<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 impl<K, V> WriterScratch<K, V> {
     pub(crate) fn new() -> Self {
         Self {
             retired: Vec::new(),
+            fresh: Vec::new(),
         }
     }
 
@@ -109,53 +142,133 @@ impl<K, V> WriterScratch<K, V> {
     pub(crate) fn capacity(&self) -> usize {
         self.retired.capacity()
     }
+
+    /// Whether both buffers are empty — every update must start and end in
+    /// this state.
+    fn is_drained(&self) -> bool {
+        self.retired.is_empty() && self.fresh.is_empty()
+    }
+
+    /// Publication failed (another writer's CAS won): free every node this
+    /// attempt allocated — none was ever reachable by a reader — and forget
+    /// the replaced list (those nodes are still published).
+    ///
+    /// # Safety
+    ///
+    /// The caller's CAS must have failed, so nothing in `fresh` was
+    /// published; each pointer in `fresh` appears exactly once (every
+    /// allocation site is [`BonsaiTree::mk`], which records each node
+    /// once).
+    unsafe fn discard(&mut self) {
+        for &n in &self.fresh {
+            // Safety: allocated by `mk` this attempt, never published, and
+            // dropped exactly once here. Only the node box itself is freed;
+            // its children may be published nodes and are not followed.
+            unsafe { drop(Box::from_raw(n)) };
+        }
+        self.fresh.clear();
+        self.retired.clear();
+    }
 }
 
-/// Runs `f` with `lock` held and a guard pinned against `collector`, in the
-/// only safe order for a writer entry point:
+/// Unwind guard for a commit attempt: if the attempt leaves the scratch
+/// undrained — only possible when a `K`/`V` clone panicked mid-rebuild,
+/// before any publication — free the speculative nodes and clear both
+/// lists, so the scratch returns to its pool (or poisoned mutex) clean and
+/// the next writer can never defer the aborted attempt's still-published
+/// `retired` entries.
+struct DrainOnUnwind<'a, K, V>(&'a mut WriterScratch<K, V>);
+
+impl<K, V> Drop for DrainOnUnwind<'_, K, V> {
+    fn drop(&mut self) {
+        if !self.0.is_drained() {
+            // Safety: reached only when the attempt neither committed nor
+            // explicitly discarded — i.e. it unwound before its CAS — so
+            // everything in `fresh` is unpublished.
+            unsafe { self.0.discard() };
+        }
+    }
+}
+
+impl<K: Send + 'static, V: Send + 'static> WriterScratch<K, V> {
+    /// Publication succeeded: forget the (now published) fresh nodes and
+    /// ship the replaced path to the collector as one deferred batch —
+    /// a single epoch-tag sample (and its StoreLoad fence) per update.
+    fn commit(&mut self, guard: &Guard<'_>) {
+        self.fresh.clear();
+        if !self.retired.is_empty() {
+            let batch = RetiredNodes(self.retired.as_slice().into());
+            self.retired.clear();
+            guard.defer(move || drop(batch));
+        }
+    }
+}
+
+/// Runs `f` with a writer lock token held and a guard pinned against
+/// `collector`, in the only safe order for a writer entry point:
 ///
-/// 1. lock first, pin second — a writer queued on the mutex must not hold a
-///    pin, or its wait would stall epoch advance (and all reclamation) for
-///    the whole collector;
+/// 1. lock first, pin second — a writer queued on a mutex or blocked on a
+///    range lock must not hold a pin, or its wait would stall epoch advance
+///    (and all reclamation) for the whole collector;
 /// 2. the pin is housekeeping-free ([`Collector::pin_quiet`]) — pin-time
 ///    cache eviction can fire deferred callbacks, and one re-entering a
-///    writer entry point would relock the non-reentrant mutex;
-/// 3. the mutex is released before the guard — enforced structurally (field
-///    declaration order = drop order), so it holds even when `f` unwinds —
-///    because the outermost unpin may also fire callbacks;
+///    writer entry point would relock a non-reentrant lock this thread
+///    already holds;
+/// 3. the lock token is dropped before the guard — enforced structurally
+///    (field declaration order = drop order), so it holds even when `f`
+///    unwinds — because the outermost unpin may also fire callbacks, and a
+///    callback re-entering a writer entry point must find this writer's
+///    locks already released;
 /// 4. the skipped pin-time housekeeping runs afterwards, once no lock is
 ///    held and no guard is live.
 ///
-/// Every writer entry point (tree and `RangeMap`) must go through here so
-/// the ordering invariant cannot be broken in one call site. `f` receives
-/// the lock-protected [`WriterScratch`] — which doubles as proof that the
-/// caller holds the writer lock.
-pub(crate) fn with_writer<K, V, R>(
-    lock: &Mutex<WriterScratch<K, V>>,
+/// Every writer entry point — the tree's mutex path ([`with_writer`]) and
+/// `RangeMap`'s range-locked path — must go through here so the ordering
+/// invariant cannot be broken in one call site. The lock token `T` is
+/// whatever RAII guard `acquire` produces: a `MutexGuard` over the tree's
+/// [`WriterScratch`], or a `RangeWriteGuard` carrying a pooled scratch.
+pub(crate) fn with_write_session<T, R>(
+    acquire: impl FnOnce() -> T,
     collector: &Collector,
-    f: impl FnOnce(&Guard<'_>, &mut WriterScratch<K, V>) -> R,
+    f: impl FnOnce(&Guard<'_>, &mut T) -> R,
 ) -> R {
-    struct Session<'a, K, V> {
-        w: std::sync::MutexGuard<'a, WriterScratch<K, V>>,
+    struct Session<'a, T> {
+        token: T,
         guard: Guard<'a>,
     }
     // Struct fields evaluate in written order: lock acquired before the
     // pin. Drop also runs in declaration order: unlock before unpin.
     let mut session = Session {
-        w: lock.lock().unwrap(),
+        token: acquire(),
         guard: collector.pin_quiet(),
     };
     let out = {
-        let Session { w, guard } = &mut session;
-        f(guard, w)
+        let Session { token, guard } = &mut session;
+        f(guard, token)
     };
     drop(session);
     collector.housekeep();
     out
 }
 
-/// The paper's RCU-balanced tree: lock-free lookups, single-writer
-/// copy-on-write updates with grace-period reclamation.
+/// The tree's single-writer entry point: [`with_write_session`] over the
+/// internal writer mutex. `f` receives the mutex-protected
+/// [`WriterScratch`] — which doubles as proof that the caller holds the
+/// lock.
+pub(crate) fn with_writer<K, V, R>(
+    lock: &Mutex<WriterScratch<K, V>>,
+    collector: &Collector,
+    f: impl FnOnce(&Guard<'_>, &mut WriterScratch<K, V>) -> R,
+) -> R {
+    with_write_session(
+        || lock.lock().unwrap(),
+        collector,
+        |guard, w| f(guard, &mut **w),
+    )
+}
+
+/// The paper's RCU-balanced tree: lock-free lookups, copy-on-write updates
+/// with grace-period reclamation.
 ///
 /// # Concurrency contract
 ///
@@ -167,8 +280,11 @@ pub(crate) fn with_writer<K, V, R>(
 /// * Updates ([`insert`](Self::insert), [`remove`](Self::remove))
 ///   serialize on an internal writer mutex — the paper's single-writer
 ///   address-space lock — rebuild the root-to-site path copy-on-write,
-///   publish the new root, and only then retire the replaced nodes to the
-///   collector for grace-period reclamation.
+///   publish the new root by CAS, and only then retire the replaced nodes
+///   to the collector for grace-period reclamation. The CAS commit makes
+///   the crate-internal entry points safe under *concurrent* writers
+///   (`RangeMap` runs them under per-span range locks); only the public
+///   `insert`/`remove` pair takes the serializing mutex.
 pub struct BonsaiTree<K, V> {
     root: AtomicPtr<Node<K, V>>,
     /// Serializes writers (the paper's per-address-space update lock) and
@@ -336,23 +452,27 @@ where
     /// was present. Takes the writer lock.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
         with_writer(&self.writer, &self.collector, |guard, scratch| {
-            // Safety: `with_writer` holds the writer lock for the whole
-            // update and `guard` is pinned against our collector.
-            unsafe { self.insert_unlocked(key, value, guard, scratch) }
+            self.insert_with(key, value, guard, scratch)
         })
     }
 
-    /// [`insert`](Self::insert) without taking the writer lock, for callers
-    /// that already serialize mutations under their own lock (e.g.
-    /// `RangeMap`'s check-then-insert) and hold a pinned guard.
+    /// [`insert`](Self::insert) against a caller-provided scratch, for
+    /// writer paths with their own serialization (`RangeMap`'s range
+    /// locks) — or none: the commit is a CAS-with-retry, so concurrent
+    /// calls are *safe* (no torn roots, no double retire), they merely
+    /// contend on the root. A failed CAS frees the never-published
+    /// speculative path ([`WriterScratch::discard`]) and rebuilds from the
+    /// winner's root.
     ///
-    /// # Safety
+    /// `guard` must be pinned against this tree's collector (checked), and
+    /// it must have been pinned *before* this call — which is what makes
+    /// the load→CAS window ABA-free: the snapshot root cannot be reclaimed,
+    /// so a re-observed equal pointer really is the unchanged root.
     ///
-    /// The caller must hold a lock serializing every mutation of this tree
-    /// for the duration of the call; concurrent unlocked updates race on the
-    /// root and double-retire nodes. `guard` must be pinned against this
-    /// tree's collector.
-    pub(crate) unsafe fn insert_unlocked(
+    /// # Panics
+    ///
+    /// Panics if `guard` belongs to a different collector.
+    pub(crate) fn insert_with(
         &self,
         key: K,
         value: V,
@@ -360,66 +480,97 @@ where
         scratch: &mut WriterScratch<K, V>,
     ) -> Option<V> {
         self.check_guard(guard);
-        debug_assert!(scratch.retired.is_empty());
-        let root = self.root.load(Ordering::Relaxed);
-        // Safety: writer lock held; `root` is the current published tree.
-        let (new_root, old) = unsafe { Self::insert_rec(root, &key, &value, &mut scratch.retired) };
-        self.root.store(new_root, Ordering::Release);
-        // Retire strictly after the store: until the new root is published,
-        // a freshly pinned reader could still reach the replaced nodes
-        // through `self.root`. The whole path ships as one exact-size
-        // deferred batch — a single epoch-tag sample per update — while the
-        // growable buffer stays with the writer lock for reuse.
-        if !scratch.retired.is_empty() {
-            let batch = RetiredNodes(scratch.retired.as_slice().into());
-            scratch.retired.clear();
-            guard.defer(move || drop(batch));
+        debug_assert!(scratch.is_drained());
+        // Unwind safety: if a K/V clone panics mid-rebuild, the lists hold
+        // a half-built speculative path. The old mutex-owned scratch was
+        // covered by lock poisoning; `RangeMap`'s pooled scratches are not,
+        // and lending a dirty scratch to the next writer would let its
+        // commit defer the aborted attempt's still-published `retired`
+        // entries — a use-after-free in release builds. Drain on the way
+        // out instead (freeing only the unpublished `fresh` nodes).
+        let scratch = DrainOnUnwind(scratch);
+        let mut root = self.root.load(Ordering::Acquire);
+        loop {
+            // Safety: `root` was published and the pinned guard keeps every
+            // node reachable from it live and immutable.
+            let (new_root, old) = unsafe { Self::insert_rec(root, &key, &value, scratch.0) };
+            match self
+                .root
+                .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    // Retire strictly after publication: until the CAS, a
+                    // freshly pinned reader could still reach the replaced
+                    // nodes through `self.root`.
+                    scratch.0.commit(guard);
+                    if old.is_none() {
+                        self.len.fetch_add(1, Ordering::Release);
+                    }
+                    return old;
+                }
+                Err(current) => {
+                    // Another writer published first. Nothing this attempt
+                    // built was ever visible.
+                    // Safety: the CAS failed, so `fresh` is unpublished.
+                    unsafe { scratch.0.discard() };
+                    root = current;
+                }
+            }
         }
-        if old.is_none() {
-            self.len.fetch_add(1, Ordering::Release);
-        }
-        old
     }
 
     /// Removes `key`, returning its value if it was present. Takes the
     /// writer lock.
     pub fn remove(&self, key: &K) -> Option<V> {
         with_writer(&self.writer, &self.collector, |guard, scratch| {
-            // Safety: as in `insert`.
-            unsafe { self.remove_unlocked(key, guard, scratch) }
+            self.remove_with(key, guard, scratch)
         })
     }
 
-    /// [`remove`](Self::remove) without taking the writer lock.
+    /// [`remove`](Self::remove) against a caller-provided scratch; same
+    /// CAS-with-retry contract as [`Self::insert_with`].
     ///
-    /// # Safety
+    /// # Panics
     ///
-    /// Same contract as [`Self::insert_unlocked`].
-    pub(crate) unsafe fn remove_unlocked(
+    /// Panics if `guard` belongs to a different collector.
+    pub(crate) fn remove_with(
         &self,
         key: &K,
         guard: &Guard<'_>,
         scratch: &mut WriterScratch<K, V>,
     ) -> Option<V> {
         self.check_guard(guard);
-        debug_assert!(scratch.retired.is_empty());
-        let root = self.root.load(Ordering::Relaxed);
-        // Safety: writer lock held; `root` is the current published tree.
-        let (new_root, old) = unsafe { Self::remove_rec(root, key, &mut scratch.retired) };
-        if old.is_some() {
-            self.root.store(new_root, Ordering::Release);
-            self.len.fetch_sub(1, Ordering::Release);
-            // Retire strictly after the store, as one batch; see `insert`.
-            if !scratch.retired.is_empty() {
-                let batch = RetiredNodes(scratch.retired.as_slice().into());
-                scratch.retired.clear();
-                guard.defer(move || drop(batch));
+        debug_assert!(scratch.is_drained());
+        // Unwind safety: as in `insert_with`.
+        let scratch = DrainOnUnwind(scratch);
+        let mut root = self.root.load(Ordering::Acquire);
+        loop {
+            // Safety: as in `insert_with`.
+            let (new_root, old) = unsafe { Self::remove_rec(root, key, scratch.0) };
+            if old.is_none() {
+                // A miss rebuilds nothing and therefore replaces nothing;
+                // the answer is valid as of the root load, no CAS needed.
+                debug_assert!(scratch.0.is_drained());
+                return None;
             }
-        } else {
-            // A miss rebuilds nothing and therefore replaces nothing.
-            debug_assert!(scratch.retired.is_empty());
+            match self
+                .root
+                .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => {
+                    // Retire strictly after publication, as one batch; see
+                    // `insert_with`.
+                    scratch.0.commit(guard);
+                    self.len.fetch_sub(1, Ordering::Release);
+                    return old;
+                }
+                Err(current) => {
+                    // Safety: the CAS failed, so `fresh` is unpublished.
+                    unsafe { scratch.0.discard() };
+                    root = current;
+                }
+            }
         }
-        old
     }
 
     /// Clones the tree contents in key order. Intended for tests and
@@ -459,31 +610,44 @@ where
         }
     }
 
-    /// Allocates a new node over the given children.
-    fn mk(left: *mut Node<K, V>, key: K, value: V, right: *mut Node<K, V>) -> *mut Node<K, V> {
-        Box::into_raw(Box::new(Node {
+    /// Allocates a new node over the given children, recording it in the
+    /// scratch's `fresh` list so a failed publication can free it (every
+    /// allocation of an update goes through here, exactly once each).
+    fn mk(
+        scratch: &mut WriterScratch<K, V>,
+        left: *mut Node<K, V>,
+        key: K,
+        value: V,
+        right: *mut Node<K, V>,
+    ) -> *mut Node<K, V> {
+        let n = Box::into_raw(Box::new(Node {
             size: 1 + Self::size_of(left) + Self::size_of(right),
             key,
             value,
             left,
             right,
-        }))
+        }));
+        scratch.fresh.push(n);
+        n
     }
 
     /// Marks a replaced node for retirement. The node is only handed to the
     /// collector (as part of the update's single [`RetiredNodes`] batch,
-    /// freed by [`Guard::defer`]) by `insert`/`remove` *after* the new root
-    /// is published — retiring mid-rebuild would let a reader pin after the
+    /// freed by [`Guard::defer`]) by a *successful* commit, strictly after
+    /// the root CAS — retiring mid-rebuild would let a reader pin after the
     /// retirement yet still reach the node through the old root, defeating
-    /// the grace-period argument. Also used for nodes created and then
-    /// discarded within the same update — deferring their free is merely a
-    /// little lazy, never wrong.
+    /// the grace-period argument — and a failed commit forgets the list
+    /// (the nodes are still published). Also used for nodes created and
+    /// then discarded within the same update: on success their deferred
+    /// free is merely a little lazy, never wrong, and on failure they are
+    /// freed through the `fresh` list instead (retired entries are
+    /// *forgotten*, not freed, on that path).
     ///
     /// `n` must be absent from the about-to-be-published tree and pushed at
     /// most once.
     #[inline]
-    fn retire(n: *mut Node<K, V>, retired: &mut Vec<*mut Node<K, V>>) {
-        retired.push(n);
+    fn retire(n: *mut Node<K, V>, scratch: &mut WriterScratch<K, V>) {
+        scratch.retired.push(n);
     }
 
     /// Builds a balanced node over `l`, `(key, value)`, `r`, where the two
@@ -494,18 +658,18 @@ where
     ///
     /// `l`/`r` are valid subtree roots owned by the current update (or
     /// published and guard-protected); rotated-away nodes are pushed onto
-    /// `retired`.
+    /// the scratch's retired list.
     unsafe fn balance(
         l: *mut Node<K, V>,
         key: K,
         value: V,
         r: *mut Node<K, V>,
-        retired: &mut Vec<*mut Node<K, V>>,
+        scratch: &mut WriterScratch<K, V>,
     ) -> *mut Node<K, V> {
         let sl = Self::size_of(l);
         let sr = Self::size_of(r);
         if sl + sr <= 1 {
-            return Self::mk(l, key, value, r);
+            return Self::mk(scratch, l, key, value, r);
         }
         if sr > DELTA * sl {
             // Right-heavy: rotate left. `r` is non-null since sr >= 2.
@@ -515,9 +679,10 @@ where
                 // Single left rotation.
                 // Safety: `r` valid; its fields are cloned, not moved.
                 let (rk, rv) = unsafe { ((*r).key.clone(), (*r).value.clone()) };
-                let out = Self::mk(Self::mk(l, key, value, rl), rk, rv, rr);
+                let inner = Self::mk(scratch, l, key, value, rl);
+                let out = Self::mk(scratch, inner, rk, rv, rr);
                 // `r` is replaced by `out` and unlinked.
-                Self::retire(r, retired);
+                Self::retire(r, scratch);
                 out
             } else {
                 // Double left rotation; `rl` is non-null because
@@ -526,15 +691,12 @@ where
                 let (rk, rv) = unsafe { ((*r).key.clone(), (*r).value.clone()) };
                 let (rlk, rlv) = unsafe { ((*rl).key.clone(), (*rl).value.clone()) };
                 let (rll, rlr) = unsafe { ((*rl).left, (*rl).right) };
-                let out = Self::mk(
-                    Self::mk(l, key, value, rll),
-                    rlk,
-                    rlv,
-                    Self::mk(rlr, rk, rv, rr),
-                );
+                let left = Self::mk(scratch, l, key, value, rll);
+                let right = Self::mk(scratch, rlr, rk, rv, rr);
+                let out = Self::mk(scratch, left, rlk, rlv, right);
                 // Both are replaced by `out` and unlinked.
-                Self::retire(rl, retired);
-                Self::retire(r, retired);
+                Self::retire(rl, scratch);
+                Self::retire(r, scratch);
                 out
             }
         } else if sl > DELTA * sr {
@@ -544,79 +706,83 @@ where
             if Self::size_of(lr) < RATIO * Self::size_of(ll) {
                 // Safety: `l` valid; fields cloned.
                 let (lk, lv) = unsafe { ((*l).key.clone(), (*l).value.clone()) };
-                let out = Self::mk(ll, lk, lv, Self::mk(lr, key, value, r));
+                let inner = Self::mk(scratch, lr, key, value, r);
+                let out = Self::mk(scratch, ll, lk, lv, inner);
                 // `l` is replaced by `out` and unlinked.
-                Self::retire(l, retired);
+                Self::retire(l, scratch);
                 out
             } else {
                 // Safety: `l` and `lr` are valid nodes.
                 let (lk, lv) = unsafe { ((*l).key.clone(), (*l).value.clone()) };
                 let (lrk, lrv) = unsafe { ((*lr).key.clone(), (*lr).value.clone()) };
                 let (lrl, lrr) = unsafe { ((*lr).left, (*lr).right) };
-                let out = Self::mk(
-                    Self::mk(ll, lk, lv, lrl),
-                    lrk,
-                    lrv,
-                    Self::mk(lrr, key, value, r),
-                );
+                let left = Self::mk(scratch, ll, lk, lv, lrl);
+                let right = Self::mk(scratch, lrr, key, value, r);
+                let out = Self::mk(scratch, left, lrk, lrv, right);
                 // Both are replaced by `out` and unlinked.
-                Self::retire(lr, retired);
-                Self::retire(l, retired);
+                Self::retire(lr, scratch);
+                Self::retire(l, scratch);
                 out
             }
         } else {
-            Self::mk(l, key, value, r)
+            Self::mk(scratch, l, key, value, r)
         }
     }
 
     /// Copy-on-write insert. Returns the new subtree root and the displaced
-    /// value, collecting every replaced node into `retired`.
+    /// value, collecting replaced nodes and fresh allocations into the
+    /// scratch.
     ///
     /// # Safety
     ///
-    /// Caller holds the writer lock and a pinned guard; `n` is the current
-    /// (published) subtree root or null.
+    /// Caller holds a pinned guard; `n` is a subtree root that was
+    /// published when the guard was already pinned (or null), so every
+    /// reachable node is live and immutable.
     unsafe fn insert_rec(
         n: *mut Node<K, V>,
         key: &K,
         value: &V,
-        retired: &mut Vec<*mut Node<K, V>>,
+        scratch: &mut WriterScratch<K, V>,
     ) -> (*mut Node<K, V>, Option<V>) {
         if n.is_null() {
-            return (
-                Self::mk(ptr::null_mut(), key.clone(), value.clone(), ptr::null_mut()),
-                None,
+            let out = Self::mk(
+                scratch,
+                ptr::null_mut(),
+                key.clone(),
+                value.clone(),
+                ptr::null_mut(),
             );
+            return (out, None);
         }
         // Safety: `n` is a valid published node, immutable under the guard.
         let node = unsafe { &*n };
         match key.cmp(&node.key) {
             Cmp::Equal => {
                 let old = node.value.clone();
-                let out = Self::mk(node.left, key.clone(), value.clone(), node.right);
+                let out = Self::mk(scratch, node.left, key.clone(), value.clone(), node.right);
                 // `n` is replaced by `out`.
-                Self::retire(n, retired);
+                Self::retire(n, scratch);
                 (out, Some(old))
             }
             Cmp::Less => {
                 // Safety: recursing with the same contract.
-                let (nl, old) = unsafe { Self::insert_rec(node.left, key, value, retired) };
+                let (nl, old) = unsafe { Self::insert_rec(node.left, key, value, scratch) };
                 let out =
                     // Safety: `nl` is owned by this update, `node.right` is
                     // published; both valid.
-                    unsafe { Self::balance(nl, node.key.clone(), node.value.clone(), node.right, retired) };
+                    unsafe { Self::balance(nl, node.key.clone(), node.value.clone(), node.right, scratch) };
                 // `n` is replaced by `out`.
-                Self::retire(n, retired);
+                Self::retire(n, scratch);
                 (out, old)
             }
             Cmp::Greater => {
                 // Safety: recursing with the same contract.
-                let (nr, old) = unsafe { Self::insert_rec(node.right, key, value, retired) };
+                let (nr, old) = unsafe { Self::insert_rec(node.right, key, value, scratch) };
                 let out =
                     // Safety: as in the `Less` arm, mirrored.
-                    unsafe { Self::balance(node.left, node.key.clone(), node.value.clone(), nr, retired) };
+                    unsafe { Self::balance(node.left, node.key.clone(), node.value.clone(), nr, scratch) };
                 // `n` is replaced by `out`.
-                Self::retire(n, retired);
+                Self::retire(n, scratch);
                 (out, old)
             }
         }
@@ -631,7 +797,7 @@ where
     unsafe fn remove_rec(
         n: *mut Node<K, V>,
         key: &K,
-        retired: &mut Vec<*mut Node<K, V>>,
+        scratch: &mut WriterScratch<K, V>,
     ) -> (*mut Node<K, V>, Option<V>) {
         if n.is_null() {
             return (n, None);
@@ -642,14 +808,14 @@ where
             Cmp::Equal => {
                 let old = node.value.clone();
                 // Safety: joining the two published child subtrees.
-                let out = unsafe { Self::join(node.left, node.right, retired) };
+                let out = unsafe { Self::join(node.left, node.right, scratch) };
                 // `n` is replaced by `out`.
-                Self::retire(n, retired);
+                Self::retire(n, scratch);
                 (out, Some(old))
             }
             Cmp::Less => {
                 // Safety: recursing with the same contract.
-                let (nl, old) = unsafe { Self::remove_rec(node.left, key, retired) };
+                let (nl, old) = unsafe { Self::remove_rec(node.left, key, scratch) };
                 if old.is_none() {
                     return (n, None);
                 }
@@ -660,25 +826,25 @@ where
                         node.key.clone(),
                         node.value.clone(),
                         node.right,
-                        retired,
+                        scratch,
                     )
                 };
                 // `n` is replaced by `out`.
-                Self::retire(n, retired);
+                Self::retire(n, scratch);
                 (out, old)
             }
             Cmp::Greater => {
                 // Safety: recursing with the same contract.
-                let (nr, old) = unsafe { Self::remove_rec(node.right, key, retired) };
+                let (nr, old) = unsafe { Self::remove_rec(node.right, key, scratch) };
                 if old.is_none() {
                     return (n, None);
                 }
                 // Safety: as in the `Less` arm, mirrored.
                 let out = unsafe {
-                    Self::balance(node.left, node.key.clone(), node.value.clone(), nr, retired)
+                    Self::balance(node.left, node.key.clone(), node.value.clone(), nr, scratch)
                 };
                 // `n` is replaced by `out`.
-                Self::retire(n, retired);
+                Self::retire(n, scratch);
                 (out, old)
             }
         }
@@ -693,7 +859,7 @@ where
     unsafe fn join(
         l: *mut Node<K, V>,
         r: *mut Node<K, V>,
-        retired: &mut Vec<*mut Node<K, V>>,
+        scratch: &mut WriterScratch<K, V>,
     ) -> *mut Node<K, V> {
         if l.is_null() {
             return r;
@@ -702,13 +868,13 @@ where
             return l;
         }
         // Safety: `r` is a valid non-null subtree.
-        let (k, v, r2) = unsafe { Self::extract_min(r, retired) };
+        let (k, v, r2) = unsafe { Self::extract_min(r, scratch) };
         // Safety: `l` published, `r2` owned by this update.
-        unsafe { Self::balance(l, k, v, r2, retired) }
+        unsafe { Self::balance(l, k, v, r2, scratch) }
     }
 
     /// Removes and returns the minimum entry of non-null subtree `n`,
-    /// collecting the replaced path into `retired`.
+    /// collecting the replaced path into the scratch.
     ///
     /// # Safety
     ///
@@ -716,18 +882,18 @@ where
     /// [`Self::insert_rec`].
     unsafe fn extract_min(
         n: *mut Node<K, V>,
-        retired: &mut Vec<*mut Node<K, V>>,
+        scratch: &mut WriterScratch<K, V>,
     ) -> (K, V, *mut Node<K, V>) {
         // Safety: `n` is valid and non-null per the contract.
         let node = unsafe { &*n };
         if node.left.is_null() {
             let out = (node.key.clone(), node.value.clone(), node.right);
             // `n` is unlinked; its right child is reused.
-            Self::retire(n, retired);
+            Self::retire(n, scratch);
             out
         } else {
             // Safety: `node.left` is non-null and valid.
-            let (k, v, nl) = unsafe { Self::extract_min(node.left, retired) };
+            let (k, v, nl) = unsafe { Self::extract_min(node.left, scratch) };
             // Safety: `nl` owned by this update, `node.right` published.
             let out = unsafe {
                 Self::balance(
@@ -735,11 +901,11 @@ where
                     node.key.clone(),
                     node.value.clone(),
                     node.right,
-                    retired,
+                    scratch,
                 )
             };
             // `n` is replaced by `out`.
-            Self::retire(n, retired);
+            Self::retire(n, scratch);
             (k, v, out)
         }
     }

@@ -1,0 +1,32 @@
+//! Model-checked range-locked-writer tests: the scenarios in
+//! `tests/scenarios` are explored under all thread interleavings within
+//! loomette's preemption bound — every range-lock table mutex/condvar
+//! operation, tree root CAS, and rcukit protocol atomic is a scheduling
+//! point (see `crates/loomette`, `bonsai/src/sync.rs`, and
+//! `rcukit/src/sync.rs`).
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p bonsai --test loom --release
+//! ```
+//!
+//! Under a plain `cargo test` this file compiles to an empty crate; the
+//! `std` stress mirrors in `tests/model.rs` cover the same scenarios in
+//! tier-1.
+
+#![cfg(loom)]
+
+mod scenarios;
+
+#[test]
+fn loom_disjoint_writers() {
+    let runs = loomette::Explorer::default().explore(scenarios::disjoint_writers);
+    assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
+}
+
+#[test]
+fn loom_overlapping_writers() {
+    let runs = loomette::Explorer::default().explore(scenarios::overlapping_writers);
+    assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
+}

@@ -1,0 +1,25 @@
+//! Plain-`std` stress mirrors of the model-checked range-locked-writer
+//! scenarios (`tests/loom.rs`), so tier-1 covers the same interactions on
+//! every run. Real-thread scheduling noise supplies the interleavings; the
+//! loom tier explores them exhaustively instead.
+
+#![cfg(not(loom))]
+
+mod scenarios;
+
+/// Stress iterations per scenario, scaled down under Miri.
+const ITERS: usize = if cfg!(miri) { 10 } else { 200 };
+
+#[test]
+fn stress_disjoint_writers() {
+    for _ in 0..ITERS {
+        scenarios::disjoint_writers();
+    }
+}
+
+#[test]
+fn stress_overlapping_writers() {
+    for _ in 0..ITERS {
+        scenarios::overlapping_writers();
+    }
+}

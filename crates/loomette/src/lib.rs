@@ -210,6 +210,84 @@ mod tests {
         assert!(*m.lock().unwrap() >= 4, "increments lost across runs");
     }
 
+    /// A condvar handoff works in every schedule: the consumer waits until
+    /// the producer has set the flag, with no lost wakeup and no deadlock.
+    #[test]
+    fn condvar_handoff_never_loses_a_wakeup() {
+        use super::sync::Condvar;
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = crate::thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut ready = m.lock().unwrap();
+                *ready = true;
+                drop(ready);
+                cv.notify_all();
+            });
+            let (m, cv) = &*pair;
+            let mut ready = m.lock().unwrap();
+            while !*ready {
+                ready = cv.wait(ready).unwrap();
+            }
+            drop(ready);
+            t.join().unwrap();
+        });
+    }
+
+    /// A wait that can never be notified is reported as a deadlock, not a
+    /// hang.
+    #[test]
+    fn condvar_detects_missed_notify_as_deadlock() {
+        use super::sync::Condvar;
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let (m, cv) = &*pair;
+                let mut ready = m.lock().unwrap();
+                while !*ready {
+                    ready = cv.wait(ready).unwrap();
+                }
+            });
+        });
+        assert!(result.is_err(), "un-notified wait went undetected");
+    }
+
+    /// The instrumented atomic pointer provides CAS semantics: of two
+    /// concurrent compare-exchanges from the same expected value, exactly
+    /// one succeeds in every schedule.
+    #[test]
+    fn atomic_ptr_cas_is_atomic() {
+        use super::sync::atomic::AtomicPtr;
+        super::model(|| {
+            let a = Box::into_raw(Box::new(1u64));
+            let b = Box::into_raw(Box::new(2u64));
+            let p = Arc::new(AtomicPtr::<u64>::new(std::ptr::null_mut()));
+            let p2 = Arc::clone(&p);
+            let a_addr = a as usize; // raw pointers are !Send; ship the address
+            let t = crate::thread::spawn(move || {
+                p2.compare_exchange(
+                    std::ptr::null_mut(),
+                    a_addr as *mut u64,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                )
+                .is_ok()
+            });
+            let mine = p
+                .compare_exchange(std::ptr::null_mut(), b, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok();
+            let theirs = t.join().unwrap();
+            assert!(mine ^ theirs, "exactly one CAS must win");
+            // Reclaim both allocations (the loser's pointer was never
+            // published).
+            unsafe {
+                drop(Box::from_raw(a));
+                drop(Box::from_raw(b));
+            }
+        });
+    }
+
     /// Exploration visits more than one schedule when there is branching.
     #[test]
     fn explores_multiple_schedules() {

@@ -62,6 +62,8 @@ enum Run {
     Runnable,
     /// Waiting for a loomette mutex to be released.
     BlockedMutex(usize),
+    /// Waiting for a loomette condvar to be notified.
+    BlockedCondvar(usize),
     /// Waiting for another model thread to finish.
     BlockedJoin(usize),
     /// Body returned (or unwound).
@@ -92,6 +94,9 @@ struct State {
     preemption_bound: usize,
     /// Lock words for loomette mutexes, indexed by mutex id.
     mutexes: Vec<bool>,
+    /// Number of condvar ids handed out this run (waiters are tracked in
+    /// `threads` as [`Run::BlockedCondvar`]; a condvar itself is stateless).
+    condvars: usize,
     /// First failure (panic) observed on any model thread.
     failed: Option<String>,
     finished: usize,
@@ -197,6 +202,7 @@ impl Scheduler {
                 preemptions: 0,
                 preemption_bound,
                 mutexes: Vec::new(),
+                condvars: 0,
                 failed: None,
                 finished: 0,
             }),
@@ -380,6 +386,42 @@ impl Scheduler {
         self.cv.notify_all();
     }
 
+    fn alloc_condvar(&self) -> usize {
+        let mut st = self.st();
+        st.condvars += 1;
+        st.condvars - 1
+    }
+
+    /// Scheduler-side condvar wait. The caller has already released the
+    /// associated mutex (both the real guard and the scheduler lock word)
+    /// *without passing a switch point in between*, so — only one model
+    /// thread ever runs at a time — the unlock+wait pair is atomic with
+    /// respect to the model and no wakeup can be lost. The thread wakes
+    /// only on [`Self::condvar_notify_all`] (the model has no spurious
+    /// wakeups: fewer wakeups than reality is sound for bug-finding, and a
+    /// lost-wakeup bug in the code under test surfaces as a detected
+    /// deadlock instead of a hang).
+    fn condvar_wait(&self, me: usize, id: usize) {
+        if self.degraded() {
+            self.die();
+            return;
+        }
+        self.block(me, Run::BlockedCondvar(id));
+    }
+
+    /// Wakes every thread waiting on condvar `id`; they become runnable and
+    /// re-acquire their mutex through the normal scheduler-mediated path.
+    fn condvar_notify_all(&self, _me: usize, id: usize) {
+        let mut st = self.st();
+        for t in 0..st.threads.len() {
+            if st.threads[t] == Run::BlockedCondvar(id) {
+                st.threads[t] = Run::Runnable;
+            }
+        }
+        drop(st);
+        self.cv.notify_all();
+    }
+
     fn join(&self, me: usize, target: usize) {
         self.switch(me);
         if self.degraded() {
@@ -443,6 +485,18 @@ pub(crate) fn lock(sched: &Scheduler, me: usize, id: usize) {
 
 pub(crate) fn unlock(sched: &Scheduler, me: usize, id: usize) {
     sched.mutex_unlock(me, id);
+}
+
+pub(crate) fn condvar_id(sched: &Scheduler) -> usize {
+    sched.alloc_condvar()
+}
+
+pub(crate) fn condvar_wait(sched: &Scheduler, me: usize, id: usize) {
+    sched.condvar_wait(me, id);
+}
+
+pub(crate) fn condvar_notify_all(sched: &Scheduler, me: usize, id: usize) {
+    sched.condvar_notify_all(me, id);
 }
 
 // ---- thread spawning ----

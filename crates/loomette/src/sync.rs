@@ -114,6 +114,72 @@ pub mod atomic {
     instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
     instrumented_fetch_arith!(AtomicU64, u64);
     instrumented_fetch_arith!(AtomicUsize, usize);
+
+    /// An instrumented atomic pointer: every access is a scheduler switch
+    /// point. All orderings execute as `SeqCst` (see module docs). Written
+    /// out by hand because the pointee type parameter does not fit the
+    /// macro's monomorphic shape.
+    #[derive(Debug)]
+    pub struct AtomicPtr<T> {
+        inner: std::sync::atomic::AtomicPtr<T>,
+    }
+
+    impl<T> Default for AtomicPtr<T> {
+        fn default() -> Self {
+            Self::new(std::ptr::null_mut())
+        }
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// Creates a new atomic pointer (not `const`, unlike `std`).
+        pub fn new(p: *mut T) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicPtr::new(p),
+            }
+        }
+
+        /// Instrumented load (always `SeqCst`).
+        pub fn load(&self, _order: Ordering) -> *mut T {
+            sched::switch_point();
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        /// Instrumented store (always `SeqCst`).
+        pub fn store(&self, p: *mut T, _order: Ordering) {
+            sched::switch_point();
+            self.inner.store(p, Ordering::SeqCst)
+        }
+
+        /// Instrumented swap (always `SeqCst`).
+        pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+            sched::switch_point();
+            self.inner.swap(p, Ordering::SeqCst)
+        }
+
+        /// Instrumented compare-exchange (always `SeqCst`).
+        pub fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            _success: Ordering,
+            _failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            sched::switch_point();
+            self.inner
+                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+        }
+
+        /// Unsynchronized access; no switch point (exclusive access cannot
+        /// race).
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.inner.get_mut()
+        }
+
+        /// Consumes the atomic, returning the value.
+        pub fn into_inner(self) -> *mut T {
+            self.inner.into_inner()
+        }
+    }
 }
 
 /// An instrumented mutex.
@@ -229,6 +295,107 @@ impl<T> Drop for MutexGuard<'_, T> {
                     }
                 }
             });
+        }
+    }
+}
+
+/// An instrumented condition variable.
+///
+/// Inside a model, waiting is scheduler-level: the guard's mutex is
+/// released and the thread blocks until a [`notify_all`](Self::notify_all)
+/// — with no switch point between unlock and wait, so (only one model
+/// thread ever runs) no wakeup can be lost. The model has no spurious
+/// wakeups: waking *less* often than reality is sound for bug-finding, and
+/// a lost-wakeup bug in the code under test becomes a detected deadlock.
+/// Outside a model it degrades to a plain `std::sync::Condvar`.
+///
+/// `notify_one` is deliberately not provided: picking *which* waiter wakes
+/// is a scheduling decision this checker does not explore, so modeling it
+/// faithfully would require condvar-waiter choice points. Code under test
+/// uses `notify_all` and re-checks its predicate, as condvar code must.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    real: std::sync::Condvar,
+    /// Scheduler-side condvar id, run-keyed exactly like [`Mutex::id`].
+    id: std::sync::Mutex<Option<(u64, usize)>>,
+}
+
+impl Condvar {
+    /// Creates a new instrumented condvar.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// This condvar's id in `sched`'s run, (re)assigned if it was created
+    /// outside the run (or in an earlier one).
+    fn run_id(&self, sched: &crate::sched::Scheduler) -> usize {
+        let run = sched::run_seq(sched);
+        let mut slot = self
+            .id
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match *slot {
+            Some((r, id)) if r == run => id,
+            _ => {
+                let id = sched::condvar_id(sched);
+                *slot = Some((run, id));
+                id
+            }
+        }
+    }
+
+    /// Releases `guard`'s mutex and blocks until notified, then re-acquires
+    /// the mutex. Callers must re-check their predicate in a loop, exactly
+    /// as with `std`.
+    pub fn wait<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+    ) -> std::sync::LockResult<MutexGuard<'a, T>> {
+        let mutex = guard.mutex;
+        if guard.in_model {
+            // Dropping the guard releases the real lock and the scheduler
+            // lock word (waking scheduler-blocked contenders) without
+            // passing a switch point; the wait below then blocks before any
+            // other thread has run, so the unlock+wait pair is atomic in
+            // the model and no notification can slip between them.
+            drop(guard);
+            sched::with_scheduler(|sched, me| {
+                let id = self.run_id(sched);
+                sched::condvar_wait(sched, me, id);
+            });
+            mutex.lock()
+        } else {
+            // Outside a model: a real wait on the real condvar, on the
+            // real guard extracted from the wrapper (whose drop is then a
+            // no-op: no inner guard, not in a model).
+            let inner = guard
+                .guard
+                .take()
+                .expect("loomette MutexGuard without inner guard");
+            let inner = self
+                .real
+                .wait(inner)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            Ok(MutexGuard {
+                guard: Some(inner),
+                mutex,
+                in_model: false,
+            })
+        }
+    }
+
+    /// Wakes every waiter. Inside a model this is an instrumented switch
+    /// point followed by a scheduler-level wake; outside, a real
+    /// `notify_all`.
+    pub fn notify_all(&self) {
+        sched::switch_point();
+        let in_model = sched::with_scheduler(|sched, me| {
+            let id = self.run_id(sched);
+            sched::condvar_notify_all(sched, me, id);
+        })
+        .is_some();
+        if !in_model {
+            self.real.notify_all();
         }
     }
 }

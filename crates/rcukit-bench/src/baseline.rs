@@ -55,6 +55,34 @@ impl AddressSpace for LockedAddressSpace {
         self.regions.write().unwrap().remove(&start).is_some()
     }
 
+    fn unmap_range(&self, start: u64, end: u64) -> usize {
+        assert!(start < end, "empty or inverted range {start:#x}..{end:#x}");
+        let mut regions = self.regions.write().unwrap();
+        let mut affected = 0;
+        // A region starting strictly before `start` that reaches into the
+        // span: truncate it (and keep its tail if it encloses the span).
+        if let Some((&a, &b)) = regions.range(..start).next_back() {
+            if b > start {
+                regions.insert(a, start);
+                if b > end {
+                    regions.insert(end, b);
+                }
+                affected += 1;
+            }
+        }
+        // Regions starting inside the span: remove, keeping a tail piece
+        // if one straddles `end`.
+        let inside: Vec<(u64, u64)> = regions.range(start..end).map(|(&s, &e)| (s, e)).collect();
+        for (s, e) in inside {
+            regions.remove(&s);
+            if e > end {
+                regions.insert(end, e);
+            }
+            affected += 1;
+        }
+        affected
+    }
+
     fn regions(&self) -> usize {
         self.regions.read().unwrap().len()
     }
@@ -87,5 +115,32 @@ mod tests {
         assert!(s.unmap(0x2000));
         assert!(!s.unmap(0x2000));
         assert!(!s.fault(0x2800));
+    }
+
+    /// `unmap_range` must mirror `RangeMap::unmap_range` exactly: removal
+    /// of inside regions, head truncation, tail survival, enclosing split.
+    #[test]
+    fn unmap_range_mirrors_range_map_semantics() {
+        let s = LockedAddressSpace::new();
+        assert!(s.map(0x1000, 0x3000)); // head straddler
+        assert!(s.map(0x3000, 0x4000)); // fully inside
+        assert!(s.map(0x5000, 0x8000)); // tail straddler
+        assert_eq!(s.unmap_range(0x2000, 0x6000), 3);
+        assert!(s.fault(0x1fff));
+        assert!(!s.fault(0x2000));
+        assert!(!s.fault(0x5fff));
+        assert!(s.fault(0x6000));
+        assert_eq!(s.regions(), 2);
+        assert_eq!(s.unmap_range(0x2000, 0x6000), 0);
+
+        // Enclosing split.
+        let s = LockedAddressSpace::new();
+        assert!(s.map(0x1000, 0x6000));
+        assert_eq!(s.unmap_range(0x3000, 0x4000), 1);
+        assert!(s.fault(0x2fff));
+        assert!(!s.fault(0x3000));
+        assert!(!s.fault(0x3fff));
+        assert!(s.fault(0x4000));
+        assert!(s.map(0x3000, 0x4000));
     }
 }

@@ -122,6 +122,12 @@ pub struct Tally {
     pub unmaps: u64,
     /// Unmap ops that found nothing — always 0 unless a backend is buggy.
     pub unmap_misses: u64,
+    /// Multi-region `unmap_range` ops replayed (spans that remove several
+    /// regions and split/truncate straddlers).
+    pub unmap_ranges: u64,
+    /// Ranged unmaps that affected no region — always 0 unless a backend
+    /// is buggy (generated spans always intersect their anchor region).
+    pub unmap_range_misses: u64,
 }
 
 impl Tally {
@@ -132,6 +138,8 @@ impl Tally {
         self.map_rejects += other.map_rejects;
         self.unmaps += other.unmaps;
         self.unmap_misses += other.unmap_misses;
+        self.unmap_ranges += other.unmap_ranges;
+        self.unmap_range_misses += other.unmap_range_misses;
     }
 }
 
@@ -160,7 +168,7 @@ pub struct PointResult {
 impl PointResult {
     /// Total replayed operations.
     pub fn total_ops(&self) -> u64 {
-        self.tally.faults + self.tally.maps + self.tally.unmaps
+        self.tally.faults + self.tally.maps + self.tally.unmaps + self.tally.unmap_ranges
     }
 
     /// The record as one JSON object (also the stdout progress line).
@@ -172,6 +180,7 @@ impl PointResult {
              \"total_ops\":{},\"elapsed_ms\":{:.3},\"ops_per_sec\":{:.0},\
              \"faults\":{},\"fault_hits\":{},\"fault_hit_rate\":{:.3},\"faults_per_sec\":{:.0},\
              \"maps\":{},\"map_rejects\":{},\"unmaps\":{},\"unmap_misses\":{},\
+             \"unmap_ranges\":{},\"unmap_range_misses\":{},\
              \"mutations_per_sec\":{:.0},\
              \"retired\":{},\"freed\":{},\"reclaim_ok\":{}}}",
             self.profile.name(),
@@ -188,7 +197,9 @@ impl PointResult {
             t.map_rejects,
             t.unmaps,
             t.unmap_misses,
-            (t.maps + t.unmaps) as f64 / secs,
+            t.unmap_ranges,
+            t.unmap_range_misses,
+            (t.maps + t.unmaps + t.unmap_ranges) as f64 / secs,
             self.retired,
             self.freed,
             self.reclaim_ok,
@@ -241,6 +252,12 @@ fn replay<A: AddressSpace + 'static>(
                         tally.unmaps += 1;
                         if !space.unmap(start) {
                             tally.unmap_misses += 1;
+                        }
+                    }
+                    Op::UnmapRange(start, end) => {
+                        tally.unmap_ranges += 1;
+                        if space.unmap_range(start, end) == 0 {
+                            tally.unmap_range_misses += 1;
                         }
                     }
                 }
@@ -326,7 +343,10 @@ pub fn run(cfg: &SweepConfig) -> Vec<PointResult> {
 pub fn render_trajectory(cfg: &SweepConfig, results: &[PointResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v1\",\n");
+    // v2: adds the `writers` profile, multi-region `unmap_range` ops in
+    // every profile's trace (fields `unmap_ranges`/`unmap_range_misses`),
+    // and range-locked parallel writers on the bonsai backend.
+    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v2\",\n");
     out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
     out.push_str(&format!("  \"ops_per_thread\": {},\n", cfg.ops_per_thread));
     out.push_str(&format!(

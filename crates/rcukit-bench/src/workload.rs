@@ -2,8 +2,10 @@
 //!
 //! Produces deterministic page-fault/mmap/munmap traces shaped like the
 //! paper's evaluation workloads (Section 6): `metis`, an mmap-heavy
-//! MapReduce-style mix; `psearchy`, a fault-heavy indexing-style mix; and
-//! `uniform`, a no-locality microbenchmark. A trace is a pure function of
+//! MapReduce-style mix; `psearchy`, a fault-heavy indexing-style mix;
+//! `uniform`, a no-locality microbenchmark; and `writers`, a fault-free
+//! pure-mutation mix that stresses the range-locked parallel-writer path
+//! (N mutating threads on disjoint arenas). A trace is a pure function of
 //! `(spec, thread_id)` — same seed, same trace — so the identical workload
 //! can be replayed against the RCU `RangeMap` and the locked baseline, and
 //! across repo history.
@@ -22,12 +24,19 @@
 //!
 //! # Generator state machine
 //!
-//! Each thread's generator tracks which of its slots are mapped, starting
-//! from the replayer's initial state (even slots mapped, full width). A
-//! `Map` picks a random unmapped slot and maps 1..=`pages_per_slot` pages
-//! from its start; an `Unmap` picks a random mapped slot. When the wanted
-//! kind is impossible (all slots mapped / none mapped) the op degrades to
-//! its dual, keeping the mapped fraction near one half.
+//! Each thread's generator tracks the exact extent of each of its slots'
+//! regions, starting from the replayer's initial state (even slots mapped,
+//! full width). A `Map` picks a random unmapped slot and maps
+//! 1..=`pages_per_slot` pages from its start; an `Unmap` picks a random
+//! mapped slot and removes its region exactly. A fraction of unmaps
+//! (one in eight) becomes a multi-region [`Op::UnmapRange`] span that
+//! either removes the anchor region or truncates it mid-region (kernel
+//! `munmap` splitting a VMA) and clears up to one following slot — spans
+//! stay inside the generating thread's arena, so traces remain valid by
+//! construction and replayed `unmap_range` calls always affect at least
+//! one region. When the wanted kind is impossible (all slots mapped /
+//! none mapped) the op degrades to its dual, keeping the mapped fraction
+//! near one half.
 
 /// Page size used by the modeled address space.
 pub const PAGE: u64 = 0x1000;
@@ -41,6 +50,11 @@ pub enum Op {
     Map(u64, u64),
     /// Unmap the region starting at `start`.
     Unmap(u64),
+    /// Unmap every byte in `[start, end)` — a multi-region `munmap` that
+    /// removes regions inside the span and splits/truncates straddlers.
+    /// Generated spans always intersect at least one region, so a replay
+    /// observing zero affected regions indicates a backend bug.
+    UnmapRange(u64, u64),
 }
 
 /// A named workload shape: operation mix plus fault locality.
@@ -55,11 +69,22 @@ pub enum Profile {
     /// Uniform microbenchmark: moderate churn, no locality; every fault
     /// address is drawn from the whole span.
     Uniform,
+    /// Contended-writer microbenchmark: no faults at all — every op is a
+    /// map/unmap in the thread's own arena. With N threads this is N
+    /// writers mutating one shared address space on disjoint spans: the
+    /// workload the range-locked writer path exists for (and the one the
+    /// old single-writer mutex serialized completely).
+    Writers,
 }
 
 impl Profile {
     /// All profiles, in reporting order.
-    pub const ALL: [Profile; 3] = [Profile::Metis, Profile::Psearchy, Profile::Uniform];
+    pub const ALL: [Profile; 4] = [
+        Profile::Metis,
+        Profile::Psearchy,
+        Profile::Uniform,
+        Profile::Writers,
+    ];
 
     /// The profile's name as used by the CLI and the JSON output.
     pub fn name(self) -> &'static str {
@@ -67,6 +92,7 @@ impl Profile {
             Profile::Metis => "metis",
             Profile::Psearchy => "psearchy",
             Profile::Uniform => "uniform",
+            Profile::Writers => "writers",
         }
     }
 
@@ -76,8 +102,9 @@ impl Profile {
             "metis" => Ok(Profile::Metis),
             "psearchy" => Ok(Profile::Psearchy),
             "uniform" => Ok(Profile::Uniform),
+            "writers" => Ok(Profile::Writers),
             other => Err(format!(
-                "unknown profile {other:?} (expected metis|psearchy|uniform|all)"
+                "unknown profile {other:?} (expected metis|psearchy|uniform|writers|all)"
             )),
         }
     }
@@ -88,6 +115,7 @@ impl Profile {
             Profile::Metis => (512, 256, 256),
             Profile::Psearchy => (1004, 10, 10),
             Profile::Uniform => (922, 51, 51),
+            Profile::Writers => (0, 512, 512),
         }
     }
 
@@ -98,6 +126,7 @@ impl Profile {
             Profile::Metis => 921,    // ~0.9: cores chew their own buffers
             Profile::Psearchy => 819, // ~0.8: per-core index + shared corpus
             Profile::Uniform => 0,
+            Profile::Writers => 1024, // no faults; vacuous
         }
     }
 }
@@ -212,6 +241,12 @@ impl WorkloadSpec {
             .collect()
     }
 
+    /// Of the unmap ops, this fraction (parts per 1024) become multi-region
+    /// [`Op::UnmapRange`] spans. Kept small enough that the realized
+    /// map/unmap mix stays within the documented profile ratios (a ranged
+    /// span can clear more than one slot per op).
+    const RANGED_UNMAP_PPK: u32 = 128;
+
     /// Generates thread `t`'s trace. Pure: same spec and thread, same ops.
     pub fn thread_trace(&self, thread: usize) -> Vec<Op> {
         debug_assert!(self.validate().is_ok() && thread < self.threads);
@@ -223,10 +258,16 @@ impl WorkloadSpec {
         let (fault_ppk, map_ppk, _) = self.profile.mix();
         let locality_ppk = self.profile.locality();
 
-        let mut mapped: Vec<bool> = (0..self.slots_per_thread)
-            .map(|s| s.is_multiple_of(2))
+        // Exact end address of each slot's region, `None` when unmapped —
+        // the generator mirrors the replayed state precisely, which is
+        // what lets it emit mid-region truncating spans that stay valid.
+        let mut extents: Vec<Option<u64>> = (0..self.slots_per_thread)
+            .map(|s| {
+                s.is_multiple_of(2)
+                    .then(|| self.slot_start(thread, s) + self.slot_bytes())
+            })
             .collect();
-        let mut mapped_count = mapped.iter().filter(|&&m| m).count() as u64;
+        let mut mapped_count = extents.iter().filter(|e| e.is_some()).count() as u64;
         let mut trace = Vec::with_capacity(self.ops_per_thread);
 
         for _ in 0..self.ops_per_thread {
@@ -250,28 +291,76 @@ impl WorkloadSpec {
                 want_map
             };
             if do_map {
-                let slot = Self::pick_slot(&mapped, &mut rng, false);
+                let slot = Self::pick_slot(&extents, &mut rng, false);
                 let start = self.slot_start(thread, slot);
                 let pages = 1 + rng.below(self.pages_per_slot);
                 trace.push(Op::Map(start, start + pages * PAGE));
-                mapped[slot as usize] = true;
+                extents[slot as usize] = Some(start + pages * PAGE);
                 mapped_count += 1;
             } else {
-                let slot = Self::pick_slot(&mapped, &mut rng, true);
-                trace.push(Op::Unmap(self.slot_start(thread, slot)));
-                mapped[slot as usize] = false;
-                mapped_count -= 1;
+                let slot = Self::pick_slot(&extents, &mut rng, true);
+                let start = self.slot_start(thread, slot);
+                if rng.chance(Self::RANGED_UNMAP_PPK) {
+                    let op =
+                        self.ranged_unmap(thread, slot, &mut extents, &mut mapped_count, &mut rng);
+                    trace.push(op);
+                } else {
+                    trace.push(Op::Unmap(start));
+                    extents[slot as usize] = None;
+                    mapped_count -= 1;
+                }
             }
         }
         trace
     }
 
+    /// Builds a multi-region unmap span anchored at mapped `slot`: with
+    /// even odds (when the region is more than one page) the span starts
+    /// mid-region — truncating it, the kernel's VMA-split case — otherwise
+    /// at the region start, removing it; and it extends over up to one
+    /// following slot (clamped to the arena), clearing any region there.
+    /// The anchor region is always affected, so the replayed
+    /// `unmap_range` must never report zero affected regions.
+    fn ranged_unmap(
+        &self,
+        thread: usize,
+        slot: u64,
+        extents: &mut [Option<u64>],
+        mapped_count: &mut u64,
+        rng: &mut Rng,
+    ) -> Op {
+        let start = self.slot_start(thread, slot);
+        let end = extents[slot as usize].expect("ranged unmap anchor must be mapped");
+        let pages = (end - start) / PAGE;
+        let cut = if pages > 1 && rng.chance(512) {
+            // Truncate: keep [start, cut), clear [cut, …).
+            start + PAGE * (1 + rng.below(pages - 1))
+        } else {
+            start
+        };
+        if cut == start {
+            extents[slot as usize] = None;
+            *mapped_count -= 1;
+        } else {
+            extents[slot as usize] = Some(cut);
+        }
+        // Extend over 0 or 1 following slots, staying inside the arena.
+        let span_slots = (slot + 1 + rng.below(2)).min(self.slots_per_thread);
+        for s in slot + 1..span_slots {
+            if extents[s as usize].take().is_some() {
+                *mapped_count -= 1;
+            }
+        }
+        let hi = self.slot_start(thread, 0) + span_slots * self.slot_bytes();
+        Op::UnmapRange(cut, hi)
+    }
+
     /// Picks a uniformly random slot whose mapped-state equals `state`.
     /// The caller guarantees at least one exists.
-    fn pick_slot(mapped: &[bool], rng: &mut Rng, state: bool) -> u64 {
+    fn pick_slot(extents: &[Option<u64>], rng: &mut Rng, state: bool) -> u64 {
         loop {
-            let slot = rng.below(mapped.len() as u64);
-            if mapped[slot as usize] == state {
+            let slot = rng.below(extents.len() as u64);
+            if extents[slot as usize].is_some() == state {
                 return slot;
             }
         }
@@ -320,11 +409,15 @@ mod tests {
             let total = trace.len() as f64;
             let faults = trace.iter().filter(|o| matches!(o, Op::Fault(_))).count() as f64;
             let maps = trace.iter().filter(|o| matches!(o, Op::Map(..))).count() as f64;
-            let unmaps = trace.iter().filter(|o| matches!(o, Op::Unmap(_))).count() as f64;
+            let unmaps = trace
+                .iter()
+                .filter(|o| matches!(o, Op::Unmap(_) | Op::UnmapRange(..)))
+                .count() as f64;
             let (f, m, u) = profile.mix();
-            // Map/unmap can trade places when a wanted kind is impossible,
-            // so their tolerance is shared; 2% absolute on 100k ops is wide
-            // enough for the RNG, tight enough to catch a mix regression.
+            // Map/unmap can trade places when a wanted kind is impossible
+            // (and a ranged unmap can clear more than one slot), so their
+            // tolerance is shared; 2% absolute on 100k ops is wide enough
+            // for the RNG, tight enough to catch a mix regression.
             assert!(
                 (faults / total - f as f64 / 1024.0).abs() < 0.02,
                 "{profile:?} fault ratio {faults}/{total}"
@@ -340,33 +433,104 @@ mod tests {
         }
     }
 
-    /// Replaying a trace against a model of slot states must never map an
-    /// already-mapped slot or unmap an unmapped one: traces are valid by
-    /// construction, so backend `map`/`unmap` failures indicate real bugs.
+    /// Ranged unmaps must actually occur — and exercise both the
+    /// truncating (mid-region) and removing (region-start) shapes.
+    #[test]
+    fn ranged_unmaps_cover_truncation_and_removal() {
+        let s = spec(Profile::Writers);
+        let mut truncating = 0usize;
+        let mut removing = 0usize;
+        for t in 0..s.threads {
+            for op in s.thread_trace(t) {
+                if let Op::UnmapRange(lo, _) = op {
+                    let rel = lo - s.slot_start(t, 0);
+                    if rel.is_multiple_of(s.slot_bytes()) {
+                        removing += 1;
+                    } else {
+                        truncating += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            truncating > 0,
+            "no mid-region (VMA-splitting) spans generated"
+        );
+        assert!(removing > 0, "no region-start spans generated");
+    }
+
+    /// The writers profile is pure mutation: no faults at all.
+    #[test]
+    fn writers_profile_has_no_faults() {
+        let s = spec(Profile::Writers);
+        let trace = s.thread_trace(0);
+        assert!(
+            !trace.iter().any(|o| matches!(o, Op::Fault(_))),
+            "writers profile generated a fault"
+        );
+        assert!(trace.iter().any(|o| matches!(o, Op::UnmapRange(..))));
+    }
+
+    /// Replaying a trace against an exact extent model must never map an
+    /// already-mapped slot, unmap an unmapped one, or emit a ranged span
+    /// that misses every region: traces are valid by construction, so
+    /// backend `map`/`unmap`/`unmap_range` failures indicate real bugs.
     #[test]
     fn traces_are_valid_against_the_initial_state() {
         for profile in Profile::ALL {
             let s = spec(profile);
             for t in 0..s.threads {
-                let mut mapped: Vec<bool> = (0..s.slots_per_thread)
-                    .map(|x| x.is_multiple_of(2))
+                let arena_base = s.slot_start(t, 0);
+                let arena_end = arena_base + s.arena_bytes();
+                let mut extents: Vec<Option<u64>> = (0..s.slots_per_thread)
+                    .map(|x| {
+                        x.is_multiple_of(2)
+                            .then(|| s.slot_start(t, x) + s.slot_bytes())
+                    })
                     .collect();
                 for op in s.thread_trace(t) {
                     match op {
                         Op::Fault(addr) => assert!(addr < s.span()),
                         Op::Map(start, end) => {
-                            let rel = start - s.slot_start(t, 0);
+                            let rel = start - arena_base;
                             assert!(rel.is_multiple_of(s.slot_bytes()));
                             let slot = (rel / s.slot_bytes()) as usize;
                             assert!(end - start <= s.slot_bytes());
-                            assert!(!mapped[slot], "{profile:?}: double map");
-                            mapped[slot] = true;
+                            assert!(extents[slot].is_none(), "{profile:?}: double map");
+                            extents[slot] = Some(end);
                         }
                         Op::Unmap(start) => {
-                            let rel = start - s.slot_start(t, 0);
+                            let rel = start - arena_base;
+                            assert!(rel.is_multiple_of(s.slot_bytes()));
                             let slot = (rel / s.slot_bytes()) as usize;
-                            assert!(mapped[slot], "{profile:?}: unmap of unmapped");
-                            mapped[slot] = false;
+                            assert!(extents[slot].is_some(), "{profile:?}: unmap of unmapped");
+                            extents[slot] = None;
+                        }
+                        Op::UnmapRange(lo, hi) => {
+                            // Arena-local, slot-aligned end, non-empty.
+                            assert!(lo < hi, "{profile:?}: empty span");
+                            assert!(lo >= arena_base && hi <= arena_end);
+                            assert!((hi - arena_base).is_multiple_of(s.slot_bytes()));
+                            // The anchor region must exist and be affected:
+                            // `lo` lies strictly below its current end.
+                            let slot = ((lo - arena_base) / s.slot_bytes()) as usize;
+                            let anchor_start = s.slot_start(t, slot as u64);
+                            let end = extents[slot].unwrap_or_else(|| {
+                                panic!("{profile:?}: ranged span anchored on unmapped slot")
+                            });
+                            assert!(lo < end, "{profile:?}: span misses the anchor region");
+                            if lo > anchor_start {
+                                // Truncation keeps the head piece.
+                                extents[slot] = Some(lo);
+                            } else {
+                                extents[slot] = None;
+                            }
+                            // Following slots inside the span are cleared
+                            // entirely (regions never straddle slots).
+                            let hi_slot = ((hi - arena_base) / s.slot_bytes()) as usize;
+                            for e in extents.iter_mut().take(hi_slot).skip(slot + 1) {
+                                *e = None;
+                            }
                         }
                     }
                 }

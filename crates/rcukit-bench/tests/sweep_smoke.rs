@@ -8,7 +8,7 @@ use rcukit_bench::workload::Profile;
 fn tiny_config() -> SweepConfig {
     SweepConfig {
         threads: vec![1, 2],
-        profiles: vec![Profile::Metis, Profile::Psearchy],
+        profiles: vec![Profile::Metis, Profile::Psearchy, Profile::Writers],
         backends: Backend::ALL.to_vec(),
         ops_per_thread: 5_000,
         slots_per_thread: 16,
@@ -37,6 +37,7 @@ fn sweep_runs_both_backends_over_identical_work() {
         // Traces are valid by construction; rejects/misses mean backend bugs.
         assert_eq!(point.tally.map_rejects, 0, "{point:?}");
         assert_eq!(point.tally.unmap_misses, 0, "{point:?}");
+        assert_eq!(point.tally.unmap_range_misses, 0, "{point:?}");
         // The bonsai backend must retire and free the same count after the
         // final grace period; the locked baseline trivially passes.
         assert!(point.reclaim_ok, "{point:?}");
@@ -54,6 +55,7 @@ fn sweep_runs_both_backends_over_identical_work() {
         assert_eq!(a.tally.faults, b.tally.faults);
         assert_eq!(a.tally.maps, b.tally.maps);
         assert_eq!(a.tally.unmaps, b.tally.unmaps);
+        assert_eq!(a.tally.unmap_ranges, b.tally.unmap_ranges);
         // Hit counts are only interleaving-independent single-threaded: a
         // cross-arena fault races other threads' map/unmap replay.
         if a.threads == 1 {
@@ -75,7 +77,7 @@ fn trajectory_document_is_well_formed_json() {
     };
     assert_eq!(
         lookup(&top, "schema"),
-        Some(&json::Value::String("rcukit-bench/addrspace-v1".into()))
+        Some(&json::Value::String("rcukit-bench/addrspace-v2".into()))
     );
     assert_eq!(lookup(&top, "seed"), Some(&json::Value::Number(7.0)));
     match lookup(&top, "results") {
@@ -85,7 +87,15 @@ fn trajectory_document_is_well_formed_json() {
                 let json::Value::Object(fields) = record else {
                     panic!("record must be an object");
                 };
-                for key in ["profile", "backend", "threads", "ops_per_sec", "reclaim_ok"] {
+                for key in [
+                    "profile",
+                    "backend",
+                    "threads",
+                    "ops_per_sec",
+                    "unmap_ranges",
+                    "unmap_range_misses",
+                    "reclaim_ok",
+                ] {
                     assert!(lookup(fields, key).is_some(), "record missing {key}");
                 }
             }

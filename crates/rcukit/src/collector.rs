@@ -48,6 +48,20 @@ use crate::GRACE_EPOCHS;
 /// many retirements, even if the owning guard is still pinned.
 const BAG_SEAL_THRESHOLD: usize = 64;
 
+/// Default collect throttle: a guard-free unpin that sealed garbage runs the
+/// opportunistic advance-and-reclaim pass only every this-many
+/// garbage-bearing unpins (per handle), instead of on every one. Between
+/// collects, sealed bags simply queue in the home shard. Overridable per
+/// collector via [`Collector::set_unpin_collect_period`] (tests and model
+/// scenarios set `1` to recover collect-every-unpin behaviour).
+const UNPIN_COLLECT_PERIOD: usize = 8;
+
+/// Collect-throttle escape hatch: if the handle's home shard has at least
+/// this many sealed bags queued, a garbage-bearing unpin collects regardless
+/// of the per-handle counter, bounding queue growth when one handle does all
+/// the retiring.
+const QUEUE_COLLECT_THRESHOLD: usize = 16;
+
 /// Packs an epoch into a pinned status word.
 #[inline]
 pub(crate) fn pack(epoch: u64) -> u64 {
@@ -85,6 +99,10 @@ pub(crate) struct LocalState {
     /// opportunistic collect because the thread still held other guards;
     /// this handle's next guard-free unpin collects instead.
     pub(crate) collect_pending: AtomicBool,
+    /// Garbage-bearing guard-free unpins since this handle last ran the
+    /// opportunistic collect — the collect-throttle counter. Only the
+    /// owning thread reads or writes it (plain load/store, no RMW).
+    pub(crate) garbage_unpins: AtomicUsize,
     /// Index of the home shard holding this thread's registry entry and
     /// receiving its sealed bags.
     pub(crate) shard: usize,
@@ -101,6 +119,7 @@ impl LocalState {
             guard_count: AtomicUsize::new(0),
             orphaned: AtomicBool::new(false),
             collect_pending: AtomicBool::new(false),
+            garbage_unpins: AtomicUsize::new(0),
             shard,
             bag: Mutex::new(Bag::new(0)),
         }
@@ -115,6 +134,10 @@ struct Shard {
     registry: Mutex<Vec<Arc<LocalState>>>,
     /// Sealed bags from this shard's threads awaiting a grace period.
     garbage: Mutex<Vec<Bag>>,
+    /// Mirror of `garbage.len()`, maintained under the `garbage` lock but
+    /// readable without it — the collect throttle's queue-pressure probe
+    /// must not take the very lock the throttle exists to avoid.
+    garbage_len: AtomicUsize,
 }
 
 impl Shard {
@@ -122,7 +145,18 @@ impl Shard {
         Self {
             registry: Mutex::new(Vec::new()),
             garbage: Mutex::new(Vec::new()),
+            garbage_len: AtomicUsize::new(0),
         }
+    }
+
+    /// Pushes a sealed bag, keeping the lock-free length mirror exact
+    /// (every `garbage` mutation site goes through here or
+    /// [`Inner::reclaim`]/`Inner::drop`, all of which hold the lock while
+    /// storing the new length).
+    fn push_garbage(&self, bag: Bag) {
+        let mut garbage = self.garbage.lock().unwrap();
+        garbage.push(bag);
+        self.garbage_len.store(garbage.len(), SeqCst);
     }
 }
 
@@ -154,7 +188,13 @@ pub(crate) struct Inner {
     /// "alive only because caches hold it" apart from "externally owned":
     /// the collector is abandoned exactly when every strong reference is a
     /// cache entry, i.e. `strong_count <= tls_cached`.
+    #[cfg_attr(loom, allow(dead_code))] // TLS cache layer is outside the model's scope
     tls_cached: AtomicUsize,
+    /// Collect throttle period: a guard-free unpin that sealed garbage runs
+    /// the opportunistic collect only every this-many garbage-bearing
+    /// unpins per handle (see [`UNPIN_COLLECT_PERIOD`]; minimum 1 =
+    /// collect every time).
+    unpin_collect_period: AtomicUsize,
 }
 
 impl Inner {
@@ -217,6 +257,7 @@ impl Inner {
                     i += 1;
                 }
             }
+            shard.garbage_len.store(garbage.len(), SeqCst);
             remaining |= !garbage.is_empty();
         }
         let mut n = 0;
@@ -238,11 +279,7 @@ impl Inner {
             let epoch = bag.epoch;
             mem::replace(&mut *bag, Bag::new(epoch))
         };
-        self.shards[local.shard]
-            .garbage
-            .lock()
-            .unwrap()
-            .push(sealed);
+        self.shards[local.shard].push_garbage(sealed);
         true
     }
 
@@ -274,19 +311,20 @@ impl Inner {
             (stale, full)
         };
         self.retired.fetch_add(1, SeqCst);
-        let mut garbage = None;
         if sealed.0.is_some() || sealed.1.is_some() {
             // A bag sealed mid-critical-section leaves the local bag empty
             // at unpin, so `Guard::drop`'s `had_garbage` check alone would
             // never collect it; arm the handle's pending flag.
             local.collect_pending.store(true, SeqCst);
-            garbage = Some(self.shards[local.shard].garbage.lock().unwrap());
-        }
-        if let Some(bag) = sealed.0 {
-            garbage.as_mut().unwrap().push(bag);
-        }
-        if let Some(bag) = sealed.1 {
-            garbage.as_mut().unwrap().push(bag);
+            let shard = &self.shards[local.shard];
+            let mut garbage = shard.garbage.lock().unwrap();
+            if let Some(bag) = sealed.0 {
+                garbage.push(bag);
+            }
+            if let Some(bag) = sealed.1 {
+                garbage.push(bag);
+            }
+            shard.garbage_len.store(garbage.len(), SeqCst);
         }
     }
 
@@ -301,6 +339,23 @@ impl Inner {
     pub(crate) fn collect(&self) -> (usize, bool) {
         self.try_advance();
         self.reclaim()
+    }
+
+    /// The collect-throttle gate, consulted by a guard-free outermost unpin
+    /// that just sealed garbage: counts the unpin against the handle and
+    /// returns whether this one should run the opportunistic collect —
+    /// every [`UNPIN_COLLECT_PERIOD`]-th garbage-bearing unpin, or sooner
+    /// when the handle's home shard has [`QUEUE_COLLECT_THRESHOLD`] sealed
+    /// bags queued (a lock-free read of the shard's length mirror). The
+    /// counter resets only when the collect is due, so skipped unpins
+    /// accumulate toward the next one.
+    pub(crate) fn unpin_collect_due(&self, local: &LocalState) -> bool {
+        let n = local.garbage_unpins.load(SeqCst) + 1;
+        let due = n >= self.unpin_collect_period.load(SeqCst)
+            || self.shards[local.shard].garbage_len.load(SeqCst) >= QUEUE_COLLECT_THRESHOLD;
+        // Owner-thread-only counter: a plain store is enough.
+        local.garbage_unpins.store(if due { 0 } else { n }, SeqCst);
+        due
     }
 }
 
@@ -330,6 +385,7 @@ impl Drop for Inner {
 /// [`Inner::tls_cached`] census accurate: the count is incremented when the
 /// entry is created (in [`Collector::pin`]) and decremented here on drop,
 /// whether the entry dies by sweep eviction or by thread exit.
+#[cfg_attr(loom, allow(dead_code))] // TLS cache layer is outside the model's scope
 struct CachedHandle {
     id: usize,
     handle: LocalHandle,
@@ -347,6 +403,7 @@ impl Drop for CachedHandle {
 }
 
 /// A thread's handle cache plus the pin counter driving the sampled sweep.
+#[cfg_attr(loom, allow(dead_code))] // TLS cache layer is outside the model's scope
 struct HandleCache {
     entries: Vec<CachedHandle>,
     /// Cache-hit pins since the last sweep; at [`SWEEP_PERIOD`] the hit path
@@ -355,6 +412,7 @@ struct HandleCache {
     pins_since_sweep: u32,
 }
 
+#[cfg_attr(loom, allow(dead_code))] // TLS cache layer is outside the model's scope
 impl HandleCache {
     /// The sampled eviction gate shared by [`Collector::pin`] and
     /// [`Collector::housekeep`]: counts the pin, and sweeps when due
@@ -383,6 +441,7 @@ impl HandleCache {
 
 /// Run the eviction sweep on the hit path after this many pins. Misses
 /// always sweep (they already take the registry lock to register).
+#[cfg_attr(loom, allow(dead_code))] // TLS cache layer is outside the model's scope
 const SWEEP_PERIOD: u32 = 128;
 
 /// Drains entries whose collector *appears* to be referenced only by TLS
@@ -394,6 +453,7 @@ const SWEEP_PERIOD: u32 = 128;
 /// hinge. The caller must drop the returned entries *outside* the `HANDLES`
 /// borrow: the last cache to let go triggers `Inner::drop`, which runs user
 /// deferred callbacks that may re-enter [`Collector::pin`].
+#[cfg_attr(loom, allow(dead_code))] // TLS cache layer is outside the model's scope
 fn sweep_abandoned(entries: &mut Vec<CachedHandle>) -> Vec<CachedHandle> {
     let mut evicted = Vec::new();
     let mut i = 0;
@@ -454,12 +514,24 @@ impl Collector {
                 freed: AtomicU64::new(0),
                 registry_locks: AtomicU64::new(0),
                 tls_cached: AtomicUsize::new(0),
+                unpin_collect_period: AtomicUsize::new(UNPIN_COLLECT_PERIOD),
             }),
         }
     }
 
+    /// Overrides how often a garbage-bearing guard-free unpin runs the
+    /// opportunistic collect (default [`UNPIN_COLLECT_PERIOD`]; clamped to
+    /// at least 1, which recovers collect-on-every-unpin). Test aid: model
+    /// scenarios shrink the period to keep unpin-driven reclamation inside
+    /// the explored schedule space, and throttle tests widen it.
+    #[doc(hidden)]
+    pub fn set_unpin_collect_period(&self, period: usize) {
+        self.inner.unpin_collect_period.store(period.max(1), SeqCst);
+    }
+
     /// A process-unique identity for this collector, stable for its lifetime.
     #[inline]
+    #[cfg_attr(loom, allow(dead_code))] // TLS cache layer is outside the model's scope
     pub(crate) fn id(&self) -> usize {
         Arc::as_ptr(&self.inner) as usize
     }
@@ -493,6 +565,19 @@ impl Collector {
     /// atomic read-modify-write: the guard borrows `self` instead of
     /// cloning the collector handle.
     pub fn pin(&self) -> Guard<'_> {
+        // Model-checking tier: the TLS handle cache is deliberately outside
+        // the model's scope. A cached handle is torn down by the OS
+        // thread-exit TLS destructor, which runs *after* the model thread
+        // has finished — i.e. outside the loomette scheduler — and its
+        // registry unregistration would race the still-scheduled threads on
+        // real time (nondeterministic replay, and a real deadlock if a
+        // paused model thread holds the registry mutex). Orphan pins keep
+        // every registry mutation inside the scheduled body.
+        #[cfg(loom)]
+        {
+            return self.pin_orphan();
+        }
+        #[cfg(not(loom))]
         loop {
             let outcome = HANDLES.try_with(|cache| {
                 let mut cache = cache.borrow_mut();
@@ -543,19 +628,27 @@ impl Collector {
     /// a point where no lock is held and no guard is live, or abandoned
     /// collectors cached on the thread are only released at thread exit.
     pub fn pin_quiet(&self) -> Guard<'_> {
-        let cached = HANDLES.try_with(|cache| {
-            let mut cache = cache.borrow_mut();
-            let cache = &mut *cache;
-            let id = self.id();
-            if let Some(entry) = cache.entries.iter().find(|e| e.id == id) {
-                Guard::enter_owned(self, entry.handle.local.clone())
-            } else {
-                self.register_into(cache)
+        // See `pin`: no TLS caching under the model checker.
+        #[cfg(loom)]
+        {
+            return self.pin_orphan();
+        }
+        #[cfg(not(loom))]
+        {
+            let cached = HANDLES.try_with(|cache| {
+                let mut cache = cache.borrow_mut();
+                let cache = &mut *cache;
+                let id = self.id();
+                if let Some(entry) = cache.entries.iter().find(|e| e.id == id) {
+                    Guard::enter_owned(self, entry.handle.local.clone())
+                } else {
+                    self.register_into(cache)
+                }
+            });
+            match cached {
+                Ok(guard) => guard,
+                Err(_) => self.pin_orphan(),
             }
-        });
-        match cached {
-            Ok(guard) => guard,
-            Err(_) => self.pin_orphan(),
         }
     }
 
@@ -566,15 +659,21 @@ impl Collector {
     /// callbacks run inline here and may themselves pin, block on a grace
     /// period, or take locks).
     pub fn housekeep(&self) {
-        let evicted = HANDLES.try_with(|cache| cache.borrow_mut().sweep_if_due(false));
-        if let Ok(evicted) = evicted {
-            // Outside the borrow, as in `pin`.
-            drop(evicted);
+        // See `pin`: no TLS cache — and so nothing to sweep — under the
+        // model checker.
+        #[cfg(not(loom))]
+        {
+            let evicted = HANDLES.try_with(|cache| cache.borrow_mut().sweep_if_due(false));
+            if let Ok(evicted) = evicted {
+                // Outside the borrow, as in `pin`.
+                drop(evicted);
+            }
         }
     }
 
     /// Registers this thread with the collector and caches the handle.
     /// Shared miss path of [`pin`](Self::pin)/[`pin_quiet`](Self::pin_quiet).
+    #[cfg_attr(loom, allow(dead_code))] // TLS cache layer is outside the model's scope
     fn register_into(&self, cache: &mut HandleCache) -> Guard<'_> {
         let handle = self.register();
         let guard = Guard::enter_owned(self, handle.local.clone());

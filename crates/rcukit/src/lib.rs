@@ -21,6 +21,11 @@
 //! * [`Collector::synchronize`] blocks until a full grace period has elapsed
 //!   (the classic `synchronize_rcu`).
 //!
+//! The full protocol narrative — this crate's epoch lifecycle and memory
+//! ordering together with the `bonsai` crate's writer sessions and range
+//! locks built on top — lives in `docs/CONCURRENCY.md` at the repository
+//! root.
+//!
 //! Two reclamation flavours are provided:
 //!
 //! * [`Collector`] — epoch-based, pin/unpin per critical section, suitable
@@ -94,7 +99,10 @@
 //!    per core, one shard lock at a time, so concurrent advancers and
 //!    registrations in other shards never convoy on a global lock — and
 //!    moves the global epoch from `E` to `E + 1` only when every pinned
-//!    thread's recorded epoch equals `E`.
+//!    thread's recorded epoch equals `E`. Unpin-driven advances are
+//!    *throttled* per handle: only every Nth garbage-bearing unpin (or
+//!    sooner under shard-queue pressure) pays the scan, so a
+//!    mutation-heavy writer is not on the registry locks every operation.
 //! 4. **Reclaim.** A sealed bag tagged `e` fires once the global epoch
 //!    reaches `e + `[`GRACE_EPOCHS`]: every reader that could have observed
 //!    its contents pinned no later than the retirement, so two advances

@@ -51,6 +51,10 @@ fn loom_finds_seeded_retire_before_publish_bug() {
     let caught = std::panic::catch_unwind(|| {
         loomette::model(|| {
             let c = Collector::with_shards(1);
+            // The seeded violation needs the unpin-driven epoch advance
+            // between the (buggy, too-early) retire and the unlink store;
+            // the collect throttle would otherwise skip it.
+            c.set_unpin_collect_period(1);
             let slot = Arc::new(AtomicUsize::new(0));
             let freed = Arc::new([AtomicBool::new(false), AtomicBool::new(false)]);
             let reader = {

@@ -104,6 +104,10 @@ pub fn pin_publication() {
 /// newer epoch tag.
 pub fn retire_publish_unpin_collect() {
     let c = Collector::with_shards(1);
+    // The scenario's point is the *unpin-driven* collect path; disable the
+    // collect throttle so every garbage-bearing unpin runs it, as the
+    // pre-throttle protocol did.
+    c.set_unpin_collect_period(1);
     let slot = Arc::new(AtomicUsize::new(0));
     let freed = Arc::new([
         AtomicBool::new(false),

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_addrspace.json trajectories and fail on regressions.
+
+Usage:
+    scripts/bench_compare.py OLD.json NEW.json [--threshold PCT] [--metric M]
+
+Matches records across the two files by (profile, threads, backend) and
+fails (exit 1) if the chosen metric regressed by more than the threshold
+at any matching point. Points present in only one file are reported but do
+not fail the comparison (sweep shapes legitimately grow across commits).
+Sanity fields (`map_rejects`, `unmap_misses`, `unmap_range_misses`,
+`reclaim_ok`) are hard-checked in the NEW file: a nonzero miss count or a
+failed reclaim check fails the run regardless of throughput.
+
+Intended uses: `bench_compare.py <old-commit's json> BENCH_addrspace.json`
+during review, and the CI smoke invocation that diffs the committed
+trajectory against the one the CI box just produced — which also keeps
+this script from rotting. Absolute numbers vary by machine, so CI uses a
+generous threshold; the strict 20% default is for same-machine A/Bs.
+
+No dependencies outside the standard library.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_points(path):
+    with open(path) as f:
+        doc = json.load(f)
+    schema = doc.get("schema", "")
+    if not schema.startswith("rcukit-bench/addrspace-v"):
+        sys.exit(f"{path}: unrecognized schema {schema!r}")
+    points = {}
+    for rec in doc.get("results", []):
+        key = (rec["profile"], rec["threads"], rec["backend"])
+        if key in points:
+            sys.exit(f"{path}: duplicate record for {key}")
+        points[key] = rec
+    if not points:
+        sys.exit(f"{path}: no result records")
+    return points
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old", help="baseline trajectory JSON")
+    ap.add_argument("new", help="candidate trajectory JSON")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=20.0,
+        metavar="PCT",
+        help="fail if the metric drops more than this percent (default 20)",
+    )
+    ap.add_argument(
+        "--metric",
+        default="ops_per_sec",
+        help="record field to compare (default ops_per_sec)",
+    )
+    args = ap.parse_args()
+
+    old = load_points(args.old)
+    new = load_points(args.new)
+
+    failures = []
+    compared = 0
+    for key in sorted(old.keys() | new.keys()):
+        label = "{}/t{}/{}".format(*key)
+        if key not in new:
+            print(f"note: {label} only in {args.old}")
+            continue
+        rec = new[key]
+        # Hard sanity gates on the candidate, throughput aside.
+        for field in ("map_rejects", "unmap_misses", "unmap_range_misses"):
+            if rec.get(field, 0) != 0:
+                failures.append(f"{label}: {field} = {rec[field]} (must be 0)")
+        if rec.get("reclaim_ok") is False:
+            failures.append(f"{label}: reclaim_ok is false")
+        if key not in old:
+            print(f"note: {label} only in {args.new}")
+            continue
+        before = old[key].get(args.metric)
+        after = rec.get(args.metric)
+        if before is None or after is None:
+            failures.append(f"{label}: metric {args.metric!r} missing")
+            continue
+        compared += 1
+        if before <= 0:
+            continue
+        delta_pct = (after - before) / before * 100.0
+        marker = ""
+        if delta_pct < -args.threshold:
+            failures.append(
+                f"{label}: {args.metric} regressed {-delta_pct:.1f}% "
+                f"({before:.0f} -> {after:.0f})"
+            )
+            marker = "  <-- REGRESSION"
+        print(f"{label}: {before:.0f} -> {after:.0f} ({delta_pct:+.1f}%){marker}")
+
+    if compared == 0:
+        sys.exit("no matching (profile, threads, backend) points to compare")
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nOK: {compared} matching points within {args.threshold:.0f}%")
+
+
+if __name__ == "__main__":
+    main()
