@@ -1,0 +1,407 @@
+//! A slab arena for copy-on-write tree nodes, recycled through the
+//! collector's grace periods.
+//!
+//! Every update of the Bonsai tree allocates O(log n) node boxes and
+//! retires as many; with plain `Box` each of those is a malloc/free pair
+//! on the writer's hot path. The arena replaces them with fixed-size
+//! *blocks* carved from chunks it owns:
+//!
+//! * **alloc** pops the lock-free recycle list (a Treiber stack threaded
+//!   through the free blocks themselves), falling back to carving a new
+//!   chunk only while the arena is still warming up;
+//! * **recycle** happens through the collector: a committed update ships
+//!   its replaced nodes as one [`RecycleBatch`] via
+//!   [`Guard::defer_recycle`](rcukit::Guard), and after the grace period
+//!   the arena (as the batch's [`Recycler`]) drops each payload in place
+//!   and pushes the block back onto the recycle list — a node returns to
+//!   an arena only after its grace period;
+//! * the **batch buffers** themselves are pooled here too, so the retire
+//!   step is also allocation-free once warm.
+//!
+//! # Ownership and lifetime
+//!
+//! One arena lives in each [`WriterScratch`](crate::tree::WriterScratch) —
+//! the tree's mutex-owned scratch and every scratch pooled by a
+//! [`RangeLocks`](crate::range_lock::RangeLocks) table — so allocation
+//! needs no sharing: exactly one writer holds a given scratch (and its
+//! arena) at a time, which is what makes the single-consumer pop below
+//! sound.
+//!
+//! Blocks may migrate between sibling arenas: a writer holding scratch A
+//! can retire nodes that were allocated from scratch B's arena, and they
+//! recycle into A's free list. Chunk *storage* is therefore deliberately
+//! not per-arena: every arena of one family (one `RangeMap`'s pool, or a
+//! standalone tree's single scratch) shares one [`ChunkStore`], and every
+//! arena — plus, transitively, **every in-flight deferred batch**, which
+//! holds an `Arc` to its recycling arena — pins the store. So a block's
+//! backing chunk stays allocated as long as *any* family arena or *any*
+//! pending batch exists, wherever the block was allocated and whichever
+//! free list it rests on: an arena (and the chunks behind it) outlives
+//! its range lock's pool slot, and dropping the whole map with
+//! retirements still waiting out their grace period leaves the batch's
+//! blocks in live memory until the batch fires. Which arena's free list
+//! a block sits on does not matter — only that its chunk is alive, and
+//! the `Arc` web above guarantees exactly that.
+
+use std::mem::ManuallyDrop;
+use std::ptr;
+use std::sync::atomic::Ordering::SeqCst;
+use std::sync::Arc;
+
+use rcukit::{RecycleBatch, Recycler};
+
+use crate::sync::atomic::AtomicPtr;
+use crate::sync::Mutex;
+
+/// Blocks carved per chunk. Amortizes the chunk allocation to 1/64th of a
+/// warming-up update's allocations; steady state allocates no chunks.
+const CHUNK_BLOCKS: usize = 64;
+
+/// Cap on pooled batch buffers (one is in use per in-flight retirement; a
+/// single writer rarely has more than a handful pending).
+const BATCH_POOL_MAX: usize = 32;
+
+/// One arena block: either a live value or a link in the recycle list.
+/// `repr(C)` so both fields sit at offset zero — a `*mut Block<T>` and the
+/// `*mut T` handed to the tree are the same address.
+#[repr(C)]
+union Block<T> {
+    value: ManuallyDrop<T>,
+    next: *mut Block<T>,
+}
+
+/// Chunk storage shared by every arena of one family (see the module
+/// docs): raw leaked slices, not `Box`es in place — moving a `Box`, as a
+/// `Vec` does on growth, would invalidate the block pointers derived from
+/// it under stacked borrows. Grows during warm-up, never shrinks; freed by
+/// `Drop`, i.e. only when the last family arena *and* the last pending
+/// batch (each of which pins its arena, which pins the store) are gone.
+pub(crate) struct ChunkStore<T> {
+    chunks: Mutex<Vec<*mut [Block<T>]>>,
+}
+
+// Safety: the store only owns raw storage; blocks' payloads cross threads
+// under the arena protocol (`T: Send`), and all mutation is under the
+// mutex.
+unsafe impl<T: Send> Send for ChunkStore<T> {}
+// Safety: as above.
+unsafe impl<T: Send> Sync for ChunkStore<T> {}
+
+impl<T> ChunkStore<T> {
+    pub(crate) fn new() -> Self {
+        Self {
+            chunks: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T> Drop for ChunkStore<T> {
+    fn drop(&mut self) {
+        // Runs only once no family arena and no pending batch holds the
+        // store: every block's payload has already been dropped (in place
+        // by the owning structure's drop, or by `reclaim_block`), and
+        // `Block` has no drop glue of its own, so this only releases the
+        // storage.
+        for &raw in self.chunks.get_mut().unwrap().iter() {
+            // Safety: leaked by `Arena::grow`, freed exactly once here.
+            unsafe { drop(Box::from_raw(raw)) };
+        }
+    }
+}
+
+/// The shared arena state: recycle list, handle on the family chunk
+/// store, batch-buffer pool.
+pub(crate) struct ArenaShared<T> {
+    /// Treiber stack of free blocks, threaded through the blocks
+    /// themselves. Multi-producer (any reclaiming thread pushes),
+    /// single-consumer (only the writer holding the owning scratch pops).
+    free: AtomicPtr<Block<T>>,
+    /// The family chunk store backing this arena's blocks — and, because
+    /// blocks migrate, possibly blocks on sibling free lists too. Held by
+    /// `Arc` so a pending batch (which holds an `Arc` to this arena) pins
+    /// every chunk any of its blocks could live in.
+    store: Arc<ChunkStore<T>>,
+    /// Drained batch buffers awaiting reuse by the next commit.
+    batches: Mutex<Vec<RecycleBatch>>,
+}
+
+// Safety: the raw pointers are either free blocks owned by the family's
+// store or are handed out under the writer protocol; payloads cross
+// threads only on the recycle path, which drops a `T` on the reclaiming
+// thread — hence `T: Send`.
+unsafe impl<T: Send> Send for ArenaShared<T> {}
+// Safety: as above; all shared mutation goes through the atomic free-list
+// head or the internal mutexes.
+unsafe impl<T: Send> Sync for ArenaShared<T> {}
+
+impl<T> ArenaShared<T> {
+    /// Pushes a free block (multi-producer half of the recycle list).
+    fn push_free(&self, block: *mut Block<T>) {
+        let mut head = self.free.load(SeqCst);
+        loop {
+            // Safety: `block` is exclusively owned by this call (freshly
+            // carved, discarded by the owning writer, or past its grace
+            // period); writing its link field cannot race.
+            unsafe { (*block).next = head };
+            match self.free.compare_exchange(head, block, SeqCst, SeqCst) {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Pops a free block. Sound only for the single consumer (the writer
+    /// holding the owning scratch): with one popper, the head observed
+    /// here cannot be removed and re-pushed by anyone else mid-CAS, so the
+    /// ABA hazard of a multi-consumer Treiber pop does not arise.
+    fn pop_free(&self) -> Option<*mut Block<T>> {
+        let mut head = self.free.load(SeqCst);
+        loop {
+            if head.is_null() {
+                return None;
+            }
+            // Safety: `head` is on the free list; its link field was
+            // written before the block became reachable and only this
+            // (single) consumer can unlink it.
+            let next = unsafe { (*head).next };
+            match self.free.compare_exchange(head, next, SeqCst, SeqCst) {
+                Ok(_) => return Some(head),
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Drops the payload of a retired block and returns the block to the
+    /// free list.
+    ///
+    /// # Safety
+    ///
+    /// `block` must hold an initialized `T` that no thread can still
+    /// observe, retired exactly once.
+    unsafe fn reclaim_block(&self, block: *mut Block<T>) {
+        // Safety: per the contract, the payload is initialized and ours.
+        // Raw projection (`addr_of_mut!`), never a reference: the sibling
+        // union field is a dead link word.
+        unsafe { ptr::drop_in_place(ptr::addr_of_mut!((*block).value).cast::<T>()) };
+        self.push_free(block);
+    }
+}
+
+// The recycle half: after a grace period the collector hands a retired
+// batch back, and the arena turns each pointer into a free block.
+impl<T: Send> Recycler for ArenaShared<T> {
+    unsafe fn recycle(&self, mut batch: RecycleBatch) {
+        for p in batch.drain() {
+            // Safety: `defer_recycle`'s contract (each pointer is an
+            // arena-family block holding an initialized node, past its
+            // grace period, retired exactly once) is exactly
+            // `reclaim_block`'s.
+            unsafe { self.reclaim_block(p as *mut Block<T>) };
+        }
+        let mut pool = self.batches.lock().unwrap();
+        if pool.len() < BATCH_POOL_MAX {
+            pool.push(batch);
+        }
+    }
+}
+
+/// A writer-owned handle to a slab arena of `T` blocks. See the module
+/// docs for the ownership story; the handle itself must only be used by
+/// one writer at a time (it lives inside a lock-guarded scratch).
+pub(crate) struct Arena<T> {
+    shared: Arc<ArenaShared<T>>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// A standalone arena over its own (single-member) family store.
+    pub(crate) fn new() -> Self {
+        Self::with_store(Arc::new(ChunkStore::new()))
+    }
+
+    /// An arena joining an existing family: blocks it allocates live in
+    /// `store`, and retirements recycled here may carry blocks from any
+    /// sibling over the same store.
+    pub(crate) fn with_store(store: Arc<ChunkStore<T>>) -> Self {
+        Self {
+            shared: Arc::new(ArenaShared {
+                free: AtomicPtr::new(ptr::null_mut()),
+                store,
+                batches: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Allocates a block holding `value`: recycle list first, a fresh
+    /// chunk only when the list is dry (warm-up). Returns a pointer valid
+    /// until the block is reclaimed (and stable across publication — the
+    /// tree hands it to readers).
+    pub(crate) fn alloc(&self, value: T) -> *mut T {
+        let block = match self.shared.pop_free() {
+            Some(b) => b,
+            None => self.grow(),
+        };
+        // Safety: `block` is free (popped or freshly carved), so writing
+        // the payload cannot race or overwrite a live value. Raw
+        // projection only — a `&mut` to the uninitialized payload would
+        // assert validity it does not have.
+        unsafe { ptr::write(ptr::addr_of_mut!((*block).value).cast::<T>(), value) };
+        block as *mut T
+    }
+
+    /// Carves a new chunk, pushing all but one block onto the free list
+    /// and returning that one.
+    fn grow(&self) -> *mut Block<T> {
+        let chunk: Box<[Block<T>]> = (0..CHUNK_BLOCKS)
+            .map(|_| Block {
+                next: ptr::null_mut(),
+            })
+            .collect();
+        let raw = Box::into_raw(chunk);
+        let base = raw as *mut Block<T>;
+        for i in 1..CHUNK_BLOCKS {
+            // Safety: in-bounds blocks of the just-leaked chunk, each
+            // reachable exactly once.
+            self.shared.push_free(unsafe { base.add(i) });
+        }
+        self.shared.store.chunks.lock().unwrap().push(raw);
+        base
+    }
+
+    /// Drops the payload and returns the block to the free list
+    /// immediately, with no grace period — for speculative nodes a failed
+    /// CAS proved no reader ever saw.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must come from an arena sharing this arena's owner (see the
+    /// module docs on block migration), hold an initialized `T`, be
+    /// unreachable by any thread, and be reclaimed exactly once.
+    pub(crate) unsafe fn reclaim_now(&self, ptr: *mut T) {
+        // Safety: forwarded contract.
+        unsafe { self.shared.reclaim_block(ptr as *mut Block<T>) };
+    }
+
+    /// Pops a pooled (drained, warm-capacity) batch buffer for the next
+    /// retirement, or a fresh empty one during warm-up.
+    pub(crate) fn take_batch(&self) -> RecycleBatch {
+        self.shared
+            .batches
+            .lock()
+            .unwrap()
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Number of chunks allocated by the whole family so far — the
+    /// capacity-flat proxy for the allocation-diet tests: steady-state
+    /// churn must stop moving this.
+    pub(crate) fn chunks(&self) -> usize {
+        self.shared.store.chunks.lock().unwrap().len()
+    }
+}
+
+impl<T: Send + 'static> Arena<T> {
+    /// The `Arc` handed to [`rcukit::Guard::defer_recycle`]; each pending
+    /// batch holds one, keeping the arena's chunks alive until the batch
+    /// fires.
+    pub(crate) fn recycler(&self) -> Arc<dyn Recycler> {
+        self.shared.clone()
+    }
+}
+
+impl<T> std::fmt::Debug for Arena<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Arena")
+            .field("chunks", &self.chunks())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_reclaim_now_reuses_blocks() {
+        let arena: Arena<u64> = Arena::new();
+        let a = arena.alloc(7);
+        // Safety: `a` is ours alone; reclaimed exactly once.
+        unsafe { arena.reclaim_now(a) };
+        let b = arena.alloc(9);
+        assert_eq!(a, b, "recycled block not reused");
+        // Safety: as above.
+        unsafe { assert_eq!(*b, 9) };
+        unsafe { arena.reclaim_now(b) };
+        assert_eq!(arena.chunks(), 1);
+    }
+
+    #[test]
+    fn steady_churn_allocates_no_new_chunks() {
+        let arena: Arena<[u64; 4]> = Arena::new();
+        // Warm up past one chunk.
+        let mut live: Vec<*mut [u64; 4]> = (0..3 * CHUNK_BLOCKS as u64)
+            .map(|i| arena.alloc([i; 4]))
+            .collect();
+        let warm = arena.chunks();
+        assert!(warm >= 3);
+        for _ in 0..10_000 {
+            // Safety: each pointer is live, owned here, reclaimed once.
+            unsafe { arena.reclaim_now(live.pop().unwrap()) };
+            live.push(arena.alloc([0; 4]));
+        }
+        assert_eq!(arena.chunks(), warm, "steady churn grew the arena");
+        for p in live {
+            // Safety: as above.
+            unsafe { arena.reclaim_now(p) };
+        }
+    }
+
+    #[test]
+    fn payloads_are_dropped_on_reclaim() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct Counted;
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let arena: Arena<Counted> = Arena::new();
+        let p = arena.alloc(Counted);
+        assert_eq!(DROPS.load(Ordering::SeqCst), 0);
+        // Safety: live, owned, reclaimed once.
+        unsafe { arena.reclaim_now(p) };
+        assert_eq!(DROPS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn recycler_returns_blocks_and_pools_the_buffer() {
+        let arena: Arena<u64> = Arena::new();
+        let a = arena.alloc(1);
+        let b = arena.alloc(2);
+        let mut batch = arena.take_batch();
+        batch.push(a as *mut ());
+        batch.push(b as *mut ());
+        let recycler = arena.recycler();
+        // Safety: both blocks are unreachable and retired exactly once;
+        // this test plays the role of the post-grace-period collector.
+        unsafe { recycler.recycle(batch) };
+        // Both blocks back on the free list…
+        let x = arena.alloc(3);
+        let y = arena.alloc(4);
+        assert!((x == a || x == b) && (y == a || y == b) && x != y);
+        // …and the buffer pooled with its capacity.
+        assert!(arena.take_batch().capacity() >= 2);
+        // Safety: as above.
+        unsafe {
+            arena.reclaim_now(x);
+            arena.reclaim_now(y);
+        }
+    }
+}

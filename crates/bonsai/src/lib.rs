@@ -47,6 +47,7 @@
 #![warn(unsafe_op_in_unsafe_fn)]
 
 mod addrspace;
+mod arena;
 mod range_lock;
 mod range_map;
 mod sync;

@@ -1,4 +1,6 @@
-//! A range-lock manager: writer mutual exclusion by address span.
+//! A striped range-lock manager: writer mutual exclusion by address span,
+//! with the interval bookkeeping itself partitioned so disjoint writers
+//! touch disjoint cache lines.
 //!
 //! This is the paper's "split the per-address-space lock" direction taken
 //! to its conclusion: instead of one writer mutex serializing every
@@ -8,83 +10,189 @@
 //! serializes, see `tree.rs`); overlapping spans serialize by blocking
 //! until the conflicting holder releases.
 //!
-//! # Structure
+//! # Structure: stripes by address slab
 //!
-//! Held spans live in a sorted interval set (a `BTreeMap` keyed by span
-//! start) behind one table mutex, with a condvar for waiters. The table
-//! mutex is held only for the O(log n) overlap check and insert/remove —
-//! never across the tree mutation itself — so its critical sections are a
-//! few dozen nanoseconds where the old design held its mutex for the whole
-//! O(log n) copy-on-write rebuild including allocations. (A sharded or
-//! skip-list table would remove even that point of serialization; the
-//! ROADMAP tracks it.)
+//! The old design kept all held spans in one sorted interval set behind a
+//! single table mutex — held only for O(log n) bookkeeping, but still one
+//! cache line every writer bounced twice per op. The table is now
+//! *striped*: addresses are divided into [`SLAB_BYTES`]-sized slabs, slab
+//! `i` maps to stripe `i & (stripes - 1)` (stripe count a power of two
+//! derived from [`std::thread::available_parallelism`], overridable via
+//! [`RangeLocks::with_stripes`] for tests and model checking), and each
+//! stripe holds — behind its own mutex, with its own condvar and scratch
+//! pool — the spans that intersect any of its slabs. A span is recorded in
+//! **every** stripe it covers. Writers whose spans share no stripe never
+//! touch the same line; writers that collide on a stripe but not in bytes
+//! contend only for the nanoseconds of one stripe's bookkeeping.
 //!
-//! # Deadlock freedom
+//! *Why per-stripe overlap checks suffice:* two overlapping spans share at
+//! least one byte; that byte lies in some slab, both spans cover that
+//! slab, so both are recorded in — and both check — that slab's stripe.
+//! Conversely a span that passes its check in every covering stripe
+//! overlaps no held span. (Two *disjoint* spans may share a stripe via
+//! slab aliasing — the check compares exact byte ranges, so they are
+//! granted concurrently; aliasing costs momentary mutex contention, never
+//! false serialization.)
 //!
-//! Two facts make the manager deadlock-free by construction; the full
-//! proof sketch lives in `docs/CONCURRENCY.md`:
+//! # Deadlock freedom under multi-stripe acquisition
 //!
-//! 1. **No hold-and-wait on spans.** A thread blocks in
-//!    [`RangeLocks::acquire`] only while holding *no* range lock: every
-//!    `RangeMap` operation takes exactly one span at a time, and the
-//!    span-widening retry loops release their lock before re-acquiring a
-//!    wider one. No cycle can form among span waiters.
-//! 2. **The table mutex never nests.** It is acquired only inside
-//!    `acquire`/release, which take no other lock while holding it, and a
-//!    condvar wait releases it atomically.
+//! Three facts make the manager deadlock-free by construction; the full
+//! proof sketch lives in `docs/CONCURRENCY.md` §5:
+//!
+//! 1. **Stripes are acquired in ascending index order** — a total order —
+//!    whatever the address order of the slabs that produced them, so no
+//!    cycle can form among stripe-mutex holders.
+//! 2. **A blocked acquirer holds exactly one stripe mutex**: on finding a
+//!    conflict it releases every other stripe it had locked and parks on
+//!    the conflicting stripe's condvar (which releases that last mutex
+//!    atomically); on wake it restarts from the lowest stripe. While
+//!    parked it holds no range lock at all — every `RangeMap` operation
+//!    takes one span at a time, and the span-widening retry loops release
+//!    before re-acquiring — so no hold-and-wait on spans either.
+//! 3. **Release never blocks**: it removes the span one stripe at a time
+//!    (ascending) and notifies each stripe's condvar. Incremental removal
+//!    is sound because the mutation the span protected is already
+//!    complete — a waiter admitted after seeing a partially removed span
+//!    races nothing.
 //!
 //! Writers also never *pin* while blocked: the writer session pins only
 //! after `acquire` returns (see `with_write_session` in `tree.rs`), so a
 //! queued writer cannot stall epoch advance or reclamation.
 //!
 //! The guard also carries a pooled scratch (`S`, in practice the tree's
-//! `WriterScratch`), so each concurrently held lock has its own retired /
-//! fresh buffers and the allocation-diet property survives the move from
-//! one mutex-owned scratch to N lock-owned ones.
+//! `WriterScratch` with its node arena), drawn from the lowest covering
+//! stripe's pool, so each concurrently held lock has its own retired /
+//! fresh buffers and arena and the allocation-free write path survives the
+//! move from one mutex-owned scratch to N lock-owned ones. Held spans are
+//! kept in sorted `Vec`s rather than a `BTreeMap`: the per-stripe span
+//! count is tiny (bounded by concurrent writers) and a `Vec`'s capacity
+//! persists when it empties, where a `BTreeMap` would allocate and free a
+//! node every time a stripe's span count toggled between 0 and 1 —
+//! breaking the steady-state zero-allocation property.
 
-use std::collections::BTreeMap;
 use std::sync::atomic::Ordering::SeqCst;
+use std::thread;
 
 use crate::sync::atomic::AtomicU64;
 use crate::sync::{Condvar, Mutex};
 
-/// The lock table: held spans plus the scratch pool.
+/// Bytes per address slab (64 KiB): large enough that a typical mutation
+/// span (a few pages) covers one or two slabs, small enough that
+/// concurrently active writers land on distinct slabs. A power of two, so
+/// the slab divisions below compile to shifts.
+const SLAB_BYTES: u64 = 64 * 1024;
+
+/// Upper bound on stripes, so a span's covering-stripe set fits a `u64`
+/// bitmask (and the acquire path's guard array stays stack-cheap).
+const MAX_STRIPES: usize = 64;
+
+/// One stripe's mutable state: the spans intersecting its slabs, plus the
+/// stripe's share of the scratch pool.
 struct Table<S> {
-    /// Held spans, `start -> end`, pairwise disjoint (an insert happens
-    /// only after the overlap check under the same lock).
-    held: BTreeMap<u64, u64>,
-    /// Scratches not currently lent to a held lock. Bounded by the peak
-    /// number of concurrently held locks.
+    /// Held spans `(start, end)` intersecting this stripe's slabs, sorted
+    /// by start, pairwise disjoint (inserts happen only after the overlap
+    /// check, under this same lock in concert with the other covering
+    /// stripes' locks).
+    held: Vec<(u64, u64)>,
+    /// Scratches not currently lent to a held lock. A scratch is popped
+    /// from (and returned to) the *lowest* covering stripe of the span
+    /// that borrows it, so single-stripe spans — the common case — never
+    /// touch another stripe's pool.
     pool: Vec<S>,
 }
 
-/// A manager of non-overlapping address-span locks, each lending a pooled
-/// scratch `S` to its holder.
-pub(crate) struct RangeLocks<S> {
+/// One stripe: its table, its waiters, and its park counter.
+struct Stripe<S> {
     table: Mutex<Table<S>>,
-    /// Signalled on every release; waiters re-run their overlap check.
+    /// Signalled on every release of a span covering this stripe; waiters
+    /// re-run their full overlap check.
     released: Condvar,
-    /// Diagnostic: acquisitions that had to wait for an overlapping holder
-    /// at least once. Tests assert overlap ⇒ contention and disjoint ⇒
-    /// (usually) none.
-    contended: AtomicU64,
-    /// Number of threads currently parked in [`Self::acquire`]'s condvar
-    /// wait. Lets tests rendezvous with a contender deterministically
-    /// (poll until it is observably blocked) instead of sleeping.
+    /// Threads currently parked in [`RangeLocks::acquire`] on *this
+    /// stripe's* condvar. Lets tests rendezvous with a contender
+    /// deterministically — polling the stripe it actually parks on, not a
+    /// table-wide aggregate — instead of sleeping.
     waiting: AtomicU64,
 }
 
-impl<S: Default> RangeLocks<S> {
-    pub(crate) fn new() -> Self {
+/// A manager of non-overlapping address-span locks over a striped interval
+/// table, each granted span lending a pooled scratch `S` to its holder.
+pub(crate) struct RangeLocks<S> {
+    /// Power-of-two number of stripes, at most [`MAX_STRIPES`].
+    stripes: Box<[Stripe<S>]>,
+    /// Diagnostic: acquisitions that had to wait for an overlapping holder
+    /// at least once. Tests assert overlap ⇒ contention and disjoint ⇒
+    /// none (stripe aliasing between disjoint spans never parks).
+    contended: AtomicU64,
+    /// Creates a scratch on a pool miss (cold path — the pool serves the
+    /// steady state). A factory rather than `S: Default` so every scratch
+    /// of one manager can share family-wide backing state — in practice
+    /// the arena chunk store, whose lifetime argument (a pending batch
+    /// pins every chunk its blocks could live in) depends on all pooled
+    /// scratches drawing on one store.
+    make: Box<dyn Fn() -> S + Send + Sync>,
+}
+
+/// Default stripe count: one per hardware thread, rounded up to a power of
+/// two, clamped to [`MAX_STRIPES`].
+fn default_stripes() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .next_power_of_two()
+        .min(MAX_STRIPES)
+}
+
+impl<S> RangeLocks<S> {
+    pub(crate) fn new(make: impl Fn() -> S + Send + Sync + 'static) -> Self {
+        Self::with_stripes(default_stripes(), make)
+    }
+
+    /// Creates a manager with an explicit stripe count (rounded up to a
+    /// power of two, clamped to `1..=`[`MAX_STRIPES`]). [`new`](Self::new)
+    /// sizes it automatically; this exists for tests and model checking,
+    /// which want specific (usually small) stripe geometries.
+    pub(crate) fn with_stripes(
+        stripes: usize,
+        make: impl Fn() -> S + Send + Sync + 'static,
+    ) -> Self {
+        let stripes = stripes.clamp(1, MAX_STRIPES).next_power_of_two();
         Self {
-            table: Mutex::new(Table {
-                held: BTreeMap::new(),
-                pool: Vec::new(),
-            }),
-            released: Condvar::new(),
+            stripes: (0..stripes)
+                .map(|_| Stripe {
+                    table: Mutex::new(Table {
+                        held: Vec::new(),
+                        pool: Vec::new(),
+                    }),
+                    released: Condvar::new(),
+                    waiting: AtomicU64::new(0),
+                })
+                .collect(),
             contended: AtomicU64::new(0),
-            waiting: AtomicU64::new(0),
+            make: Box::new(make),
         }
+    }
+
+    /// Number of stripes (diagnostic).
+    pub(crate) fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Bitmask of the stripes covering `[start, end)`: one bit per
+    /// distinct `slab & (stripes - 1)` value. A span covering at least
+    /// `stripes` slabs covers every stripe.
+    fn stripe_mask(&self, start: u64, end: u64) -> u64 {
+        let n = self.stripes.len() as u64;
+        let full: u64 = if n == 64 { !0 } else { (1 << n) - 1 };
+        let first = start / SLAB_BYTES;
+        let last = (end - 1) / SLAB_BYTES;
+        if last - first >= n - 1 {
+            return full;
+        }
+        let mut mask = 0u64;
+        for slab in first..=last {
+            mask |= 1 << (slab & (n - 1));
+        }
+        mask
     }
 
     /// Acquires an exclusive lock on the span `[start, end)`, blocking
@@ -94,45 +202,77 @@ impl<S: Default> RangeLocks<S> {
     /// `start < end` is required (empty spans could not exclude anything).
     pub(crate) fn acquire(&self, start: u64, end: u64) -> RangeWriteGuard<'_, S> {
         debug_assert!(start < end, "empty or inverted lock span");
-        let mut table = self.table.lock().unwrap();
+        let mask = self.stripe_mask(start, end);
         let mut waited = false;
-        loop {
-            if !Self::overlaps(&table.held, start, end) {
-                table.held.insert(start, end);
-                let scratch = table.pool.pop().unwrap_or_default();
-                drop(table);
-                if waited {
-                    self.contended.fetch_add(1, SeqCst);
+        // One slot per stripe; only the covering stripes' slots are used.
+        // Ascending index order throughout — the total order that makes
+        // multi-stripe acquisition deadlock-free.
+        let mut guards: [Option<crate::sync::MutexGuard<'_, Table<S>>>; MAX_STRIPES] =
+            std::array::from_fn(|_| None);
+        'retry: loop {
+            let mut bits = mask;
+            while bits != 0 {
+                let idx = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let table = self.stripes[idx].table.lock().unwrap();
+                if Self::overlaps(&table.held, start, end) {
+                    // Conflict: drop the lower stripes' locks, then park on
+                    // this stripe — the conflicting span is recorded here,
+                    // so its release must take this stripe's mutex and will
+                    // signal this condvar; holding the mutex from the check
+                    // to the wait closes the lost-wakeup window.
+                    for g in guards.iter_mut() {
+                        *g = None;
+                    }
+                    waited = true;
+                    let stripe = &self.stripes[idx];
+                    stripe.waiting.fetch_add(1, SeqCst);
+                    drop(stripe.released.wait(table).unwrap());
+                    stripe.waiting.fetch_sub(1, SeqCst);
+                    continue 'retry;
                 }
-                return RangeWriteGuard {
-                    locks: self,
-                    start,
-                    scratch: Some(scratch),
-                };
+                guards[idx] = Some(table);
             }
-            waited = true;
-            // Releases the table mutex while parked; re-check on wake
-            // (another waiter may have grabbed a conflicting span first).
-            self.waiting.fetch_add(1, SeqCst);
-            table = self.released.wait(table).unwrap();
-            self.waiting.fetch_sub(1, SeqCst);
+            // No covering stripe holds an overlapping span, and we hold
+            // every covering stripe's mutex, so that is simultaneously
+            // true: record the span everywhere and borrow a scratch from
+            // the lowest stripe's pool.
+            let mut scratch = None;
+            let mut bits = mask;
+            while bits != 0 {
+                let idx = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let table = guards[idx].as_mut().expect("covering stripe not locked");
+                let pos = table.held.partition_point(|&(s, _)| s < start);
+                table.held.insert(pos, (start, end));
+                if scratch.is_none() {
+                    scratch = Some(table.pool.pop().unwrap_or_else(|| (self.make)()));
+                }
+            }
+            for g in guards.iter_mut() {
+                *g = None;
+            }
+            if waited {
+                self.contended.fetch_add(1, SeqCst);
+            }
+            return RangeWriteGuard {
+                locks: self,
+                start,
+                mask,
+                scratch,
+            };
         }
     }
 
-    /// Whether any held span intersects `[start, end)`. Same predecessor/
-    /// successor probe as the region-overlap check in `RangeMap::map`.
-    fn overlaps(held: &BTreeMap<u64, u64>, start: u64, end: u64) -> bool {
-        if let Some((_, &held_end)) = held.range(..=start).next_back() {
-            if held_end > start {
-                return true;
-            }
+    /// Whether any span in a stripe's sorted held list intersects
+    /// `[start, end)`. Same predecessor/successor probe as the
+    /// region-overlap check in `RangeMap::map`, on a sorted `Vec`.
+    fn overlaps(held: &[(u64, u64)], start: u64, end: u64) -> bool {
+        let pos = held.partition_point(|&(s, _)| s <= start);
+        if pos > 0 && held[pos - 1].1 > start {
+            return true;
         }
-        if let Some((&held_start, _)) = held.range(start..).next() {
-            if held_start < end {
-                return true;
-            }
-        }
-        false
+        pos < held.len() && held[pos].0 < end
     }
 
     /// Total acquisitions that waited at least once (diagnostic).
@@ -140,27 +280,45 @@ impl<S: Default> RangeLocks<S> {
         self.contended.load(SeqCst)
     }
 
-    /// Threads currently parked waiting for a span (test rendezvous aid).
+    /// Threads currently parked on stripe `idx`'s condvar (test rendezvous
+    /// aid — poll the stripe a contender actually parks on).
     #[cfg(test)]
-    fn waiting_now(&self) -> u64 {
-        self.waiting.load(SeqCst)
+    fn waiting_on(&self, idx: usize) -> u64 {
+        self.stripes[idx].waiting.load(SeqCst)
     }
 
-    /// The largest `capacity()` among pooled scratches, via `probe`.
-    /// Test aid for the allocation-diet regression; spans currently held
-    /// (and their lent scratches) are not visible to it, so call it only
-    /// while no writer is active.
+    /// The stripe a span conflicting in `[start, end)` would park on: the
+    /// lowest-indexed covering stripe holding the conflict — which, for a
+    /// single-slab span, is simply its only stripe.
+    #[cfg(test)]
+    fn lowest_stripe(&self, start: u64, end: u64) -> usize {
+        self.stripe_mask(start, end).trailing_zeros() as usize
+    }
+
+    /// The largest `capacity()` among pooled scratches across all stripes,
+    /// via `probe`. Test aid for the allocation-diet regression; spans
+    /// currently held (and their lent scratches) are not visible to it, so
+    /// call it only while no writer is active.
     pub(crate) fn max_pooled(&self, probe: impl Fn(&S) -> usize) -> usize {
-        let table = self.table.lock().unwrap();
-        table.pool.iter().map(probe).max().unwrap_or(0)
+        self.stripes
+            .iter()
+            .map(|stripe| {
+                let table = stripe.table.lock().unwrap();
+                table.pool.iter().map(&probe).max().unwrap_or(0)
+            })
+            .max()
+            .unwrap_or(0)
     }
 }
 
-/// Exclusive ownership of the span `[start, …)` recorded in a
-/// [`RangeLocks`] table, plus a borrowed pooled scratch. Released on drop.
+/// Exclusive ownership of the span `[start, …)` recorded in every covering
+/// stripe of a [`RangeLocks`] table, plus a borrowed pooled scratch.
+/// Released on drop.
 pub(crate) struct RangeWriteGuard<'a, S> {
     locks: &'a RangeLocks<S>,
     start: u64,
+    /// The covering-stripe bitmask computed at acquire time.
+    mask: u64,
     /// `Some` for the guard's whole life; `Option` only so drop can move
     /// the scratch back into the pool.
     scratch: Option<S>,
@@ -175,29 +333,55 @@ impl<S> RangeWriteGuard<'_, S> {
 
 impl<S> Drop for RangeWriteGuard<'_, S> {
     fn drop(&mut self) {
-        let scratch = self.scratch.take().expect("scratch already returned");
-        let mut table = self.locks.table.lock().unwrap();
-        let removed = table.held.remove(&self.start);
-        debug_assert!(removed.is_some(), "span vanished while held");
+        // Remove the span stripe by stripe, ascending, returning the
+        // scratch to the lowest stripe's pool and waking each stripe's
+        // waiters. No two stripe mutexes are held at once; incremental
+        // removal is sound because the protected mutation is already done
+        // (see the module docs).
+        //
         // The scratch is always clean here, even when the writer unwound
         // mid-update: the tree's commit entry points drain it on unwind
         // (see `DrainOnUnwind` in `tree.rs` — the pooled-scratch
         // replacement for the old mutex's poisoning), so lending it to the
         // next holder is sound.
-        table.pool.push(scratch);
-        drop(table);
-        // Wake every waiter: which spans became acquirable depends on
-        // geometry only the waiters themselves can re-check.
-        self.locks.released.notify_all();
+        let mut scratch = self.scratch.take();
+        let mut bits = self.mask;
+        while bits != 0 {
+            let idx = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let stripe = &self.locks.stripes[idx];
+            {
+                let mut table = stripe.table.lock().unwrap();
+                let pos = table.held.partition_point(|&(s, _)| s < self.start);
+                debug_assert!(
+                    table.held.get(pos).is_some_and(|&(s, _)| s == self.start),
+                    "span vanished from stripe {idx} while held"
+                );
+                table.held.remove(pos);
+                if let Some(s) = scratch.take() {
+                    table.pool.push(s);
+                }
+            }
+            // Wake every waiter parked on this stripe: which spans became
+            // acquirable depends on geometry only the waiters themselves
+            // can re-check.
+            stripe.released.notify_all();
+        }
     }
 }
 
 impl<S> std::fmt::Debug for RangeLocks<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let table = self.table.lock().unwrap();
+        let (mut held, mut pooled) = (0, 0);
+        for stripe in self.stripes.iter() {
+            let table = stripe.table.lock().unwrap();
+            held += table.held.len();
+            pooled += table.pool.len();
+        }
         f.debug_struct("RangeLocks")
-            .field("held", &table.held.len())
-            .field("pooled", &table.pool.len())
+            .field("stripes", &self.stripes.len())
+            .field("held_records", &held)
+            .field("pooled", &pooled)
             .finish_non_exhaustive()
     }
 }
@@ -211,7 +395,7 @@ mod tests {
 
     #[test]
     fn disjoint_spans_are_both_grantable() {
-        let locks: RangeLocks<()> = RangeLocks::new();
+        let locks: RangeLocks<()> = RangeLocks::new(Default::default);
         let a = locks.acquire(0x1000, 0x2000);
         let b = locks.acquire(0x2000, 0x3000); // adjacent, not overlapping
         drop(a);
@@ -219,9 +403,81 @@ mod tests {
         assert_eq!(locks.contended_acquires(), 0);
     }
 
+    /// Disjoint spans that alias to the same stripe (same slab) must both
+    /// be granted concurrently: aliasing may contend on the stripe mutex,
+    /// never on the spans themselves.
+    #[test]
+    fn stripe_aliasing_does_not_serialize_disjoint_spans() {
+        let locks: RangeLocks<()> = RangeLocks::with_stripes(2, Default::default);
+        // Slabs 0 and 2 both map to stripe 0 with two stripes.
+        let a = locks.acquire(0, 0x1000);
+        let b = locks.acquire(2 * SLAB_BYTES, 2 * SLAB_BYTES + 0x1000);
+        assert_eq!(
+            locks.lowest_stripe(0, 0x1000),
+            locks.lowest_stripe(2 * SLAB_BYTES, 2 * SLAB_BYTES + 0x1000)
+        );
+        drop(a);
+        drop(b);
+        assert_eq!(locks.contended_acquires(), 0);
+    }
+
+    /// A span covering several slabs is recorded in every covering stripe:
+    /// a later span overlapping only its *last* slab must still block.
+    #[test]
+    fn multi_stripe_span_excludes_on_every_stripe() {
+        let locks: Arc<RangeLocks<()>> = Arc::new(RangeLocks::with_stripes(4, Default::default));
+        // Covers slabs 0..=2 → stripes {0, 1, 2}.
+        let held = locks.acquire(0, 3 * SLAB_BYTES);
+        let entered = Arc::new(AtomicBool::new(false));
+        let t = {
+            let locks = Arc::clone(&locks);
+            let entered = Arc::clone(&entered);
+            thread::spawn(move || {
+                // Overlaps only the tail slab (stripe 2).
+                let _g = locks.acquire(2 * SLAB_BYTES + 0x1000, 2 * SLAB_BYTES + 0x2000);
+                entered.store(true, Seq);
+            })
+        };
+        let park = locks.lowest_stripe(2 * SLAB_BYTES + 0x1000, 2 * SLAB_BYTES + 0x2000);
+        assert_eq!(park, 2);
+        while locks.waiting_on(park) == 0 {
+            thread::yield_now();
+        }
+        assert!(!entered.load(Seq), "tail-slab overlap granted concurrently");
+        drop(held);
+        t.join().unwrap();
+        assert!(entered.load(Seq));
+        assert_eq!(locks.contended_acquires(), 1);
+    }
+
+    /// Two multi-stripe spans whose slabs alias the same stripe pair in
+    /// *opposite address order* must both be grantable without deadlock —
+    /// the ascending-index acquisition order at work. (With 2 stripes,
+    /// slabs (0,1) give stripe order 0→1 by address, slabs (3,4) give
+    /// 1→0; address-order acquisition would deadlock here.)
+    #[test]
+    fn opposite_stripe_order_spans_do_not_deadlock() {
+        let locks: Arc<RangeLocks<()>> = Arc::new(RangeLocks::with_stripes(2, Default::default));
+        let threads: Vec<_> = [(0u64, 2 * SLAB_BYTES), (3 * SLAB_BYTES, 5 * SLAB_BYTES)]
+            .into_iter()
+            .map(|(lo, hi)| {
+                let locks = Arc::clone(&locks);
+                thread::spawn(move || {
+                    for _ in 0..200 {
+                        drop(locks.acquire(lo, hi));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap(); // a deadlock would hang the harness timeout
+        }
+        assert_eq!(locks.contended_acquires(), 0, "disjoint spans contended");
+    }
+
     #[test]
     fn overlapping_span_waits_for_release() {
-        let locks: Arc<RangeLocks<()>> = Arc::new(RangeLocks::new());
+        let locks: Arc<RangeLocks<()>> = Arc::new(RangeLocks::new(Default::default));
         let held = locks.acquire(0x1000, 0x3000);
         let entered = Arc::new(AtomicBool::new(false));
         let t = {
@@ -233,8 +489,12 @@ mod tests {
             })
         };
         // Deterministic rendezvous: wait until the contender is observably
-        // parked (no sleep — a loaded box just takes longer to get here).
-        while locks.waiting_now() == 0 {
+        // parked on the stripe where it found the conflict — the lowest
+        // covering stripe of its span, since the held span shares the
+        // contender's first slab (no sleep — a loaded box just takes
+        // longer to get here).
+        let park = locks.lowest_stripe(0x2000, 0x4000);
+        while locks.waiting_on(park) == 0 {
             thread::yield_now();
         }
         // Parked means not granted: `entered` can only be set after the
@@ -248,7 +508,7 @@ mod tests {
 
     #[test]
     fn scratch_is_pooled_across_holders() {
-        let locks: RangeLocks<Vec<u8>> = RangeLocks::new();
+        let locks: RangeLocks<Vec<u8>> = RangeLocks::new(Default::default);
         {
             let mut g = locks.acquire(0, 10);
             g.scratch().reserve(1024);
@@ -261,5 +521,37 @@ mod tests {
             let mut g = locks.acquire(5, 15);
             assert!(g.scratch().capacity() >= 1024, "pooled scratch not reused");
         }
+    }
+
+    /// The scratch returns to the *lowest covering stripe*'s pool, so a
+    /// same-slab successor finds it even on a multi-stripe table.
+    #[test]
+    fn scratch_returns_to_the_lowest_covering_stripe() {
+        let locks: RangeLocks<Vec<u8>> = RangeLocks::with_stripes(4, Default::default);
+        {
+            // Covers slabs 1..=2 → lowest stripe 1.
+            let mut g = locks.acquire(SLAB_BYTES, 3 * SLAB_BYTES);
+            g.scratch().reserve(512);
+        }
+        {
+            // Single-slab span in slab 1 → pops stripe 1's pool.
+            let mut g = locks.acquire(SLAB_BYTES, SLAB_BYTES + 0x1000);
+            assert!(g.scratch().capacity() >= 512, "pooled scratch not reused");
+        }
+    }
+
+    #[test]
+    fn stripe_mask_covers_wraparound_and_full_table() {
+        let locks: RangeLocks<()> = RangeLocks::with_stripes(4, Default::default);
+        assert_eq!(locks.stripe_count(), 4);
+        // One slab → one stripe.
+        assert_eq!(locks.stripe_mask(0, SLAB_BYTES), 0b0001);
+        // Slabs 3..=5 wrap: stripes {3, 0, 1}.
+        assert_eq!(locks.stripe_mask(3 * SLAB_BYTES, 6 * SLAB_BYTES), 0b1011);
+        // >= 4 slabs → all stripes.
+        assert_eq!(locks.stripe_mask(0, 64 * SLAB_BYTES), 0b1111);
+        // The 64-stripe full mask must not overflow the shift.
+        let wide: RangeLocks<()> = RangeLocks::with_stripes(64, Default::default);
+        assert_eq!(wide.stripe_mask(0, u64::MAX), !0u64);
     }
 }

@@ -39,11 +39,13 @@
 //! a partially applied `munmap`.
 
 use std::fmt;
+use std::sync::Arc;
 
 use rcukit::{Collector, Guard};
 
+use crate::arena::ChunkStore;
 use crate::range_lock::{RangeLocks, RangeWriteGuard};
-use crate::tree::{with_write_session, BonsaiTree, WriterScratch};
+use crate::tree::{with_write_session, BonsaiTree, Node, WriterScratch};
 
 /// A mapped region: keyed in the tree by its start address, carrying its
 /// exclusive end and a payload.
@@ -86,12 +88,34 @@ impl<V> RangeMap<V>
 where
     V: Clone + Send + Sync + 'static,
 {
-    /// Creates an empty map reclaiming through `collector`.
+    /// Creates an empty map reclaiming through `collector`. The range-lock
+    /// table is striped by the machine's available parallelism.
     pub fn new(collector: Collector) -> Self {
         Self {
             tree: BonsaiTree::new(collector),
-            locks: RangeLocks::new(),
+            locks: RangeLocks::new(Self::scratch_factory()),
         }
+    }
+
+    /// [`new`](Self::new) with an explicit range-lock stripe count
+    /// (rounded up to a power of two, clamped to `1..=64`). Test and
+    /// model-checking aid: small stripe tables force multi-stripe span
+    /// geometries a machine-sized table would spread out.
+    #[doc(hidden)]
+    pub fn with_stripes(collector: Collector, stripes: usize) -> Self {
+        Self {
+            tree: BonsaiTree::new(collector),
+            locks: RangeLocks::with_stripes(stripes, Self::scratch_factory()),
+        }
+    }
+
+    /// The pool-miss scratch factory: every scratch of this map joins one
+    /// arena family (one shared chunk store), so retired blocks may
+    /// migrate between pooled scratches while any pending recycle batch
+    /// keeps all their backing chunks alive (see `crate::arena`).
+    fn scratch_factory() -> impl Fn() -> Scratch<V> + Send + Sync + 'static {
+        let store: Arc<ChunkStore<Node<u64, Extent<V>>>> = Arc::new(ChunkStore::new());
+        move || Scratch::with_store(store.clone())
     }
 
     /// Creates an empty map on the process-wide default collector.
@@ -124,6 +148,33 @@ where
     #[doc(hidden)]
     pub fn contended_acquires(&self) -> u64 {
         self.locks.contended_acquires()
+    }
+
+    /// Number of stripes in the range-lock table.
+    #[doc(hidden)]
+    pub fn lock_stripes(&self) -> usize {
+        self.locks.stripe_count()
+    }
+
+    /// Largest arena chunk count among the pooled writer scratches — the
+    /// capacity-flat proxy for the zero-allocation write path. Call while
+    /// no writer is active (lent scratches are invisible to the probe).
+    #[doc(hidden)]
+    pub fn writer_arena_chunks(&self) -> usize {
+        self.locks.max_pooled(Scratch::<V>::arena_chunks)
+    }
+
+    /// Root-CAS commits that lost to a concurrent writer and rebuilt
+    /// (surfaced as the sweep's `cas_retries`; see `BonsaiTree`).
+    #[doc(hidden)]
+    pub fn cas_retries(&self) -> u64 {
+        self.tree.cas_retries()
+    }
+
+    /// Speculative nodes discarded by failed root-CAS commits.
+    #[doc(hidden)]
+    pub fn cas_wasted_nodes(&self) -> u64 {
+        self.tree.cas_wasted_nodes()
     }
 
     /// Number of mapped regions.
@@ -228,7 +279,16 @@ where
     ///
     /// Atomic with respect to other writers (the lock span is widened to
     /// cover every affected region); concurrent readers may observe
-    /// intermediate states of the split, as under kernel RCU.
+    /// intermediate states of the split — including, briefly, a
+    /// straddler's tail piece coexisting with its not-yet-removed source
+    /// region (consistent answers either way) — as under kernel RCU.
+    ///
+    /// If a `V::clone` panics mid-operation, the composite may be left
+    /// partially applied (some regions in the span still mapped, possibly
+    /// a duplicated tail piece), but coverage of bytes **outside**
+    /// `[start, end)` is never lost and every individual commit is intact
+    /// — the commits are ordered so preserved pieces publish before their
+    /// paired removals. Retrying the call completes the unmap.
     ///
     /// # Panics
     ///
@@ -254,8 +314,13 @@ where
                     }
                     _ => None,
                 };
-                // Regions starting inside `[start, end)`.
-                let mut inside: Vec<u64> = Vec::new();
+                // Regions starting inside `[start, end)`, collected into
+                // the scratch's reusable address buffer (taken out for the
+                // duration so `lock.scratch()` stays borrowable; returned
+                // on every exit path) — composite unmaps allocate nothing
+                // once the buffer is warm.
+                let mut inside = std::mem::take(&mut lock.scratch().addrs);
+                inside.clear();
                 let mut probe = start;
                 while let Some((&s, extent)) = self.tree.get_ge(&probe, guard) {
                     if s >= end {
@@ -266,61 +331,81 @@ where
                     probe = s + 1; // s < end <= u64::MAX: no overflow
                 }
                 if need_lo < lo || need_hi > hi {
+                    lock.scratch().addrs = inside;
                     return Attempt::Widen(need_lo, need_hi);
                 }
 
                 // Mutation: the held span covers every affected byte, so
-                // no concurrent writer can touch these regions now.
+                // no concurrent writer can touch these regions now. The
+                // commits are ordered so coverage of bytes *outside*
+                // `[start, end)` is never lost even if a `V::clone`
+                // panics between them: every piece that preserves outside
+                // bytes (a straddler's tail beyond `end`, the head piece
+                // below `start`) is published *before* — or, for the head,
+                // *in the same single commit as* — the removal it pairs
+                // with. A panic mid-sequence can only leave the span
+                // partially unmapped plus (until the tail's source region
+                // is removed) transiently duplicated tail coverage, which
+                // readers resolve consistently; it can never unmap bytes
+                // the caller did not name. The fallible clones also run
+                // before their commit, so the common panic aborts with
+                // the tree fully unchanged (`DrainOnUnwind` in `tree.rs`
+                // frees the speculative path).
                 let mut affected = 0;
                 if let Some(a) = head {
-                    let old = self
+                    let extent = self
                         .tree
-                        .remove_with(&a, guard, lock.scratch())
+                        .get(&a, guard)
                         .expect("straddling region vanished under its range lock");
-                    // Keep the head piece [a, start)…
+                    if extent.end > end {
+                        // Region encloses the whole span: publish the tail
+                        // piece [end, old_end) first.
+                        self.tree.insert_with(
+                            end,
+                            Extent {
+                                end: extent.end,
+                                value: extent.value.clone(),
+                            },
+                            guard,
+                            lock.scratch(),
+                        );
+                    }
+                    // Truncate [a, old_end) to [a, start) as one in-place
+                    // replace at key `a` — a single root CAS, so the head
+                    // piece can never be lost between a remove and a
+                    // reinsert (and one tree update instead of two).
                     self.tree.insert_with(
                         a,
                         Extent {
                             end: start,
-                            value: old.value.clone(),
+                            value: extent.value.clone(),
                         },
                         guard,
                         lock.scratch(),
                     );
-                    // …and, if the region enclosed the whole span, the
-                    // tail piece [end, old_end) too.
-                    if old.end > end {
-                        self.tree.insert_with(
-                            end,
-                            Extent {
-                                end: old.end,
-                                value: old.value,
-                            },
-                            guard,
-                            lock.scratch(),
-                        );
-                    }
                     affected += 1;
                 }
-                for s in inside {
-                    let old = self
+                for &s in &inside {
+                    let extent = self
                         .tree
+                        .get(&s, guard)
+                        .expect("inside region vanished under its range lock");
+                    if extent.end > end {
+                        // Tail straddler: publish [end, old_end) before
+                        // removing its source region.
+                        let tail = Extent {
+                            end: extent.end,
+                            value: extent.value.clone(),
+                        };
+                        self.tree.insert_with(end, tail, guard, lock.scratch());
+                    }
+                    self.tree
                         .remove_with(&s, guard, lock.scratch())
                         .expect("inside region vanished under its range lock");
-                    if old.end > end {
-                        // Tail straddler: keep [end, old_end).
-                        self.tree.insert_with(
-                            end,
-                            Extent {
-                                end: old.end,
-                                value: old.value,
-                            },
-                            guard,
-                            lock.scratch(),
-                        );
-                    }
                     affected += 1;
                 }
+                inside.clear();
+                lock.scratch().addrs = inside;
                 Attempt::Done(affected)
             });
             match attempt {
@@ -549,6 +634,95 @@ mod tests {
         assert_eq!(m.len(), 8);
         assert!(m.map(8 * 0x2000, 8 * 0x2000 + 0x1000, Fuse(8)));
         assert_eq!(m.unmap(0).map(|f| f.0), Some(0));
+        m.collector().synchronize();
+        let s = m.collector().stats();
+        assert_eq!(s.objects_retired, s.objects_freed);
+    }
+
+    /// Dropping the map while retirements are still waiting out their
+    /// grace period must be safe even when retired blocks were allocated
+    /// by a *different* pooled scratch than the one that retired them:
+    /// the pending batch pins its recycler arena, which pins the family
+    /// chunk store, so every block's backing chunk stays alive until the
+    /// collector's final drain fires the batch. (Regression test for a
+    /// cross-arena use-after-free: per-scratch chunk ownership freed a
+    /// sibling's chunks while a batch still pointed into them.)
+    #[test]
+    fn drop_with_pending_batches_is_safe() {
+        let collector = Collector::new();
+        {
+            let m: RangeMap<u64> = RangeMap::new(collector.clone());
+            // A long-lived reader pin keeps every retirement queued.
+            let outer = collector.register();
+            let pin = outer.pin();
+            // Churn through *many* sequential writer sessions; scratches
+            // cycle through stripe pools, so later sessions retire nodes
+            // earlier sessions' arenas allocated.
+            for round in 0..8u64 {
+                for slot in 0..64u64 {
+                    let start = slot * 0x4000;
+                    if m.unmap(start).is_none() {
+                        assert!(m.map(start, start + 0x2000, round));
+                    }
+                }
+            }
+            drop(pin);
+            // Map (and all its arenas' handles) drop here with batches
+            // still pending on the collector.
+        }
+        // The final drain reclaims into (and frees) the still-pinned
+        // family store; a use-after-free here dies under Miri/ASan and
+        // corrupts the heap in plain runs.
+        collector.synchronize();
+        let s = collector.stats();
+        assert_eq!(s.objects_retired, s.objects_freed);
+        assert!(s.objects_retired > 0);
+    }
+
+    /// A `V::clone` panicking inside `unmap_range` must never cost bytes
+    /// outside the requested span: the fallible clones run before their
+    /// commits (common case: tree unchanged entirely), and preserved
+    /// pieces publish before their paired removals.
+    #[test]
+    fn panicking_clone_in_unmap_range_loses_no_outside_bytes() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+        static ARMED: AtomicBool = AtomicBool::new(false);
+        #[derive(Debug)]
+        struct Fuse(u64);
+        impl Clone for Fuse {
+            fn clone(&self) -> Self {
+                if ARMED.swap(false, SeqCst) {
+                    panic!("fuse blown mid-unmap_range");
+                }
+                Fuse(self.0)
+            }
+        }
+        let m: RangeMap<Fuse> = RangeMap::new(Collector::new());
+        assert!(m.map(0x1000, 0x6000, Fuse(7)));
+        // Split attempt whose first fallible clone (the tail piece of the
+        // enclosing region) panics: the tree must be fully unchanged.
+        ARMED.store(true, SeqCst);
+        let blown = catch_unwind(AssertUnwindSafe(|| m.unmap_range(0x3000, 0x4000)));
+        assert!(blown.is_err(), "armed clone must panic");
+        assert_eq!(
+            m.to_vec()
+                .into_iter()
+                .map(|(s, e, v)| (s, e, v.0))
+                .collect::<Vec<_>>(),
+            vec![(0x1000, 0x6000, 7)],
+            "aborted unmap_range changed the map"
+        );
+        // Retrying (fuse disarmed) completes the split; outside bytes
+        // [0x1000,0x3000) and [0x4000,0x6000) were never lost.
+        assert_eq!(m.unmap_range(0x3000, 0x4000), 1);
+        assert_eq!(
+            m.to_vec()
+                .into_iter()
+                .map(|(s, e, _)| (s, e))
+                .collect::<Vec<_>>(),
+            vec![(0x1000, 0x3000), (0x4000, 0x6000)]
+        );
         m.collector().synchronize();
         let s = m.collector().stats();
         assert_eq!(s.objects_retired, s.objects_freed);

@@ -12,7 +12,7 @@
 //! in-tree as `crates/loomette` because this build environment is offline)
 
 #[cfg(not(loom))]
-pub(crate) use std::sync::{Condvar, Mutex};
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard};
 
 #[cfg(not(loom))]
 pub(crate) mod atomic {
@@ -20,7 +20,7 @@ pub(crate) mod atomic {
 }
 
 #[cfg(loom)]
-pub(crate) use loomette::sync::{Condvar, Mutex};
+pub(crate) use loomette::sync::{Condvar, Mutex, MutexGuard};
 
 #[cfg(loom)]
 pub(crate) mod atomic {

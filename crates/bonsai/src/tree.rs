@@ -40,10 +40,12 @@ use std::cmp::Ordering as Cmp;
 use std::fmt;
 use std::ptr;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 use rcukit::{Collector, Guard};
 
-use crate::sync::atomic::{AtomicPtr, AtomicUsize};
+use crate::arena::{Arena, ChunkStore};
+use crate::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize};
 use crate::sync::Mutex;
 
 /// Weight-balance factor: a subtree may be at most `DELTA` times heavier
@@ -53,8 +55,10 @@ const DELTA: usize = 3;
 const RATIO: usize = 2;
 
 /// An immutable tree node. Published nodes are never mutated; readers walk
-/// `left`/`right` as plain loads under a pinned guard.
-struct Node<K, V> {
+/// `left`/`right` as plain loads under a pinned guard. Crate-visible only
+/// so `RangeMap` can name the arena chunk-store type its scratch family
+/// shares.
+pub(crate) struct Node<K, V> {
     /// Number of nodes in the subtree rooted here (including this node).
     size: usize,
     key: K,
@@ -63,63 +67,53 @@ struct Node<K, V> {
     right: *mut Node<K, V>,
 }
 
-// Safety: a retired node is dropped as a `Box<Node>` on whichever thread
-// runs the deferred callback. Dropping a node drops only its own key and
-// value — the child pointers are plain data, never followed — so sending a
-// node requires exactly `K: Send + V: Send`.
+// Safety: a retired node's payload is dropped in place on whichever thread
+// runs the deferred recycle (see [`crate::arena`]). Dropping a node drops
+// only its own key and value — the child pointers are plain data, never
+// followed — so sending a node requires exactly `K: Send + V: Send`.
 unsafe impl<K: Send, V: Send> Send for Node<K, V> {}
-
-/// The nodes replaced by one update, freed together by a single deferred
-/// callback after the grace period — one epoch-tag sample (and its StoreLoad
-/// fence) per update instead of one per node. Backed by an exact-size boxed
-/// slice: the growable scratch buffer stays with the writer lock (see
-/// [`WriterScratch`]) and is reused across updates.
-struct RetiredNodes<K, V>(Box<[*mut Node<K, V>]>);
-
-// Safety: as for `Node` — the drop below frees each node's key and value on
-// the reclaiming thread.
-unsafe impl<K: Send, V: Send> Send for RetiredNodes<K, V> {}
-
-impl<K, V> Drop for RetiredNodes<K, V> {
-    fn drop(&mut self) {
-        for &n in self.0.iter() {
-            // Safety: each pointer was unlinked by the publishing root store
-            // and appears exactly once across all batches.
-            unsafe { drop(Box::from_raw(n)) };
-        }
-    }
-}
 
 /// Writer-owned scratch state, only reachable while holding a writer lock
 /// (the tree's internal mutex, or one of `RangeMap`'s range locks, whose
 /// manager pools one scratch per concurrently held lock).
 ///
-/// The two buffers are the allocation-diet fix *and* the CAS-retry
-/// bookkeeping:
+/// The two buffers are the CAS-retry bookkeeping, and together with the
+/// scratch's [`Arena`] they are the whole allocation-free write path:
 ///
 /// * `retired` collects the published nodes an update replaces. On a
-///   successful commit they ship as one exact-size [`RetiredNodes`] batch
-///   to the collector ([`Self::commit`]); on a failed CAS they are still
-///   published and are simply forgotten.
+///   successful commit they ship as one [`rcukit::RecycleBatch`] (buffer
+///   pooled by the arena) back to the arena after their grace period
+///   ([`Self::commit`]); on a failed CAS they are still published and are
+///   simply forgotten.
 /// * `fresh` records every node the update allocated. On success the new
 ///   path is published and the list is discarded; on a failed CAS nothing
-///   in it was ever visible to any reader, so [`Self::discard`] frees it
-///   immediately — no grace period needed.
+///   in it was ever visible to any reader, so [`Self::discard`] returns it
+///   to the arena immediately — no grace period needed.
+/// * `arena` feeds every node allocation ([`BonsaiTree::mk`]) and pools
+///   the batch buffers; once warm, an update performs zero heap
+///   allocations (the node blocks, the batch buffer, and — see
+///   `rcukit::deferred` — the deferred unit itself are all recycled).
 ///
-/// Capacity persists across updates (amortized zero growth once warm), so
-/// steady-state update cost is the O(log n) node boxes plus one exact-size
-/// batch box.
+/// Capacity persists across updates (amortized zero growth once warm).
 pub(crate) struct WriterScratch<K, V> {
     retired: Vec<*mut Node<K, V>>,
     fresh: Vec<*mut Node<K, V>>,
+    /// The slab arena this scratch allocates nodes from and retires them
+    /// to. Sibling scratches' nodes may also recycle here; see
+    /// `crate::arena` on block migration.
+    arena: Arena<Node<K, V>>,
+    /// Reusable address buffer lent to `RangeMap::unmap_range`'s discovery
+    /// pass, so composite unmaps stay allocation-free too.
+    pub(crate) addrs: Vec<u64>,
 }
 
-// Safety: both buffers are drained before the writer lock is released
-// (every update either commits — shipping `retired` into a `RetiredNodes`
-// batch and clearing `fresh` — or discards), so a `WriterScratch` observed
-// outside a critical section never carries pointers; moving the empty
-// buffers across threads is trivially sound, and inside a critical section
-// the scratch is confined to the lock-holding thread.
+// Safety: both pointer buffers are drained before the writer lock is
+// released (every update either commits — shipping `retired` into a
+// recycle batch and clearing `fresh` — or discards), so a `WriterScratch`
+// observed outside a critical section never carries pointers; moving the
+// empty buffers (and the `Send + Sync` arena handle) across threads is
+// sound, and inside a critical section the scratch is confined to the
+// lock-holding thread.
 unsafe impl<K: Send, V: Send> Send for WriterScratch<K, V> {}
 
 impl<K, V> Default for WriterScratch<K, V> {
@@ -129,10 +123,23 @@ impl<K, V> Default for WriterScratch<K, V> {
 }
 
 impl<K, V> WriterScratch<K, V> {
+    /// A standalone scratch over its own single-member arena family (the
+    /// tree's mutex-owned scratch).
     pub(crate) fn new() -> Self {
+        Self::with_store(Arc::new(ChunkStore::new()))
+    }
+
+    /// A scratch joining an existing arena family: its nodes live in
+    /// `store`, shared with every sibling scratch of the same owner —
+    /// which is what lets retired blocks migrate between pooled scratches
+    /// while any pending batch (pinning its arena, pinning the store)
+    /// keeps every block's chunk alive. See `crate::arena`.
+    pub(crate) fn with_store(store: Arc<ChunkStore<Node<K, V>>>) -> Self {
         Self {
             retired: Vec::new(),
             fresh: Vec::new(),
+            arena: Arena::with_store(store),
+            addrs: Vec::new(),
         }
     }
 
@@ -143,15 +150,23 @@ impl<K, V> WriterScratch<K, V> {
         self.retired.capacity()
     }
 
+    /// Chunks allocated by this scratch's arena — the capacity-flat proxy
+    /// for the zero-allocation write path: steady-state churn must stop
+    /// moving it.
+    pub(crate) fn arena_chunks(&self) -> usize {
+        self.arena.chunks()
+    }
+
     /// Whether both buffers are empty — every update must start and end in
     /// this state.
     fn is_drained(&self) -> bool {
         self.retired.is_empty() && self.fresh.is_empty()
     }
 
-    /// Publication failed (another writer's CAS won): free every node this
-    /// attempt allocated — none was ever reachable by a reader — and forget
-    /// the replaced list (those nodes are still published).
+    /// Publication failed (another writer's CAS won): return every node
+    /// this attempt allocated to the arena — none was ever reachable by a
+    /// reader, so no grace period is needed — and forget the replaced list
+    /// (those nodes are still published).
     ///
     /// # Safety
     ///
@@ -161,10 +176,11 @@ impl<K, V> WriterScratch<K, V> {
     /// once).
     unsafe fn discard(&mut self) {
         for &n in &self.fresh {
-            // Safety: allocated by `mk` this attempt, never published, and
-            // dropped exactly once here. Only the node box itself is freed;
-            // its children may be published nodes and are not followed.
-            unsafe { drop(Box::from_raw(n)) };
+            // Safety: allocated by `mk` this attempt from this scratch's
+            // arena, never published, reclaimed exactly once here. Only
+            // the node payload is dropped; its children may be published
+            // nodes and are not followed.
+            unsafe { self.arena.reclaim_now(n) };
         }
         self.fresh.clear();
         self.retired.clear();
@@ -192,14 +208,25 @@ impl<K, V> Drop for DrainOnUnwind<'_, K, V> {
 
 impl<K: Send + 'static, V: Send + 'static> WriterScratch<K, V> {
     /// Publication succeeded: forget the (now published) fresh nodes and
-    /// ship the replaced path to the collector as one deferred batch —
-    /// a single epoch-tag sample (and its StoreLoad fence) per update.
+    /// ship the replaced path to the collector as one deferred recycle
+    /// batch — a single epoch-tag sample (and its StoreLoad fence) per
+    /// update, zero allocations once the arena's batch pool is warm. After
+    /// the grace period the arena drops each payload in place and reclaims
+    /// the blocks.
     fn commit(&mut self, guard: &Guard<'_>) {
         self.fresh.clear();
         if !self.retired.is_empty() {
-            let batch = RetiredNodes(self.retired.as_slice().into());
+            let mut batch = self.arena.take_batch();
+            for &n in &self.retired {
+                batch.push(n as *mut ());
+            }
             self.retired.clear();
-            guard.defer(move || drop(batch));
+            // Safety: every pointer was unlinked by the publishing root
+            // store (unreachable to readers pinning after this call),
+            // appears exactly once across all batches and discards, and is
+            // an arena-family block holding an initialized `Node` whose
+            // payload is `Send` (the `K: Send + V: Send` bounds here).
+            unsafe { guard.defer_recycle(self.arena.recycler(), batch) };
         }
     }
 }
@@ -292,6 +319,13 @@ pub struct BonsaiTree<K, V> {
     writer: Mutex<WriterScratch<K, V>>,
     collector: Collector,
     len: AtomicUsize,
+    /// Root-CAS commits that lost to a concurrent writer and rebuilt. Only
+    /// the failure path touches these two counters, so an uncontended
+    /// writer pays nothing for the telemetry.
+    cas_retries: AtomicU64,
+    /// Speculative nodes discarded by those failed commits — the wasted
+    /// rebuild work the backoff exists to bound.
+    cas_wasted: AtomicU64,
 }
 
 // Safety: the raw node pointers are owned by the tree (plus the collector's
@@ -314,6 +348,8 @@ where
             writer: Mutex::new(WriterScratch::new()),
             collector,
             len: AtomicUsize::new(0),
+            cas_retries: AtomicU64::new(0),
+            cas_wasted: AtomicU64::new(0),
         }
     }
 
@@ -339,6 +375,47 @@ where
     #[doc(hidden)]
     pub fn writer_scratch_capacity(&self) -> usize {
         self.writer.lock().unwrap().capacity()
+    }
+
+    /// Chunks allocated by the writer scratch's node arena — the
+    /// capacity-flat proxy for the zero-allocation write path.
+    #[doc(hidden)]
+    pub fn writer_arena_chunks(&self) -> usize {
+        self.writer.lock().unwrap().arena_chunks()
+    }
+
+    /// Root-CAS commits that lost to a concurrent writer and had to
+    /// rebuild (see the sweep's `cas_retries` field). Telemetry; counted
+    /// only on the failure path.
+    #[doc(hidden)]
+    pub fn cas_retries(&self) -> u64 {
+        self.cas_retries.load(Ordering::SeqCst)
+    }
+
+    /// Speculative nodes discarded by failed root-CAS commits — the wasted
+    /// copy-on-write work those retries rebuilt.
+    #[doc(hidden)]
+    pub fn cas_wasted_nodes(&self) -> u64 {
+        self.cas_wasted.load(Ordering::SeqCst)
+    }
+
+    /// Records one failed root-CAS commit (`wasted` speculative nodes
+    /// discarded) and applies bounded exponential backoff from the second
+    /// consecutive failure of one update on: 2^(failures - 2) spin hints,
+    /// capped at 64. The first retry stays free — losing one race is the
+    /// normal two-writer case and a delay would only add latency — while a
+    /// write storm's repeated losers progressively yield the root's cache
+    /// line instead of rebuilding whole paths just to lose again.
+    /// `failures` counts this update's failures so far, starting at 1.
+    fn note_cas_failure(&self, failures: u32, wasted: usize) {
+        self.cas_retries.fetch_add(1, Ordering::SeqCst);
+        self.cas_wasted.fetch_add(wasted as u64, Ordering::SeqCst);
+        if failures >= 2 {
+            let spins = 1u32 << (failures - 2).min(6);
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+        }
     }
 
     /// Number of keys in the tree.
@@ -490,6 +567,7 @@ where
         // out instead (freeing only the unpublished `fresh` nodes).
         let scratch = DrainOnUnwind(scratch);
         let mut root = self.root.load(Ordering::Acquire);
+        let mut failures = 0u32;
         loop {
             // Safety: `root` was published and the pinned guard keeps every
             // node reachable from it live and immutable.
@@ -511,8 +589,11 @@ where
                 Err(current) => {
                     // Another writer published first. Nothing this attempt
                     // built was ever visible.
+                    failures += 1;
+                    let wasted = scratch.0.fresh.len();
                     // Safety: the CAS failed, so `fresh` is unpublished.
                     unsafe { scratch.0.discard() };
+                    self.note_cas_failure(failures, wasted);
                     root = current;
                 }
             }
@@ -544,6 +625,7 @@ where
         // Unwind safety: as in `insert_with`.
         let scratch = DrainOnUnwind(scratch);
         let mut root = self.root.load(Ordering::Acquire);
+        let mut failures = 0u32;
         loop {
             // Safety: as in `insert_with`.
             let (new_root, old) = unsafe { Self::remove_rec(root, key, scratch.0) };
@@ -565,8 +647,11 @@ where
                     return old;
                 }
                 Err(current) => {
+                    failures += 1;
+                    let wasted = scratch.0.fresh.len();
                     // Safety: the CAS failed, so `fresh` is unpublished.
                     unsafe { scratch.0.discard() };
+                    self.note_cas_failure(failures, wasted);
                     root = current;
                 }
             }
@@ -610,9 +695,11 @@ where
         }
     }
 
-    /// Allocates a new node over the given children, recording it in the
-    /// scratch's `fresh` list so a failed publication can free it (every
-    /// allocation of an update goes through here, exactly once each).
+    /// Allocates a new node from the scratch's arena over the given
+    /// children, recording it in the `fresh` list so a failed publication
+    /// can return it (every allocation of an update goes through here,
+    /// exactly once each). Steady state this is a free-list pop, not a
+    /// heap allocation.
     fn mk(
         scratch: &mut WriterScratch<K, V>,
         left: *mut Node<K, V>,
@@ -620,13 +707,13 @@ where
         value: V,
         right: *mut Node<K, V>,
     ) -> *mut Node<K, V> {
-        let n = Box::into_raw(Box::new(Node {
+        let n = scratch.arena.alloc(Node {
             size: 1 + Self::size_of(left) + Self::size_of(right),
             key,
             value,
             left,
             right,
-        }));
+        });
         scratch.fresh.push(n);
         n
     }
@@ -964,22 +1051,28 @@ where
 
 impl<K, V> Drop for BonsaiTree<K, V> {
     fn drop(&mut self) {
-        // Frees the published tree immediately, without a grace period.
-        // Sound because no reference into the tree can outlive it: lookups
-        // require `&self` for their whole traversal, and the references
-        // they return borrow `&'g self` (not just the guard), so holding
-        // one keeps the tree borrowed and `drop` unreachable. Nodes already
-        // retired to the collector are owned by its deferred callbacks and
-        // are NOT freed here.
+        // Drops the published tree's payloads immediately, without a grace
+        // period. Sound because no reference into the tree can outlive it:
+        // lookups require `&self` for their whole traversal, and the
+        // references they return borrow `&'g self` (not just the guard),
+        // so holding one keeps the tree borrowed and `drop` unreachable.
+        // Nodes already retired to the collector are owned by its deferred
+        // batches and are NOT touched here. Node *storage* belongs to
+        // arena chunks, which outlive this body: this tree's own arena is
+        // a field (dropped after the custom `Drop`), and a `RangeMap`'s
+        // pooled arenas drop after its tree field — so only the payloads
+        // are dropped here, in place.
         fn free<K, V>(n: *mut Node<K, V>) {
             if n.is_null() {
                 return;
             }
             // Safety: exclusive access per the reasoning above; each node
-            // is reachable exactly once.
-            let node = unsafe { Box::from_raw(n) };
-            free(node.left);
-            free(node.right);
+            // is reachable exactly once, and its block stays allocated
+            // until the owning arena drops, strictly after this.
+            let (left, right) = unsafe { ((*n).left, (*n).right) };
+            unsafe { ptr::drop_in_place(n) };
+            free::<K, V>(left);
+            free::<K, V>(right);
         }
         free(*self.root.get_mut());
     }

@@ -30,3 +30,15 @@ fn loom_overlapping_writers() {
     let runs = loomette::Explorer::default().explore(scenarios::overlapping_writers);
     assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
 }
+
+#[test]
+fn loom_opposite_stripe_order_writers() {
+    let runs = loomette::Explorer::default().explore(scenarios::opposite_stripe_order_writers);
+    assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
+}
+
+#[test]
+fn loom_arena_recycle_vs_reader() {
+    let runs = loomette::Explorer::default().explore(scenarios::arena_recycle_vs_reader);
+    assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
+}

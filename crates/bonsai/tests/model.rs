@@ -23,3 +23,17 @@ fn stress_overlapping_writers() {
         scenarios::overlapping_writers();
     }
 }
+
+#[test]
+fn stress_opposite_stripe_order_writers() {
+    for _ in 0..ITERS {
+        scenarios::opposite_stripe_order_writers();
+    }
+}
+
+#[test]
+fn stress_arena_recycle_vs_reader() {
+    for _ in 0..ITERS {
+        scenarios::arena_recycle_vs_reader();
+    }
+}

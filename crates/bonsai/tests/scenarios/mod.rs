@@ -105,6 +105,104 @@ pub fn disjoint_writers() {
     assert_eq!(map.lookup(0x3800, &g), None);
 }
 
+/// Two writers on *disjoint* spans whose covering-stripe sets alias the
+/// same stripes in **opposite address order**: on a 2-stripe table, slabs
+/// (0, 1) visit stripes 0→1 by address while slabs (3, 4) visit 1→0. If
+/// acquisition followed address order this geometry would deadlock (each
+/// writer holding the stripe the other wants); the ascending-index total
+/// order must make every schedule terminate, with zero span contention
+/// (disjoint bytes never wait, however the stripes alias).
+pub fn opposite_stripe_order_writers() {
+    const SLAB: u64 = 64 * 1024; // the range-lock table's slab size
+    let c = Collector::with_shards(1);
+    let map: Arc<RangeMap<usize>> = Arc::new(RangeMap::with_stripes(c.clone(), 2));
+    assert!(map.map(0, SLAB, 1));
+    assert!(map.map(3 * SLAB, 4 * SLAB, 2));
+
+    // Each writer's unmap_range span covers both stripes, in opposite
+    // slab order; exact bounds, so one lock acquisition each (no widening
+    // retry keeps the model small).
+    let w1 = {
+        let map = Arc::clone(&map);
+        spawn(move || {
+            assert_eq!(map.unmap_range(0, 2 * SLAB), 1, "low span lost its region");
+        })
+    };
+    let w2 = {
+        let map = Arc::clone(&map);
+        spawn(move || {
+            assert_eq!(
+                map.unmap_range(3 * SLAB, 5 * SLAB),
+                1,
+                "high span lost its region"
+            );
+        })
+    };
+    w1.join().unwrap();
+    w2.join().unwrap();
+
+    assert_eq!(
+        map.contended_acquires(),
+        0,
+        "disjoint spans waited despite sharing only stripes, not bytes"
+    );
+    for _ in 0..4 {
+        c.collect();
+    }
+    let s = c.stats();
+    assert_eq!(s.objects_retired, s.objects_freed);
+    assert!(map.is_empty());
+}
+
+/// Arena recycling vs. a concurrent reader: a writer unmaps a region and
+/// immediately remaps it — with the collect throttle at 1, the unmap's
+/// unpin runs advance-and-reclaim, so in some schedules the retired nodes
+/// recycle into the arena and the remap *reuses their blocks* while the
+/// reader's lookup is mid-walk. The grace period is what makes that safe:
+/// a block returns to the arena only after every pinned reader is gone, so
+/// the reader must observe the old payload, the new payload, or a miss —
+/// never a torn node from a prematurely recycled block.
+pub fn arena_recycle_vs_reader() {
+    let c = Collector::with_shards(1);
+    c.set_unpin_collect_period(1);
+    let map: Arc<RangeMap<usize>> = Arc::new(RangeMap::new(c.clone()));
+    assert!(map.map(0x1000, 0x2000, 1));
+    // Neighbour region so the rebuilt path has nodes to recycle even on
+    // the remove of the last key.
+    assert!(map.map(0x3000, 0x4000, 7));
+
+    let writer = {
+        let map = Arc::clone(&map);
+        spawn(move || {
+            assert_eq!(map.unmap(0x1000), Some(1));
+            // The remap allocates from the same scratch pool's arena the
+            // unmap's retirement recycles into.
+            assert!(map.map(0x1000, 0x2000, 2));
+        })
+    };
+    let reader = {
+        let map = Arc::clone(&map);
+        spawn(move || {
+            let g = map.pin();
+            match map.lookup(0x1800, &g) {
+                None => {}
+                Some(&v) => assert!(v == 1 || v == 2, "reader saw a torn payload: {v}"),
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+
+    let g = map.pin();
+    assert_eq!(map.lookup(0x1800, &g), Some(&2));
+    drop(g);
+    for _ in 0..4 {
+        c.collect();
+    }
+    let s = c.stats();
+    assert_eq!(s.objects_retired, s.objects_freed);
+}
+
 /// Two writers race on *overlapping* spans: one clears `[0x1000, 0x2000)`
 /// out of a larger region (exercising the span-widening retry and a
 /// truncation re-insert), the other tries to map into the same bytes.

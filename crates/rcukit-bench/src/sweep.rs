@@ -163,6 +163,12 @@ pub struct PointResult {
     /// `retired == freed` after a final `synchronize` — the no-leak check.
     /// Trivially true for the locked backend (nothing is deferred).
     pub reclaim_ok: bool,
+    /// Root-CAS commits that lost to a concurrent writer and rebuilt
+    /// (bonsai backend; always 0 at `threads == 1` and for locked). The
+    /// wasted-work telemetry the bounded backoff exists to curb.
+    pub cas_retries: u64,
+    /// Speculative copy-on-write nodes those failed commits discarded.
+    pub cas_wasted_nodes: u64,
 }
 
 impl PointResult {
@@ -182,7 +188,8 @@ impl PointResult {
              \"maps\":{},\"map_rejects\":{},\"unmaps\":{},\"unmap_misses\":{},\
              \"unmap_ranges\":{},\"unmap_range_misses\":{},\
              \"mutations_per_sec\":{:.0},\
-             \"retired\":{},\"freed\":{},\"reclaim_ok\":{}}}",
+             \"retired\":{},\"freed\":{},\"reclaim_ok\":{},\
+             \"cas_retries\":{},\"cas_wasted_nodes\":{}}}",
             self.profile.name(),
             self.backend.name(),
             self.threads,
@@ -203,6 +210,8 @@ impl PointResult {
             self.retired,
             self.freed,
             self.reclaim_ok,
+            self.cas_retries,
+            self.cas_wasted_nodes,
         )
     }
 }
@@ -290,19 +299,26 @@ fn run_point(
     traces: &Arc<Vec<Vec<Op>>>,
 ) -> PointResult {
     let spec = cfg.spec(profile, threads);
-    let (elapsed, tally, retired, freed) = match backend {
+    let (elapsed, tally, retired, freed, cas_retries, cas_wasted_nodes) = match backend {
         Backend::Bonsai => {
             let collector = Collector::new();
             let space: Arc<RangeMap<()>> = Arc::new(RangeMap::new(collector.clone()));
-            let (elapsed, tally) = replay(space, &spec, Arc::clone(traces));
+            let (elapsed, tally) = replay(Arc::clone(&space), &spec, Arc::clone(traces));
             collector.synchronize();
             let stats = collector.stats();
-            (elapsed, tally, stats.objects_retired, stats.objects_freed)
+            (
+                elapsed,
+                tally,
+                stats.objects_retired,
+                stats.objects_freed,
+                space.cas_retries(),
+                space.cas_wasted_nodes(),
+            )
         }
         Backend::Locked => {
             let space = Arc::new(LockedAddressSpace::new());
             let (elapsed, tally) = replay(space, &spec, Arc::clone(traces));
-            (elapsed, tally, 0, 0)
+            (elapsed, tally, 0, 0, 0, 0)
         }
     };
     PointResult {
@@ -314,6 +330,8 @@ fn run_point(
         retired,
         freed,
         reclaim_ok: retired == freed,
+        cas_retries,
+        cas_wasted_nodes,
     }
 }
 
@@ -343,10 +361,12 @@ pub fn run(cfg: &SweepConfig) -> Vec<PointResult> {
 pub fn render_trajectory(cfg: &SweepConfig, results: &[PointResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    // v2: adds the `writers` profile, multi-region `unmap_range` ops in
-    // every profile's trace (fields `unmap_ranges`/`unmap_range_misses`),
+    // v3 (over v2): the `metis-phased` profile (mid-trace mix shift) and
+    // the `cas_retries`/`cas_wasted_nodes` telemetry from the striped
+    // range-lock + arena writer path. v2 added the `writers` profile,
+    // multi-region `unmap_range` ops (`unmap_ranges`/`unmap_range_misses`),
     // and range-locked parallel writers on the bonsai backend.
-    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v2\",\n");
+    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v3\",\n");
     out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
     out.push_str(&format!("  \"ops_per_thread\": {},\n", cfg.ops_per_thread));
     out.push_str(&format!(

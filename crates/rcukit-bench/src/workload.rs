@@ -57,12 +57,36 @@ pub enum Op {
     UnmapRange(u64, u64),
 }
 
-/// A named workload shape: operation mix plus fault locality.
+/// One phase of a profile: an op mix and fault locality applied over a
+/// contiguous share of each thread's trace. Single-phase profiles have one
+/// entry covering the whole trace; phase-structured profiles (Metis' map →
+/// reduce shift) switch mid-trace at deterministic op indices, so the
+/// *same* replayed run exercises an allocation-heavy regime and then a
+/// fault-heavy one against whatever state the first phase left behind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Phase {
+    /// Share of the trace this phase covers, in parts per 1024. A
+    /// profile's phases sum to exactly 1024.
+    pub ops_ppk: u32,
+    /// `(fault, map, unmap)` mix in parts per 1024. Sums to 1024.
+    pub mix: (u32, u32, u32),
+    /// Probability (parts per 1024) that a fault targets the generating
+    /// thread's own arena rather than the whole span.
+    pub locality: u32,
+}
+
+/// A named workload shape: one or more [`Phase`]s of op mix + locality.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Profile {
     /// Metis (MapReduce) shape: mmap-heavy — the map phase continually
     /// allocates and frees buffers while reducers fault on shared data.
     Metis,
+    /// Metis with its phase structure made explicit: an allocation-heavy
+    /// *map* phase (the workers building per-core buffers), then a
+    /// fault-heavy *reduce* phase reading mostly-shared intermediate data
+    /// (lower locality). The plain `metis` profile blends the two into one
+    /// stationary mix; this one switches mid-trace.
+    MetisPhased,
     /// Psearchy (parallel indexing) shape: fault-heavy — long scans of
     /// mostly-stable mappings with rare allocation.
     Psearchy,
@@ -79,8 +103,9 @@ pub enum Profile {
 
 impl Profile {
     /// All profiles, in reporting order.
-    pub const ALL: [Profile; 4] = [
+    pub const ALL: [Profile; 5] = [
         Profile::Metis,
+        Profile::MetisPhased,
         Profile::Psearchy,
         Profile::Uniform,
         Profile::Writers,
@@ -90,6 +115,7 @@ impl Profile {
     pub fn name(self) -> &'static str {
         match self {
             Profile::Metis => "metis",
+            Profile::MetisPhased => "metis-phased",
             Profile::Psearchy => "psearchy",
             Profile::Uniform => "uniform",
             Profile::Writers => "writers",
@@ -100,34 +126,77 @@ impl Profile {
     pub fn parse(s: &str) -> Result<Profile, String> {
         match s {
             "metis" => Ok(Profile::Metis),
+            "metis-phased" => Ok(Profile::MetisPhased),
             "psearchy" => Ok(Profile::Psearchy),
             "uniform" => Ok(Profile::Uniform),
             "writers" => Ok(Profile::Writers),
             other => Err(format!(
-                "unknown profile {other:?} (expected metis|psearchy|uniform|writers|all)"
+                "unknown profile {other:?} \
+                 (expected metis|metis-phased|psearchy|uniform|writers|all)"
             )),
         }
     }
 
-    /// `(fault, map, unmap)` mix in parts per 1024. Sums to 1024.
-    pub fn mix(self) -> (u32, u32, u32) {
+    /// The profile's phases, in trace order. `ops_ppk` sums to 1024.
+    pub fn phases(self) -> &'static [Phase] {
         match self {
-            Profile::Metis => (512, 256, 256),
-            Profile::Psearchy => (1004, 10, 10),
-            Profile::Uniform => (922, 51, 51),
-            Profile::Writers => (0, 512, 512),
+            Profile::Metis => &[Phase {
+                ops_ppk: 1024,
+                mix: (512, 256, 256),
+                locality: 921, // ~0.9: cores chew their own buffers
+            }],
+            Profile::MetisPhased => &[
+                // Map phase: the workers allocate and free buffers hard,
+                // faulting mostly into their own arenas.
+                Phase {
+                    ops_ppk: 512,
+                    mix: (256, 384, 384),
+                    locality: 921,
+                },
+                // Reduce phase: long fault scans over mostly-shared
+                // intermediate data — rare mutation, low locality.
+                Phase {
+                    ops_ppk: 512,
+                    mix: (922, 51, 51),
+                    locality: 205, // ~0.2: reducers read other cores' output
+                },
+            ],
+            Profile::Psearchy => &[Phase {
+                ops_ppk: 1024,
+                mix: (1004, 10, 10),
+                locality: 819, // ~0.8: per-core index + shared corpus
+            }],
+            Profile::Uniform => &[Phase {
+                ops_ppk: 1024,
+                mix: (922, 51, 51),
+                locality: 0,
+            }],
+            Profile::Writers => &[Phase {
+                ops_ppk: 1024,
+                mix: (0, 512, 512),
+                locality: 1024, // no faults; vacuous
+            }],
         }
     }
 
-    /// Probability (parts per 1024) that a fault targets the generating
-    /// thread's own arena rather than the whole span.
-    pub fn locality(self) -> u32 {
-        match self {
-            Profile::Metis => 921,    // ~0.9: cores chew their own buffers
-            Profile::Psearchy => 819, // ~0.8: per-core index + shared corpus
-            Profile::Uniform => 0,
-            Profile::Writers => 1024, // no faults; vacuous
+    /// `(fault, map, unmap)` mix in parts per 1024, summed over the whole
+    /// trace: exact for single-phase profiles, the `ops_ppk`-weighted
+    /// blend (rounded down per component) for phase-structured ones.
+    pub fn mix(self) -> (u32, u32, u32) {
+        let mut acc = (0u32, 0u32, 0u32);
+        for p in self.phases() {
+            acc.0 += p.ops_ppk * p.mix.0;
+            acc.1 += p.ops_ppk * p.mix.1;
+            acc.2 += p.ops_ppk * p.mix.2;
         }
+        (acc.0 / 1024, acc.1 / 1024, acc.2 / 1024)
+    }
+
+    /// Trace-wide fault locality (parts per 1024): exact for single-phase
+    /// profiles, the blend for phase-structured ones.
+    pub fn locality(self) -> u32 {
+        let acc: u32 = self.phases().iter().map(|p| p.ops_ppk * p.locality).sum();
+        acc / 1024
     }
 }
 
@@ -255,8 +324,16 @@ impl WorkloadSpec {
         let derived = (self.seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
             .wrapping_add(0x243F_6A88_85A3_08D3);
         let mut rng = Rng::new(derived);
-        let (fault_ppk, map_ppk, _) = self.profile.mix();
-        let locality_ppk = self.profile.locality();
+        let phases = self.profile.phases();
+        debug_assert_eq!(phases.iter().map(|p| p.ops_ppk).sum::<u32>(), 1024);
+        // Deterministic phase boundaries in op counts: phase `i` ends at
+        // `cumulative_ppk(i) * ops / 1024` (the last boundary is exactly
+        // `ops`), so the same spec always switches mix at the same index.
+        let mut cumulative_ppk = 0u64;
+        let boundary = |cum: u64| (cum * self.ops_per_thread as u64 / 1024) as usize;
+        let mut phase_idx = 0usize;
+        cumulative_ppk += phases[0].ops_ppk as u64;
+        let mut phase_end = boundary(cumulative_ppk);
 
         // Exact end address of each slot's region, `None` when unmapped —
         // the generator mirrors the replayed state precisely, which is
@@ -270,7 +347,14 @@ impl WorkloadSpec {
         let mut mapped_count = extents.iter().filter(|e| e.is_some()).count() as u64;
         let mut trace = Vec::with_capacity(self.ops_per_thread);
 
-        for _ in 0..self.ops_per_thread {
+        for i in 0..self.ops_per_thread {
+            while i >= phase_end && phase_idx + 1 < phases.len() {
+                phase_idx += 1;
+                cumulative_ppk += phases[phase_idx].ops_ppk as u64;
+                phase_end = boundary(cumulative_ppk);
+            }
+            let (fault_ppk, map_ppk, _) = phases[phase_idx].mix;
+            let locality_ppk = phases[phase_idx].locality;
             let roll = (rng.next_u64() & 1023) as u32;
             if roll < fault_ppk {
                 let addr = if rng.chance(locality_ppk) {
@@ -431,6 +515,73 @@ mod tests {
                 "{profile:?} unmap ratio {unmaps}/{total}"
             );
         }
+    }
+
+    /// The phased profile must actually shift its mix at the midpoint:
+    /// the map phase is allocation-heavy (fault share ~25%), the reduce
+    /// phase fault-heavy (~90%) — and locality drops with it, so the
+    /// reduce phase's faults roam the shared span.
+    #[test]
+    fn metis_phased_shifts_mix_and_locality_mid_trace() {
+        let s = spec(Profile::MetisPhased);
+        let trace = s.thread_trace(0);
+        let half = trace.len() / 2; // ops_ppk 512/512 → boundary at ops/2
+        let fault_share = |ops: &[Op]| {
+            ops.iter().filter(|o| matches!(o, Op::Fault(_))).count() as f64 / ops.len() as f64
+        };
+        let map_phase = fault_share(&trace[..half]);
+        let reduce_phase = fault_share(&trace[half..]);
+        assert!(
+            (map_phase - 0.25).abs() < 0.02,
+            "map-phase fault share {map_phase}"
+        );
+        assert!(
+            (reduce_phase - 0.90).abs() < 0.02,
+            "reduce-phase fault share {reduce_phase}"
+        );
+        // Locality shift: thread 0's own arena is [0, arena_bytes); with 4
+        // threads a whole-span draw lands outside it 3/4 of the time, so
+        // outside-share ≈ (1 - locality) * 0.75 per phase.
+        let outside_share = |ops: &[Op]| {
+            let arena = s.arena_bytes();
+            let faults: Vec<_> = ops
+                .iter()
+                .filter_map(|o| match o {
+                    Op::Fault(a) => Some(*a),
+                    _ => None,
+                })
+                .collect();
+            faults.iter().filter(|&&a| a >= arena).count() as f64 / faults.len() as f64
+        };
+        assert!(outside_share(&trace[..half]) < 0.2, "map phase roamed");
+        assert!(
+            outside_share(&trace[half..]) > 0.4,
+            "reduce phase stayed local"
+        );
+    }
+
+    /// Phase metadata is consistent: every profile's phases sum to 1024
+    /// ppk, and the blended mix/locality match the single-phase values
+    /// exactly for single-phase profiles.
+    #[test]
+    fn phase_tables_are_consistent() {
+        for profile in Profile::ALL {
+            let phases = profile.phases();
+            assert_eq!(
+                phases.iter().map(|p| p.ops_ppk).sum::<u32>(),
+                1024,
+                "{profile:?}"
+            );
+            for p in phases {
+                assert_eq!(p.mix.0 + p.mix.1 + p.mix.2, 1024, "{profile:?}");
+            }
+            if phases.len() == 1 {
+                assert_eq!(profile.mix(), phases[0].mix);
+                assert_eq!(profile.locality(), phases[0].locality);
+            }
+        }
+        assert_eq!(Profile::parse("metis-phased"), Ok(Profile::MetisPhased));
+        assert_eq!(Profile::MetisPhased.name(), "metis-phased");
     }
 
     /// Ranged unmaps must actually occur — and exercise both the

@@ -8,7 +8,12 @@ use rcukit_bench::workload::Profile;
 fn tiny_config() -> SweepConfig {
     SweepConfig {
         threads: vec![1, 2],
-        profiles: vec![Profile::Metis, Profile::Psearchy, Profile::Writers],
+        profiles: vec![
+            Profile::Metis,
+            Profile::MetisPhased,
+            Profile::Psearchy,
+            Profile::Writers,
+        ],
         backends: Backend::ALL.to_vec(),
         ops_per_thread: 5_000,
         slots_per_thread: 16,
@@ -44,6 +49,16 @@ fn sweep_runs_both_backends_over_identical_work() {
         if point.backend == Backend::Bonsai {
             assert!(point.retired > 0, "writer churn must retire nodes");
         }
+        // CAS telemetry sanity: single-threaded replays can never lose a
+        // root CAS, and the locked baseline has no CAS at all.
+        if point.threads == 1 || point.backend == Backend::Locked {
+            assert_eq!(point.cas_retries, 0, "{point:?}");
+            assert_eq!(point.cas_wasted_nodes, 0, "{point:?}");
+        }
+        // Wasted nodes exist only where retries do.
+        if point.cas_retries == 0 {
+            assert_eq!(point.cas_wasted_nodes, 0, "{point:?}");
+        }
     }
 
     // The same (profile, threads) trace replayed against each backend must
@@ -77,7 +92,7 @@ fn trajectory_document_is_well_formed_json() {
     };
     assert_eq!(
         lookup(&top, "schema"),
-        Some(&json::Value::String("rcukit-bench/addrspace-v2".into()))
+        Some(&json::Value::String("rcukit-bench/addrspace-v3".into()))
     );
     assert_eq!(lookup(&top, "seed"), Some(&json::Value::Number(7.0)));
     match lookup(&top, "results") {
@@ -95,6 +110,8 @@ fn trajectory_document_is_well_formed_json() {
                     "unmap_ranges",
                     "unmap_range_misses",
                     "reclaim_ok",
+                    "cas_retries",
+                    "cas_wasted_nodes",
                 ] {
                     assert!(lookup(fields, key).is_some(), "record missing {key}");
                 }

@@ -48,6 +48,11 @@ use crate::GRACE_EPOCHS;
 /// many retirements, even if the owning guard is still pinned.
 const BAG_SEAL_THRESHOLD: usize = 64;
 
+/// Maximum drained bag buffers cached for reuse (see [`Inner::bag_pool`]):
+/// enough that every active writer thread's seal finds a warm buffer, small
+/// enough that the cached capacity stays bounded.
+const BAG_POOL_MAX: usize = 64;
+
 /// Default collect throttle: a guard-free unpin that sealed garbage runs the
 /// opportunistic advance-and-reclaim pass only every this-many
 /// garbage-bearing unpins (per handle), instead of on every one. Between
@@ -195,6 +200,17 @@ pub(crate) struct Inner {
     /// unpins per handle (see [`UNPIN_COLLECT_PERIOD`]; minimum 1 =
     /// collect every time).
     unpin_collect_period: AtomicUsize,
+    /// Recycled bag item buffers (empty, warm capacity). Every bag seal
+    /// needs a replacement bag; popping a pooled buffer instead of growing
+    /// a fresh `Vec` keeps the steady-state write path allocation-free.
+    /// Capped at [`BAG_POOL_MAX`]; a leaf lock (nothing is acquired while
+    /// holding it).
+    bag_pool: Mutex<Vec<Vec<Deferred>>>,
+    /// Reusable ready-bag buffer for [`Inner::reclaim`], so the collect
+    /// path stops allocating one `Vec` per reclaim pass. Taken briefly at
+    /// reclaim entry (a re-entrant reclaim fired from a callback just sees
+    /// it empty and falls back to a fresh buffer).
+    reclaim_scratch: Mutex<Vec<Bag>>,
 }
 
 impl Inner {
@@ -245,7 +261,11 @@ impl Inner {
     /// acquisition is needed to learn it).
     fn reclaim(&self) -> (usize, bool) {
         let e = self.epoch.load(SeqCst);
-        let mut ready = Vec::new();
+        // Reuse the ready buffer across reclaims. `mem::take` under a brief
+        // lock, not holding the lock across the fires below: callbacks may
+        // re-enter `collect` → `reclaim`, which would then deadlock on the
+        // scratch mutex (the re-entrant pass simply sees an empty scratch).
+        let mut ready = mem::take(&mut *self.reclaim_scratch.lock().unwrap());
         let mut remaining = false;
         for shard in self.shards.iter() {
             let mut garbage = shard.garbage.lock().unwrap();
@@ -261,11 +281,37 @@ impl Inner {
             remaining |= !garbage.is_empty();
         }
         let mut n = 0;
-        for bag in ready {
-            n += bag.fire();
+        for bag in ready.drain(..) {
+            let (fired, buffer) = bag.fire();
+            n += fired;
+            self.pool_bag_buffer(buffer);
         }
+        // Hand the (drained) buffer back for the next reclaim. A concurrent
+        // or re-entrant pass may have installed its own in the meantime;
+        // keeping either one is fine — this is a capacity cache, not state.
+        *self.reclaim_scratch.lock().unwrap() = ready;
         self.freed.fetch_add(n as u64, SeqCst);
         (n, remaining)
+    }
+
+    /// Pops a recycled bag tagged `epoch` (warm buffer when the pool has
+    /// one; a fresh empty `Vec` — which does not allocate until pushed to —
+    /// otherwise).
+    fn pooled_bag(&self, epoch: u64) -> Bag {
+        let buffer = self.bag_pool.lock().unwrap().pop().unwrap_or_default();
+        Bag::with_buffer(epoch, buffer)
+    }
+
+    /// Returns a drained bag buffer to the pool, dropping it if the pool
+    /// is full (bounding the cached capacity).
+    fn pool_bag_buffer(&self, buffer: Vec<Deferred>) {
+        if buffer.capacity() == 0 {
+            return;
+        }
+        let mut pool = self.bag_pool.lock().unwrap();
+        if pool.len() < BAG_POOL_MAX {
+            pool.push(buffer);
+        }
     }
 
     /// Moves a thread's local bag (if non-empty) into its home shard's
@@ -277,7 +323,7 @@ impl Inner {
                 return false;
             }
             let epoch = bag.epoch;
-            mem::replace(&mut *bag, Bag::new(epoch))
+            mem::replace(&mut *bag, self.pooled_bag(epoch))
         };
         self.shards[local.shard].push_garbage(sealed);
         true
@@ -297,14 +343,14 @@ impl Inner {
         let sealed = {
             let mut bag = local.bag.lock().unwrap();
             let stale = if !bag.is_empty() && bag.epoch != tag {
-                Some(mem::replace(&mut *bag, Bag::new(tag)))
+                Some(mem::replace(&mut *bag, self.pooled_bag(tag)))
             } else {
                 None
             };
             bag.epoch = tag;
             bag.items.push(d);
             let full = if bag.len() >= BAG_SEAL_THRESHOLD {
-                Some(mem::replace(&mut *bag, Bag::new(tag)))
+                Some(mem::replace(&mut *bag, self.pooled_bag(tag)))
             } else {
                 None
             };
@@ -371,10 +417,10 @@ impl Drop for Inner {
         for shard in self.shards.iter_mut() {
             for local in shard.registry.get_mut().unwrap().drain(..) {
                 let bag = mem::replace(&mut *local.bag.lock().unwrap(), Bag::new(0));
-                n += bag.fire();
+                n += bag.fire().0;
             }
             for bag in shard.garbage.get_mut().unwrap().drain(..) {
-                n += bag.fire();
+                n += bag.fire().0;
             }
         }
         self.freed.fetch_add(n as u64, SeqCst);
@@ -515,6 +561,8 @@ impl Collector {
                 registry_locks: AtomicU64::new(0),
                 tls_cached: AtomicUsize::new(0),
                 unpin_collect_period: AtomicUsize::new(UNPIN_COLLECT_PERIOD),
+                bag_pool: Mutex::new(Vec::new()),
+                reclaim_scratch: Mutex::new(Vec::new()),
             }),
         }
     }

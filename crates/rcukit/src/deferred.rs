@@ -1,26 +1,133 @@
 //! Storage for deferred reclamation callbacks.
+//!
+//! Two kinds of deferred work travel through the collector's bags:
+//!
+//! * [`Deferred::Call`] — a boxed `FnOnce`, the general
+//!   [`Guard::defer`](crate::Guard::defer) path. The indirection costs one
+//!   allocation per retirement.
+//! * [`Deferred::Recycle`] — an allocation-free batch handed to a
+//!   [`Recycler`] via [`Guard::defer_recycle`](crate::Guard::defer_recycle):
+//!   no closure is boxed, the pointer buffer travels by value and is
+//!   returned to its owner for reuse, and the recycler is an `Arc` clone
+//!   (a reference-count bump, not a heap allocation). This is what lets an
+//!   arena-backed writer retire a whole update without touching the heap.
 
 use std::fmt;
+use std::sync::Arc;
+
+/// A batch of type-erased pointers travelling through deferred reclamation
+/// to a [`Recycler`].
+///
+/// The batch owns only its buffer; the pointed-to blocks belong to the
+/// recycler that will reclaim them. The buffer is ordinary `Vec` storage,
+/// so a recycler that retains it (see [`Recycler::recycle`]) gives the
+/// next retirement a warm, already-sized buffer — the steady-state
+/// zero-allocation property of the recycle path.
+#[derive(Default)]
+pub struct RecycleBatch {
+    ptrs: Vec<*mut ()>,
+}
+
+// Safety: batches are built only through `Guard::defer_recycle`, whose
+// contract requires every pointer's pointed-to data to be reclaimable from
+// any thread (`Send` payloads); the buffer itself is plain storage.
+unsafe impl Send for RecycleBatch {}
+
+impl RecycleBatch {
+    /// Creates an empty batch with no buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a pointer to the batch.
+    pub fn push(&mut self, ptr: *mut ()) {
+        self.ptrs.push(ptr);
+    }
+
+    /// Number of pointers in the batch.
+    pub fn len(&self) -> usize {
+        self.ptrs.len()
+    }
+
+    /// Whether the batch holds no pointers.
+    pub fn is_empty(&self) -> bool {
+        self.ptrs.is_empty()
+    }
+
+    /// Buffer capacity (diagnostic for allocation-diet tests).
+    pub fn capacity(&self) -> usize {
+        self.ptrs.capacity()
+    }
+
+    /// Removes and returns all pointers, keeping the buffer's capacity —
+    /// how a [`Recycler`] consumes the batch before pooling the buffer.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, *mut ()> {
+        self.ptrs.drain(..)
+    }
+}
+
+impl fmt::Debug for RecycleBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RecycleBatch")
+            .field("len", &self.ptrs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A reclamation target for [`Guard::defer_recycle`]: typically a slab
+/// arena that takes retired blocks back instead of freeing them.
+///
+/// Implementations must be shareable across threads — the collector may
+/// run [`recycle`](Self::recycle) on whichever thread drives reclamation —
+/// and are held by `Arc`, so a pending batch keeps its recycler (and the
+/// memory it manages) alive until the batch fires.
+///
+/// [`Guard::defer_recycle`]: crate::Guard::defer_recycle
+pub trait Recycler: Send + Sync {
+    /// Reclaims every pointer in `batch` (dropping payloads, returning
+    /// blocks to the free store) and may retain `batch`'s buffer for the
+    /// next retirement.
+    ///
+    /// # Safety
+    ///
+    /// Called only by the collector, exactly once per batch, strictly
+    /// after the grace period of the [`defer_recycle`] call that created
+    /// it — at which point the batch's pointers are unreachable to every
+    /// reader and exclusively owned by the recycler, per that call's
+    /// contract.
+    ///
+    /// [`defer_recycle`]: crate::Guard::defer_recycle
+    unsafe fn recycle(&self, batch: RecycleBatch);
+}
 
 /// A deferred unit of work executed after a grace period.
-///
-/// Internally this is a boxed `FnOnce`; the indirection costs one allocation
-/// per retirement, which is acceptable because retirements are write-side
-/// operations (the Bonsai tree retires one batch — the whole replaced
-/// root-to-site path — per update).
-pub(crate) struct Deferred {
-    call: Box<dyn FnOnce() + Send>,
+pub(crate) enum Deferred {
+    /// A boxed callback (the general `defer` path; one allocation each).
+    Call(Box<dyn FnOnce() + Send>),
+    /// An allocation-free pointer batch bound for a recycler.
+    Recycle(Arc<dyn Recycler>, RecycleBatch),
 }
 
 impl Deferred {
     /// Wraps a callback for later execution.
     pub(crate) fn new<F: FnOnce() + Send + 'static>(f: F) -> Self {
-        Self { call: Box::new(f) }
+        Deferred::Call(Box::new(f))
     }
 
-    /// Runs the callback, consuming the deferred unit.
+    /// Wraps a recycle batch for later execution.
+    pub(crate) fn recycle(target: Arc<dyn Recycler>, batch: RecycleBatch) -> Self {
+        Deferred::Recycle(target, batch)
+    }
+
+    /// Runs the deferred work, consuming the unit.
     pub(crate) fn call(self) {
-        (self.call)();
+        match self {
+            Deferred::Call(f) => f(),
+            // Safety: `call` runs only at reclamation points, after the
+            // grace period of the defer that queued this unit — exactly
+            // the contract `Recycler::recycle` requires.
+            Deferred::Recycle(target, batch) => unsafe { target.recycle(batch) },
+        }
     }
 }
 
@@ -48,6 +155,13 @@ impl Bag {
         }
     }
 
+    /// Creates a bag tagged with `epoch` over a recycled (empty but
+    /// warm-capacity) item buffer — see the collector's bag pool.
+    pub(crate) fn with_buffer(epoch: u64, items: Vec<Deferred>) -> Self {
+        debug_assert!(items.is_empty());
+        Self { epoch, items }
+    }
+
     /// Number of retired callbacks held by the bag.
     pub(crate) fn len(&self) -> usize {
         self.items.len()
@@ -58,13 +172,14 @@ impl Bag {
         self.items.is_empty()
     }
 
-    /// Executes every callback in the bag.
-    pub(crate) fn fire(self) -> usize {
+    /// Executes every callback in the bag, returning how many ran plus the
+    /// drained item buffer (for the caller to pool).
+    pub(crate) fn fire(mut self) -> (usize, Vec<Deferred>) {
         let n = self.items.len();
-        for d in self.items {
+        for d in self.items.drain(..) {
             d.call();
         }
-        n
+        (n, self.items)
     }
 }
 
@@ -99,8 +214,35 @@ mod tests {
         }
         assert_eq!(bag.len(), 10);
         assert_eq!(bag.epoch, 7);
-        assert_eq!(bag.fire(), 10);
+        let (fired, buffer) = bag.fire();
+        assert_eq!(fired, 10);
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+        // The drained buffer keeps its capacity for pooling.
+        assert!(buffer.is_empty() && buffer.capacity() >= 10);
+    }
+
+    #[test]
+    fn recycle_deferred_reaches_its_recycler() {
+        struct Sink {
+            seen: AtomicUsize,
+        }
+        impl Recycler for Sink {
+            unsafe fn recycle(&self, mut batch: RecycleBatch) {
+                self.seen.fetch_add(batch.drain().count(), Ordering::SeqCst);
+            }
+        }
+        let sink = Arc::new(Sink {
+            seen: AtomicUsize::new(0),
+        });
+        let mut batch = RecycleBatch::new();
+        // Never-dereferenced markers: the sink only counts.
+        let marks = [0u8; 2];
+        batch.push(std::ptr::from_ref(&marks[0]).cast_mut().cast());
+        batch.push(std::ptr::from_ref(&marks[1]).cast_mut().cast());
+        assert_eq!(batch.len(), 2);
+        let d = Deferred::recycle(sink.clone() as Arc<dyn Recycler>, batch);
+        d.call();
+        assert_eq!(sink.seen.load(Ordering::SeqCst), 2);
     }
 
     #[test]
@@ -109,5 +251,7 @@ mod tests {
         assert!(!format!("{d:?}").is_empty());
         let b = Bag::new(0);
         assert!(!format!("{b:?}").is_empty());
+        let r = RecycleBatch::new();
+        assert!(!format!("{r:?}").is_empty());
     }
 }

@@ -181,6 +181,7 @@ mod stats;
 mod sync;
 
 pub use collector::{Collector, LocalHandle};
+pub use deferred::{RecycleBatch, Recycler};
 pub use global_default::{default_collector, pin, synchronize};
 pub use guard::Guard;
 pub use stats::CollectorStats;

@@ -12,6 +12,14 @@ Sanity fields (`map_rejects`, `unmap_misses`, `unmap_range_misses`,
 `reclaim_ok`) are hard-checked in the NEW file: a nonzero miss count or a
 failed reclaim check fails the run regardless of throughput.
 
+Mixed schema versions compare fine: v3 adds `cas_retries` /
+`cas_wasted_nodes` (root-CAS commits lost to concurrent writers, and the
+speculative nodes they discarded), which are optional — absent in v2
+records, hard-checked for well-formedness (non-negative integers, retries
+zero at threads=1) when present, and reported as deltas alongside the
+throughput line so backoff tuning stays visible across commits without
+gating on a contention-dependent number.
+
 Intended uses: `bench_compare.py <old-commit's json> BENCH_addrspace.json`
 during review, and the CI smoke invocation that diffs the committed
 trajectory against the one the CI box just produced — which also keeps
@@ -78,6 +86,18 @@ def main():
                 failures.append(f"{label}: {field} = {rec[field]} (must be 0)")
         if rec.get("reclaim_ok") is False:
             failures.append(f"{label}: reclaim_ok is false")
+        # v3 CAS telemetry: optional (absent in v2 files), but when present
+        # it must be well-formed, and a single-threaded replay can never
+        # lose a root CAS.
+        for field in ("cas_retries", "cas_wasted_nodes"):
+            if field in rec:
+                value = rec[field]
+                if not isinstance(value, int) or value < 0:
+                    failures.append(f"{label}: {field} = {value!r} (want int >= 0)")
+        if rec.get("threads") == 1 and rec.get("cas_retries", 0) != 0:
+            failures.append(
+                f"{label}: cas_retries = {rec['cas_retries']} at threads=1"
+            )
         if key not in old:
             print(f"note: {label} only in {args.new}")
             continue
@@ -97,7 +117,16 @@ def main():
                 f"({before:.0f} -> {after:.0f})"
             )
             marker = "  <-- REGRESSION"
-        print(f"{label}: {before:.0f} -> {after:.0f} ({delta_pct:+.1f}%){marker}")
+        # Informational cas_retries delta alongside the gated metric, so
+        # backoff tuning is visible in CI diffs (records lacking the field
+        # — v2 baselines — just omit it).
+        cas = ""
+        if "cas_retries" in rec:
+            if "cas_retries" in old[key]:
+                cas = f"  cas_retries {old[key]['cas_retries']} -> {rec['cas_retries']}"
+            else:
+                cas = f"  cas_retries - -> {rec['cas_retries']}"
+        print(f"{label}: {before:.0f} -> {after:.0f} ({delta_pct:+.1f}%){cas}{marker}")
 
     if compared == 0:
         sys.exit("no matching (profile, threads, backend) points to compare")
