@@ -45,7 +45,7 @@
 
 use std::mem::ManuallyDrop;
 use std::ptr;
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use std::sync::Arc;
 
 use rcukit::{RecycleBatch, Recycler};
@@ -137,13 +137,20 @@ unsafe impl<T: Send> Sync for ArenaShared<T> {}
 impl<T> ArenaShared<T> {
     /// Pushes a free block (multi-producer half of the recycle list).
     fn push_free(&self, block: *mut Block<T>) {
-        let mut head = self.free.load(SeqCst);
+        // ordering: Relaxed — only a seed for the CAS below, which
+        // re-validates it; the link write is published by the CAS's
+        // Release, not by this read.
+        let mut head = self.free.load(Relaxed);
         loop {
             // Safety: `block` is exclusively owned by this call (freshly
             // carved, discarded by the owning writer, or past its grace
             // period); writing its link field cannot race.
             unsafe { (*block).next = head };
-            match self.free.compare_exchange(head, block, SeqCst, SeqCst) {
+            // ordering: Release success — publishes the link write above
+            // (and the payload drop in `reclaim_block`) to the consumer's
+            // Acquire in `pop_free` before the block becomes reachable.
+            // Relaxed failure — a lost race just reseeds the loop.
+            match self.free.compare_exchange(head, block, Release, Relaxed) {
                 Ok(_) => return,
                 Err(h) => head = h,
             }
@@ -155,7 +162,10 @@ impl<T> ArenaShared<T> {
     /// here cannot be removed and re-pushed by anyone else mid-CAS, so the
     /// ABA hazard of a multi-consumer Treiber pop does not arise.
     fn pop_free(&self) -> Option<*mut Block<T>> {
-        let mut head = self.free.load(SeqCst);
+        // ordering: Acquire — pairs with `push_free`'s Release CAS: the
+        // block's link write (and any payload drop before it) happens-
+        // before this consumer reads the link or reuses the block.
+        let mut head = self.free.load(Acquire);
         loop {
             if head.is_null() {
                 return None;
@@ -164,7 +174,12 @@ impl<T> ArenaShared<T> {
             // written before the block became reachable and only this
             // (single) consumer can unlink it.
             let next = unsafe { (*head).next };
-            match self.free.compare_exchange(head, next, SeqCst, SeqCst) {
+            // ordering: Acquire success and failure — the failure reload
+            // reseeds the loop with the same pairing as the initial load;
+            // on success the observed head is the very store the Acquire
+            // load already synchronized with (single consumer, so no ABA
+            // can substitute a different push of the same pointer).
+            match self.free.compare_exchange(head, next, Acquire, Acquire) {
                 Ok(_) => return Some(head),
                 Err(h) => head = h,
             }

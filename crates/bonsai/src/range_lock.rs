@@ -70,7 +70,7 @@
 //! node every time a stripe's span count toggled between 0 and 1 —
 //! breaking the steady-state zero-allocation property.
 
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::Relaxed;
 use std::thread;
 
 use crate::sync::atomic::AtomicU64;
@@ -226,9 +226,13 @@ impl<S> RangeLocks<S> {
                     }
                     waited = true;
                     let stripe = &self.stripes[idx];
-                    stripe.waiting.fetch_add(1, SeqCst);
+                    // ordering: Relaxed (both) — test-rendezvous counter;
+                    // the waiter state that matters for correctness lives
+                    // in the condvar/mutex, and the polling test only needs
+                    // eventual visibility of the count.
+                    stripe.waiting.fetch_add(1, Relaxed);
                     drop(stripe.released.wait(table).unwrap());
-                    stripe.waiting.fetch_sub(1, SeqCst);
+                    stripe.waiting.fetch_sub(1, Relaxed);
                     continue 'retry;
                 }
                 guards[idx] = Some(table);
@@ -253,7 +257,8 @@ impl<S> RangeLocks<S> {
                 *g = None;
             }
             if waited {
-                self.contended.fetch_add(1, SeqCst);
+                // ordering: Relaxed — diagnostic counter.
+                self.contended.fetch_add(1, Relaxed);
             }
             return RangeWriteGuard {
                 locks: self,
@@ -277,14 +282,16 @@ impl<S> RangeLocks<S> {
 
     /// Total acquisitions that waited at least once (diagnostic).
     pub(crate) fn contended_acquires(&self) -> u64 {
-        self.contended.load(SeqCst)
+        // ordering: Relaxed — diagnostic snapshot.
+        self.contended.load(Relaxed)
     }
 
     /// Threads currently parked on stripe `idx`'s condvar (test rendezvous
     /// aid — poll the stripe a contender actually parks on).
     #[cfg(test)]
     fn waiting_on(&self, idx: usize) -> u64 {
-        self.stripes[idx].waiting.load(SeqCst)
+        // ordering: Relaxed — test-rendezvous poll; see `waiting`.
+        self.stripes[idx].waiting.load(Relaxed)
     }
 
     /// The stripe a span conflicting in `[start, end)` would park on: the

@@ -389,14 +389,16 @@ where
     /// only on the failure path.
     #[doc(hidden)]
     pub fn cas_retries(&self) -> u64 {
-        self.cas_retries.load(Ordering::SeqCst)
+        // ordering: Relaxed — telemetry snapshot.
+        self.cas_retries.load(Ordering::Relaxed)
     }
 
     /// Speculative nodes discarded by failed root-CAS commits — the wasted
     /// copy-on-write work those retries rebuilt.
     #[doc(hidden)]
     pub fn cas_wasted_nodes(&self) -> u64 {
-        self.cas_wasted.load(Ordering::SeqCst)
+        // ordering: Relaxed — telemetry snapshot.
+        self.cas_wasted.load(Ordering::Relaxed)
     }
 
     /// Records one failed root-CAS commit (`wasted` speculative nodes
@@ -408,8 +410,11 @@ where
     /// line instead of rebuilding whole paths just to lose again.
     /// `failures` counts this update's failures so far, starting at 1.
     fn note_cas_failure(&self, failures: u32, wasted: usize) {
-        self.cas_retries.fetch_add(1, Ordering::SeqCst);
-        self.cas_wasted.fetch_add(wasted as u64, Ordering::SeqCst);
+        // ordering: Relaxed (both) — telemetry counters on the commit
+        // retry path; nothing is published through them, and a SeqCst RMW
+        // here would put two full barriers inside the contention loop.
+        self.cas_retries.fetch_add(1, Ordering::Relaxed);
+        self.cas_wasted.fetch_add(wasted as u64, Ordering::Relaxed);
         if failures >= 2 {
             let spins = 1u32 << (failures - 2).min(6);
             for _ in 0..spins {
@@ -420,6 +425,9 @@ where
 
     /// Number of keys in the tree.
     pub fn len(&self) -> usize {
+        // ordering: Acquire — pairs with the commit-path Release updates so
+        // a caller that observes a count also observes the tree state that
+        // produced it.
         self.len.load(Ordering::Acquire)
     }
 
@@ -455,6 +463,11 @@ where
     /// ```
     pub fn get<'g>(&'g self, key: &K, guard: &'g Guard<'_>) -> Option<&'g V> {
         self.check_guard(guard);
+        // ordering: Acquire — pairs with the commit CAS's Release: the
+        // fully built path behind a published root is visible before the
+        // traversal dereferences it. This is the weakest sound root-load
+        // ordering (a Relaxed load could reach nodes whose fields are not
+        // yet visible on non-TSO hardware).
         let mut cur = self.root.load(Ordering::Acquire);
         while !cur.is_null() {
             // Safety: `cur` is a published node; the pinned guard keeps it
@@ -479,6 +492,7 @@ where
     /// primitive behind VMA lookup). Borrows as in [`get`](Self::get).
     pub fn get_le<'g>(&'g self, key: &K, guard: &'g Guard<'_>) -> Option<(&'g K, &'g V)> {
         self.check_guard(guard);
+        // ordering: Acquire — publication pairing; see `get`.
         let mut cur = self.root.load(Ordering::Acquire);
         let mut best: *mut Node<K, V> = ptr::null_mut();
         while !cur.is_null() {
@@ -504,6 +518,7 @@ where
     /// in [`get`](Self::get).
     pub fn get_ge<'g>(&'g self, key: &K, guard: &'g Guard<'_>) -> Option<(&'g K, &'g V)> {
         self.check_guard(guard);
+        // ordering: Acquire — publication pairing; see `get`.
         let mut cur = self.root.load(Ordering::Acquire);
         let mut best: *mut Node<K, V> = ptr::null_mut();
         while !cur.is_null() {
@@ -566,12 +581,18 @@ where
         // entries — a use-after-free in release builds. Drain on the way
         // out instead (freeing only the unpublished `fresh` nodes).
         let scratch = DrainOnUnwind(scratch);
+        // ordering: Acquire — publication pairing, as in `get`: the rebuild
+        // below dereferences nodes behind this root.
         let mut root = self.root.load(Ordering::Acquire);
         let mut failures = 0u32;
         loop {
             // Safety: `root` was published and the pinned guard keeps every
             // node reachable from it live and immutable.
             let (new_root, old) = unsafe { Self::insert_rec(root, &key, &value, scratch.0) };
+            // ordering: AcqRel success — Release publishes the speculative
+            // path's node writes to readers' Acquire root loads; Acquire
+            // orders this commit after the prior one it replaces. Acquire
+            // failure — the reloaded root is dereferenced on the retry.
             match self
                 .root
                 .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
@@ -582,6 +603,8 @@ where
                     // nodes through `self.root`.
                     scratch.0.commit(guard);
                     if old.is_none() {
+                        // ordering: Release — pairs with `len`'s Acquire so
+                        // an observed count implies the commit behind it.
                         self.len.fetch_add(1, Ordering::Release);
                     }
                     return old;
@@ -624,6 +647,7 @@ where
         debug_assert!(scratch.is_drained());
         // Unwind safety: as in `insert_with`.
         let scratch = DrainOnUnwind(scratch);
+        // ordering: Acquire — publication pairing; see `insert_with`.
         let mut root = self.root.load(Ordering::Acquire);
         let mut failures = 0u32;
         loop {
@@ -635,6 +659,8 @@ where
                 debug_assert!(scratch.0.is_drained());
                 return None;
             }
+            // ordering: AcqRel success / Acquire failure — commit
+            // publication pairing; see `insert_with`.
             match self
                 .root
                 .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
@@ -643,6 +669,8 @@ where
                     // Retire strictly after publication, as one batch; see
                     // `insert_with`.
                     scratch.0.commit(guard);
+                    // ordering: Release — count/commit pairing; see
+                    // `insert_with`.
                     self.len.fetch_sub(1, Ordering::Release);
                     return old;
                 }
@@ -664,6 +692,7 @@ where
         let guard = self.pin();
         self.check_guard(&guard);
         let mut out = Vec::with_capacity(self.len());
+        // ordering: Acquire — publication pairing; see `get`.
         // Safety: traversal of published immutable nodes under the guard.
         unsafe { Self::inorder(self.root.load(Ordering::Acquire), &mut out) };
         out
@@ -676,6 +705,7 @@ where
     pub fn check_invariants(&self) {
         let guard = self.pin();
         self.check_guard(&guard);
+        // ordering: Acquire — publication pairing; see `get`.
         // Safety: traversal of published immutable nodes under the guard.
         let n = unsafe { Self::check_rec(self.root.load(Ordering::Acquire), None, None) };
         assert_eq!(n, self.len(), "cached len disagrees with node count");
@@ -1074,13 +1104,17 @@ impl<K, V> Drop for BonsaiTree<K, V> {
             free::<K, V>(left);
             free::<K, V>(right);
         }
-        free(*self.root.get_mut());
+        // ordering: Relaxed — `&mut self` proves exclusive access, so no
+        // concurrent writer exists (and loomette's atomics have no
+        // `get_mut`; an unordered load is the same thing here).
+        free(self.root.load(Ordering::Relaxed));
     }
 }
 
 impl<K, V> fmt::Debug for BonsaiTree<K, V> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BonsaiTree")
+            // ordering: Relaxed — diagnostic snapshot.
             .field("len", &self.len.load(Ordering::Relaxed))
             .finish_non_exhaustive()
     }

@@ -42,3 +42,9 @@ fn loom_arena_recycle_vs_reader() {
     let runs = loomette::Explorer::default().explore(scenarios::arena_recycle_vs_reader);
     assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
 }
+
+#[test]
+fn loom_treiber_recycle_push_vs_alloc_pop() {
+    let runs = loomette::Explorer::default().explore(scenarios::treiber_recycle_push_vs_alloc_pop);
+    assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
+}

@@ -37,3 +37,10 @@ fn stress_arena_recycle_vs_reader() {
         scenarios::arena_recycle_vs_reader();
     }
 }
+
+#[test]
+fn stress_treiber_recycle_push_vs_alloc_pop() {
+    for _ in 0..ITERS {
+        scenarios::treiber_recycle_push_vs_alloc_pop();
+    }
+}

@@ -20,7 +20,7 @@
 
 use std::sync::Arc;
 
-use bonsai::RangeMap;
+use bonsai::{BonsaiTree, RangeMap};
 use rcukit::Collector;
 
 #[cfg(loom)]
@@ -201,6 +201,59 @@ pub fn arena_recycle_vs_reader() {
     }
     let s = c.stats();
     assert_eq!(s.objects_retired, s.objects_freed);
+}
+
+/// Treiber pop vs. recycle push on the arena free list: a standalone
+/// `BonsaiTree` has exactly one writer scratch, so every insert's
+/// allocation pops that scratch's arena free list — while a concurrent
+/// `collect()` firing an earlier remove's retirement batch *pushes* the
+/// recycled blocks onto the same list from the driver thread. That is the
+/// multi-producer/single-consumer race the audit relaxed to
+/// `Release`-CAS push / `Acquire`-load+CAS pop: the block's link write and
+/// payload drop must be visible to the popper before the block is, in
+/// every schedule (and, under `LOOMETTE_TSO=1`, with the pusher's link
+/// store buffered until its CAS drains). A torn block would surface as a
+/// broken invariant or a wrong final map.
+pub fn treiber_recycle_push_vs_alloc_pop() {
+    let c = Collector::with_shards(1);
+    let tree: Arc<BonsaiTree<u64, u64>> = Arc::new(BonsaiTree::new(c.clone()));
+    tree.insert(1, 10);
+    tree.insert(2, 20);
+    tree.insert(3, 30);
+    // Retire a path-rebuild batch; its recycler is the tree's single
+    // scratch arena, so when a collect fires it the blocks push back onto
+    // the very free list the next insert pops.
+    assert_eq!(tree.remove(&2), Some(20));
+
+    let driver = {
+        let c = c.clone();
+        spawn(move || {
+            // Two advances past the retirement tag plus the reclaim pass
+            // that runs `push_free` — concurrent with the writer's pops.
+            for _ in 0..3 {
+                c.collect();
+            }
+        })
+    };
+    let writer = {
+        let tree = Arc::clone(&tree);
+        spawn(move || {
+            tree.insert(4, 40);
+        })
+    };
+    driver.join().unwrap();
+    writer.join().unwrap();
+
+    tree.check_invariants();
+    assert_eq!(tree.to_vec(), vec![(1, 10), (3, 30), (4, 40)]);
+    for _ in 0..4 {
+        c.collect();
+    }
+    let s = c.stats();
+    assert_eq!(
+        s.objects_retired, s.objects_freed,
+        "retirements stranded after the recycle/alloc race"
+    );
 }
 
 /// Two writers race on *overlapping* spans: one clears `[0x1000, 0x2000)`

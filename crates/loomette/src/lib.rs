@@ -1,4 +1,4 @@
-//! # loomette — a minimal in-tree model checker for SeqCst concurrency
+//! # loomette — a minimal in-tree model checker for atomic protocols
 //!
 //! A self-contained, dependency-free stand-in for the parts of
 //! [`loom`](https://docs.rs/loom) that rcukit's protocol tests need. The
@@ -7,14 +7,23 @@
 //! meaningfully distinct thread interleaving — with an honest, documented
 //! scope:
 //!
-//! * **Sequentially consistent only.** Every instrumented atomic executes
-//!   as `SeqCst` and every instrumented op is a scheduler switch point.
-//!   This exactly models code whose atomics are all `SeqCst` (rcukit's
-//!   epoch collector is), and does *not* model relaxed-memory reorderings.
+//! * **Two memory models.** By default every instrumented atomic executes
+//!   as `SeqCst`, so the model is *sequentially consistent by
+//!   construction* — exact for code whose atomics are all `SeqCst`, an
+//!   under-approximation for weaker orderings. With
+//!   [`Explorer::tso`](Explorer) set — or `LOOMETTE_TSO=1` in the
+//!   environment — the checker instead explores the **store-buffer (TSO)**
+//!   model: non-`SeqCst` stores sit in a per-thread FIFO with
+//!   non-deterministic flush points, loads forward from the own buffer,
+//!   and RMWs / `SeqCst` ops / `fence(SeqCst)` drain it. That is the
+//!   x86-TSO store→load reordering, the one weak-memory behaviour this
+//!   checker models; see [`mod@sync`] and the design notes in
+//!   `docs/CONCURRENCY.md` for its limits vs. full C11.
 //! * **Preemption-bounded.** Exploration is exhaustive over schedules with
 //!   at most N preemptive context switches (default 2, the CHESS result
 //!   that small bounds catch most bugs); forced switches — blocking on a
-//!   mutex, joining, finishing — are free. `LOOMETTE_PREEMPTIONS` raises
+//!   mutex, joining, finishing — are free, and early TSO buffer flushes
+//!   are charged against the same bound. `LOOMETTE_PREEMPTIONS` raises
 //!   the bound.
 //! * **Deadlock-detecting.** A state where no thread can run fails the
 //!   model with the offending schedule.
@@ -90,12 +99,22 @@ mod tests {
         );
     }
 
+    /// An explorer pinned to the given memory model (environment-
+    /// independent, unlike `Explorer::default`).
+    fn explorer(tso: bool) -> super::Explorer {
+        super::Explorer {
+            preemption_bound: super::DEFAULT_PREEMPTION_BOUND,
+            max_runs: super::DEFAULT_MAX_RUNS,
+            tso,
+        }
+    }
+
     /// Store-buffering litmus: under sequential consistency at least one
-    /// thread must observe the other's store. loomette is SC by
+    /// thread must observe the other's store. SeqCst-exact mode is SC by
     /// construction, so `r1 == r2 == 0` must be impossible.
     #[test]
     fn store_buffering_is_sequentially_consistent() {
-        super::model(|| {
+        explorer(false).explore(|| {
             let x = Arc::new(AtomicUsize::new(0));
             let y = Arc::new(AtomicUsize::new(0));
             let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
@@ -285,6 +304,111 @@ mod tests {
                 drop(Box::from_raw(a));
                 drop(Box::from_raw(b));
             }
+        });
+    }
+
+    /// The store-buffering litmus body with the given store/load orderings,
+    /// recording every observed `(r1, r2)` outcome into `saw_both_zero`.
+    fn sb_litmus(
+        store_order: Ordering,
+        load_order: Ordering,
+        fenced: bool,
+        saw_both_zero: &Arc<std::sync::atomic::AtomicBool>,
+    ) -> impl Fn() + Send + Sync + 'static {
+        let saw = Arc::clone(saw_both_zero);
+        move || {
+            let x = Arc::new(AtomicUsize::new(0));
+            let y = Arc::new(AtomicUsize::new(0));
+            let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+            let saw = Arc::clone(&saw);
+            let t = crate::thread::spawn(move || {
+                x2.store(1, store_order);
+                if fenced {
+                    crate::sync::atomic::fence(Ordering::SeqCst);
+                }
+                y2.load(load_order)
+            });
+            y.store(1, store_order);
+            if fenced {
+                crate::sync::atomic::fence(Ordering::SeqCst);
+            }
+            let r1 = x.load(load_order);
+            let r2 = t.join().unwrap();
+            if r1 == 0 && r2 == 0 {
+                saw.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// TSO mode must *find* the store-buffering reorder for non-`SeqCst`
+    /// accesses: some schedule observes `r1 == r2 == 0` (both stores still
+    /// buffered when the cross loads execute) — the outcome SC forbids.
+    #[test]
+    fn tso_finds_store_buffering_reorder() {
+        let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        explorer(true).explore(sb_litmus(Ordering::Release, Ordering::Acquire, false, &saw));
+        assert!(
+            saw.load(std::sync::atomic::Ordering::SeqCst),
+            "TSO exploration never produced the r1 == r2 == 0 reorder"
+        );
+    }
+
+    /// `SeqCst` operations stay sequentially consistent in TSO mode (a
+    /// `SeqCst` store drains the buffer), so the forbidden outcome must
+    /// stay unreachable.
+    #[test]
+    fn tso_seqcst_ops_remain_sequentially_consistent() {
+        let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        explorer(true).explore(sb_litmus(Ordering::SeqCst, Ordering::SeqCst, false, &saw));
+        assert!(
+            !saw.load(std::sync::atomic::Ordering::SeqCst),
+            "SeqCst accesses were reordered under TSO mode"
+        );
+    }
+
+    /// A `fence(SeqCst)` between the store and the cross load drains the
+    /// buffer and restores SC for the litmus even with `Release`/`Acquire`
+    /// accesses — the exact pattern rcukit's pin-publication relies on.
+    #[test]
+    fn tso_seqcst_fence_restores_sequential_consistency() {
+        let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        explorer(true).explore(sb_litmus(Ordering::Release, Ordering::Acquire, true, &saw));
+        assert!(
+            !saw.load(std::sync::atomic::Ordering::SeqCst),
+            "fence(SeqCst) failed to forbid the store-buffer reorder"
+        );
+    }
+
+    /// SeqCst-exact mode executes weaker orderings as `SeqCst` (the
+    /// documented under-approximation): the reorder is *not* found there.
+    #[test]
+    fn sc_mode_does_not_model_store_buffering() {
+        let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        explorer(false).explore(sb_litmus(Ordering::Release, Ordering::Acquire, false, &saw));
+        assert!(
+            !saw.load(std::sync::atomic::Ordering::SeqCst),
+            "SeqCst-exact mode unexpectedly modeled a store-buffer reorder"
+        );
+    }
+
+    /// In TSO mode a thread always sees its *own* stores in order (store-
+    /// to-load forwarding), even while they are still buffered.
+    #[test]
+    fn tso_forwards_own_buffered_stores() {
+        explorer(true).explore(|| {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v2 = Arc::clone(&v);
+            let t = crate::thread::spawn(move || {
+                v2.store(7, Ordering::Release);
+                assert_eq!(
+                    v2.load(Ordering::Relaxed),
+                    7,
+                    "own buffered store was not forwarded"
+                );
+            });
+            t.join().unwrap();
+            // After the join edge the child's buffer has drained.
+            assert_eq!(v.load(Ordering::Acquire), 7, "join did not drain");
         });
     }
 

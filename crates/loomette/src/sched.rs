@@ -14,6 +14,27 @@
 //! most [`preemption_bound`](Explorer::preemption_bound) times (CHESS-style;
 //! most concurrency bugs need very few preemptions). Forced switches — the
 //! current thread blocked or finished — are always free.
+//!
+//! # The store-buffer (TSO) mode
+//!
+//! With [`Explorer::tso`] set (or `LOOMETTE_TSO=1`), the model adds x86-TSO
+//! store buffers: each thread owns a FIFO of not-yet-visible atomic stores.
+//! A non-`SeqCst` instrumented store is appended to its thread's buffer
+//! instead of hitting memory; loads forward from the own buffer (newest
+//! entry for the location) and otherwise read committed memory — so a load
+//! can complete *before* an earlier store of the same thread becomes
+//! visible, the one reordering TSO allows. `SeqCst` stores, all RMWs
+//! (swap/CAS/fetch ops), `fence(SeqCst)`, and every scheduler-level
+//! synchronization edge (mutex acquire/release, condvar ops, spawn, thread
+//! finish) drain the issuing thread's buffer, exactly like the fence or
+//! lock-prefixed instruction they compile to. Flush points in between are
+//! non-deterministic: at every scheduling decision the explorer may commit
+//! the oldest buffered entry of any thread instead of running a thread —
+//! an *early flush* choice charged against the same preemption bound (it
+//! is a "weirdness event" in the CHESS sense), which keeps the extra
+//! branching bounded. The default behaviour — buffers draining as late as
+//! possible — is the free path, and it is the one that exposes
+//! store-buffering bugs.
 
 use std::cell::Cell;
 use std::collections::VecDeque;
@@ -25,6 +46,18 @@ use std::thread as os_thread;
 /// Default preemption bound (see module docs). Overridable per model via
 /// [`Explorer`] or the `LOOMETTE_PREEMPTIONS` environment variable.
 pub const DEFAULT_PREEMPTION_BOUND: usize = 2;
+
+/// The shared backing word of one instrumented atomic: the committed value
+/// lives in a process-heap cell kept alive by `Arc` from both the atomic
+/// object *and* any store-buffer entries targeting it, so a buffered store
+/// can never dangle even if the atomic is dropped before the flush (the
+/// collector scenarios drop their structures on thread 0 before `finish`).
+/// All value types encode into the one `u64` (see `sync::atomic`).
+pub(crate) type BackingCell = Arc<std::sync::atomic::AtomicU64>;
+
+/// Scheduling-option encoding for "commit the oldest store-buffer entry of
+/// thread `v - FLUSH_BASE`" (plain thread ids are always far below this).
+const FLUSH_BASE: usize = usize::MAX / 2;
 
 /// Hard cap on runs per [`crate::model`] call; exceeding it means the test
 /// is too big to check exhaustively and should be shrunk.
@@ -89,9 +122,16 @@ struct State {
     step: usize,
     /// Decisions recorded this run (only points with >1 option).
     trace: Vec<Choice>,
-    /// Preemptive (non-forced) switches taken so far this run.
+    /// Preemptive (non-forced) switches taken so far this run. In TSO mode
+    /// early store-buffer flushes are charged here too.
     preemptions: usize,
     preemption_bound: usize,
+    /// Store-buffer (TSO) mode: see the module docs.
+    tso: bool,
+    /// Per-thread FIFO store buffers (TSO mode; always empty otherwise),
+    /// parallel to `threads`. Entries hold an owned handle to the backing
+    /// cell so a pending store can never outlive its target.
+    buffers: Vec<VecDeque<(BackingCell, u64)>>,
     /// Lock words for loomette mutexes, indexed by mutex id.
     mutexes: Vec<bool>,
     /// Number of condvar ids handed out this run (waiters are tracked in
@@ -107,56 +147,91 @@ impl State {
     /// point (`me_runnable` tells whether `me` could continue). Returns the
     /// chosen tid. Panics the model on deadlock.
     fn schedule(&mut self, me: usize, me_runnable: bool) -> usize {
-        let runnable: Vec<usize> = (0..self.threads.len())
-            .filter(|&t| self.threads[t] == Run::Runnable && (t != me || me_runnable))
-            .collect();
-        if runnable.is_empty() {
-            if self.finished == self.threads.len() {
-                return me; // run is over; value unused
+        loop {
+            let runnable: Vec<usize> = (0..self.threads.len())
+                .filter(|&t| self.threads[t] == Run::Runnable && (t != me || me_runnable))
+                .collect();
+            if runnable.is_empty() {
+                if self.finished == self.threads.len() {
+                    return me; // run is over; value unused
+                }
+                // A pending store-buffer flush can never make a
+                // scheduler-blocked thread runnable, so non-empty buffers
+                // do not rescue this state: report the deadlock as-is.
+                self.failed = Some(format!(
+                    "deadlock: no runnable threads (states: {:?})",
+                    self.threads
+                ));
+                return me;
             }
-            self.failed = Some(format!(
-                "deadlock: no runnable threads (states: {:?})",
-                self.threads
-            ));
-            return me;
-        }
-        // Candidate order: the current thread first (continuing is free),
-        // then the others, which each cost one preemption while `me` could
-        // have continued. Forced switches (me blocked/finished) are free.
-        let mut options: Vec<usize> = Vec::with_capacity(runnable.len());
-        if me_runnable {
-            options.push(me);
-            if self.preemptions < self.preemption_bound {
-                options.extend(runnable.iter().copied().filter(|&t| t != me));
-            }
-        } else {
-            options = runnable;
-        }
-        let chosen = if options.len() == 1 {
-            // No branching: not a recorded decision point.
-            options[0]
-        } else {
-            let idx = if self.step < self.prefix.len() {
-                let want = self.prefix[self.step];
-                options
-                    .iter()
-                    .position(|&t| t == want)
-                    .expect("replay divergence: recorded choice not available")
+            // Candidate order: the current thread first (continuing is
+            // free), then the others, which each cost one preemption while
+            // `me` could have continued. Forced switches (me blocked or
+            // finished) are free. In TSO mode, committing the oldest
+            // buffered store of any thread is a further candidate, also
+            // charged as a preemption (it deviates from the free
+            // drain-as-late-as-possible path).
+            let mut options: Vec<usize> = Vec::with_capacity(runnable.len());
+            if me_runnable {
+                options.push(me);
+                if self.preemptions < self.preemption_bound {
+                    options.extend(runnable.iter().copied().filter(|&t| t != me));
+                }
             } else {
-                0
+                options = runnable;
+            }
+            if self.tso && self.preemptions < self.preemption_bound {
+                options.extend(
+                    (0..self.buffers.len())
+                        .filter(|&t| !self.buffers[t].is_empty())
+                        .map(|t| FLUSH_BASE + t),
+                );
+            }
+            let chosen = if options.len() == 1 {
+                // No branching: not a recorded decision point.
+                options[0]
+            } else {
+                let idx = if self.step < self.prefix.len() {
+                    let want = self.prefix[self.step];
+                    options
+                        .iter()
+                        .position(|&t| t == want)
+                        .expect("replay divergence: recorded choice not available")
+                } else {
+                    0
+                };
+                self.step += 1;
+                self.trace.push(Choice {
+                    options: options.clone(),
+                    chosen: idx,
+                });
+                options[idx]
             };
-            self.step += 1;
-            self.trace.push(Choice {
-                options: options.clone(),
-                chosen: idx,
-            });
-            options[idx]
-        };
-        if me_runnable && chosen != me {
-            self.preemptions += 1;
+            if chosen >= FLUSH_BASE {
+                // Commit one entry and decide again from the new memory
+                // state; the current thread is not switched by a flush.
+                let t = chosen - FLUSH_BASE;
+                let (cell, val) = self.buffers[t]
+                    .pop_front()
+                    .expect("flush chosen for an empty buffer");
+                cell.store(val, std::sync::atomic::Ordering::SeqCst);
+                self.preemptions += 1;
+                continue;
+            }
+            if me_runnable && chosen != me {
+                self.preemptions += 1;
+            }
+            self.current = chosen;
+            return chosen;
         }
-        self.current = chosen;
-        chosen
+    }
+
+    /// Commits every pending store of thread `t`, oldest first (the TSO
+    /// buffer-drain a fence / RMW / lock-prefixed instruction performs).
+    fn drain_buffer(&mut self, t: usize) {
+        while let Some((cell, val)) = self.buffers[t].pop_front() {
+            cell.store(val, std::sync::atomic::Ordering::SeqCst);
+        }
     }
 
     fn done(&self) -> bool {
@@ -169,6 +244,9 @@ impl State {
 pub(crate) struct Scheduler {
     state: Mutex<State>,
     cv: Condvar,
+    /// Store-buffer (TSO) mode (copy of `State::tso` readable without the
+    /// state lock, for the fast path of the instrumentation hooks).
+    tso: bool,
     /// Set on failure so threads parked in their start-wait exit quickly.
     aborting: AtomicBool,
     /// Process-unique sequence number for this run. Instrumented mutexes
@@ -189,10 +267,11 @@ impl Scheduler {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    fn new(prefix: Vec<usize>, preemption_bound: usize) -> Self {
+    fn new(prefix: Vec<usize>, preemption_bound: usize, tso: bool) -> Self {
         static RUN_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
         Scheduler {
             run_seq: RUN_SEQ.fetch_add(1, Ordering::Relaxed),
+            tso,
             state: Mutex::new(State {
                 threads: vec![Run::Runnable], // thread 0 = the model body
                 current: 0,
@@ -201,6 +280,8 @@ impl Scheduler {
                 trace: Vec::new(),
                 preemptions: 0,
                 preemption_bound,
+                tso,
+                buffers: vec![VecDeque::new()],
                 mutexes: Vec::new(),
                 condvars: 0,
                 failed: None,
@@ -309,12 +390,16 @@ impl Scheduler {
     fn register(&self) -> usize {
         let mut st = self.st();
         st.threads.push(Run::Runnable);
+        st.buffers.push(VecDeque::new());
         st.threads.len() - 1
     }
 
     /// Marks `me` finished, wakes joiners, and schedules the next thread.
     fn finish(&self, me: usize) {
         let mut st = self.st();
+        // TSO: a finishing thread's pending stores become visible before
+        // any joiner proceeds (the join edge is a synchronization edge).
+        st.drain_buffer(me);
         st.threads[me] = Run::Finished;
         st.finished += 1;
         for t in 0..st.threads.len() {
@@ -367,6 +452,9 @@ impl Scheduler {
                 let mut st = self.st();
                 if !st.mutexes[id] {
                     st.mutexes[id] = true;
+                    // TSO: a lock acquire is a full barrier (lock-prefixed
+                    // RMW on the lock word); drain the acquirer's buffer.
+                    st.drain_buffer(me);
                     return;
                 }
             }
@@ -374,8 +462,11 @@ impl Scheduler {
         }
     }
 
-    fn mutex_unlock(&self, _me: usize, id: usize) {
+    fn mutex_unlock(&self, me: usize, id: usize) {
         let mut st = self.st();
+        // TSO: everything stored inside the critical section must be
+        // committed before the lock word is seen free by the next holder.
+        st.drain_buffer(me);
         st.mutexes[id] = false;
         for t in 0..st.threads.len() {
             if st.threads[t] == Run::BlockedMutex(id) {
@@ -411,8 +502,12 @@ impl Scheduler {
 
     /// Wakes every thread waiting on condvar `id`; they become runnable and
     /// re-acquire their mutex through the normal scheduler-mediated path.
-    fn condvar_notify_all(&self, _me: usize, id: usize) {
+    fn condvar_notify_all(&self, me: usize, id: usize) {
         let mut st = self.st();
+        // TSO: make the notifier's stores visible to woken waiters (the
+        // wait side re-acquires its mutex, which is itself a barrier, but
+        // draining here keeps the notify edge a full sync edge too).
+        st.drain_buffer(me);
         for t in 0..st.threads.len() {
             if st.threads[t] == Run::BlockedCondvar(id) {
                 st.threads[t] = Run::Runnable;
@@ -499,6 +594,56 @@ pub(crate) fn condvar_notify_all(sched: &Scheduler, me: usize, id: usize) {
     sched.condvar_notify_all(me, id);
 }
 
+// ---- TSO store-buffer hooks (see the module docs) ----
+//
+// Each hook is a no-op (returns the "not buffered" answer) outside a model,
+// in SeqCst-exact mode, or once the model has degraded after a failure —
+// the instrumented op then falls through to its real `std` primitive.
+
+/// Store-to-load forwarding: the newest pending store *by the calling
+/// thread* to `cell`, if any. A TSO load reads its own buffer first.
+pub(crate) fn tso_buffered_load(cell: &BackingCell) -> Option<u64> {
+    let (sched, me) = current()?;
+    if !sched.tso || sched.degraded() {
+        return None;
+    }
+    let st = sched.st();
+    st.buffers[me]
+        .iter()
+        .rev()
+        .find(|(c, _)| Arc::ptr_eq(c, cell))
+        .map(|(_, v)| *v)
+}
+
+/// Appends a store to the calling thread's buffer instead of committing
+/// it. With `drain` (a `SeqCst` store) the buffer — including the new
+/// entry — is committed immediately, preserving SC semantics for the op.
+/// Returns `false` if not in TSO mode (caller performs the real store).
+pub(crate) fn tso_buffer_store(cell: &BackingCell, val: u64, drain: bool) -> bool {
+    match current() {
+        Some((sched, me)) if sched.tso && !sched.degraded() => {
+            let mut st = sched.st();
+            st.buffers[me].push_back((Arc::clone(cell), val));
+            if drain {
+                st.drain_buffer(me);
+            }
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Drains the calling thread's store buffer: the model-level effect of
+/// `fence(SeqCst)` and of every RMW (which is a full barrier on TSO).
+pub(crate) fn tso_drain() {
+    if let Some((sched, me)) = current() {
+        if sched.tso && !sched.degraded() {
+            let mut st = sched.st();
+            st.drain_buffer(me);
+        }
+    }
+}
+
 // ---- thread spawning ----
 
 /// Handle to a spawned model thread.
@@ -546,6 +691,9 @@ where
             .expect("loomette spawn outside a model run")
     });
     debug_assert!(std::ptr::eq(Arc::as_ptr(&sched), sched_ref as *const _));
+    // TSO: the spawn edge synchronizes-with the child's start — the
+    // parent's pending stores must be visible to the child's first load.
+    tso_drain();
     let tid = sched.register();
     let sched2 = Arc::clone(&sched);
     let inner = os_thread::spawn(move || {
@@ -595,10 +743,15 @@ fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
 
 /// Exploration limits for one model.
 pub struct Explorer {
-    /// Maximum preemptive context switches per schedule.
+    /// Maximum preemptive context switches per schedule (early TSO flushes
+    /// are charged against the same bound).
     pub preemption_bound: usize,
     /// Hard cap on explored schedules.
     pub max_runs: usize,
+    /// Explore under the store-buffer (TSO) memory model instead of
+    /// SeqCst-exact: see the module docs. Defaults to the `LOOMETTE_TSO`
+    /// environment variable.
+    pub tso: bool,
 }
 
 impl Default for Explorer {
@@ -607,9 +760,13 @@ impl Default for Explorer {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(DEFAULT_PREEMPTION_BOUND);
+        let tso = std::env::var("LOOMETTE_TSO")
+            .map(|s| matches!(s.as_str(), "1" | "true" | "yes"))
+            .unwrap_or(false);
         Explorer {
             preemption_bound: bound,
             max_runs: DEFAULT_MAX_RUNS,
+            tso,
         }
     }
 }
@@ -629,7 +786,11 @@ impl Explorer {
                 "loomette: exceeded {} schedules — shrink the model",
                 self.max_runs
             );
-            let sched = Arc::new(Scheduler::new(prefix.clone(), self.preemption_bound));
+            let sched = Arc::new(Scheduler::new(
+                prefix.clone(),
+                self.preemption_bound,
+                self.tso,
+            ));
             let f0 = Arc::clone(&f);
             let sched0 = Arc::clone(&sched);
             // Thread 0 runs the model body itself.
@@ -652,14 +813,26 @@ impl Explorer {
             let _ = body.join();
             let mut st = sched.st();
             if let Some(msg) = st.failed.take() {
-                let decisions: Vec<usize> = st.trace.iter().map(|c| c.options[c.chosen]).collect();
+                let decisions: Vec<String> = st
+                    .trace
+                    .iter()
+                    .map(|c| {
+                        let v = c.options[c.chosen];
+                        if v >= FLUSH_BASE {
+                            format!("flush:{}", v - FLUSH_BASE)
+                        } else {
+                            v.to_string()
+                        }
+                    })
+                    .collect();
                 // Release the state lock before panicking: orphaned model
                 // threads of the failed run may still be unwinding, and
                 // their destructors take this lock.
                 drop(st);
                 panic!(
                     "loomette: model failed after {runs} schedule(s)\n  \
-                     failure: {msg}\n  schedule (thread ids): {decisions:?}"
+                     failure: {msg}\n  schedule (thread ids, flush:T = \
+                     store-buffer commit of thread T): {decisions:?}"
                 );
             }
             // Depth-first: bump the deepest decision with an untried

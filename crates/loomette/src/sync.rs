@@ -7,64 +7,187 @@
 //! the underlying operation then executes on the real `std` primitive
 //! without contention.
 //!
-//! All atomic orderings are executed as `SeqCst`. That makes the model
-//! *sequentially consistent by construction* — exactly the memory model of
-//! code whose atomics are all `SeqCst` (as rcukit's epoch protocol is), and
-//! an under-approximation for weaker orderings (relaxed-memory effects are
-//! out of scope for this checker).
+//! Two memory models are supported (selected by [`crate::Explorer::tso`]
+//! or `LOOMETTE_TSO=1`):
+//!
+//! * **SeqCst-exact** (default): every atomic executes as `SeqCst`, so the
+//!   model is sequentially consistent by construction — exact for code
+//!   whose atomics are all `SeqCst`, an under-approximation otherwise.
+//! * **Store-buffer (TSO)**: non-`SeqCst` stores sit in a per-thread FIFO
+//!   until a non-deterministic flush point; loads forward from the own
+//!   buffer; RMWs, `SeqCst` stores and `fence(SeqCst)` drain it. This is
+//!   the x86-TSO reordering (stores passing later loads) — see the
+//!   `sched` module docs for the model and its limits vs. C11.
+//!
+//! Every atomic is backed by a shared heap `u64` cell
+//! (`sched::BackingCell`) so that a buffered store keeps its target
+//! alive and both modes execute the same code paths.
 
 use crate::sched;
 
 /// Instrumented atomics. Same API shape as `std::sync::atomic`, minus
-/// `const fn new`.
+/// `const fn new` (and the unsynchronized `get_mut`/`into_inner` accessors:
+/// use a `load` — exclusive access makes any ordering race-free).
 pub mod atomic {
     pub use std::sync::atomic::Ordering;
 
-    use crate::sched;
+    use std::sync::Arc;
+
+    use crate::sched::{self, BackingCell};
+
+    // The fetch ops below wrap at the backing cell's 64-bit width, which
+    // must agree with the fronted integer type's width.
+    const _: () = assert!(usize::BITS == 64, "loomette assumes a 64-bit target");
 
     /// An instrumented memory fence: a scheduler switch point followed by
-    /// the real fence.
+    /// the real fence. In TSO mode a `SeqCst` fence also drains the calling
+    /// thread's store buffer; weaker fences do not (on TSO, only the
+    /// store→load reordering exists and only a full barrier kills it).
     pub fn fence(order: Ordering) {
         sched::switch_point();
+        if order == Ordering::SeqCst {
+            sched::tso_drain();
+        }
         std::sync::atomic::fence(order);
     }
 
+    /// A value an instrumented atomic can hold, encoded injectively into
+    /// the shared `u64` backing cell.
+    trait Word: Copy {
+        fn enc(self) -> u64;
+        fn dec(raw: u64) -> Self;
+    }
+
+    impl Word for u64 {
+        fn enc(self) -> u64 {
+            self
+        }
+        fn dec(raw: u64) -> u64 {
+            raw
+        }
+    }
+
+    impl Word for usize {
+        fn enc(self) -> u64 {
+            self as u64
+        }
+        fn dec(raw: u64) -> usize {
+            raw as usize
+        }
+    }
+
+    impl Word for bool {
+        fn enc(self) -> u64 {
+            self as u64
+        }
+        fn dec(raw: u64) -> bool {
+            raw != 0
+        }
+    }
+
+    impl<T> Word for *mut T {
+        fn enc(self) -> u64 {
+            self as usize as u64
+        }
+        fn dec(raw: u64) -> *mut T {
+            raw as usize as *mut T
+        }
+    }
+
+    fn new_cell(raw: u64) -> BackingCell {
+        Arc::new(std::sync::atomic::AtomicU64::new(raw))
+    }
+
+    /// Load: forwards the calling thread's newest pending store in TSO
+    /// mode, else reads committed memory.
+    fn op_load<W: Word>(c: &BackingCell) -> W {
+        sched::switch_point();
+        if let Some(raw) = sched::tso_buffered_load(c) {
+            return W::dec(raw);
+        }
+        W::dec(c.load(Ordering::SeqCst))
+    }
+
+    /// Store: buffered in TSO mode (committing immediately — with the rest
+    /// of the buffer — when the op is `SeqCst`), committed directly in
+    /// SeqCst-exact mode or outside a model.
+    fn op_store<W: Word>(c: &BackingCell, v: W, order: Ordering) {
+        sched::switch_point();
+        if sched::tso_buffer_store(c, v.enc(), order == Ordering::SeqCst) {
+            return;
+        }
+        c.store(v.enc(), Ordering::SeqCst)
+    }
+
+    /// RMWs are full barriers on TSO (lock-prefixed): drain, then execute
+    /// on committed memory.
+    fn op_swap<W: Word>(c: &BackingCell, v: W) -> W {
+        sched::switch_point();
+        sched::tso_drain();
+        W::dec(c.swap(v.enc(), Ordering::SeqCst))
+    }
+
+    fn op_compare_exchange<W: Word>(c: &BackingCell, current: W, new: W) -> Result<W, W> {
+        sched::switch_point();
+        sched::tso_drain();
+        c.compare_exchange(current.enc(), new.enc(), Ordering::SeqCst, Ordering::SeqCst)
+            .map(W::dec)
+            .map_err(W::dec)
+    }
+
+    fn op_fetch_add<W: Word>(c: &BackingCell, v: W) -> W {
+        sched::switch_point();
+        sched::tso_drain();
+        W::dec(c.fetch_add(v.enc(), Ordering::SeqCst))
+    }
+
+    fn op_fetch_sub<W: Word>(c: &BackingCell, v: W) -> W {
+        sched::switch_point();
+        sched::tso_drain();
+        W::dec(c.fetch_sub(v.enc(), Ordering::SeqCst))
+    }
+
     macro_rules! instrumented_atomic {
-        ($name:ident, $raw:ty, $prim:ty) => {
+        ($name:ident, $prim:ty) => {
             /// An instrumented atomic: every access is a scheduler switch
-            /// point. All orderings execute as `SeqCst` (see module docs).
-            #[derive(Debug, Default)]
+            /// point, backed by a shared cell the store-buffer model can
+            /// keep alive past the atomic's own lifetime (see module docs).
+            #[derive(Debug)]
             pub struct $name {
-                inner: $raw,
+                cell: BackingCell,
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$prim>::default())
+                }
             }
 
             impl $name {
                 /// Creates a new atomic (not `const`, unlike `std`).
                 pub fn new(v: $prim) -> Self {
                     Self {
-                        inner: <$raw>::new(v),
+                        cell: new_cell(Word::enc(v)),
                     }
                 }
 
-                /// Instrumented load (always `SeqCst`).
+                /// Instrumented load; may forward a buffered store (TSO).
                 pub fn load(&self, _order: Ordering) -> $prim {
-                    sched::switch_point();
-                    self.inner.load(Ordering::SeqCst)
+                    op_load(&self.cell)
                 }
 
-                /// Instrumented store (always `SeqCst`).
-                pub fn store(&self, v: $prim, _order: Ordering) {
-                    sched::switch_point();
-                    self.inner.store(v, Ordering::SeqCst)
+                /// Instrumented store; buffered unless `SeqCst` (TSO).
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    op_store(&self.cell, v, order)
                 }
 
-                /// Instrumented swap (always `SeqCst`).
+                /// Instrumented swap (a full barrier in both modes).
                 pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
-                    sched::switch_point();
-                    self.inner.swap(v, Ordering::SeqCst)
+                    op_swap(&self.cell, v)
                 }
 
-                /// Instrumented compare-exchange (always `SeqCst`).
+                /// Instrumented compare-exchange (a full barrier in both
+                /// modes, like x86 `lock cmpxchg` even on failure).
                 pub fn compare_exchange(
                     &self,
                     current: $prim,
@@ -72,20 +195,7 @@ pub mod atomic {
                     _success: Ordering,
                     _failure: Ordering,
                 ) -> Result<$prim, $prim> {
-                    sched::switch_point();
-                    self.inner
-                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
-                }
-
-                /// Unsynchronized access; no switch point (exclusive access
-                /// cannot race).
-                pub fn get_mut(&mut self) -> &mut $prim {
-                    self.inner.get_mut()
-                }
-
-                /// Consumes the atomic, returning the value.
-                pub fn into_inner(self) -> $prim {
-                    self.inner.into_inner()
+                    op_compare_exchange(&self.cell, current, new)
                 }
             }
         };
@@ -94,34 +204,36 @@ pub mod atomic {
     macro_rules! instrumented_fetch_arith {
         ($name:ident, $prim:ty) => {
             impl $name {
-                /// Instrumented fetch-add (always `SeqCst`).
+                /// Instrumented fetch-add (a full barrier in both modes).
                 pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
-                    sched::switch_point();
-                    self.inner.fetch_add(v, Ordering::SeqCst)
+                    op_fetch_add(&self.cell, v)
                 }
 
-                /// Instrumented fetch-sub (always `SeqCst`).
+                /// Instrumented fetch-sub (a full barrier in both modes).
                 pub fn fetch_sub(&self, v: $prim, _order: Ordering) -> $prim {
-                    sched::switch_point();
-                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                    op_fetch_sub(&self.cell, v)
                 }
             }
         };
     }
 
-    instrumented_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
-    instrumented_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
-    instrumented_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+    instrumented_atomic!(AtomicU64, u64);
+    instrumented_atomic!(AtomicUsize, usize);
+    instrumented_atomic!(AtomicBool, bool);
     instrumented_fetch_arith!(AtomicU64, u64);
     instrumented_fetch_arith!(AtomicUsize, usize);
 
     /// An instrumented atomic pointer: every access is a scheduler switch
-    /// point. All orderings execute as `SeqCst` (see module docs). Written
+    /// point; the pointer is encoded through the shared `u64` cell. Written
     /// out by hand because the pointee type parameter does not fit the
     /// macro's monomorphic shape.
     #[derive(Debug)]
     pub struct AtomicPtr<T> {
-        inner: std::sync::atomic::AtomicPtr<T>,
+        cell: BackingCell,
+        /// Mirrors `std::sync::atomic::AtomicPtr<T>`'s auto traits
+        /// (`Send` and `Sync` for any `T`), which the cell alone would
+        /// not pin down for the pointee parameter.
+        _marker: std::marker::PhantomData<std::sync::atomic::AtomicPtr<T>>,
     }
 
     impl<T> Default for AtomicPtr<T> {
@@ -134,29 +246,27 @@ pub mod atomic {
         /// Creates a new atomic pointer (not `const`, unlike `std`).
         pub fn new(p: *mut T) -> Self {
             Self {
-                inner: std::sync::atomic::AtomicPtr::new(p),
+                cell: new_cell(Word::enc(p)),
+                _marker: std::marker::PhantomData,
             }
         }
 
-        /// Instrumented load (always `SeqCst`).
+        /// Instrumented load; may forward a buffered store (TSO).
         pub fn load(&self, _order: Ordering) -> *mut T {
-            sched::switch_point();
-            self.inner.load(Ordering::SeqCst)
+            op_load(&self.cell)
         }
 
-        /// Instrumented store (always `SeqCst`).
-        pub fn store(&self, p: *mut T, _order: Ordering) {
-            sched::switch_point();
-            self.inner.store(p, Ordering::SeqCst)
+        /// Instrumented store; buffered unless `SeqCst` (TSO).
+        pub fn store(&self, p: *mut T, order: Ordering) {
+            op_store(&self.cell, p, order)
         }
 
-        /// Instrumented swap (always `SeqCst`).
+        /// Instrumented swap (a full barrier in both modes).
         pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
-            sched::switch_point();
-            self.inner.swap(p, Ordering::SeqCst)
+            op_swap(&self.cell, p)
         }
 
-        /// Instrumented compare-exchange (always `SeqCst`).
+        /// Instrumented compare-exchange (a full barrier in both modes).
         pub fn compare_exchange(
             &self,
             current: *mut T,
@@ -164,20 +274,7 @@ pub mod atomic {
             _success: Ordering,
             _failure: Ordering,
         ) -> Result<*mut T, *mut T> {
-            sched::switch_point();
-            self.inner
-                .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
-        }
-
-        /// Unsynchronized access; no switch point (exclusive access cannot
-        /// race).
-        pub fn get_mut(&mut self) -> &mut *mut T {
-            self.inner.get_mut()
-        }
-
-        /// Consumes the atomic, returning the value.
-        pub fn into_inner(self) -> *mut T {
-            self.inner.into_inner()
+            op_compare_exchange(&self.cell, current, new)
         }
     }
 }

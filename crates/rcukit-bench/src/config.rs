@@ -19,7 +19,7 @@ use crate::workload::Profile;
 pub const USAGE: &str = "usage:
   rcukit-bench [readers=N] [duration_ms=N] [keys=N] [workload=tree|range|both]
   rcukit-bench --sweep [threads=1,2,4]
-               [profile=metis|metis-phased|psearchy|uniform|writers|all]
+               [profile=metis|metis-phased|psearchy|read-heavy|uniform|writers|all]
                [backend=bonsai|locked|both] [ops=N] [slots=N] [pages=N]
                [seed=N] [out=PATH|-]";
 
@@ -170,7 +170,7 @@ mod tests {
         match parse_strs(&["--sweep"]) {
             Ok(Mode::Sweep(cfg)) => {
                 assert_eq!(cfg.threads, vec![1, 2, 4]);
-                assert_eq!(cfg.profiles.len(), 5);
+                assert_eq!(cfg.profiles.len(), 6);
                 assert_eq!(cfg.backends.len(), 2);
                 assert_eq!(cfg.out.as_deref(), Some("BENCH_addrspace.json"));
             }

@@ -20,7 +20,7 @@ use bonsai::{AddressSpace, RangeMap};
 use rcukit::Collector;
 
 use crate::baseline::LockedAddressSpace;
-use crate::workload::{Op, Profile, WorkloadSpec};
+use crate::workload::{Op, Profile, Rng, WorkloadSpec};
 
 /// Which address-space implementation a replay point runs against.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -169,6 +169,13 @@ pub struct PointResult {
     pub cas_retries: u64,
     /// Speculative copy-on-write nodes those failed commits discarded.
     pub cas_wasted_nodes: u64,
+    /// Single-thread read-side latency in nanoseconds per op, measured
+    /// after the replay against its final state: one thread replaying
+    /// `fault` calls — for the bonsai backend that is the full
+    /// pin + lookup + unpin path whose per-op cost the ordering audit
+    /// targets; for the locked backend, lock + lookup. Same address
+    /// stream for every backend at a given `(profile, threads)` point.
+    pub read_op_ns: f64,
 }
 
 impl PointResult {
@@ -189,7 +196,8 @@ impl PointResult {
              \"unmap_ranges\":{},\"unmap_range_misses\":{},\
              \"mutations_per_sec\":{:.0},\
              \"retired\":{},\"freed\":{},\"reclaim_ok\":{},\
-             \"cas_retries\":{},\"cas_wasted_nodes\":{}}}",
+             \"cas_retries\":{},\"cas_wasted_nodes\":{},\
+             \"read_op_ns\":{:.2}}}",
             self.profile.name(),
             self.backend.name(),
             self.threads,
@@ -212,8 +220,33 @@ impl PointResult {
             self.reclaim_ok,
             self.cas_retries,
             self.cas_wasted_nodes,
+            self.read_op_ns,
         )
     }
+}
+
+/// Faults sampled by the post-replay read-side microbench.
+const READ_SAMPLE: usize = 100_000;
+
+/// Single-thread read-side microbench: replays [`READ_SAMPLE`] `fault`
+/// calls against the post-replay address space and returns the mean
+/// nanoseconds per op. Addresses are pre-drawn (seeded from the spec, so
+/// every backend at a point sees the identical stream) and the hit count
+/// is kept live through `black_box`, so the timed loop is exactly the
+/// backend's fault path — for bonsai, pin + lookup + unpin per call.
+fn read_microbench<A: AddressSpace>(space: &A, spec: &WorkloadSpec) -> f64 {
+    let mut rng = Rng::new(spec.seed ^ 0xB1C9_0DD5_EE75_11A7);
+    let addrs: Vec<u64> = (0..READ_SAMPLE).map(|_| rng.below(spec.span())).collect();
+    let started = Instant::now();
+    let mut hits = 0u64;
+    for &addr in &addrs {
+        if space.fault(addr) {
+            hits += 1;
+        }
+    }
+    let elapsed = started.elapsed();
+    std::hint::black_box(hits);
+    elapsed.as_nanos() as f64 / READ_SAMPLE as f64
 }
 
 /// Replays pre-generated traces against `space`, one thread per trace,
@@ -299,11 +332,13 @@ fn run_point(
     traces: &Arc<Vec<Vec<Op>>>,
 ) -> PointResult {
     let spec = cfg.spec(profile, threads);
-    let (elapsed, tally, retired, freed, cas_retries, cas_wasted_nodes) = match backend {
+    let (elapsed, tally, retired, freed, cas_retries, cas_wasted_nodes, read_op_ns) = match backend
+    {
         Backend::Bonsai => {
             let collector = Collector::new();
             let space: Arc<RangeMap<()>> = Arc::new(RangeMap::new(collector.clone()));
             let (elapsed, tally) = replay(Arc::clone(&space), &spec, Arc::clone(traces));
+            let read_op_ns = read_microbench(&*space, &spec);
             collector.synchronize();
             let stats = collector.stats();
             (
@@ -313,12 +348,14 @@ fn run_point(
                 stats.objects_freed,
                 space.cas_retries(),
                 space.cas_wasted_nodes(),
+                read_op_ns,
             )
         }
         Backend::Locked => {
             let space = Arc::new(LockedAddressSpace::new());
-            let (elapsed, tally) = replay(space, &spec, Arc::clone(traces));
-            (elapsed, tally, 0, 0, 0, 0)
+            let (elapsed, tally) = replay(Arc::clone(&space), &spec, Arc::clone(traces));
+            let read_op_ns = read_microbench(&*space, &spec);
+            (elapsed, tally, 0, 0, 0, 0, read_op_ns)
         }
     };
     PointResult {
@@ -332,6 +369,7 @@ fn run_point(
         reclaim_ok: retired == freed,
         cas_retries,
         cas_wasted_nodes,
+        read_op_ns,
     }
 }
 
@@ -361,12 +399,15 @@ pub fn run(cfg: &SweepConfig) -> Vec<PointResult> {
 pub fn render_trajectory(cfg: &SweepConfig, results: &[PointResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    // v3 (over v2): the `metis-phased` profile (mid-trace mix shift) and
+    // v4 (over v3): the `read-heavy` profile (~99% faults) and the
+    // `read_op_ns` per-record single-thread read-side microbench — the
+    // per-op pin+lookup latency point the ordering audit's payoff shows up
+    // in. v3 added the `metis-phased` profile (mid-trace mix shift) and
     // the `cas_retries`/`cas_wasted_nodes` telemetry from the striped
     // range-lock + arena writer path. v2 added the `writers` profile,
     // multi-region `unmap_range` ops (`unmap_ranges`/`unmap_range_misses`),
     // and range-locked parallel writers on the bonsai backend.
-    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v3\",\n");
+    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v4\",\n");
     out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
     out.push_str(&format!("  \"ops_per_thread\": {},\n", cfg.ops_per_thread));
     out.push_str(&format!(

@@ -90,6 +90,12 @@ pub enum Profile {
     /// Psearchy (parallel indexing) shape: fault-heavy — long scans of
     /// mostly-stable mappings with rare allocation.
     Psearchy,
+    /// Read-heavy microbenchmark: ~99% faults with token mutation
+    /// (0.5%/0.5% map/unmap) to keep grace periods turning over. The
+    /// near-pure read-side point of the sweep — the regime where per-op
+    /// pin+lookup cost dominates and the ordering audit's fence-only hot
+    /// path shows up directly in `read_op_ns`.
+    ReadHeavy,
     /// Uniform microbenchmark: moderate churn, no locality; every fault
     /// address is drawn from the whole span.
     Uniform,
@@ -103,10 +109,11 @@ pub enum Profile {
 
 impl Profile {
     /// All profiles, in reporting order.
-    pub const ALL: [Profile; 5] = [
+    pub const ALL: [Profile; 6] = [
         Profile::Metis,
         Profile::MetisPhased,
         Profile::Psearchy,
+        Profile::ReadHeavy,
         Profile::Uniform,
         Profile::Writers,
     ];
@@ -117,6 +124,7 @@ impl Profile {
             Profile::Metis => "metis",
             Profile::MetisPhased => "metis-phased",
             Profile::Psearchy => "psearchy",
+            Profile::ReadHeavy => "read-heavy",
             Profile::Uniform => "uniform",
             Profile::Writers => "writers",
         }
@@ -128,11 +136,12 @@ impl Profile {
             "metis" => Ok(Profile::Metis),
             "metis-phased" => Ok(Profile::MetisPhased),
             "psearchy" => Ok(Profile::Psearchy),
+            "read-heavy" => Ok(Profile::ReadHeavy),
             "uniform" => Ok(Profile::Uniform),
             "writers" => Ok(Profile::Writers),
             other => Err(format!(
                 "unknown profile {other:?} \
-                 (expected metis|metis-phased|psearchy|uniform|writers|all)"
+                 (expected metis|metis-phased|psearchy|read-heavy|uniform|writers|all)"
             )),
         }
     }
@@ -165,6 +174,11 @@ impl Profile {
                 ops_ppk: 1024,
                 mix: (1004, 10, 10),
                 locality: 819, // ~0.8: per-core index + shared corpus
+            }],
+            Profile::ReadHeavy => &[Phase {
+                ops_ppk: 1024,
+                mix: (1014, 5, 5), // ~99% / 0.5% / 0.5%
+                locality: 819,     // ~0.8: per-core working set + shared reads
             }],
             Profile::Uniform => &[Phase {
                 ops_ppk: 1024,

@@ -12,6 +12,7 @@ fn tiny_config() -> SweepConfig {
             Profile::Metis,
             Profile::MetisPhased,
             Profile::Psearchy,
+            Profile::ReadHeavy,
             Profile::Writers,
         ],
         backends: Backend::ALL.to_vec(),
@@ -59,6 +60,12 @@ fn sweep_runs_both_backends_over_identical_work() {
         if point.cas_retries == 0 {
             assert_eq!(point.cas_wasted_nodes, 0, "{point:?}");
         }
+        // The read-side microbench ran and produced a plausible latency:
+        // positive, and well under a millisecond per lookup.
+        assert!(
+            point.read_op_ns > 0.0 && point.read_op_ns < 1e6,
+            "{point:?}"
+        );
     }
 
     // The same (profile, threads) trace replayed against each backend must
@@ -92,7 +99,7 @@ fn trajectory_document_is_well_formed_json() {
     };
     assert_eq!(
         lookup(&top, "schema"),
-        Some(&json::Value::String("rcukit-bench/addrspace-v3".into()))
+        Some(&json::Value::String("rcukit-bench/addrspace-v4".into()))
     );
     assert_eq!(lookup(&top, "seed"), Some(&json::Value::Number(7.0)));
     match lookup(&top, "results") {
@@ -112,6 +119,7 @@ fn trajectory_document_is_well_formed_json() {
                     "reclaim_ok",
                     "cas_retries",
                     "cas_wasted_nodes",
+                    "read_op_ns",
                 ] {
                     assert!(lookup(fields, key).is_some(), "record missing {key}");
                 }

@@ -33,7 +33,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::mem;
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, SeqCst};
 use std::sync::Arc;
 use std::thread;
 
@@ -161,7 +161,10 @@ impl Shard {
     fn push_garbage(&self, bag: Bag) {
         let mut garbage = self.garbage.lock().unwrap();
         garbage.push(bag);
-        self.garbage_len.store(garbage.len(), SeqCst);
+        // ordering: Relaxed — advisory queue-pressure mirror; the `garbage`
+        // mutex guards the real list, and a stale probe read only delays or
+        // hastens a collect by one unpin.
+        self.garbage_len.store(garbage.len(), Relaxed);
     }
 }
 
@@ -219,7 +222,9 @@ impl Inner {
     /// reach here).
     fn registry(&self, shard: usize) -> MutexGuard<'_, Vec<Arc<LocalState>>> {
         if cfg!(debug_assertions) {
-            self.registry_locks.fetch_add(1, SeqCst);
+            // ordering: Relaxed — diagnostic counter; nothing is published
+            // through it.
+            self.registry_locks.fetch_add(1, Relaxed);
         }
         self.shards[shard].registry.lock().unwrap()
     }
@@ -233,11 +238,29 @@ impl Inner {
     /// the publication protocol (publish status, re-read the epoch), which
     /// bounds its pinned epoch to at least `e`.
     fn try_advance(&self) -> bool {
-        let e = self.epoch.load(SeqCst);
+        // ordering: Relaxed — the fence below orders this sample against the
+        // scan, and the CAS at the end re-validates it before committing.
+        let e = self.epoch.load(Relaxed);
+        // ordering: SeqCst fence — the advance-side half of the
+        // pin-publication Dekker (its partner is the fence in
+        // `Guard::pin_status`). In the total order of SeqCst fences either
+        // this fence comes after a pinning reader's fence — then the scan
+        // below is guaranteed to observe that reader's status store — or it
+        // comes before, and the reader's post-fence epoch re-read is
+        // guaranteed to observe every advance this thread already saw, so
+        // the reader retries its publication at the newer epoch. Without
+        // this fence the scan's loads could read a stale "unpinned" status
+        // while the reader's re-read still sees the old epoch, advancing
+        // the epoch twice over a live pin.
+        fence(SeqCst);
         for shard in 0..self.shards.len() {
             let registry = self.registry(shard);
             for local in registry.iter() {
-                let s = local.status.load(SeqCst);
+                // ordering: Acquire — pairs with the Release store of `0` in
+                // `Guard::drop`: a reader this scan observes as unpinned had
+                // all its critical-section reads happen-before the advance,
+                // and hence before any free the advance unlocks.
+                let s = local.status.load(Acquire);
                 if s != 0 && unpack(s) != e {
                     return false;
                 }
@@ -245,10 +268,16 @@ impl Inner {
         }
         if self
             .epoch
-            .compare_exchange(e, e + 1, SeqCst, SeqCst)
+            // ordering: AcqRel success — Release publishes the new epoch to
+            // `reclaim`'s Acquire load (completing the unpin → scan → advance
+            // → reclaim happens-before chain); Acquire joins the scan's
+            // observations into this advance. Relaxed failure — a lost race
+            // is just "someone else advanced".
+            .compare_exchange(e, e + 1, AcqRel, Relaxed)
             .is_ok()
         {
-            self.epochs_advanced.fetch_add(1, SeqCst);
+            // ordering: Relaxed — statistics counter.
+            self.epochs_advanced.fetch_add(1, Relaxed);
             true
         } else {
             false
@@ -260,7 +289,11 @@ impl Inner {
     /// are still queued (observed inside the shard locks, so no extra
     /// acquisition is needed to learn it).
     fn reclaim(&self) -> (usize, bool) {
-        let e = self.epoch.load(SeqCst);
+        // ordering: Acquire — pairs with the advance CAS's Release: an epoch
+        // value proving a bag's grace period elapsed carries with it every
+        // reader unpin the advances in between observed, so the readers'
+        // critical-section reads happen-before the frees below.
+        let e = self.epoch.load(Acquire);
         // Reuse the ready buffer across reclaims. `mem::take` under a brief
         // lock, not holding the lock across the fires below: callbacks may
         // re-enter `collect` → `reclaim`, which would then deadlock on the
@@ -277,7 +310,8 @@ impl Inner {
                     i += 1;
                 }
             }
-            shard.garbage_len.store(garbage.len(), SeqCst);
+            // ordering: Relaxed — advisory mirror; see `Shard::push_garbage`.
+            shard.garbage_len.store(garbage.len(), Relaxed);
             remaining |= !garbage.is_empty();
         }
         let mut n = 0;
@@ -290,7 +324,8 @@ impl Inner {
         // or re-entrant pass may have installed its own in the meantime;
         // keeping either one is fine — this is a capacity cache, not state.
         *self.reclaim_scratch.lock().unwrap() = ready;
-        self.freed.fetch_add(n as u64, SeqCst);
+        // ordering: Relaxed — statistics counter.
+        self.freed.fetch_add(n as u64, Relaxed);
         (n, remaining)
     }
 
@@ -332,14 +367,17 @@ impl Inner {
     /// Adds one deferred callback to `local`'s bag, tagged with the current
     /// global epoch. Seals oversized or stale-epoch bags along the way.
     pub(crate) fn defer(&self, local: &LocalState, d: Deferred) {
-        // StoreLoad fence: the caller's unlink store (e.g. a Release store
-        // of a new tree root) must be globally visible before the epoch tag
-        // is sampled. Without it the unlink can linger in the store buffer
-        // while the epoch advances past the stale tag, letting a reader pin
-        // at `tag + 1`, load the *old* pointer, and outlive the grace
-        // period computed from `tag`.
+        // ordering: SeqCst fence (StoreLoad) — the caller's unlink store
+        // (e.g. a Release store of a new tree root) must be globally visible
+        // before the epoch tag is sampled. Without it the unlink can linger
+        // in the store buffer while the epoch advances past the stale tag,
+        // letting a reader pin at `tag + 1`, load the *old* pointer, and
+        // outlive the grace period computed from `tag`.
         fence(SeqCst);
-        let tag = self.epoch.load(SeqCst);
+        // ordering: Relaxed — the fence above already orders the unlink
+        // before this sample; a stale (lower) tag only lengthens the grace
+        // period, and the epoch word is monotone.
+        let tag = self.epoch.load(Relaxed);
         let sealed = {
             let mut bag = local.bag.lock().unwrap();
             let stale = if !bag.is_empty() && bag.epoch != tag {
@@ -356,12 +394,15 @@ impl Inner {
             };
             (stale, full)
         };
-        self.retired.fetch_add(1, SeqCst);
+        // ordering: Relaxed — statistics counter.
+        self.retired.fetch_add(1, Relaxed);
         if sealed.0.is_some() || sealed.1.is_some() {
             // A bag sealed mid-critical-section leaves the local bag empty
             // at unpin, so `Guard::drop`'s `had_garbage` check alone would
             // never collect it; arm the handle's pending flag.
-            local.collect_pending.store(true, SeqCst);
+            // ordering: Relaxed — owner-thread flag: `local` is the calling
+            // thread's own state, and only its own guards consult the flag.
+            local.collect_pending.store(true, Relaxed);
             let shard = &self.shards[local.shard];
             let mut garbage = shard.garbage.lock().unwrap();
             if let Some(bag) = sealed.0 {
@@ -370,7 +411,8 @@ impl Inner {
             if let Some(bag) = sealed.1 {
                 garbage.push(bag);
             }
-            shard.garbage_len.store(garbage.len(), SeqCst);
+            // ordering: Relaxed — advisory mirror; see `Shard::push_garbage`.
+            shard.garbage_len.store(garbage.len(), Relaxed);
         }
     }
 
@@ -396,11 +438,16 @@ impl Inner {
     /// counter resets only when the collect is due, so skipped unpins
     /// accumulate toward the next one.
     pub(crate) fn unpin_collect_due(&self, local: &LocalState) -> bool {
-        let n = local.garbage_unpins.load(SeqCst) + 1;
-        let due = n >= self.unpin_collect_period.load(SeqCst)
-            || self.shards[local.shard].garbage_len.load(SeqCst) >= QUEUE_COLLECT_THRESHOLD;
-        // Owner-thread-only counter: a plain store is enough.
-        local.garbage_unpins.store(if due { 0 } else { n }, SeqCst);
+        // ordering: Relaxed — owner-thread-only counter (only `local`'s own
+        // thread reads or writes it).
+        let n = local.garbage_unpins.load(Relaxed) + 1;
+        // ordering: Relaxed (both) — the period is a config knob whose
+        // staleness is harmless, and the length probe is the advisory
+        // mirror (see `Shard::push_garbage`).
+        let due = n >= self.unpin_collect_period.load(Relaxed)
+            || self.shards[local.shard].garbage_len.load(Relaxed) >= QUEUE_COLLECT_THRESHOLD;
+        // ordering: Relaxed — owner-thread-only counter, as above.
+        local.garbage_unpins.store(if due { 0 } else { n }, Relaxed);
         due
     }
 }
@@ -423,7 +470,9 @@ impl Drop for Inner {
                 n += bag.fire().0;
             }
         }
-        self.freed.fetch_add(n as u64, SeqCst);
+        // ordering: Relaxed — statistics counter, and `&mut self` proves
+        // exclusive access anyway.
+        self.freed.fetch_add(n as u64, Relaxed);
     }
 }
 
@@ -444,7 +493,10 @@ impl Drop for CachedHandle {
         // toward keeping an entry one round longer, never toward use-after-
         // free, and re-run on every cache miss and every
         // [`SWEEP_PERIOD`]-th cache-hit pin.
-        self.handle.collector.inner.tls_cached.fetch_sub(1, SeqCst);
+        // ordering: Relaxed — the census is advisory (see `sweep_abandoned`):
+        // a stale read skews an eviction decision by at most one sweep round
+        // and never toward use-after-free.
+        self.handle.collector.inner.tls_cached.fetch_sub(1, Relaxed);
     }
 }
 
@@ -505,7 +557,9 @@ fn sweep_abandoned(entries: &mut Vec<CachedHandle>) -> Vec<CachedHandle> {
     let mut i = 0;
     while i < entries.len() {
         let inner = &entries[i].handle.collector.inner;
-        if Arc::strong_count(inner) <= inner.tls_cached.load(SeqCst) {
+        // ordering: Relaxed — advisory census read; see the function docs
+        // (spurious or missed evictions are benign and retried).
+        if Arc::strong_count(inner) <= inner.tls_cached.load(Relaxed) {
             evicted.push(entries.swap_remove(i));
         } else {
             i += 1;
@@ -574,7 +628,11 @@ impl Collector {
     /// the explored schedule space, and throttle tests widen it.
     #[doc(hidden)]
     pub fn set_unpin_collect_period(&self, period: usize) {
-        self.inner.unpin_collect_period.store(period.max(1), SeqCst);
+        // ordering: Relaxed — config knob; stale readers just use the old
+        // period for a few more unpins.
+        self.inner
+            .unpin_collect_period
+            .store(period.max(1), Relaxed);
     }
 
     /// A process-unique identity for this collector, stable for its lifetime.
@@ -586,7 +644,9 @@ impl Collector {
 
     /// Creates and registers a fresh per-thread state in its home shard.
     fn register_state(&self) -> Arc<LocalState> {
-        let shard = self.inner.next_shard.fetch_add(1, SeqCst) & (self.inner.shards.len() - 1);
+        // ordering: Relaxed — round-robin cursor; only its atomicity
+        // matters, the shard choice is a load-balancing heuristic.
+        let shard = self.inner.next_shard.fetch_add(1, Relaxed) & (self.inner.shards.len() - 1);
         let local = Arc::new(LocalState::new(shard));
         self.inner.registry(shard).push(local.clone());
         local
@@ -734,7 +794,8 @@ impl Collector {
         // reads `strong_count > tls_cached` and keeps its own entries. This
         // narrows (it cannot fully close — see `sweep_abandoned`) the
         // spurious-eviction race.
-        self.inner.tls_cached.fetch_add(1, SeqCst);
+        // ordering: Relaxed — advisory census; see `sweep_abandoned`.
+        self.inner.tls_cached.fetch_add(1, Relaxed);
         guard
     }
 
@@ -745,7 +806,9 @@ impl Collector {
     /// drop.
     fn pin_orphan(&self) -> Guard<'_> {
         let local = self.register_state();
-        local.orphaned.store(true, SeqCst);
+        // ordering: Relaxed — same-thread flag: the guard that consults it
+        // lives on this thread (a handle serves one thread at a time).
+        local.orphaned.store(true, Relaxed);
         Guard::enter_owned(self, local)
     }
 
@@ -757,8 +820,11 @@ impl Collector {
     /// **not** be pinned, otherwise this deadlocks (the epoch cannot advance
     /// past a pinned thread).
     pub fn synchronize(&self) {
-        let start = self.inner.epoch.load(SeqCst);
-        while self.inner.epoch.load(SeqCst) < start + GRACE_EPOCHS {
+        // ordering: Relaxed (both) — progress watch only: the advances this
+        // loop waits for happen inside `try_advance`, which carries the real
+        // ordering, and `reclaim` re-samples the epoch with Acquire.
+        let start = self.inner.epoch.load(Relaxed);
+        while self.inner.epoch.load(Relaxed) < start + GRACE_EPOCHS {
             if !self.inner.try_advance() {
                 thread::yield_now();
             }
@@ -779,7 +845,10 @@ impl Collector {
 
     /// The current value of the global epoch.
     pub fn global_epoch(&self) -> u64 {
-        self.inner.epoch.load(SeqCst)
+        // ordering: Relaxed — diagnostic snapshot of a monotone counter;
+        // per-location coherence keeps it consistent with anything the
+        // caller already observed.
+        self.inner.epoch.load(Relaxed)
     }
 
     /// A point-in-time snapshot of the collector's counters.
@@ -802,16 +871,18 @@ impl Collector {
             pending_bags += garbage.len();
             pending_objects += garbage.iter().map(Bag::len).sum::<usize>();
         }
+        // ordering: Relaxed (all) — point-in-time snapshot of diagnostic
+        // counters; the fields are not mutually consistent anyway.
         CollectorStats {
-            global_epoch: self.inner.epoch.load(SeqCst),
-            epochs_advanced: self.inner.epochs_advanced.load(SeqCst),
-            objects_retired: self.inner.retired.load(SeqCst),
-            objects_freed: self.inner.freed.load(SeqCst),
+            global_epoch: self.inner.epoch.load(Relaxed),
+            epochs_advanced: self.inner.epochs_advanced.load(Relaxed),
+            objects_retired: self.inner.retired.load(Relaxed),
+            objects_freed: self.inner.freed.load(Relaxed),
             pending_bags,
             pending_objects,
             registered_threads,
             registry_shards: self.inner.shards.len(),
-            registry_locks: self.inner.registry_locks.load(SeqCst),
+            registry_locks: self.inner.registry_locks.load(Relaxed),
         }
     }
 
@@ -887,17 +958,19 @@ impl LocalHandle {
     ///
     /// Pinning is re-entrant: nested guards share the outermost guard's
     /// epoch. The pin performs **no** shared atomic read-modify-write and
-    /// takes no lock — it touches the thread's own status word (a swap on
-    /// an owner-written cache line) and *reads* the global epoch word — so
-    /// readers never contend with each other, however many cores are
-    /// faulting at once.
+    /// takes no lock — it stores the thread's own status word (an
+    /// owner-written cache line), issues one StoreLoad fence, and *reads*
+    /// the global epoch word — so readers never contend with each other,
+    /// however many cores are faulting at once.
     pub fn pin(&self) -> Guard<'_> {
         Guard::enter_borrowed(&self.collector, &self.local)
     }
 
     /// Whether this handle currently has a live guard.
     pub fn is_pinned(&self) -> bool {
-        self.local.guard_count.load(SeqCst) > 0
+        // ordering: Relaxed — owner-thread counter: the handle's guards
+        // live on the calling thread (the handle is `!Sync`).
+        self.local.guard_count.load(Relaxed) > 0
     }
 
     /// The collector this handle is registered with.
@@ -908,7 +981,10 @@ impl LocalHandle {
 
 impl Drop for LocalHandle {
     fn drop(&mut self) {
-        if self.local.guard_count.load(SeqCst) == 0 {
+        // ordering: Relaxed — owner-thread counter: any guard over this
+        // state lives on the dropping thread (the handle is `!Sync`), so
+        // there is no concurrent mutation to order against.
+        if self.local.guard_count.load(Relaxed) == 0 {
             self.collector.inner.seal_bag(&self.local);
             self.collector.inner.unregister(&self.local);
         } else {
@@ -918,8 +994,9 @@ impl Drop for LocalHandle {
             // cached handle under a live guard stored elsewhere in TLS,
             // mark the state orphaned so the last guard unregisters it,
             // then re-check in case that guard dropped concurrently.
-            self.local.orphaned.store(true, SeqCst);
-            if self.local.guard_count.load(SeqCst) == 0 {
+            // ordering: Relaxed — same-thread flag and counter, as above.
+            self.local.orphaned.store(true, Relaxed);
+            if self.local.guard_count.load(Relaxed) == 0 {
                 self.collector.inner.seal_bag(&self.local);
                 self.collector.inner.unregister(&self.local);
             }

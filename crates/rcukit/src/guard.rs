@@ -3,11 +3,12 @@
 use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{Relaxed, Release, SeqCst};
 use std::sync::Arc;
 
 use crate::collector::{pack, unpack, Collector, LocalState};
 use crate::deferred::{Deferred, RecycleBatch};
+use crate::sync::atomic::fence;
 
 thread_local! {
     /// Number of live guards on this thread, across all collectors and
@@ -84,19 +85,36 @@ impl<'a> Guard<'a> {
     /// of the two constructors.
     fn pin_status(collector: &Collector, local: &LocalState) {
         let _ = LIVE_GUARDS.try_with(|c| c.set(c.get() + 1));
-        let prev = local.guard_count.fetch_add(1, SeqCst);
+        // ordering: Relaxed — owner-thread nesting counter: only this
+        // thread's guards touch it (the handle is `!Sync`), and the collector
+        // never reads it.
+        let prev = local.guard_count.fetch_add(1, Relaxed);
         if prev == 0 {
             // Publish our pinned epoch, re-reading the global epoch until it
             // is stable across the store. This guarantees that at some
             // instant after the store the global epoch equalled our pinned
             // epoch, which is what bounds the epoch to `pinned + 1` while we
             // stay pinned (any later advance re-scans the registry and sees
-            // us). The swap is a full RMW so it orders with the subsequent
-            // pointer loads of the critical section.
+            // us).
             loop {
-                let e = collector.inner.epoch.load(SeqCst);
-                local.status.swap(pack(e), SeqCst);
-                if collector.inner.epoch.load(SeqCst) == e {
+                // ordering: Relaxed — this sample is validated by the fence
+                // + re-read below before the pin counts as published.
+                let e = collector.inner.epoch.load(Relaxed);
+                // ordering: Relaxed — the publication itself is ordered by
+                // the fence that follows; the advance scan's Acquire load
+                // pairs with the *unpin* store, not this one.
+                local.status.store(pack(e), Relaxed);
+                // ordering: SeqCst fence (StoreLoad) — the pin-publication
+                // fence, paired with the fence in `Inner::try_advance`: it
+                // forces the status store out before the epoch re-read, so
+                // in the SC order of fences either a concurrent advance's
+                // scan sees our pin, or our re-read sees its advance and we
+                // retry. It also keeps the critical section's pointer loads
+                // from starting before the pin is visible.
+                fence(SeqCst);
+                // ordering: Relaxed — the fence above makes this re-read at
+                // least as new as any advance whose scan missed our store.
+                if collector.inner.epoch.load(Relaxed) == e {
                     break;
                 }
             }
@@ -129,7 +147,8 @@ impl<'a> Guard<'a> {
 
     /// The epoch this guard is pinned at.
     pub fn epoch(&self) -> u64 {
-        unpack(self.local.get().status.load(SeqCst))
+        // ordering: Relaxed — reading our own thread's status word.
+        unpack(self.local.get().status.load(Relaxed))
     }
 
     /// The collector this guard is pinned against.
@@ -215,7 +234,9 @@ impl<'a> Guard<'a> {
             // check won't see this garbage; arm the pending flag so the
             // next guard-free unpin still collects it (as `Inner::defer`
             // does for its full/stale-bag seals).
-            self.local.get().collect_pending.store(true, SeqCst);
+            // ordering: Relaxed — owner-thread flag: only this thread's
+            // guards read or write it.
+            self.local.get().collect_pending.store(true, Relaxed);
         }
     }
 }
@@ -224,14 +245,22 @@ impl Drop for Guard<'_> {
     fn drop(&mut self) {
         let _ = LIVE_GUARDS.try_with(|c| c.set(c.get().saturating_sub(1)));
         let local = self.local.get();
-        let prev = local.guard_count.fetch_sub(1, SeqCst);
+        // ordering: Relaxed — owner-thread nesting counter (see
+        // `pin_status`).
+        let prev = local.guard_count.fetch_sub(1, Relaxed);
         debug_assert!(prev >= 1);
         if prev == 1 {
             // `seal_bag` checks emptiness itself, so the bag lock is taken
             // exactly once on this hot path.
             let had_garbage = self.collector.inner.seal_bag(local);
-            local.status.store(0, SeqCst);
-            if local.orphaned.load(SeqCst) {
+            // ordering: Release — ends the critical section: pairs with the
+            // advance scan's Acquire load, so every read this section made
+            // happens-before an advance that observes us unpinned (and hence
+            // before any free that advance unlocks).
+            local.status.store(0, Release);
+            // ordering: Relaxed — same-thread flag: set by this thread's own
+            // handle drop or orphan pin.
+            if local.orphaned.load(Relaxed) {
                 if let LocalRef::Owned(local) = &self.local {
                     self.collector.inner.unregister(local);
                 }
@@ -270,7 +299,10 @@ impl Drop for Guard<'_> {
                 // the flag for its own freshly sealed bag — a blind
                 // `store(remaining)` with the pre-callback snapshot would
                 // clobber that and strand the bag.
-                let pending = local.collect_pending.swap(false, SeqCst);
+                // ordering: Relaxed — owner-thread flag (see `flush`); the
+                // RMW is for the consume-then-re-arm shape, not for
+                // cross-thread ordering.
+                let pending = local.collect_pending.swap(false, Relaxed);
                 if pending || (had_garbage && self.collector.inner.unpin_collect_due(local)) {
                     let (_, remaining) = self.collector.inner.collect();
                     if remaining && pending {
@@ -279,11 +311,13 @@ impl Drop for Guard<'_> {
                         // or gate-skipped garbage MUST reclaim via later
                         // unpins alone). Throttled collects instead rely on
                         // the steady unpin stream that triggered them.
-                        self.local.get().collect_pending.store(true, SeqCst);
+                        // ordering: Relaxed — owner-thread flag, as above.
+                        self.local.get().collect_pending.store(true, Relaxed);
                     }
                 }
             } else if had_garbage {
-                local.collect_pending.store(true, SeqCst);
+                // ordering: Relaxed — owner-thread flag, as above.
+                local.collect_pending.store(true, Relaxed);
             }
         }
     }
@@ -397,8 +431,11 @@ mod tests {
 
     /// The tentpole regression test for the borrow-based redesign: reader
     /// pin/unpin cycles on a registered handle must not touch any shared
-    /// reference count (the collector's `Arc` strong count stays flat) and
+    /// reference count (the collector's `Arc` strong count stays flat),
     /// must not take any registry lock (the lock-acquisition counter stays
+    /// flat), and — since the ordering audit — must not perform a single
+    /// SeqCst atomic RMW (the pin's only sequentially consistent point is
+    /// the explicit publication fence; the facade's debug census stays
     /// flat). This is the paper's "readers never contend" property in
     /// checkable form.
     #[test]
@@ -409,6 +446,8 @@ mod tests {
         drop(h.pin());
         let handles_before = c.handle_count();
         let locks_before = c.stats().registry_locks;
+        #[cfg(all(not(loom), debug_assertions))]
+        let rmws_before = crate::sync::atomic::seqcst_rmw_count();
         const PINS: usize = 10_000;
         for _ in 0..PINS {
             let g = h.pin();
@@ -419,6 +458,13 @@ mod tests {
             c.handle_count(),
             handles_before,
             "reader pins moved the collector's strong count (shared-line RMW on the hot path)"
+        );
+        #[cfg(all(not(loom), debug_assertions))]
+        assert_eq!(
+            crate::sync::atomic::seqcst_rmw_count(),
+            rmws_before,
+            "reader pins performed a SeqCst atomic RMW — the guard path's only \
+             sequentially consistent operation must be the explicit pin fence"
         );
         // `stats()` itself takes registry locks (one per shard), so compare
         // against exactly that overhead: the pins in between contributed 0.

@@ -15,7 +15,7 @@
 
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::Ordering::SeqCst;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
 use std::sync::Arc;
 use std::thread;
 
@@ -51,10 +51,18 @@ impl QsbrInner {
         let registry = self.registry.lock().unwrap();
         registry
             .iter()
-            .filter(|l| l.online.load(SeqCst))
-            .map(|l| l.seen.load(SeqCst))
+            // ordering: Acquire — pairs with `offline`'s Release store:
+            // skipping an offline thread is safe only if everything it read
+            // before going offline happens-before the frees this scan gates.
+            .filter(|l| l.online.load(Acquire))
+            // ordering: Acquire — pairs with `quiescent`'s Release store: an
+            // announcement of `g` carries the thread's pre-announcement
+            // reads, so they happen-before any free of garbage tagged <= g.
+            .map(|l| l.seen.load(Acquire))
             .min()
-            .unwrap_or_else(|| self.grace.load(SeqCst))
+            // ordering: Relaxed — no thread online, so there is no reader
+            // to order against; the value only caps the reclaim tag.
+            .unwrap_or_else(|| self.grace.load(Relaxed))
     }
 
     /// Runs every callback whose tag is at most `upto`. Returns the count.
@@ -76,7 +84,8 @@ impl QsbrInner {
         for d in ready {
             d.call();
         }
-        self.freed.fetch_add(n as u64, SeqCst);
+        // ordering: Relaxed — statistics counter.
+        self.freed.fetch_add(n as u64, Relaxed);
         n
     }
 }
@@ -90,7 +99,9 @@ impl Drop for QsbrInner {
         for (_, d) in garbage {
             d.call();
         }
-        self.freed.fetch_add(n as u64, SeqCst);
+        // ordering: Relaxed — statistics counter, and `&mut self` proves
+        // exclusive access anyway.
+        self.freed.fetch_add(n as u64, Relaxed);
     }
 }
 
@@ -119,7 +130,10 @@ impl QsbrDomain {
     /// Registers the calling thread, initially online and current.
     pub fn register(&self) -> QsbrHandle {
         let local = Arc::new(QsbrLocal {
-            seen: AtomicU64::new(self.inner.grace.load(SeqCst)),
+            // ordering: Relaxed — a stale (lower) initial `seen` only makes
+            // reclaimers wait for this thread's first real announcement;
+            // the registry mutex publishes the entry itself.
+            seen: AtomicU64::new(self.inner.grace.load(Relaxed)),
             online: AtomicBool::new(true),
         });
         self.inner.registry.lock().unwrap().push(local.clone());
@@ -133,18 +147,23 @@ impl QsbrDomain {
     /// Defers `f` until every registered online thread has announced a
     /// quiescent state after this call.
     pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
-        // StoreLoad fence, as in the epoch collector's `Inner::defer`: the
-        // caller's unlink store must be globally visible before the grace
-        // counter is sampled, or a reader quiescing at `tag` could still
-        // load the stale pointer after the tag's grace period completes.
+        // ordering: SeqCst fence (StoreLoad), as in the epoch collector's
+        // `Inner::defer`: the caller's unlink store must be globally visible
+        // before the grace counter is sampled, or a reader quiescing at
+        // `tag` could still load the stale pointer after the tag's grace
+        // period completes. It is also the retire-side half of the
+        // quiescent-announcement Dekker (see `QsbrHandle::quiescent`).
         fence(SeqCst);
-        let tag = self.inner.grace.load(SeqCst) + 1;
+        // ordering: Relaxed — the fence above orders the unlink before this
+        // sample; a stale (lower) value only lengthens the grace period.
+        let tag = self.inner.grace.load(Relaxed) + 1;
         self.inner
             .garbage
             .lock()
             .unwrap()
             .push((tag, Deferred::new(f)));
-        self.inner.retired.fetch_add(1, SeqCst);
+        // ordering: Relaxed — statistics counter.
+        self.inner.retired.fetch_add(1, Relaxed);
     }
 
     /// Retires a heap allocation; the QSBR analogue of
@@ -167,7 +186,10 @@ impl QsbrDomain {
     /// Starts a new grace period and reclaims whatever is already safe,
     /// without blocking. Returns the number of callbacks executed.
     pub fn try_reclaim(&self) -> usize {
-        self.inner.grace.fetch_add(1, SeqCst);
+        // ordering: Relaxed — monotone counter bump; the safety ordering is
+        // carried by the defer/quiescent fences and the seen/online
+        // Release-Acquire pairs, not by the bump itself.
+        self.inner.grace.fetch_add(1, Relaxed);
         self.inner.reclaim_upto(self.inner.min_seen())
     }
 
@@ -179,7 +201,8 @@ impl QsbrDomain {
     /// this from a thread without a handle, or after
     /// [`QsbrHandle::offline`].
     pub fn synchronize(&self) {
-        let target = self.inner.grace.fetch_add(1, SeqCst) + 1;
+        // ordering: Relaxed — monotone counter bump; see `try_reclaim`.
+        let target = self.inner.grace.fetch_add(1, Relaxed) + 1;
         while self.inner.min_seen() < target {
             thread::yield_now();
         }
@@ -188,12 +211,14 @@ impl QsbrDomain {
 
     /// Total objects retired via `defer` / `defer_free`.
     pub fn retired(&self) -> u64 {
-        self.inner.retired.load(SeqCst)
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.retired.load(Relaxed)
     }
 
     /// Total deferred callbacks executed.
     pub fn freed(&self) -> u64 {
-        self.inner.freed.load(SeqCst)
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.freed.load(Relaxed)
     }
 
     /// Retirements still waiting for a grace period.
@@ -224,7 +249,8 @@ impl Clone for QsbrDomain {
 impl fmt::Debug for QsbrDomain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("QsbrDomain")
-            .field("grace", &self.inner.grace.load(SeqCst))
+            // ordering: Relaxed — diagnostic snapshot.
+            .field("grace", &self.inner.grace.load(Relaxed))
             .field("pending", &self.pending())
             .finish_non_exhaustive()
     }
@@ -245,31 +271,67 @@ impl QsbrHandle {
     /// Announces a quiescent state: the thread holds no references obtained
     /// before this call (the analogue of `rcu_quiescent_state`).
     pub fn quiescent(&self) {
-        let g = self.domain.inner.grace.load(SeqCst);
-        self.local.seen.store(g, SeqCst);
+        // ordering: Relaxed — validated by the fence below: the announced
+        // value only matters relative to retirements, and the fence pins
+        // down which side of each retirement this sample fell on.
+        let g = self.domain.inner.grace.load(Relaxed);
+        // ordering: SeqCst fence — the announce-side half of the retire
+        // Dekker, paired with the fence in `QsbrDomain::defer`: if this
+        // thread announces `seen >= tag` for some retirement, its grace
+        // sample observed a counter value the retirer had not yet seen, so
+        // in the SC order of fences the retirer's fence comes first and
+        // this thread's post-quiescent reads are guaranteed to see the
+        // unlink — it can never re-acquire the retired object. Placed
+        // before the store so the announcement itself cannot overtake the
+        // sample.
+        fence(SeqCst);
+        // ordering: Release — pairs with `min_seen`'s Acquire load: every
+        // read this thread made before the announcement happens-before any
+        // free the announcement permits.
+        self.local.seen.store(g, Release);
     }
 
     /// Marks the thread offline: it promises to hold no references and stops
     /// participating in grace periods (the analogue of
     /// `rcu_thread_offline`), e.g. before blocking on I/O.
     pub fn offline(&self) {
-        self.local.online.store(false, SeqCst);
+        // ordering: Release — pairs with `min_seen`'s Acquire load on the
+        // online flag: everything read before going offline happens-before
+        // reclaims that skip this thread.
+        self.local.online.store(false, Release);
     }
 
     /// Brings the thread back online. Implies a quiescent state.
     pub fn online(&self) {
         self.quiescent();
-        self.local.online.store(true, SeqCst);
+        // ordering: Relaxed — the flag itself publishes nothing (the
+        // quiescent announcement above carries the Release edge); the
+        // fence below is what orders it.
+        self.local.online.store(true, Relaxed);
+        // ordering: SeqCst fence (StoreLoad) — the online-publication
+        // fence, as in urcu's `rcu_thread_online`: the flag store must be
+        // globally visible before this thread's first post-online read. A
+        // reclaimer's scan either sees us online (and then waits for an
+        // announcement newer than the retirement), or ran before the store
+        // — in which case the grace counter it used predates our
+        // `quiescent` sample above, and the quiescent Dekker already
+        // guarantees our post-fence reads see the corresponding unlinks.
+        // Without the fence, our first read could overtake the buffered
+        // flag store, acquire a reference the scan never knew about, and
+        // have it freed underneath us.
+        fence(SeqCst);
     }
 
     /// Whether this thread currently participates in grace periods.
     pub fn is_online(&self) -> bool {
-        self.local.online.load(SeqCst)
+        // ordering: Relaxed — reading our own thread's flag.
+        self.local.online.load(Relaxed)
     }
 
     /// The grace-counter value this thread last observed.
     pub fn last_seen(&self) -> u64 {
-        self.local.seen.load(SeqCst)
+        // ordering: Relaxed — reading our own thread's announcement.
+        self.local.seen.load(Relaxed)
     }
 
     /// The domain this handle is registered with.

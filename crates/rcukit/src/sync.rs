@@ -9,6 +9,16 @@
 //! `Cell` stay `std` — they are either thread-local or internally
 //! synchronized in ways the scheduler does not need to interleave.
 //!
+//! In normal builds the atomic types are thin wrappers over `std`'s that
+//! additionally maintain a **debug-only census of SeqCst read-modify-writes**
+//! (see [`atomic::seqcst_rmw_count`]). The epoch protocol's invariant after
+//! the ordering audit is that no atomic *operation* uses `SeqCst` — every
+//! remaining sequentially consistent point is an explicit
+//! [`atomic::fence`] — and in particular the read-side pin/unpin path
+//! performs zero SeqCst RMWs. The pin-flatness regression test asserts
+//! that via this census. Release builds compile the census away; the
+//! wrappers are `#[repr(transparent)]` and fully inlined.
+//!
 //! [`loomette`]: https://docs.rs/loom (API-compatible subset, vendored
 //! in-tree as `crates/loomette` because this build environment is offline)
 
@@ -17,7 +27,111 @@ pub(crate) use std::sync::{Mutex, MutexGuard};
 
 #[cfg(not(loom))]
 pub(crate) mod atomic {
-    pub(crate) use std::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize};
+    use std::sync::atomic::Ordering;
+
+    pub(crate) use std::sync::atomic::fence;
+
+    /// Debug-only census of atomic read-modify-writes issued with
+    /// `Ordering::SeqCst` through this facade, process-wide. The ordering
+    /// audit's contract is that there are none anywhere in the crate (all
+    /// remaining SeqCst points are explicit fences); the hot-path
+    /// regression test pins in a loop and asserts the census stays flat.
+    #[cfg(debug_assertions)]
+    static SEQCST_RMWS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+    /// Current value of the SeqCst-RMW census. Debug builds only — release
+    /// builds omit the bookkeeping entirely.
+    #[cfg(debug_assertions)]
+    #[cfg_attr(not(test), allow(dead_code))] // consumed by the pin-flatness test
+    pub(crate) fn seqcst_rmw_count() -> u64 {
+        // ordering: Relaxed — diagnostic counter.
+        SEQCST_RMWS.load(Ordering::Relaxed)
+    }
+
+    /// Tallies one RMW if it was issued with `SeqCst` (debug builds).
+    #[inline]
+    fn note_rmw(order: Ordering) {
+        #[cfg(debug_assertions)]
+        if order == Ordering::SeqCst {
+            // ordering: Relaxed — diagnostic counter.
+            SEQCST_RMWS.fetch_add(1, Ordering::Relaxed);
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = order;
+    }
+
+    /// A `std` atomic wrapper whose RMW entry points feed the census.
+    /// Plain loads and stores delegate directly — the census tracks
+    /// read-modify-writes, the operations whose `SeqCst` form buys a full
+    /// barrier per call.
+    macro_rules! counting_atomic {
+        ($name:ident, $prim:ty, $std:path) => {
+            #[repr(transparent)]
+            pub(crate) struct $name($std);
+
+            #[allow(dead_code)] // facade: not every type uses every method
+            impl $name {
+                #[inline]
+                pub(crate) const fn new(v: $prim) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                #[inline]
+                pub(crate) fn load(&self, order: Ordering) -> $prim {
+                    self.0.load(order)
+                }
+
+                #[inline]
+                pub(crate) fn store(&self, val: $prim, order: Ordering) {
+                    self.0.store(val, order);
+                }
+
+                #[inline]
+                pub(crate) fn swap(&self, val: $prim, order: Ordering) -> $prim {
+                    note_rmw(order);
+                    self.0.swap(val, order)
+                }
+
+                #[inline]
+                pub(crate) fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    note_rmw(success);
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    /// Adds the numeric fetch ops to a [`counting_atomic!`] type.
+    macro_rules! counting_fetch_arith {
+        ($name:ident, $prim:ty) => {
+            #[allow(dead_code)] // facade: not every type uses every method
+            impl $name {
+                #[inline]
+                pub(crate) fn fetch_add(&self, val: $prim, order: Ordering) -> $prim {
+                    note_rmw(order);
+                    self.0.fetch_add(val, order)
+                }
+
+                #[inline]
+                pub(crate) fn fetch_sub(&self, val: $prim, order: Ordering) -> $prim {
+                    note_rmw(order);
+                    self.0.fetch_sub(val, order)
+                }
+            }
+        };
+    }
+
+    counting_atomic!(AtomicU64, u64, std::sync::atomic::AtomicU64);
+    counting_atomic!(AtomicUsize, usize, std::sync::atomic::AtomicUsize);
+    counting_atomic!(AtomicBool, bool, std::sync::atomic::AtomicBool);
+    counting_fetch_arith!(AtomicU64, u64);
+    counting_fetch_arith!(AtomicUsize, usize);
 }
 
 #[cfg(loom)]

@@ -27,6 +27,12 @@ fn loom_pin_publication() {
 }
 
 #[test]
+fn loom_pin_advance_store_buffer() {
+    let runs = loomette::Explorer::default().explore(scenarios::pin_advance_store_buffer);
+    assert!(runs > 100, "exploration degenerated to {runs} schedule(s)");
+}
+
+#[test]
 fn loom_retire_publish_unpin_collect() {
     let runs = loomette::Explorer::default().explore(scenarios::retire_publish_unpin_collect);
     assert!(runs > 100, "exploration degenerated to {runs} schedule(s)");
@@ -87,5 +93,75 @@ fn loom_finds_seeded_retire_before_publish_bug() {
     assert!(
         caught.is_err(),
         "model checker failed to find the seeded retire-before-publish violation"
+    );
+}
+
+/// The distilled retire path with `defer`'s StoreLoad fence optionally
+/// elided: the writer publishes the unlink (Release store) and then — the
+/// step the fence guards — samples the reader-visibility word (standing in
+/// for the retire-tag epoch load / advance scan). The reader runs the full
+/// pin protocol: publish the status word, `SeqCst` fence, then
+/// dereference. Returns via `saw_uaf` whether some schedule had *both*
+/// sides miss each other — writer saw "no reader" while the reader missed
+/// the unlink — the use-after-free shape.
+fn fenceless_retire_litmus(
+    fenced: bool,
+    saw_uaf: &Arc<std::sync::atomic::AtomicBool>,
+) -> impl Fn() + Send + Sync + 'static {
+    use loomette::sync::atomic::{fence, AtomicUsize};
+    use loomette::thread::spawn;
+    use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+    let saw = Arc::clone(saw_uaf);
+    move || {
+        let unlink = Arc::new(AtomicUsize::new(0)); // writer's unlink publication
+        let status = Arc::new(AtomicUsize::new(0)); // reader's pin word
+        let (unlink2, status2) = (Arc::clone(&unlink), Arc::clone(&status));
+        let reader = spawn(move || {
+            status2.store(1, Relaxed);
+            fence(std::sync::atomic::Ordering::SeqCst); // the pin fence
+            unlink2.load(Acquire)
+        });
+        unlink.store(1, Release);
+        if fenced {
+            // `defer`'s StoreLoad fence — the one under test.
+            fence(std::sync::atomic::Ordering::SeqCst);
+        }
+        let r_status = status.load(Relaxed);
+        let r_unlink = reader.join().unwrap();
+        if r_status == 0 && r_unlink == 0 {
+            saw.store(true, SeqCst);
+        }
+    }
+}
+
+/// Meta-test: removing `defer`'s `fence(SeqCst)` must be a bug the
+/// store-buffer model can *find*. Without the fence, TSO lets the writer's
+/// buffered unlink store pass its reader scan: the writer concludes no
+/// reader can hold the object while the reader (whose pin fence already
+/// drained) still reads the un-unlinked snapshot — the grace period starts
+/// one epoch too early. The same exploration with the fence restored must
+/// never reach that outcome: the fence is load-bearing, and the TSO tier
+/// is what checks it (SeqCst-exact mode executes the litmus as SC and
+/// cannot see the reorder).
+#[test]
+fn loom_tso_finds_fenceless_retire_publish() {
+    // Environment-independent explorers: this test *is* the TSO coverage.
+    let explorer = |tso| loomette::Explorer {
+        preemption_bound: loomette::DEFAULT_PREEMPTION_BOUND,
+        max_runs: loomette::DEFAULT_MAX_RUNS,
+        tso,
+    };
+    let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    explorer(true).explore(fenceless_retire_litmus(false, &saw));
+    assert!(
+        saw.load(SeqCst),
+        "TSO exploration failed to find the fence-elided retire reorder"
+    );
+
+    let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    explorer(true).explore(fenceless_retire_litmus(true, &saw));
+    assert!(
+        !saw.load(SeqCst),
+        "defer's StoreLoad fence failed to forbid the retire reorder under TSO"
     );
 }

@@ -21,6 +21,13 @@ fn stress_pin_publication() {
 }
 
 #[test]
+fn stress_pin_advance_store_buffer() {
+    for _ in 0..ITERS {
+        scenarios::pin_advance_store_buffer();
+    }
+}
+
+#[test]
 fn stress_retire_publish_unpin_collect() {
     for _ in 0..ITERS {
         scenarios::retire_publish_unpin_collect();

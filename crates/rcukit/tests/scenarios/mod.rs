@@ -93,6 +93,72 @@ pub fn pin_publication() {
     assert!(!freed[1].load(SeqCst), "live object was reclaimed");
 }
 
+/// Pin publication vs. a *dedicated* epoch-advance driver: unlike
+/// [`pin_publication`], where the writer thread also drives `collect`, the
+/// advance scan here runs on its own thread the whole time the reader is
+/// pinning — so the status-word publish (store + `SeqCst` fence + epoch
+/// re-read) races the advance side's own fence-then-scan directly, with no
+/// happens-before edge through the writer serializing them.
+///
+/// This is the schedule shape the ordering audit's store-buffer model
+/// exists for: after the audit the pin store is `Relaxed`, so under TSO
+/// (`LOOMETTE_TSO=1`) it sits in the reader's store buffer until the pin
+/// fence drains it. The Dekker between that fence and the one in
+/// `try_advance` is the *only* thing stopping the driver from advancing
+/// two epochs past the retirement while the reader dereferences — exactly
+/// the use-after-free this scenario's canary assert would catch.
+pub fn pin_advance_store_buffer() {
+    let c = Collector::with_shards(1);
+    let slot = Arc::new(AtomicUsize::new(0));
+    let freed = Arc::new([AtomicBool::new(false), AtomicBool::new(false)]);
+
+    let reader = {
+        let c = c.clone();
+        let slot = Arc::clone(&slot);
+        let freed = Arc::clone(&freed);
+        spawn(move || {
+            let h = c.register();
+            let g = h.pin();
+            let idx = slot.load(SeqCst);
+            assert!(
+                !freed[idx].load(SeqCst),
+                "reader observed a retired slot under a pinned guard"
+            );
+            drop(g);
+        })
+    };
+    // The advance driver: nothing but grace-period machinery, racing the
+    // reader's pin publication and the writer's retirement.
+    let advancer = {
+        let c = c.clone();
+        spawn(move || {
+            for _ in 0..2 {
+                c.collect();
+            }
+        })
+    };
+
+    // Writer (main thread): unlink object 0 by publishing 1, then retire 0.
+    let h = c.register();
+    slot.store(1, SeqCst);
+    {
+        let g = h.pin();
+        let freed = Arc::clone(&freed);
+        g.defer(move || freed[0].store(true, SeqCst));
+    }
+    reader.join().unwrap();
+    advancer.join().unwrap();
+    // Bounded drain with every guard gone: the retirement must fire.
+    for _ in 0..3 {
+        c.collect();
+    }
+    assert!(
+        freed[0].load(SeqCst),
+        "retirement never fired after a full drain"
+    );
+    assert!(!freed[1].load(SeqCst), "live object was reclaimed");
+}
+
 /// Retire-before-publish ordering, driven purely by writer unpins: the
 /// writer retires only *after* the unlink store, and its outermost unpins
 /// (not an explicit driver) run the opportunistic collect. A pinned reader

@@ -18,7 +18,13 @@ speculative nodes they discarded), which are optional — absent in v2
 records, hard-checked for well-formedness (non-negative integers, retries
 zero at threads=1) when present, and reported as deltas alongside the
 throughput line so backoff tuning stays visible across commits without
-gating on a contention-dependent number.
+gating on a contention-dependent number. v4 adds the `read-heavy` profile
+and `read_op_ns` (single-thread per-op read-side latency: pin + lookup on
+the bonsai backend); both are likewise optional, so a v3 baseline diffs
+against a v4 candidate — the new profile's points report as new, and
+`read_op_ns` deltas print informationally when both sides carry the field
+(latency is inverted: lower is better, so it is never gated by the
+throughput threshold).
 
 Intended uses: `bench_compare.py <old-commit's json> BENCH_addrspace.json`
 during review, and the CI smoke invocation that diffs the committed
@@ -94,6 +100,13 @@ def main():
                 value = rec[field]
                 if not isinstance(value, int) or value < 0:
                     failures.append(f"{label}: {field} = {value!r} (want int >= 0)")
+        # v4 read-side latency: optional, but when present it must be a
+        # positive number — a zero or negative per-op time means the
+        # microbench never ran or the record is corrupt.
+        if "read_op_ns" in rec:
+            value = rec["read_op_ns"]
+            if not isinstance(value, (int, float)) or value <= 0:
+                failures.append(f"{label}: read_op_ns = {value!r} (want > 0)")
         if rec.get("threads") == 1 and rec.get("cas_retries", 0) != 0:
             failures.append(
                 f"{label}: cas_retries = {rec['cas_retries']} at threads=1"
@@ -126,7 +139,17 @@ def main():
                 cas = f"  cas_retries {old[key]['cas_retries']} -> {rec['cas_retries']}"
             else:
                 cas = f"  cas_retries - -> {rec['cas_retries']}"
-        print(f"{label}: {before:.0f} -> {after:.0f} ({delta_pct:+.1f}%){cas}{marker}")
+        # Informational read-latency delta (v4 records; v3 baselines omit
+        # it). Lower is better, hence reported but never threshold-gated
+        # here — use --metric read_op_ns deliberately if you want to gate
+        # on it (and remember the sign flips).
+        lat = ""
+        if "read_op_ns" in rec:
+            if "read_op_ns" in old[key]:
+                lat = f"  read_op_ns {old[key]['read_op_ns']:.0f} -> {rec['read_op_ns']:.0f}"
+            else:
+                lat = f"  read_op_ns - -> {rec['read_op_ns']:.0f}"
+        print(f"{label}: {before:.0f} -> {after:.0f} ({delta_pct:+.1f}%){cas}{lat}{marker}")
 
     if compared == 0:
         sys.exit("no matching (profile, threads, backend) points to compare")

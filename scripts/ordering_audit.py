@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Audit memory-ordering hygiene in rcukit and bonsai production code.
+
+Two rules, enforced over every `.rs` file under `crates/rcukit/src` and
+`crates/bonsai/src` (test modules — everything from the first `#[cfg(test)]`
+line down — are exempt):
+
+1. Every atomic operation that names an ordering (`load`/`store`/`swap`/
+   `compare_exchange[_weak]`/`fetch_*` with a literal `Relaxed`/`Acquire`/
+   `Release`/`AcqRel`/`SeqCst` argument, and every `fence(...)`) must have
+   a `// ordering:` justification comment on the same line or within the
+   six lines above it. The window is a few lines rather than strictly
+   adjacent because one comment legitimately covers a tight cluster of
+   ops (e.g. "ordering: Relaxed (both) — ..." above a fetch_add/fetch_sub
+   pair), and the justification prose itself often wraps.
+
+2. No atomic operation may use `SeqCst` as its per-op ordering. The
+   crates' contract (docs/CONCURRENCY.md §6) is that every remaining
+   sequentially-consistent point is an *explicit* `fence(SeqCst)` named
+   after the protocol invariant it upholds — per-op SeqCst is either a
+   placeholder that was never audited or a silent x86 `xchg`/`mfence` on
+   a path that doesn't need one. `fence(SeqCst)` itself is allowed; that
+   is the point.
+
+Facade files that merely forward a caller-supplied `order: Ordering`
+parameter (rcukit's counting sync facade) pass rule 1 vacuously: an op
+with no literal ordering token chose nothing, so there is nothing to
+justify at that site.
+
+Exit status 0 with a per-crate summary on success; 1 with one line per
+violation otherwise. No dependencies outside the standard library — CI
+runs it right after clippy.
+"""
+
+import pathlib
+import re
+import sys
+
+ROOTS = ["crates/rcukit/src", "crates/bonsai/src"]
+LOOKBACK = 6  # lines above the op that may hold its `// ordering:` comment
+
+ORDERING_TOKEN = re.compile(r"\b(Relaxed|Acquire|Release|AcqRel|SeqCst)\b")
+ATOMIC_OP = re.compile(
+    r"\.(?:load|store|swap|compare_exchange(?:_weak)?|"
+    r"fetch_(?:add|sub|and|or|xor|update))\s*\("
+)
+FENCE = re.compile(r"\bfence\s*\(")
+TEST_MOD = re.compile(r"^\s*#\[cfg\((?:all\()?test\b")
+
+
+def code_part(line):
+    """The non-comment portion of a source line (naive `//` split; the
+    audited sources keep `//` out of string literals)."""
+    return line.split("//", 1)[0]
+
+
+def join_call(lines, start):
+    """Join a (possibly multi-line) call starting at `start` until its
+    parentheses balance, capped at a handful of lines."""
+    depth = 0
+    parts = []
+    for i in range(start, min(start + 8, len(lines))):
+        code = code_part(lines[i])
+        parts.append(code)
+        depth += code.count("(") - code.count(")")
+        if depth <= 0 and i > start:
+            break
+        if depth <= 0 and "(" in code:
+            break
+    return " ".join(parts)
+
+
+def has_ordering_comment(lines, op_idx):
+    # Fast path: a comment on the op line or within the short window above
+    # it (covers trailing comments and tight "(both)" clusters).
+    window = lines[max(0, op_idx - LOOKBACK) : op_idx + 1]
+    if any("ordering:" in line for line in window):
+        return True
+    # Long-prose path: a justification block may run past the window (the
+    # fence comments name whole protocol invariants), and one "(all)"
+    # comment may cover every load in a multi-line struct literal. Walk
+    # upward to the nearest comment, but stop at a blank line or a
+    # completed statement — a justification must belong to *this*
+    # statement, not an earlier one.
+    for i in range(op_idx - 1, max(-1, op_idx - 17), -1):
+        line = lines[i]
+        if "ordering:" in line and "//" in line:
+            return True
+        stripped = code_part(line).strip()
+        if not line.strip():
+            return False
+        if stripped.endswith(";") or stripped == "}":
+            return False
+    return False
+
+
+def audit_file(path):
+    violations = []
+    lines = path.read_text().splitlines()
+
+    # Test modules are exempt: SeqCst-everywhere is the right default for
+    # test scaffolding, and stress tests need no per-op justification.
+    for cut, line in enumerate(lines):
+        if TEST_MOD.match(line):
+            lines = lines[:cut]
+            break
+
+    ops = 0
+    for idx, line in enumerate(lines):
+        code = code_part(line)
+        is_fence = bool(FENCE.search(code))
+        is_op = bool(ATOMIC_OP.search(code))
+        if not (is_fence or is_op):
+            continue
+        call = join_call(lines, idx)
+        tokens = ORDERING_TOKEN.findall(call)
+        if not tokens:
+            # Forwards a variable ordering (facade) or names none: no
+            # ordering was chosen here, so nothing to justify.
+            continue
+        ops += 1
+        where = f"{path}:{idx + 1}"
+        if not has_ordering_comment(lines, idx):
+            violations.append(
+                f"{where}: atomic op with ordering {'/'.join(tokens)} has no "
+                f"`// ordering:` comment within {LOOKBACK} lines"
+            )
+        if "SeqCst" in tokens and not is_fence:
+            violations.append(
+                f"{where}: per-op SeqCst (only explicit `fence(SeqCst)` may "
+                f"be sequentially consistent)"
+            )
+    return ops, violations
+
+
+def main():
+    repo = pathlib.Path(__file__).resolve().parent.parent
+    total_ops = 0
+    failures = []
+    for root in ROOTS:
+        crate_ops = 0
+        for path in sorted((repo / root).rglob("*.rs")):
+            ops, violations = audit_file(path)
+            crate_ops += ops
+            failures.extend(violations)
+        print(f"{root}: {crate_ops} justified atomic sites")
+        total_ops += crate_ops
+    if total_ops == 0:
+        sys.exit("audit matched no atomic sites — pattern rot, fix the script")
+    if failures:
+        print(f"\n{len(failures)} violation(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"OK: {total_ops} atomic sites audited, all justified, no per-op SeqCst")
+
+
+if __name__ == "__main__":
+    main()
