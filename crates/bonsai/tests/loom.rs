@@ -22,29 +22,34 @@ mod scenarios;
 #[test]
 fn loom_disjoint_writers() {
     let runs = loomette::Explorer::default().explore(scenarios::disjoint_writers);
+    eprintln!("disjoint_writers: {runs} schedules");
     assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
 }
 
 #[test]
 fn loom_overlapping_writers() {
     let runs = loomette::Explorer::default().explore(scenarios::overlapping_writers);
+    eprintln!("overlapping_writers: {runs} schedules");
     assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
 }
 
 #[test]
 fn loom_opposite_stripe_order_writers() {
     let runs = loomette::Explorer::default().explore(scenarios::opposite_stripe_order_writers);
+    eprintln!("opposite_stripe_order_writers: {runs} schedules");
     assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
 }
 
 #[test]
 fn loom_arena_recycle_vs_reader() {
     let runs = loomette::Explorer::default().explore(scenarios::arena_recycle_vs_reader);
+    eprintln!("arena_recycle_vs_reader: {runs} schedules");
     assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
 }
 
 #[test]
 fn loom_treiber_recycle_push_vs_alloc_pop() {
     let runs = loomette::Explorer::default().explore(scenarios::treiber_recycle_push_vs_alloc_pop);
+    eprintln!("treiber_recycle_push_vs_alloc_pop: {runs} schedules");
     assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
 }

@@ -211,7 +211,7 @@ pub fn arena_recycle_vs_reader() {
 /// multi-producer/single-consumer race the audit relaxed to
 /// `Release`-CAS push / `Acquire`-load+CAS pop: the block's link write and
 /// payload drop must be visible to the popper before the block is, in
-/// every schedule (and, under `LOOMETTE_TSO=1`, with the pusher's link
+/// every schedule (and, under `LOOMETTE_MODEL=tso`, with the pusher's link
 /// store buffered until its CAS drains). A torn block would surface as a
 /// broken invariant or a wrong final map.
 pub fn treiber_recycle_push_vs_alloc_pop() {

@@ -1,0 +1,93 @@
+//! A loom-compatible [`UnsafeCell`] whose accesses the model can check
+//! for data races.
+//!
+//! Production code shares non-atomic data behind the synchronization the
+//! atomics establish; a wrong (or weakened) ordering does not usually
+//! change which *values* an interleaved execution observes — it removes
+//! the happens-before edge that made the non-atomic access safe. That is
+//! invisible to value assertions but exactly what a vector-clock race
+//! check sees. Under the AcqRel model (the only mode that tracks clocks)
+//! every [`UnsafeCell::with`] / [`UnsafeCell::with_mut`] verifies the
+//! access is ordered, by happens-before, against every conflicting access
+//! before it; an unordered pair fails the model with the schedule that
+//! produced it. Under SC/TSO the accesses are plain switch points (those
+//! models have no clocks to check against), and outside a model the cell
+//! degrades to [`std::cell::UnsafeCell`].
+//!
+//! The API mirrors `loom::cell::UnsafeCell` (`with` / `with_mut`), so code
+//! instrumented against loomette keeps compiling against the real loom.
+
+use crate::sched;
+
+/// A model-checked unsafe cell: raw-pointer access windows, race-checked
+/// under the AcqRel model. See the module docs.
+#[derive(Debug, Default)]
+pub struct UnsafeCell<T> {
+    inner: std::cell::UnsafeCell<T>,
+    /// Scheduler-side cell id, run-keyed exactly like the instrumented
+    /// mutexes': a cell outliving one model run re-registers with the
+    /// next run's scheduler.
+    id: std::sync::Mutex<Option<(u64, usize)>>,
+}
+
+// Mirror `std::cell::UnsafeCell`'s auto traits: the id word is internally
+// synchronized, so sharing is as (un)safe as the payload makes it — which
+// is precisely what the race check is for.
+unsafe impl<T: Send> Send for UnsafeCell<T> {}
+unsafe impl<T: Send> Sync for UnsafeCell<T> {}
+
+impl<T> UnsafeCell<T> {
+    /// Creates a new cell.
+    pub fn new(value: T) -> Self {
+        Self {
+            inner: std::cell::UnsafeCell::new(value),
+            id: std::sync::Mutex::new(None),
+        }
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+
+    /// This cell's id in `sched`'s run, (re)assigned if it was created
+    /// outside the run (or in an earlier one).
+    fn run_id(&self, sched: &crate::sched::Scheduler) -> usize {
+        let run = sched::run_seq(sched);
+        let mut slot = self
+            .id
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        match *slot {
+            Some((r, id)) if r == run => id,
+            _ => {
+                let id = sched::cell_id(sched);
+                *slot = Some((run, id));
+                id
+            }
+        }
+    }
+
+    /// Records one access (a switch point; race-checked under AcqRel).
+    fn access(&self, write: bool) {
+        sched::switch_point();
+        sched::with_scheduler(|sched, me| {
+            let id = self.run_id(sched);
+            sched::cell_access(sched, me, id, write);
+        });
+    }
+
+    /// Immutable access window: runs `f` with a `*const T` to the value.
+    /// A data race with an unordered `with_mut` fails the model (AcqRel).
+    pub fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        self.access(false);
+        f(self.inner.get())
+    }
+
+    /// Mutable access window: runs `f` with a `*mut T` to the value. A
+    /// data race with any unordered access fails the model (AcqRel).
+    pub fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        self.access(true);
+        f(self.inner.get())
+    }
+}

@@ -7,26 +7,37 @@
 //! meaningfully distinct thread interleaving — with an honest, documented
 //! scope:
 //!
-//! * **Two memory models.** By default every instrumented atomic executes
-//!   as `SeqCst`, so the model is *sequentially consistent by
-//!   construction* — exact for code whose atomics are all `SeqCst`, an
-//!   under-approximation for weaker orderings. With
-//!   [`Explorer::tso`](Explorer) set — or `LOOMETTE_TSO=1` in the
-//!   environment — the checker instead explores the **store-buffer (TSO)**
-//!   model: non-`SeqCst` stores sit in a per-thread FIFO with
-//!   non-deterministic flush points, loads forward from the own buffer,
-//!   and RMWs / `SeqCst` ops / `fence(SeqCst)` drain it. That is the
-//!   x86-TSO store→load reordering, the one weak-memory behaviour this
-//!   checker models; see [`mod@sync`] and the design notes in
-//!   `docs/CONCURRENCY.md` for its limits vs. full C11.
+//! * **Three memory models** ([`MemModel`], `LOOMETTE_MODEL=sc|tso|acqrel`).
+//!   Under `sc` (the default) every instrumented atomic executes as
+//!   `SeqCst`, so the model is *sequentially consistent by construction* —
+//!   exact for code whose atomics are all `SeqCst`, an under-approximation
+//!   for weaker orderings. Under `tso` the checker explores the
+//!   **store-buffer (x86-TSO)** model: non-`SeqCst` stores sit in a
+//!   per-thread FIFO with non-deterministic flush points, loads forward
+//!   from the own buffer, and RMWs / `SeqCst` ops / `fence(SeqCst)` drain
+//!   it. Under `acqrel` the checker explores the **acquire/release (C11)**
+//!   model: each atomic location keeps its own modification order, every
+//!   load picks its value from a *reads-from* candidate set constrained by
+//!   happens-before (vector clocks; release sequences; acquire/release
+//!   and `SeqCst` fences), and the DFS explores reads-from choices as
+//!   scheduling points the same way TSO explores flush points. The AcqRel
+//!   model also race-checks non-atomic data accessed through
+//!   [`cell::UnsafeCell`]. See [`mod@sync`], [`mod@cell`] and the design
+//!   notes in `docs/CONCURRENCY.md` §6 for each model's limits vs. the
+//!   respective architecture / full C11.
 //! * **Preemption-bounded.** Exploration is exhaustive over schedules with
 //!   at most N preemptive context switches (default 2, the CHESS result
 //!   that small bounds catch most bugs); forced switches — blocking on a
-//!   mutex, joining, finishing — are free, and early TSO buffer flushes
-//!   are charged against the same bound. `LOOMETTE_PREEMPTIONS` raises
-//!   the bound.
+//!   mutex, joining, finishing — are free, and weak-memory "weirdness"
+//!   (early TSO buffer flushes, stale AcqRel reads) is charged against the
+//!   same bound. `LOOMETTE_PREEMPTIONS` raises the bound,
+//!   `LOOMETTE_MAX_RUNS` the schedule cap.
 //! * **Deadlock-detecting.** A state where no thread can run fails the
 //!   model with the offending schedule.
+//! * **Replayable failures.** A model failure prints a compact schedule
+//!   token; `LOOMETTE_REPLAY=<token>` (plus the printed model/bound
+//!   settings) deterministically re-runs exactly that schedule, turning a
+//!   CI model-check failure into a reproducible unit test.
 //!
 //! The API mirrors loom where it matters, so swapping the real crate in
 //! later is a one-line import change in the code under test:
@@ -53,11 +64,12 @@
 
 #![warn(missing_docs)]
 
+pub mod cell;
 mod sched;
 pub mod sync;
 pub mod thread;
 
-pub use sched::{Explorer, DEFAULT_MAX_RUNS, DEFAULT_PREEMPTION_BOUND};
+pub use sched::{Explorer, MemModel, DEFAULT_MAX_RUNS, DEFAULT_PREEMPTION_BOUND};
 
 /// Explores every schedule of `f` within the default preemption bound,
 /// panicking with the failing schedule if any execution panics or
@@ -101,11 +113,12 @@ mod tests {
 
     /// An explorer pinned to the given memory model (environment-
     /// independent, unlike `Explorer::default`).
-    fn explorer(tso: bool) -> super::Explorer {
+    fn explorer(mem_model: super::MemModel) -> super::Explorer {
         super::Explorer {
             preemption_bound: super::DEFAULT_PREEMPTION_BOUND,
             max_runs: super::DEFAULT_MAX_RUNS,
-            tso,
+            mem_model,
+            replay: None,
         }
     }
 
@@ -114,7 +127,7 @@ mod tests {
     /// construction, so `r1 == r2 == 0` must be impossible.
     #[test]
     fn store_buffering_is_sequentially_consistent() {
-        explorer(false).explore(|| {
+        explorer(super::MemModel::Sc).explore(|| {
             let x = Arc::new(AtomicUsize::new(0));
             let y = Arc::new(AtomicUsize::new(0));
             let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
@@ -346,7 +359,12 @@ mod tests {
     #[test]
     fn tso_finds_store_buffering_reorder() {
         let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        explorer(true).explore(sb_litmus(Ordering::Release, Ordering::Acquire, false, &saw));
+        explorer(super::MemModel::Tso).explore(sb_litmus(
+            Ordering::Release,
+            Ordering::Acquire,
+            false,
+            &saw,
+        ));
         assert!(
             saw.load(std::sync::atomic::Ordering::SeqCst),
             "TSO exploration never produced the r1 == r2 == 0 reorder"
@@ -359,7 +377,12 @@ mod tests {
     #[test]
     fn tso_seqcst_ops_remain_sequentially_consistent() {
         let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        explorer(true).explore(sb_litmus(Ordering::SeqCst, Ordering::SeqCst, false, &saw));
+        explorer(super::MemModel::Tso).explore(sb_litmus(
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+            false,
+            &saw,
+        ));
         assert!(
             !saw.load(std::sync::atomic::Ordering::SeqCst),
             "SeqCst accesses were reordered under TSO mode"
@@ -372,7 +395,12 @@ mod tests {
     #[test]
     fn tso_seqcst_fence_restores_sequential_consistency() {
         let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        explorer(true).explore(sb_litmus(Ordering::Release, Ordering::Acquire, true, &saw));
+        explorer(super::MemModel::Tso).explore(sb_litmus(
+            Ordering::Release,
+            Ordering::Acquire,
+            true,
+            &saw,
+        ));
         assert!(
             !saw.load(std::sync::atomic::Ordering::SeqCst),
             "fence(SeqCst) failed to forbid the store-buffer reorder"
@@ -384,7 +412,12 @@ mod tests {
     #[test]
     fn sc_mode_does_not_model_store_buffering() {
         let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
-        explorer(false).explore(sb_litmus(Ordering::Release, Ordering::Acquire, false, &saw));
+        explorer(super::MemModel::Sc).explore(sb_litmus(
+            Ordering::Release,
+            Ordering::Acquire,
+            false,
+            &saw,
+        ));
         assert!(
             !saw.load(std::sync::atomic::Ordering::SeqCst),
             "SeqCst-exact mode unexpectedly modeled a store-buffer reorder"
@@ -395,7 +428,7 @@ mod tests {
     /// to-load forwarding), even while they are still buffered.
     #[test]
     fn tso_forwards_own_buffered_stores() {
-        explorer(true).explore(|| {
+        explorer(super::MemModel::Tso).explore(|| {
             let v = Arc::new(AtomicUsize::new(0));
             let v2 = Arc::clone(&v);
             let t = crate::thread::spawn(move || {
@@ -425,5 +458,214 @@ mod tests {
             t.join().unwrap();
         });
         assert!(runs > 1, "no interleavings explored ({runs} runs)");
+    }
+
+    /// The message-passing litmus body: producer writes data then raises a
+    /// flag; consumer that sees the flag asserts the data. `flag_store` /
+    /// `flag_load` parameterize the synchronizing pair; the data accesses
+    /// are always `Relaxed`, so the flag pair is the only ordering.
+    fn mp_litmus(
+        flag_store: Ordering,
+        flag_load: Ordering,
+        saw_violation: &Arc<std::sync::atomic::AtomicBool>,
+    ) -> impl Fn() + Send + Sync + 'static {
+        let saw = Arc::clone(saw_violation);
+        move || {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let saw = Arc::clone(&saw);
+            let t = crate::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, flag_store);
+            });
+            if flag.load(flag_load) == 1 && data.load(Ordering::Relaxed) != 42 {
+                saw.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+            t.join().unwrap();
+        }
+    }
+
+    /// The AcqRel model must *find* the message-passing violation when the
+    /// flag pair is `Relaxed` (no happens-before edge): some schedule sees
+    /// the flag raised but stale data. SC and TSO both miss it (neither
+    /// reorders a store-store or load-load pair).
+    #[test]
+    fn acqrel_finds_relaxed_message_passing_violation() {
+        for (model, expected) in [
+            (super::MemModel::Sc, false),
+            (super::MemModel::Tso, false),
+            (super::MemModel::AcqRel, true),
+        ] {
+            let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            explorer(model).explore(mp_litmus(Ordering::Relaxed, Ordering::Relaxed, &saw));
+            assert_eq!(
+                saw.load(std::sync::atomic::Ordering::SeqCst),
+                expected,
+                "relaxed MP violation observability mismatch under {}",
+                model.name()
+            );
+        }
+    }
+
+    /// With the proper `Release` store / `Acquire` load pairing the
+    /// violation is forbidden under every model including AcqRel: the
+    /// acquire read of the flag joins the release clock, which covers the
+    /// data store.
+    #[test]
+    fn acqrel_release_acquire_forbids_message_passing_violation() {
+        for model in [
+            super::MemModel::Sc,
+            super::MemModel::Tso,
+            super::MemModel::AcqRel,
+        ] {
+            let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            explorer(model).explore(mp_litmus(Ordering::Release, Ordering::Acquire, &saw));
+            assert!(
+                !saw.load(std::sync::atomic::Ordering::SeqCst),
+                "Release/Acquire MP violated under {}",
+                model.name()
+            );
+        }
+    }
+
+    /// An RMW continues the release sequence: a `Relaxed` `fetch_add` on
+    /// the flag between the release store and the acquire load must not
+    /// break the data edge.
+    #[test]
+    fn acqrel_rmw_extends_release_sequence() {
+        explorer(super::MemModel::AcqRel).explore(|| {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let f3 = Arc::clone(&flag);
+            let t = crate::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                f2.store(1, Ordering::Release);
+            });
+            // Interloper RMW, relaxed: joins the release sequence.
+            let t2 = crate::thread::spawn(move || {
+                f3.fetch_add(2, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Acquire) == 3 {
+                // Read the RMW's store: its rel clock includes the
+                // overwritten release store's, so data is visible.
+                assert_eq!(data.load(Ordering::Relaxed), 42, "release sequence broken");
+            }
+            t.join().unwrap();
+            t2.join().unwrap();
+        });
+    }
+
+    /// `fence(Release)` before a relaxed store + `fence(Acquire)` after a
+    /// relaxed load synchronize exactly like a Release/Acquire pair (C11
+    /// fence semantics).
+    #[test]
+    fn acqrel_fences_synchronize_relaxed_pair() {
+        explorer(super::MemModel::AcqRel).explore(|| {
+            let data = Arc::new(AtomicUsize::new(0));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+            let t = crate::thread::spawn(move || {
+                d2.store(42, Ordering::Relaxed);
+                crate::sync::atomic::fence(Ordering::Release);
+                f2.store(1, Ordering::Relaxed);
+            });
+            if flag.load(Ordering::Relaxed) == 1 {
+                crate::sync::atomic::fence(Ordering::Acquire);
+                assert_eq!(data.load(Ordering::Relaxed), 42, "fence pair failed");
+            }
+            t.join().unwrap();
+        });
+    }
+
+    /// A failing model prints a replay token, and running the explorer
+    /// with that token reproduces exactly the failing schedule — in one
+    /// run, deterministically.
+    #[test]
+    fn replay_token_reproduces_failing_schedule() {
+        let body = || {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v2 = Arc::clone(&v);
+            let t = crate::thread::spawn(move || {
+                let x = v2.load(Ordering::SeqCst);
+                v2.store(x + 1, Ordering::SeqCst);
+            });
+            let x = v.load(Ordering::SeqCst);
+            v.store(x + 1, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(v.load(Ordering::SeqCst), 2, "lost update");
+        };
+        let err = std::panic::catch_unwind(|| explorer(super::MemModel::Sc).explore(body))
+            .expect_err("lost update went unfound");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("panic payload should be a String");
+        let token = msg
+            .split("LOOMETTE_REPLAY=")
+            .nth(1)
+            .expect("failure message should carry a replay token")
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .to_string();
+        // Replaying must hit the same assertion in a single run.
+        let replayer = super::Explorer {
+            replay: Some(token),
+            ..explorer(super::MemModel::Sc)
+        };
+        let err = std::panic::catch_unwind(move || replayer.explore(body))
+            .expect_err("replay did not reproduce the failure");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("lost update"),
+            "replay failed differently: {msg}"
+        );
+    }
+
+    /// Under AcqRel, two unordered accesses to a `cell::UnsafeCell` (one a
+    /// write) are a data race and fail the model; under SC/TSO the same
+    /// body runs unchecked (interleaving-only).
+    #[test]
+    fn acqrel_detects_unsafecell_data_race() {
+        let body = || {
+            let c = Arc::new(crate::cell::UnsafeCell::new(0u64));
+            let c2 = Arc::clone(&c);
+            let t = crate::thread::spawn(move || {
+                c2.with_mut(|p| unsafe { *p = 1 });
+            });
+            c.with(|p| unsafe { *p });
+            t.join().unwrap();
+        };
+        let result = std::panic::catch_unwind(|| explorer(super::MemModel::AcqRel).explore(body));
+        let msg = match result {
+            Ok(_) => panic!("unsynchronized cell accesses went undetected"),
+            Err(e) => e.downcast_ref::<String>().cloned().unwrap_or_default(),
+        };
+        assert!(msg.contains("data race"), "wrong failure: {msg}");
+        // SC mode has no clocks: the same body passes (no race check).
+        explorer(super::MemModel::Sc).explore(body);
+    }
+
+    /// A cell guarded by a Release/Acquire flag handoff is race-free: the
+    /// reader only touches the cell after acquiring the flag, so the
+    /// writer's access happens-before it.
+    #[test]
+    fn acqrel_accepts_flag_guarded_unsafecell() {
+        explorer(super::MemModel::AcqRel).explore(|| {
+            let c = Arc::new(crate::cell::UnsafeCell::new(0u64));
+            let flag = Arc::new(AtomicUsize::new(0));
+            let (c2, f2) = (Arc::clone(&c), Arc::clone(&flag));
+            let t = crate::thread::spawn(move || {
+                c2.with_mut(|p| unsafe { *p = 7 });
+                f2.store(1, Ordering::Release);
+            });
+            if flag.load(Ordering::Acquire) == 1 {
+                let v = c.with(|p| unsafe { *p });
+                assert_eq!(v, 7);
+            }
+            t.join().unwrap();
+        });
     }
 }

@@ -17,7 +17,8 @@
 //!
 //! # The store-buffer (TSO) mode
 //!
-//! With [`Explorer::tso`] set (or `LOOMETTE_TSO=1`), the model adds x86-TSO
+//! With [`Explorer::mem_model`] set to [`MemModel::Tso`] (or
+//! `LOOMETTE_MODEL=tso`), the model adds x86-TSO
 //! store buffers: each thread owns a FIFO of not-yet-visible atomic stores.
 //! A non-`SeqCst` instrumented store is appended to its thread's buffer
 //! instead of hitting memory; loads forward from the own buffer (newest
@@ -35,9 +36,70 @@
 //! branching bounded. The default behaviour — buffers draining as late as
 //! possible — is the free path, and it is the one that exposes
 //! store-buffering bugs.
+//!
+//! # The acquire/release (AcqRel) mode
+//!
+//! With [`Explorer::mem_model`] set to [`MemModel::AcqRel`] (or
+//! `LOOMETTE_MODEL=acqrel`), the checker drops the single shared memory
+//! and models C11-style release/acquire semantics the way loom documents
+//! its own design (CDSChecker-style): every atomic location keeps its own
+//! **modification order** — the list of stores executed against it — and a
+//! load does not necessarily read the newest one. Instead the explorer
+//! computes the load's *reads-from candidate set*: every store not ruled
+//! out by happens-before (a load may not read a store that some
+//! hb-later store to the same location has already overwritten, nor one
+//! older than what the thread itself last read or wrote there — coherence)
+//! and picks among them. Reading the newest store is the free path —
+//! exactly the SC execution — and each *stale* choice is a weirdness event
+//! charged against the preemption bound, the same way TSO charges early
+//! flushes, so the extra branching stays bounded.
+//!
+//! Happens-before is tracked with per-thread vector clocks:
+//!
+//! * a `Release` store (or RMW) carries the writer's clock; an `Acquire`
+//!   load that reads it joins that clock — the release/acquire edge;
+//! * RMWs join the release clock of the store they overwrite into their
+//!   own, which is exactly the C11 **release sequence** (an acquire read
+//!   of the last RMW in a chain synchronizes with the head);
+//! * a `Relaxed` store after a release fence carries the fence-point
+//!   clock; a relaxed load *remembers* the release clock it saw and a
+//!   later acquire fence turns it into hb — the C11 fence rules;
+//! * `fence(SeqCst)` additionally joins the thread's clock with a global
+//!   SC clock **both ways**. Consecutive SC fences are therefore totally
+//!   ordered by execution order and transfer hb, which gives the Dekker
+//!   (StoreLoad) guarantee the six named protocol fences rely on. This is
+//!   (knowingly) a little *stronger* than the C11 fence axioms — it can
+//!   miss behaviours real fences allow, never invent them;
+//! * per-op `SeqCst` atomics are modeled as the op bracketed by SC
+//!   fences: SC among themselves (IRIW-SC stays forbidden), release/
+//!   acquire toward everything else.
+//!
+//! RMWs read the newest store in modification order (their write is
+//! appended right after — C11 atomicity) so they never branch. Scheduler
+//! edges (mutex, condvar, spawn, join, finish) join clocks as full
+//! release/acquire edges.
+//!
+//! Two honest scope limits, shared with every operational (non-promising)
+//! checker of this family: stores enter modification order in execution
+//! order (no speculative placement, so some 2+2W coherence weirdness is
+//! not explored) and loads never read stores that have not executed yet
+//! (no load-buffering — the LB litmus's weak outcome, which C11 relaxed
+//! formally allows, is not exhibited). Both are *under*-approximations of
+//! weakness on top of an explored superset of SC; the litmus suite in
+//! `tests/litmus.rs` pins the exact outcome table per model.
+//!
+//! # Failing-schedule replay
+//!
+//! Every model failure prints a compact *schedule token* — the recorded
+//! decision sequence, e.g. `1-0-r0-f1-2`: plain numbers are thread
+//! choices, `rN` is "read the candidate at modification-order index N",
+//! `fN` is "flush thread N's oldest buffered store". Running the same
+//! test with `LOOMETTE_REPLAY=<token>` (and the same model/bound
+//! environment) re-executes exactly that schedule once — a CI failure
+//! becomes a deterministic unit test.
 
 use std::cell::Cell;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -46,6 +108,103 @@ use std::thread as os_thread;
 /// Default preemption bound (see module docs). Overridable per model via
 /// [`Explorer`] or the `LOOMETTE_PREEMPTIONS` environment variable.
 pub const DEFAULT_PREEMPTION_BOUND: usize = 2;
+
+/// Which memory model the explorer runs the test body under.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum MemModel {
+    /// SeqCst-exact: every atomic executes as `SeqCst`; the model is
+    /// sequentially consistent by construction (an under-approximation
+    /// for code using weaker orderings).
+    #[default]
+    Sc,
+    /// x86-TSO store buffers: non-`SeqCst` stores sit in a per-thread
+    /// FIFO with nondeterministic flush points (see the module docs).
+    Tso,
+    /// C11-style release/acquire: per-location modification orders, a
+    /// reads-from relation explored as scheduling choices, vector-clock
+    /// happens-before, release sequences and fence semantics (see the
+    /// module docs).
+    AcqRel,
+}
+
+impl MemModel {
+    /// Parses the `LOOMETTE_MODEL` environment value (`sc`, `tso`,
+    /// `acqrel`; case-insensitive).
+    pub fn parse(s: &str) -> Option<MemModel> {
+        match s.to_ascii_lowercase().as_str() {
+            "sc" | "seqcst" => Some(MemModel::Sc),
+            "tso" => Some(MemModel::Tso),
+            "acqrel" | "acq-rel" | "c11" => Some(MemModel::AcqRel),
+            _ => None,
+        }
+    }
+
+    /// The name CI and replay messages use for this model.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemModel::Sc => "sc",
+            MemModel::Tso => "tso",
+            MemModel::AcqRel => "acqrel",
+        }
+    }
+}
+
+/// A vector clock: `clock[t]` counts the labeled operations of thread `t`
+/// that happen-before the clock's owner. Threads are few and short-lived
+/// per run, so a flat `Vec` beats anything clever.
+pub(crate) type Clock = Vec<u64>;
+
+/// `dst := dst ⊔ src` (pointwise max, growing `dst` as needed).
+fn join(dst: &mut Clock, src: &Clock) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = (*d).max(*s);
+    }
+}
+
+/// The initial-value pseudo-store's writer id: initialization
+/// happens-before the whole model, so it is hb-visible to every load.
+const INIT_WRITER: usize = usize::MAX;
+
+/// One entry of a location's modification order (AcqRel mode).
+struct StoreEvt {
+    val: u64,
+    /// Writing thread (or [`INIT_WRITER`] for the initial value).
+    writer: usize,
+    /// The writer's own clock component at this store: store `S` by `w`
+    /// happens-before thread `t` iff `clocks[t][w] >= S.writer_seq`.
+    writer_seq: u64,
+    /// Release clock acquirers join (empty ⇒ no synchronization): the
+    /// writer's clock for `Release`+ stores, the writer's last
+    /// release-fence clock for `Relaxed` stores, and for RMWs the join of
+    /// that with the overwritten store's release clock (release
+    /// sequences).
+    rel: Clock,
+}
+
+/// Per-location state in AcqRel mode: the modification order, plus an
+/// owned handle keeping the backing cell alive so the pointer key stays
+/// unique for the whole run.
+struct LocHist {
+    _cell: BackingCell,
+    stores: Vec<StoreEvt>,
+    /// Every read of this location as (reader, reader_seq, store index):
+    /// read-read coherence (C11 CoRR) forbids a load from reading
+    /// mod-order-*before* a read it happens-after, so hb-covered entries
+    /// raise the candidate floor exactly like hb-covered stores do.
+    reads: Vec<(usize, u64, usize)>,
+}
+
+/// One `loomette::cell::UnsafeCell`'s access history (AcqRel race
+/// detection): the last write and every read since it, as (thread,
+/// thread-seq) hb stamps.
+#[derive(Default)]
+struct CellState {
+    last_write: Option<(usize, u64)>,
+    reads_since: Vec<(usize, u64)>,
+}
 
 /// The shared backing word of one instrumented atomic: the committed value
 /// lives in a process-heap cell kept alive by `Arc` from both the atomic
@@ -58,6 +217,12 @@ pub(crate) type BackingCell = Arc<std::sync::atomic::AtomicU64>;
 /// Scheduling-option encoding for "commit the oldest store-buffer entry of
 /// thread `v - FLUSH_BASE`" (plain thread ids are always far below this).
 const FLUSH_BASE: usize = usize::MAX / 2;
+
+/// Decision encoding for "read the store at modification-order index
+/// `v - READ_BASE`" (AcqRel reads-from choices). Thread ids stay far
+/// below this, and mod-order indices far below `FLUSH_BASE - READ_BASE`,
+/// so the three option ranges never collide.
+const READ_BASE: usize = usize::MAX / 4;
 
 /// Hard cap on runs per [`crate::model`] call; exceeding it means the test
 /// is too big to check exhaustively and should be shrunk.
@@ -123,11 +288,12 @@ struct State {
     /// Decisions recorded this run (only points with >1 option).
     trace: Vec<Choice>,
     /// Preemptive (non-forced) switches taken so far this run. In TSO mode
-    /// early store-buffer flushes are charged here too.
+    /// early store-buffer flushes are charged here too; in AcqRel mode,
+    /// stale reads-from choices.
     preemptions: usize,
     preemption_bound: usize,
-    /// Store-buffer (TSO) mode: see the module docs.
-    tso: bool,
+    /// Memory model this run explores: see the module docs.
+    mem: MemModel,
     /// Per-thread FIFO store buffers (TSO mode; always empty otherwise),
     /// parallel to `threads`. Entries hold an owned handle to the backing
     /// cell so a pending store can never outlive its target.
@@ -140,6 +306,33 @@ struct State {
     /// First failure (panic) observed on any model thread.
     failed: Option<String>,
     finished: usize,
+
+    // ---- AcqRel-mode state (empty under Sc/Tso) ----
+    /// Per-thread happens-before vector clocks, parallel to `threads`.
+    /// `clocks[t][t]` is also thread `t`'s own operation counter.
+    clocks: Vec<Clock>,
+    /// Per-thread join of the release clocks seen by *relaxed* loads since
+    /// thread start; an acquire (or SC) fence turns it into hb (C11 fence
+    /// rule).
+    acq_pending: Vec<Clock>,
+    /// Per-thread clock snapshot at the last release (or SC) fence:
+    /// relaxed stores publish it instead of the live clock.
+    rel_fence: Vec<Clock>,
+    /// The global SC clock every `fence(SeqCst)` (and modeled SeqCst op)
+    /// joins both ways — execution order of SC fences becomes their total
+    /// order.
+    sc_clock: Clock,
+    /// Per-thread coherence view: for each location index, the newest
+    /// modification-order index the thread has read or written there.
+    views: Vec<HashMap<usize, usize>>,
+    /// Atomic location registry: backing-cell pointer → `locs` index.
+    loc_ids: HashMap<usize, usize>,
+    locs: Vec<LocHist>,
+    /// Per-mutex release clock: joined by the releaser at unlock, joined
+    /// into the acquirer at lock (the mutex hb edge).
+    mutex_clocks: Vec<Clock>,
+    /// `loomette::cell::UnsafeCell` access histories, indexed by cell id.
+    cells: Vec<CellState>,
 }
 
 impl State {
@@ -180,33 +373,14 @@ impl State {
             } else {
                 options = runnable;
             }
-            if self.tso && self.preemptions < self.preemption_bound {
+            if self.mem == MemModel::Tso && self.preemptions < self.preemption_bound {
                 options.extend(
                     (0..self.buffers.len())
                         .filter(|&t| !self.buffers[t].is_empty())
                         .map(|t| FLUSH_BASE + t),
                 );
             }
-            let chosen = if options.len() == 1 {
-                // No branching: not a recorded decision point.
-                options[0]
-            } else {
-                let idx = if self.step < self.prefix.len() {
-                    let want = self.prefix[self.step];
-                    options
-                        .iter()
-                        .position(|&t| t == want)
-                        .expect("replay divergence: recorded choice not available")
-                } else {
-                    0
-                };
-                self.step += 1;
-                self.trace.push(Choice {
-                    options: options.clone(),
-                    chosen: idx,
-                });
-                options[idx]
-            };
+            let chosen = self.decide(options);
             if chosen >= FLUSH_BASE {
                 // Commit one entry and decide again from the new memory
                 // state; the current thread is not switched by a flush.
@@ -224,6 +398,276 @@ impl State {
             self.current = chosen;
             return chosen;
         }
+    }
+
+    /// One recorded decision: picks among `options` (replaying the prefix,
+    /// else taking the first), recording the point in the trace when there
+    /// was a real choice. Shared by thread scheduling, TSO flush choices,
+    /// and AcqRel reads-from choices, so all three replay through one
+    /// mechanism.
+    fn decide(&mut self, options: Vec<usize>) -> usize {
+        if options.len() == 1 {
+            // No branching: not a recorded decision point.
+            return options[0];
+        }
+        let idx = if self.step < self.prefix.len() {
+            let want = self.prefix[self.step];
+            options
+                .iter()
+                .position(|&t| t == want)
+                .expect("replay divergence: recorded choice not available")
+        } else {
+            0
+        };
+        self.step += 1;
+        let chosen = options[idx];
+        self.trace.push(Choice {
+            options,
+            chosen: idx,
+        });
+        chosen
+    }
+
+    // ---- AcqRel-mode machinery (see the module docs) ----
+
+    /// Does the event (`writer`, `writer_seq`) happen-before thread `t`'s
+    /// current point?
+    fn hb(&self, t: usize, writer: usize, writer_seq: u64) -> bool {
+        writer == INIT_WRITER || self.clocks[t].get(writer).copied().unwrap_or(0) >= writer_seq
+    }
+
+    /// Advances thread `t`'s own clock component, returning the new seq.
+    fn tick(&mut self, t: usize) -> u64 {
+        if self.clocks[t].len() <= t {
+            self.clocks[t].resize(t + 1, 0);
+        }
+        self.clocks[t][t] += 1;
+        self.clocks[t][t]
+    }
+
+    /// The location index for `cell`, registering it (with its current
+    /// committed value as the initial pseudo-store) on first sight.
+    fn loc(&mut self, cell: &BackingCell) -> usize {
+        let key = Arc::as_ptr(cell) as usize;
+        if let Some(&id) = self.loc_ids.get(&key) {
+            return id;
+        }
+        let id = self.locs.len();
+        self.locs.push(LocHist {
+            _cell: Arc::clone(cell),
+            stores: vec![StoreEvt {
+                val: cell.load(std::sync::atomic::Ordering::SeqCst),
+                writer: INIT_WRITER,
+                writer_seq: 0,
+                rel: Clock::new(),
+            }],
+            reads: Vec::new(),
+        });
+        self.loc_ids.insert(key, id);
+        id
+    }
+
+    /// The SC-fence clock exchange: acquire-fence side (pending relaxed
+    /// reads become hb), global SC clock joined both ways, release-fence
+    /// side (snapshot for later relaxed stores). Also the model of a
+    /// per-op `SeqCst` atomic's fence bracket.
+    fn sc_fence(&mut self, me: usize) {
+        let pending = self.acq_pending[me].clone();
+        join(&mut self.clocks[me], &pending);
+        let sc = self.sc_clock.clone();
+        join(&mut self.clocks[me], &sc);
+        let mine = self.clocks[me].clone();
+        join(&mut self.sc_clock, &mine);
+        self.rel_fence[me] = self.clocks[me].clone();
+    }
+
+    /// The model-level effect of `fence(order)` in AcqRel mode.
+    fn acqrel_fence(&mut self, me: usize, order: Ordering) {
+        match order {
+            Ordering::SeqCst => self.sc_fence(me),
+            Ordering::Acquire => {
+                let pending = self.acq_pending[me].clone();
+                join(&mut self.clocks[me], &pending);
+            }
+            Ordering::Release => self.rel_fence[me] = self.clocks[me].clone(),
+            Ordering::AcqRel => {
+                let pending = self.acq_pending[me].clone();
+                join(&mut self.clocks[me], &pending);
+                self.rel_fence[me] = self.clocks[me].clone();
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies the read side of observing store `idx` of `loc` with
+    /// `order`: coherence view update plus the release/acquire (or
+    /// pending-until-fence) clock join.
+    fn absorb_read(&mut self, me: usize, loc: usize, idx: usize, order: Ordering) {
+        self.views[me].insert(loc, idx);
+        let seq = self.clocks[me].get(me).copied().unwrap_or(0);
+        self.locs[loc].reads.push((me, seq, idx));
+        let rel = self.locs[loc].stores[idx].rel.clone();
+        if rel.is_empty() {
+            return;
+        }
+        if matches!(
+            order,
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+        ) {
+            join(&mut self.clocks[me], &rel);
+        } else {
+            // A relaxed load remembers the release clock it saw; a later
+            // acquire fence turns it into hb (C11 fence rule).
+            join(&mut self.acq_pending[me], &rel);
+        }
+    }
+
+    /// An instrumented load in AcqRel mode: computes the reads-from
+    /// candidate set, explores the choice (stale picks cost one weirdness
+    /// against the preemption bound), applies the hb edges, and returns
+    /// the value read.
+    fn acqrel_load(&mut self, me: usize, cell: &BackingCell, order: Ordering) -> u64 {
+        if order == Ordering::SeqCst {
+            self.sc_fence(me);
+        }
+        let loc = self.loc(cell);
+        self.tick(me);
+        let stores = &self.locs[loc].stores;
+        let newest = stores.len() - 1;
+        // Coherence floor: never older than what this thread last read or
+        // wrote here.
+        let mut floor = self.views[me].get(&loc).copied().unwrap_or(0);
+        // Happens-before floor: a load may not read a store that an
+        // hb-earlier *later* store has overwritten — the newest store that
+        // happens-before the load bounds the candidates from below.
+        for i in (floor..=newest).rev() {
+            let s = &self.locs[loc].stores[i];
+            if self.hb(me, s.writer, s.writer_seq) {
+                floor = floor.max(i);
+                break;
+            }
+        }
+        // Read-read coherence floor (CoRR): a load also may not read
+        // mod-order-before any hb-earlier *read* of this location (e.g.
+        // the WRC shape, where the causal chain runs through a load).
+        for k in 0..self.locs[loc].reads.len() {
+            let (r_tid, r_seq, r_idx) = self.locs[loc].reads[k];
+            if r_idx > floor && self.hb(me, r_tid, r_seq) {
+                floor = r_idx;
+            }
+        }
+        let idx = if floor == newest || self.preemptions >= self.preemption_bound {
+            newest
+        } else {
+            // Newest first: the free, SC-identical path. Stale candidates
+            // are offered newest-to-oldest and each costs one weirdness.
+            let options: Vec<usize> = (floor..=newest).rev().map(|i| READ_BASE + i).collect();
+            let chosen = self.decide(options) - READ_BASE;
+            if chosen != newest {
+                self.preemptions += 1;
+            }
+            chosen
+        };
+        let val = self.locs[loc].stores[idx].val;
+        self.absorb_read(me, loc, idx, order);
+        if order == Ordering::SeqCst {
+            self.sc_fence(me);
+        }
+        val
+    }
+
+    /// An instrumented store in AcqRel mode: appends to the location's
+    /// modification order carrying the ordering's release clock, and
+    /// commits the value to the backing cell (which always mirrors the
+    /// newest store, for degraded/teardown reads).
+    fn acqrel_store(&mut self, me: usize, cell: &BackingCell, val: u64, order: Ordering) {
+        if order == Ordering::SeqCst {
+            self.sc_fence(me);
+        }
+        let loc = self.loc(cell);
+        let seq = self.tick(me);
+        let rel = match order {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => self.clocks[me].clone(),
+            _ => self.rel_fence[me].clone(),
+        };
+        self.locs[loc].stores.push(StoreEvt {
+            val,
+            writer: me,
+            writer_seq: seq,
+            rel,
+        });
+        self.views[me].insert(loc, self.locs[loc].stores.len() - 1);
+        cell.store(val, std::sync::atomic::Ordering::SeqCst);
+        if order == Ordering::SeqCst {
+            self.sc_fence(me);
+        }
+    }
+
+    /// An instrumented RMW in AcqRel mode: reads the newest store in
+    /// modification order (its own write lands immediately after — C11
+    /// atomicity, so RMWs never branch on reads-from) and continues the
+    /// overwritten store's release sequence. Returns the old value;
+    /// `new` computes the stored one (`None` ⇒ failed CAS: read only).
+    fn acqrel_rmw(
+        &mut self,
+        me: usize,
+        cell: &BackingCell,
+        order: Ordering,
+        new: impl FnOnce(u64) -> Option<u64>,
+    ) -> u64 {
+        if order == Ordering::SeqCst {
+            self.sc_fence(me);
+        }
+        let loc = self.loc(cell);
+        self.tick(me);
+        let newest = self.locs[loc].stores.len() - 1;
+        let old = self.locs[loc].stores[newest].val;
+        self.absorb_read(me, loc, newest, order);
+        if let Some(val) = new(old) {
+            let seq = self.tick(me);
+            // Release sequence: an acquire read of this RMW synchronizes
+            // with the head of the chain it extends.
+            let mut rel = self.locs[loc].stores[newest].rel.clone();
+            match order {
+                Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => {
+                    join(&mut rel, &self.clocks[me])
+                }
+                _ => {
+                    let fence = self.rel_fence[me].clone();
+                    join(&mut rel, &fence)
+                }
+            }
+            self.locs[loc].stores.push(StoreEvt {
+                val,
+                writer: me,
+                writer_seq: seq,
+                rel,
+            });
+            self.views[me].insert(loc, self.locs[loc].stores.len() - 1);
+            cell.store(val, std::sync::atomic::Ordering::SeqCst);
+        }
+        if order == Ordering::SeqCst {
+            self.sc_fence(me);
+        }
+        old
+    }
+
+    /// Full release/acquire edge from thread `from` to thread `to`
+    /// (scheduler-level synchronization: spawn, join, condvar wake).
+    fn sync_edge(&mut self, from: usize, to: usize) {
+        if self.mem != MemModel::AcqRel {
+            return;
+        }
+        let src = self.clocks[from].clone();
+        join(&mut self.clocks[to], &src);
+    }
+
+    /// Registers one more thread's worth of AcqRel bookkeeping.
+    fn push_thread_state(&mut self) {
+        self.clocks.push(Clock::new());
+        self.acq_pending.push(Clock::new());
+        self.rel_fence.push(Clock::new());
+        self.views.push(HashMap::new());
     }
 
     /// Commits every pending store of thread `t`, oldest first (the TSO
@@ -244,9 +688,9 @@ impl State {
 pub(crate) struct Scheduler {
     state: Mutex<State>,
     cv: Condvar,
-    /// Store-buffer (TSO) mode (copy of `State::tso` readable without the
-    /// state lock, for the fast path of the instrumentation hooks).
-    tso: bool,
+    /// Memory model (copy of `State::mem` readable without the state
+    /// lock, for the fast path of the instrumentation hooks).
+    mem: MemModel,
     /// Set on failure so threads parked in their start-wait exit quickly.
     aborting: AtomicBool,
     /// Process-unique sequence number for this run. Instrumented mutexes
@@ -267,26 +711,37 @@ impl Scheduler {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    fn new(prefix: Vec<usize>, preemption_bound: usize, tso: bool) -> Self {
+    fn new(prefix: Vec<usize>, preemption_bound: usize, mem: MemModel) -> Self {
         static RUN_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+        let mut state = State {
+            threads: vec![Run::Runnable], // thread 0 = the model body
+            current: 0,
+            prefix,
+            step: 0,
+            trace: Vec::new(),
+            preemptions: 0,
+            preemption_bound,
+            mem,
+            buffers: vec![VecDeque::new()],
+            mutexes: Vec::new(),
+            condvars: 0,
+            failed: None,
+            finished: 0,
+            clocks: Vec::new(),
+            acq_pending: Vec::new(),
+            rel_fence: Vec::new(),
+            sc_clock: Clock::new(),
+            views: Vec::new(),
+            loc_ids: HashMap::new(),
+            locs: Vec::new(),
+            mutex_clocks: Vec::new(),
+            cells: Vec::new(),
+        };
+        state.push_thread_state();
         Scheduler {
             run_seq: RUN_SEQ.fetch_add(1, Ordering::Relaxed),
-            tso,
-            state: Mutex::new(State {
-                threads: vec![Run::Runnable], // thread 0 = the model body
-                current: 0,
-                prefix,
-                step: 0,
-                trace: Vec::new(),
-                preemptions: 0,
-                preemption_bound,
-                tso,
-                buffers: vec![VecDeque::new()],
-                mutexes: Vec::new(),
-                condvars: 0,
-                failed: None,
-                finished: 0,
-            }),
+            mem,
+            state: Mutex::new(state),
             cv: Condvar::new(),
             aborting: AtomicBool::new(false),
         }
@@ -385,13 +840,18 @@ impl Scheduler {
         }
     }
 
-    /// Registers a new model thread, returning its tid. The thread starts
-    /// runnable but does not execute until scheduled.
-    fn register(&self) -> usize {
+    /// Registers a new model thread spawned by `parent`, returning its
+    /// tid. The thread starts runnable but does not execute until
+    /// scheduled. The spawn edge is a full synchronization edge: the
+    /// child's clock starts at the parent's.
+    fn register(&self, parent: usize) -> usize {
         let mut st = self.st();
         st.threads.push(Run::Runnable);
         st.buffers.push(VecDeque::new());
-        st.threads.len() - 1
+        st.push_thread_state();
+        let tid = st.threads.len() - 1;
+        st.sync_edge(parent, tid);
+        tid
     }
 
     /// Marks `me` finished, wakes joiners, and schedules the next thread.
@@ -427,6 +887,7 @@ impl Scheduler {
     fn alloc_mutex(&self) -> usize {
         let mut st = self.st();
         st.mutexes.push(false);
+        st.mutex_clocks.push(Clock::new());
         st.mutexes.len() - 1
     }
 
@@ -455,6 +916,12 @@ impl Scheduler {
                     // TSO: a lock acquire is a full barrier (lock-prefixed
                     // RMW on the lock word); drain the acquirer's buffer.
                     st.drain_buffer(me);
+                    // AcqRel: acquire edge — join the last releaser's
+                    // clock.
+                    if st.mem == MemModel::AcqRel {
+                        let rel = st.mutex_clocks[id].clone();
+                        join(&mut st.clocks[me], &rel);
+                    }
                     return;
                 }
             }
@@ -467,6 +934,11 @@ impl Scheduler {
         // TSO: everything stored inside the critical section must be
         // committed before the lock word is seen free by the next holder.
         st.drain_buffer(me);
+        // AcqRel: release edge — publish the holder's clock on the lock.
+        if st.mem == MemModel::AcqRel {
+            let mine = st.clocks[me].clone();
+            join(&mut st.mutex_clocks[id], &mine);
+        }
         st.mutexes[id] = false;
         for t in 0..st.threads.len() {
             if st.threads[t] == Run::BlockedMutex(id) {
@@ -511,6 +983,10 @@ impl Scheduler {
         for t in 0..st.threads.len() {
             if st.threads[t] == Run::BlockedCondvar(id) {
                 st.threads[t] = Run::Runnable;
+                // AcqRel: the notify edge synchronizes-with each woken
+                // waiter (the mutex re-acquire is an edge too; this keeps
+                // notify a full sync edge like the TSO drain above).
+                st.sync_edge(me, t);
             }
         }
         drop(st);
@@ -531,6 +1007,10 @@ impl Scheduler {
         if blocked {
             self.block(me, Run::BlockedJoin(target));
         }
+        // AcqRel: the join edge — everything the finished thread did
+        // happens-before the joiner's continuation.
+        let mut st = self.st();
+        st.sync_edge(target, me);
     }
 
     /// Blocks the (non-model) driver thread until the run completes.
@@ -604,7 +1084,7 @@ pub(crate) fn condvar_notify_all(sched: &Scheduler, me: usize, id: usize) {
 /// thread* to `cell`, if any. A TSO load reads its own buffer first.
 pub(crate) fn tso_buffered_load(cell: &BackingCell) -> Option<u64> {
     let (sched, me) = current()?;
-    if !sched.tso || sched.degraded() {
+    if sched.mem != MemModel::Tso || sched.degraded() {
         return None;
     }
     let st = sched.st();
@@ -621,7 +1101,7 @@ pub(crate) fn tso_buffered_load(cell: &BackingCell) -> Option<u64> {
 /// Returns `false` if not in TSO mode (caller performs the real store).
 pub(crate) fn tso_buffer_store(cell: &BackingCell, val: u64, drain: bool) -> bool {
     match current() {
-        Some((sched, me)) if sched.tso && !sched.degraded() => {
+        Some((sched, me)) if sched.mem == MemModel::Tso && !sched.degraded() => {
             let mut st = sched.st();
             st.buffers[me].push_back((Arc::clone(cell), val));
             if drain {
@@ -637,10 +1117,130 @@ pub(crate) fn tso_buffer_store(cell: &BackingCell, val: u64, drain: bool) -> boo
 /// `fence(SeqCst)` and of every RMW (which is a full barrier on TSO).
 pub(crate) fn tso_drain() {
     if let Some((sched, me)) = current() {
-        if sched.tso && !sched.degraded() {
+        if sched.mem == MemModel::Tso && !sched.degraded() {
             let mut st = sched.st();
             st.drain_buffer(me);
         }
+    }
+}
+
+// ---- AcqRel-mode hooks (see the module docs) ----
+//
+// Like the TSO hooks, each is a no-op (returns the "not handled" answer)
+// outside a model, under another memory model, or once the model has
+// degraded — the instrumented op then falls through to its `std`
+// primitive.
+
+/// In-model guard for the AcqRel hooks.
+fn acqrel_current() -> Option<(&'static Scheduler, usize)> {
+    let (sched, me) = current()?;
+    if sched.mem != MemModel::AcqRel || sched.degraded() {
+        return None;
+    }
+    Some((sched, me))
+}
+
+/// AcqRel load: explores the reads-from choice. `None` ⇒ not handled.
+pub(crate) fn acqrel_load(cell: &BackingCell, order: Ordering) -> Option<u64> {
+    let (sched, me) = acqrel_current()?;
+    let mut st = sched.st();
+    Some(st.acqrel_load(me, cell, order))
+}
+
+/// AcqRel store: appends to the modification order. `false` ⇒ not handled.
+pub(crate) fn acqrel_store(cell: &BackingCell, val: u64, order: Ordering) -> bool {
+    match acqrel_current() {
+        Some((sched, me)) => {
+            let mut st = sched.st();
+            st.acqrel_store(me, cell, val, order);
+            true
+        }
+        None => false,
+    }
+}
+
+/// AcqRel RMW: reads the newest store, appends its own right after
+/// (`new(old)` returning `None` means a failed CAS: read only). Returns
+/// the old value, or `None` if not handled.
+pub(crate) fn acqrel_rmw(
+    cell: &BackingCell,
+    order: Ordering,
+    new: impl FnOnce(u64) -> Option<u64>,
+) -> Option<u64> {
+    let (sched, me) = acqrel_current()?;
+    let mut st = sched.st();
+    Some(st.acqrel_rmw(me, cell, order, new))
+}
+
+/// The model-level effect of `fence(order)` under AcqRel (no-op
+/// elsewhere; TSO's drain is a separate hook).
+pub(crate) fn acqrel_fence(order: Ordering) {
+    if let Some((sched, me)) = acqrel_current() {
+        let mut st = sched.st();
+        st.acqrel_fence(me, order);
+    }
+}
+
+// ---- race-detected cell hooks (loomette::cell::UnsafeCell) ----
+
+/// Allocates a cell id in the current run (run-keyed by the caller the
+/// same way mutex ids are). `None` outside a model.
+pub(crate) fn cell_id(sched: &Scheduler) -> usize {
+    let mut st = sched.st();
+    st.cells.push(CellState::default());
+    st.cells.len() - 1
+}
+
+/// Records a non-atomic access to cell `id` and — in AcqRel mode, where
+/// happens-before is tracked — fails the model if it races a previous
+/// access (write vs. anything unordered by hb). Under Sc/Tso every access
+/// is still a switch point, but without clocks there is no race check.
+pub(crate) fn cell_access(sched: &Scheduler, me: usize, id: usize, write: bool) {
+    if sched.mem != MemModel::AcqRel || sched.degraded() {
+        return;
+    }
+    let race: Option<String> = {
+        let mut st = sched.st();
+        let seq = st.tick(me);
+        let cell = std::mem::take(&mut st.cells[id]);
+        let mut race = None;
+        if let Some((w_tid, w_seq)) = cell.last_write {
+            if w_tid != me && !st.hb(me, w_tid, w_seq) {
+                race = Some(format!(
+                    "data race on cell {id}: thread {me} {} unordered with \
+                     thread {w_tid}'s write",
+                    if write { "write" } else { "read" }
+                ));
+            }
+        }
+        if write {
+            for &(r_tid, r_seq) in &cell.reads_since {
+                if r_tid != me && !st.hb(me, r_tid, r_seq) {
+                    race = Some(format!(
+                        "data race on cell {id}: thread {me} write unordered \
+                         with thread {r_tid}'s read"
+                    ));
+                }
+            }
+        }
+        st.cells[id] = if race.is_some() {
+            cell
+        } else if write {
+            CellState {
+                last_write: Some((me, seq)),
+                reads_since: Vec::new(),
+            }
+        } else {
+            let mut cell = cell;
+            cell.reads_since.push((me, seq));
+            cell
+        };
+        race
+    };
+    if let Some(msg) = race {
+        // The state lock is released; fail the model through the normal
+        // panicking path so the failing schedule is reported.
+        panic!("loomette: {msg}");
     }
 }
 
@@ -680,7 +1280,7 @@ where
     F: FnOnce() -> T + Send + 'static,
     T: Send + 'static,
 {
-    let (sched_ref, _me) = current().expect("loomette spawn outside a model");
+    let (sched_ref, me) = current().expect("loomette spawn outside a model");
     // Re-create the Arc from the raw pointer we stored: the wrapper below
     // needs an owned handle that outlives the parent's stack frame.
     // Safety: `current()` guarantees the scheduler is alive; `ARCS` in the
@@ -691,10 +1291,12 @@ where
             .expect("loomette spawn outside a model run")
     });
     debug_assert!(std::ptr::eq(Arc::as_ptr(&sched), sched_ref as *const _));
-    // TSO: the spawn edge synchronizes-with the child's start — the
-    // parent's pending stores must be visible to the child's first load.
+    // The spawn edge synchronizes-with the child's start: under TSO the
+    // parent's pending stores must be visible to the child's first load;
+    // under AcqRel the child's clock starts at the parent's (in
+    // `register`).
     tso_drain();
-    let tid = sched.register();
+    let tid = sched.register(me);
     let sched2 = Arc::clone(&sched);
     let inner = os_thread::spawn(move || {
         // Make nested `spawn` possible from this thread too.
@@ -712,7 +1314,7 @@ where
                     Some(v)
                 }
                 Err(e) => {
-                    sched2.record_failure(tid, panic_message(&e));
+                    sched2.record_failure(tid, panic_message(&*e));
                     sched2.finish(tid);
                     None
                 }
@@ -743,15 +1345,22 @@ fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
 
 /// Exploration limits for one model.
 pub struct Explorer {
-    /// Maximum preemptive context switches per schedule (early TSO flushes
-    /// are charged against the same bound).
+    /// Maximum preemptive context switches per schedule (early TSO
+    /// flushes and stale AcqRel reads-from choices are charged against
+    /// the same bound).
     pub preemption_bound: usize,
-    /// Hard cap on explored schedules.
+    /// Hard cap on explored schedules. Defaults to [`DEFAULT_MAX_RUNS`],
+    /// overridable with `LOOMETTE_MAX_RUNS`.
     pub max_runs: usize,
-    /// Explore under the store-buffer (TSO) memory model instead of
-    /// SeqCst-exact: see the module docs. Defaults to the `LOOMETTE_TSO`
-    /// environment variable.
-    pub tso: bool,
+    /// Which memory model to explore under: see the module docs. Defaults
+    /// to `LOOMETTE_MODEL` (`sc` / `tso` / `acqrel`), falling back to the
+    /// legacy `LOOMETTE_TSO=1`, else SeqCst-exact.
+    pub mem_model: MemModel,
+    /// Replay a single failing schedule instead of exploring: the token a
+    /// model failure printed (`LOOMETTE_REPLAY` in the environment picks
+    /// this up automatically through `Default`). The run must use the
+    /// same model, bound, and test body that produced the token.
+    pub replay: Option<String>,
 }
 
 impl Default for Explorer {
@@ -760,15 +1369,69 @@ impl Default for Explorer {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(DEFAULT_PREEMPTION_BOUND);
-        let tso = std::env::var("LOOMETTE_TSO")
-            .map(|s| matches!(s.as_str(), "1" | "true" | "yes"))
-            .unwrap_or(false);
+        let mem_model = std::env::var("LOOMETTE_MODEL")
+            .ok()
+            .and_then(|s| MemModel::parse(&s))
+            .unwrap_or_else(|| {
+                let tso = std::env::var("LOOMETTE_TSO")
+                    .map(|s| matches!(s.as_str(), "1" | "true" | "yes"))
+                    .unwrap_or(false);
+                if tso {
+                    MemModel::Tso
+                } else {
+                    MemModel::Sc
+                }
+            });
+        let max_runs = std::env::var("LOOMETTE_MAX_RUNS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_MAX_RUNS);
         Explorer {
             preemption_bound: bound,
-            max_runs: DEFAULT_MAX_RUNS,
-            tso,
+            max_runs,
+            mem_model,
+            replay: std::env::var("LOOMETTE_REPLAY")
+                .ok()
+                .filter(|s| !s.is_empty()),
         }
     }
+}
+
+/// Renders one recorded decision value for the schedule token: plain
+/// numbers are thread choices, `rN` reads-from picks, `fN` TSO flushes.
+fn encode_decision(v: usize) -> String {
+    if v >= FLUSH_BASE {
+        format!("f{}", v - FLUSH_BASE)
+    } else if v >= READ_BASE {
+        format!("r{}", v - READ_BASE)
+    } else {
+        v.to_string()
+    }
+}
+
+/// The compact replay token for a decision sequence.
+fn encode_schedule(decisions: impl Iterator<Item = usize>) -> String {
+    decisions.map(encode_decision).collect::<Vec<_>>().join("-")
+}
+
+/// Parses a replay token back into a decision prefix. Panics (failing the
+/// test loudly) on a malformed token — a truncated paste should not
+/// silently explore from scratch.
+fn decode_schedule(token: &str) -> Vec<usize> {
+    token
+        .split('-')
+        .map(|part| {
+            let (base, digits) = match part.as_bytes().first() {
+                Some(b'f') => (FLUSH_BASE, &part[1..]),
+                Some(b'r') => (READ_BASE, &part[1..]),
+                _ => (0, part),
+            };
+            let n: usize = digits
+                .parse()
+                .unwrap_or_else(|_| panic!("loomette: malformed replay token part {part:?}"));
+            base + n
+        })
+        .collect()
 }
 
 impl Explorer {
@@ -777,19 +1440,23 @@ impl Explorer {
     /// schedule) if any execution panics or deadlocks.
     pub fn explore(&self, f: impl Fn() + Send + Sync + 'static) -> usize {
         let f = Arc::new(f);
-        let mut prefix: Vec<usize> = Vec::new();
+        let replaying = self.replay.is_some();
+        let mut prefix: Vec<usize> = match &self.replay {
+            Some(token) => decode_schedule(token),
+            None => Vec::new(),
+        };
         let mut runs = 0usize;
         loop {
             runs += 1;
             assert!(
                 runs <= self.max_runs,
-                "loomette: exceeded {} schedules — shrink the model",
+                "loomette: exceeded {} schedules — shrink the model (or raise LOOMETTE_MAX_RUNS)",
                 self.max_runs
             );
             let sched = Arc::new(Scheduler::new(
                 prefix.clone(),
                 self.preemption_bound,
-                self.tso,
+                self.mem_model,
             ));
             let f0 = Arc::clone(&f);
             let sched0 = Arc::clone(&sched);
@@ -799,7 +1466,7 @@ impl Explorer {
                 with_current(&sched0, 0, || {
                     let out = panic::catch_unwind(AssertUnwindSafe(|| f0()));
                     if let Err(e) = out {
-                        sched0.record_failure(0, panic_message(&e));
+                        sched0.record_failure(0, panic_message(&*e));
                     }
                     sched0.finish(0);
                 });
@@ -813,27 +1480,24 @@ impl Explorer {
             let _ = body.join();
             let mut st = sched.st();
             if let Some(msg) = st.failed.take() {
-                let decisions: Vec<String> = st
-                    .trace
-                    .iter()
-                    .map(|c| {
-                        let v = c.options[c.chosen];
-                        if v >= FLUSH_BASE {
-                            format!("flush:{}", v - FLUSH_BASE)
-                        } else {
-                            v.to_string()
-                        }
-                    })
-                    .collect();
+                let token = encode_schedule(st.trace.iter().map(|c| c.options[c.chosen]));
+                let model = self.mem_model.name();
                 // Release the state lock before panicking: orphaned model
                 // threads of the failed run may still be unwinding, and
                 // their destructors take this lock.
                 drop(st);
                 panic!(
-                    "loomette: model failed after {runs} schedule(s)\n  \
-                     failure: {msg}\n  schedule (thread ids, flush:T = \
-                     store-buffer commit of thread T): {decisions:?}"
+                    "loomette: model failed after {runs} schedule(s) [model={model}]\n  \
+                     failure: {msg}\n  schedule token (N = run thread N, rN = read \
+                     mod-order index N, fN = flush thread N's oldest store): {token}\n  \
+                     replay deterministically with LOOMETTE_REPLAY={token} \
+                     LOOMETTE_MODEL={model} LOOMETTE_PREEMPTIONS={bound}",
+                    bound = self.preemption_bound,
                 );
+            }
+            if replaying {
+                // Replay mode: the requested schedule ran and passed.
+                return runs;
             }
             // Depth-first: bump the deepest decision with an untried
             // alternative; drop everything below it.

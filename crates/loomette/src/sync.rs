@@ -7,8 +7,8 @@
 //! the underlying operation then executes on the real `std` primitive
 //! without contention.
 //!
-//! Two memory models are supported (selected by [`crate::Explorer::tso`]
-//! or `LOOMETTE_TSO=1`):
+//! Three memory models are supported (selected by
+//! [`crate::Explorer::mem_model`] or `LOOMETTE_MODEL=sc|tso|acqrel`):
 //!
 //! * **SeqCst-exact** (default): every atomic executes as `SeqCst`, so the
 //!   model is sequentially consistent by construction — exact for code
@@ -18,6 +18,11 @@
 //!   buffer; RMWs, `SeqCst` stores and `fence(SeqCst)` drain it. This is
 //!   the x86-TSO reordering (stores passing later loads) — see the
 //!   `sched` module docs for the model and its limits vs. C11.
+//! * **Acquire/release (AcqRel)**: per-location modification orders and a
+//!   happens-before-constrained reads-from relation, with vector-clock
+//!   hb tracking, release sequences, C11 fence semantics, and data-race
+//!   detection on [`crate::cell::UnsafeCell`] — see the `sched` module
+//!   docs for the full model and its documented gaps.
 //!
 //! Every atomic is backed by a shared heap `u64` cell
 //! (`sched::BackingCell`) so that a buffered store keeps its target
@@ -42,12 +47,16 @@ pub mod atomic {
     /// An instrumented memory fence: a scheduler switch point followed by
     /// the real fence. In TSO mode a `SeqCst` fence also drains the calling
     /// thread's store buffer; weaker fences do not (on TSO, only the
-    /// store→load reordering exists and only a full barrier kills it).
+    /// store→load reordering exists and only a full barrier kills it). In
+    /// AcqRel mode the fence performs the C11 fence clock exchanges — a
+    /// `SeqCst` fence joins the global SC clock both ways (the Dekker
+    /// edge), acquire/release fences upgrade pending relaxed accesses.
     pub fn fence(order: Ordering) {
         sched::switch_point();
         if order == Ordering::SeqCst {
             sched::tso_drain();
         }
+        sched::acqrel_fence(order);
         std::sync::atomic::fence(order);
     }
 
@@ -98,51 +107,97 @@ pub mod atomic {
         Arc::new(std::sync::atomic::AtomicU64::new(raw))
     }
 
-    /// Load: forwards the calling thread's newest pending store in TSO
-    /// mode, else reads committed memory.
-    fn op_load<W: Word>(c: &BackingCell) -> W {
+    /// Load: the op's ordering routes into the active memory model. AcqRel
+    /// mode explores the reads-from candidate set; TSO mode forwards the
+    /// calling thread's newest pending store; SeqCst-exact mode (and
+    /// outside a model) reads committed memory.
+    fn op_load<W: Word>(c: &BackingCell, order: Ordering) -> W {
         sched::switch_point();
+        if let Some(raw) = sched::acqrel_load(c, order) {
+            return W::dec(raw);
+        }
         if let Some(raw) = sched::tso_buffered_load(c) {
             return W::dec(raw);
         }
         W::dec(c.load(Ordering::SeqCst))
     }
 
-    /// Store: buffered in TSO mode (committing immediately — with the rest
+    /// Store: appended to the location's modification order in AcqRel
+    /// mode, buffered in TSO mode (committing immediately — with the rest
     /// of the buffer — when the op is `SeqCst`), committed directly in
     /// SeqCst-exact mode or outside a model.
     fn op_store<W: Word>(c: &BackingCell, v: W, order: Ordering) {
         sched::switch_point();
+        if sched::acqrel_store(c, v.enc(), order) {
+            return;
+        }
         if sched::tso_buffer_store(c, v.enc(), order == Ordering::SeqCst) {
             return;
         }
         c.store(v.enc(), Ordering::SeqCst)
     }
 
-    /// RMWs are full barriers on TSO (lock-prefixed): drain, then execute
-    /// on committed memory.
-    fn op_swap<W: Word>(c: &BackingCell, v: W) -> W {
+    /// RMWs read the newest store in modification order (C11 atomicity —
+    /// AcqRel mode, where they extend release sequences) and are full
+    /// barriers on TSO (lock-prefixed): drain, then execute on committed
+    /// memory.
+    fn op_swap<W: Word>(c: &BackingCell, v: W, order: Ordering) -> W {
         sched::switch_point();
+        if let Some(old) = sched::acqrel_rmw(c, order, |_| Some(v.enc())) {
+            return W::dec(old);
+        }
         sched::tso_drain();
         W::dec(c.swap(v.enc(), Ordering::SeqCst))
     }
 
-    fn op_compare_exchange<W: Word>(c: &BackingCell, current: W, new: W) -> Result<W, W> {
+    fn op_compare_exchange<W: Word>(
+        c: &BackingCell,
+        current: W,
+        new: W,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<W, W> {
         sched::switch_point();
+        let (cur, new_raw) = (current.enc(), new.enc());
+        // A failed compare-exchange is just a load: route the failure
+        // ordering; a successful one is an RMW with the success ordering.
+        // Peek the newest value first to know which path this is — sound
+        // because only one model thread runs between switch points.
+        if let Some(old) = sched::acqrel_rmw(
+            c,
+            if c.load(Ordering::SeqCst) == cur {
+                success
+            } else {
+                failure
+            },
+            |old| (old == cur).then_some(new_raw),
+        ) {
+            return if old == cur {
+                Ok(W::dec(old))
+            } else {
+                Err(W::dec(old))
+            };
+        }
         sched::tso_drain();
-        c.compare_exchange(current.enc(), new.enc(), Ordering::SeqCst, Ordering::SeqCst)
+        c.compare_exchange(cur, new_raw, Ordering::SeqCst, Ordering::SeqCst)
             .map(W::dec)
             .map_err(W::dec)
     }
 
-    fn op_fetch_add<W: Word>(c: &BackingCell, v: W) -> W {
+    fn op_fetch_add<W: Word>(c: &BackingCell, v: W, order: Ordering) -> W {
         sched::switch_point();
+        if let Some(old) = sched::acqrel_rmw(c, order, |old| Some(old.wrapping_add(v.enc()))) {
+            return W::dec(old);
+        }
         sched::tso_drain();
         W::dec(c.fetch_add(v.enc(), Ordering::SeqCst))
     }
 
-    fn op_fetch_sub<W: Word>(c: &BackingCell, v: W) -> W {
+    fn op_fetch_sub<W: Word>(c: &BackingCell, v: W, order: Ordering) -> W {
         sched::switch_point();
+        if let Some(old) = sched::acqrel_rmw(c, order, |old| Some(old.wrapping_sub(v.enc()))) {
+            return W::dec(old);
+        }
         sched::tso_drain();
         W::dec(c.fetch_sub(v.enc(), Ordering::SeqCst))
     }
@@ -171,31 +226,37 @@ pub mod atomic {
                     }
                 }
 
-                /// Instrumented load; may forward a buffered store (TSO).
-                pub fn load(&self, _order: Ordering) -> $prim {
-                    op_load(&self.cell)
+                /// Instrumented load; the ordering routes into the active
+                /// memory model (reads-from exploration under AcqRel,
+                /// store-buffer forwarding under TSO).
+                pub fn load(&self, order: Ordering) -> $prim {
+                    op_load(&self.cell, order)
                 }
 
-                /// Instrumented store; buffered unless `SeqCst` (TSO).
+                /// Instrumented store; modification-order append (AcqRel)
+                /// or buffered unless `SeqCst` (TSO).
                 pub fn store(&self, v: $prim, order: Ordering) {
                     op_store(&self.cell, v, order)
                 }
 
-                /// Instrumented swap (a full barrier in both modes).
-                pub fn swap(&self, v: $prim, _order: Ordering) -> $prim {
-                    op_swap(&self.cell, v)
+                /// Instrumented swap (reads the newest store under AcqRel;
+                /// a full barrier under SC/TSO).
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    op_swap(&self.cell, v, order)
                 }
 
-                /// Instrumented compare-exchange (a full barrier in both
-                /// modes, like x86 `lock cmpxchg` even on failure).
+                /// Instrumented compare-exchange (under AcqRel a failed
+                /// exchange is a load with the failure ordering; under
+                /// SC/TSO a full barrier like x86 `lock cmpxchg`, even on
+                /// failure).
                 pub fn compare_exchange(
                     &self,
                     current: $prim,
                     new: $prim,
-                    _success: Ordering,
-                    _failure: Ordering,
+                    success: Ordering,
+                    failure: Ordering,
                 ) -> Result<$prim, $prim> {
-                    op_compare_exchange(&self.cell, current, new)
+                    op_compare_exchange(&self.cell, current, new, success, failure)
                 }
             }
         };
@@ -204,14 +265,15 @@ pub mod atomic {
     macro_rules! instrumented_fetch_arith {
         ($name:ident, $prim:ty) => {
             impl $name {
-                /// Instrumented fetch-add (a full barrier in both modes).
-                pub fn fetch_add(&self, v: $prim, _order: Ordering) -> $prim {
-                    op_fetch_add(&self.cell, v)
+                /// Instrumented fetch-add (an RMW: reads the newest store
+                /// under AcqRel; a full barrier under SC/TSO).
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    op_fetch_add(&self.cell, v, order)
                 }
 
-                /// Instrumented fetch-sub (a full barrier in both modes).
-                pub fn fetch_sub(&self, v: $prim, _order: Ordering) -> $prim {
-                    op_fetch_sub(&self.cell, v)
+                /// Instrumented fetch-sub (an RMW, as `fetch_add`).
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    op_fetch_sub(&self.cell, v, order)
                 }
             }
         };
@@ -251,30 +313,33 @@ pub mod atomic {
             }
         }
 
-        /// Instrumented load; may forward a buffered store (TSO).
-        pub fn load(&self, _order: Ordering) -> *mut T {
-            op_load(&self.cell)
+        /// Instrumented load; the ordering routes into the active memory
+        /// model.
+        pub fn load(&self, order: Ordering) -> *mut T {
+            op_load(&self.cell, order)
         }
 
-        /// Instrumented store; buffered unless `SeqCst` (TSO).
+        /// Instrumented store; modification-order append (AcqRel) or
+        /// buffered unless `SeqCst` (TSO).
         pub fn store(&self, p: *mut T, order: Ordering) {
             op_store(&self.cell, p, order)
         }
 
-        /// Instrumented swap (a full barrier in both modes).
-        pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
-            op_swap(&self.cell, p)
+        /// Instrumented swap (an RMW: reads the newest store under
+        /// AcqRel; a full barrier under SC/TSO).
+        pub fn swap(&self, p: *mut T, order: Ordering) -> *mut T {
+            op_swap(&self.cell, p, order)
         }
 
-        /// Instrumented compare-exchange (a full barrier in both modes).
+        /// Instrumented compare-exchange (see the integer atomics).
         pub fn compare_exchange(
             &self,
             current: *mut T,
             new: *mut T,
-            _success: Ordering,
-            _failure: Ordering,
+            success: Ordering,
+            failure: Ordering,
         ) -> Result<*mut T, *mut T> {
-            op_compare_exchange(&self.cell, current, new)
+            op_compare_exchange(&self.cell, current, new, success, failure)
         }
     }
 }

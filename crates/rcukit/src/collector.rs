@@ -260,7 +260,14 @@ impl Inner {
                 // `Guard::drop`: a reader this scan observes as unpinned had
                 // all its critical-section reads happen-before the advance,
                 // and hence before any free the advance unlocks.
+                #[cfg(not(loomette_weaken))]
                 let s = local.status.load(Acquire);
+                // Seeded bug for the model-checker meta-test (never in
+                // release builds): a Relaxed scan load drops the acquire
+                // side of the unpin edge — the AcqRel loom leg must catch
+                // the resulting stale-read advance.
+                #[cfg(loomette_weaken)]
+                let s = local.status.load(Relaxed);
                 if s != 0 && unpack(s) != e {
                     return false;
                 }
@@ -683,7 +690,7 @@ impl Collector {
         // every registry mutation inside the scheduled body.
         #[cfg(loom)]
         {
-            return self.pin_orphan();
+            self.pin_orphan()
         }
         #[cfg(not(loom))]
         loop {
@@ -739,7 +746,7 @@ impl Collector {
         // See `pin`: no TLS caching under the model checker.
         #[cfg(loom)]
         {
-            return self.pin_orphan();
+            self.pin_orphan()
         }
         #[cfg(not(loom))]
         {

@@ -3,7 +3,9 @@
 use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
-use std::sync::atomic::Ordering::{Relaxed, Release, SeqCst};
+#[cfg(not(loomette_weaken))]
+use std::sync::atomic::Ordering::Release;
+use std::sync::atomic::Ordering::{Relaxed, SeqCst};
 use std::sync::Arc;
 
 use crate::collector::{pack, unpack, Collector, LocalState};
@@ -257,7 +259,14 @@ impl Drop for Guard<'_> {
             // advance scan's Acquire load, so every read this section made
             // happens-before an advance that observes us unpinned (and hence
             // before any free that advance unlocks).
+            #[cfg(not(loomette_weaken))]
             local.status.store(0, Release);
+            // Seeded bug for the model-checker meta-test (never in release
+            // builds): weakening this Release to Relaxed severs the unpin →
+            // advance happens-before edge, and the AcqRel loom leg must
+            // find the resulting message-passing violation.
+            #[cfg(loomette_weaken)]
+            local.status.store(0, Relaxed);
             // ordering: Relaxed — same-thread flag: set by this thread's own
             // handle drop or orphan pin.
             if local.orphaned.load(Relaxed) {

@@ -20,28 +20,49 @@ mod scenarios;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
 
+/// Schedule-count floor: exploration below this means the search was
+/// silently pruned (an instrumentation regression), not that the scenario
+/// got simpler. Every model leg must clear it at the CI preemption bounds.
+const MIN_SCHEDULES: usize = 500;
+
 #[test]
 fn loom_pin_publication() {
     let runs = loomette::Explorer::default().explore(scenarios::pin_publication);
-    assert!(runs > 100, "exploration degenerated to {runs} schedule(s)");
+    eprintln!("pin_publication: {runs} schedules");
+    assert!(
+        runs > MIN_SCHEDULES,
+        "exploration degenerated to {runs} schedule(s)"
+    );
 }
 
 #[test]
 fn loom_pin_advance_store_buffer() {
     let runs = loomette::Explorer::default().explore(scenarios::pin_advance_store_buffer);
-    assert!(runs > 100, "exploration degenerated to {runs} schedule(s)");
+    eprintln!("pin_advance_store_buffer: {runs} schedules");
+    assert!(
+        runs > MIN_SCHEDULES,
+        "exploration degenerated to {runs} schedule(s)"
+    );
 }
 
 #[test]
 fn loom_retire_publish_unpin_collect() {
     let runs = loomette::Explorer::default().explore(scenarios::retire_publish_unpin_collect);
-    assert!(runs > 100, "exploration degenerated to {runs} schedule(s)");
+    eprintln!("retire_publish_unpin_collect: {runs} schedules");
+    assert!(
+        runs > MIN_SCHEDULES,
+        "exploration degenerated to {runs} schedule(s)"
+    );
 }
 
 #[test]
 fn loom_guard_free_callback_gate() {
     let runs = loomette::Explorer::default().explore(scenarios::guard_free_callback_gate);
-    assert!(runs > 100, "exploration degenerated to {runs} schedule(s)");
+    eprintln!("guard_free_callback_gate: {runs} schedules");
+    assert!(
+        runs > MIN_SCHEDULES,
+        "exploration degenerated to {runs} schedule(s)"
+    );
 }
 
 /// Meta-test: the model tier must be able to *find* the bug class it
@@ -145,23 +166,117 @@ fn fenceless_retire_litmus(
 /// cannot see the reorder).
 #[test]
 fn loom_tso_finds_fenceless_retire_publish() {
-    // Environment-independent explorers: this test *is* the TSO coverage.
-    let explorer = |tso| loomette::Explorer {
+    // Environment-independent explorers: this test *is* the weak-memory
+    // coverage. Both weak models — the store buffer and the full
+    // acquire/release tier — must find the reorder without the fence and
+    // forbid it with the fence (the SC-fence total order is modeled in
+    // both).
+    for model in [loomette::MemModel::Tso, loomette::MemModel::AcqRel] {
+        let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        explorer(model).explore(fenceless_retire_litmus(false, &saw));
+        assert!(
+            saw.load(SeqCst),
+            "{} exploration failed to find the fence-elided retire reorder",
+            model.name()
+        );
+
+        let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        explorer(model).explore(fenceless_retire_litmus(true, &saw));
+        assert!(
+            !saw.load(SeqCst),
+            "defer's StoreLoad fence failed to forbid the retire reorder under {}",
+            model.name()
+        );
+    }
+}
+
+/// An environment-independent explorer pinned to `mem_model`.
+fn explorer(mem_model: loomette::MemModel) -> loomette::Explorer {
+    loomette::Explorer {
         preemption_bound: loomette::DEFAULT_PREEMPTION_BOUND,
         max_runs: loomette::DEFAULT_MAX_RUNS,
-        tso,
-    };
-    let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
-    explorer(true).explore(fenceless_retire_litmus(false, &saw));
-    assert!(
-        saw.load(SeqCst),
-        "TSO exploration failed to find the fence-elided retire reorder"
-    );
+        mem_model,
+        replay: None,
+    }
+}
 
-    let saw = Arc::new(std::sync::atomic::AtomicBool::new(false));
-    explorer(true).explore(fenceless_retire_litmus(true, &saw));
+/// The full unpin → advance-scan → reclaim path over real rcukit, with the
+/// protected data behind a race-checked `loomette::cell::UnsafeCell`: a
+/// reader pins, reads the data, and unpins; the writer defers a poison
+/// write of the same data and drives `collect` until the grace period
+/// expires and the deferred write runs. With the audited orderings the
+/// unpin's `Release` store and the scan's `Acquire` load carry the
+/// reader's critical-section reads into happens-before, so the deferred
+/// write is ordered after them in every schedule.
+#[cfg(loomette_weaken)]
+fn weakened_unpin_scenario() {
+    use loomette::sync::atomic::AtomicUsize;
+    use loomette::thread::spawn;
+    use rcukit::Collector;
+    let c = Collector::with_shards(1);
+    let data = Arc::new(loomette::cell::UnsafeCell::new(0u64));
+    let unlinked = Arc::new(AtomicUsize::new(0));
+    let reader = {
+        let c = c.clone();
+        let data = Arc::clone(&data);
+        let unlinked = Arc::clone(&unlinked);
+        spawn(move || {
+            let h = c.register();
+            let g = h.pin();
+            // Only dereference if the unlink is not yet published — then
+            // the pin precedes the writer's epoch sample, so the deferred
+            // poison write must wait out this critical section.
+            if unlinked.load(SeqCst) == 0 {
+                let v = data.with(|p| unsafe { *p });
+                assert_eq!(v, 0, "reader observed the poison write");
+            }
+            drop(g);
+        })
+    };
+    let h = c.register();
+    {
+        let g = h.pin();
+        unlinked.store(1, SeqCst);
+        let data = Arc::clone(&data);
+        g.defer(move || {
+            data.with_mut(|p| unsafe { *p = u64::MAX });
+        });
+    }
+    for _ in 0..4 {
+        c.collect();
+    }
+    reader.join().unwrap();
+}
+
+/// Meta-test for the `--cfg loomette_weaken` seeded bugs: with the unpin
+/// `Release` store and the advance-scan `Acquire` load weakened to
+/// `Relaxed`, the grace-period happens-before chain is severed — yet no
+/// *value* any interleaving observes changes, so the SC and TSO legs run
+/// the scenario green. Only the AcqRel leg, which tracks happens-before
+/// and race-checks the protected cell, must find the message-passing
+/// violation (as a data race between the reader's access and the deferred
+/// poison write).
+#[cfg(loomette_weaken)]
+#[test]
+fn loom_acqrel_finds_weakened_unpin_edge() {
+    for model in [loomette::MemModel::Sc, loomette::MemModel::Tso] {
+        explorer(model).explore(weakened_unpin_scenario);
+    }
+    let caught = std::panic::catch_unwind(|| {
+        explorer(loomette::MemModel::AcqRel).explore(weakened_unpin_scenario);
+    });
+    let msg = match caught {
+        Ok(_) => panic!(
+            "AcqRel exploration failed to find the weakened unpin/scan \
+             message-passing violation"
+        ),
+        Err(e) => e
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".into()),
+    };
     assert!(
-        !saw.load(SeqCst),
-        "defer's StoreLoad fence failed to forbid the retire reorder under TSO"
+        msg.contains("data race"),
+        "AcqRel leg failed for a different reason than the severed edge: {msg}"
     );
 }

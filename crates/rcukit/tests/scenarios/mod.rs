@@ -102,7 +102,7 @@ pub fn pin_publication() {
 ///
 /// This is the schedule shape the ordering audit's store-buffer model
 /// exists for: after the audit the pin store is `Relaxed`, so under TSO
-/// (`LOOMETTE_TSO=1`) it sits in the reader's store buffer until the pin
+/// (`LOOMETTE_MODEL=tso`) it sits in the reader's store buffer until the pin
 /// fence drains it. The Dekker between that fence and the one in
 /// `try_advance` is the *only* thing stopping the driver from advancing
 /// two epochs past the retirement while the reader dereferences — exactly

@@ -27,9 +27,19 @@ parameter (rcukit's counting sync facade) pass rule 1 vacuously: an op
 with no literal ordering token chose nothing, so there is nothing to
 justify at that site.
 
+Sites guarded by `#[cfg(loomette_weaken)]` are exempt from both rules:
+those are *deliberately wrong* orderings — seeded bugs the model-checking
+meta-tests require the AcqRel loom leg to find — compiled only under the
+test-only cfg, never into release builds. Exempting them keeps the audit
+from demanding a justification for an ordering whose whole point is to be
+unjustifiable. (The `#[cfg(not(loomette_weaken))]` twin is the audited
+production site and is *not* exempt.)
+
 Exit status 0 with a per-crate summary on success; 1 with one line per
-violation otherwise. No dependencies outside the standard library — CI
-runs it right after clippy.
+violation otherwise. `--self-test` runs the audit over built-in synthetic
+sources covering both rules, the facade carve-out, and the
+`loomette_weaken` exemption. No dependencies outside the standard
+library — CI runs it right after clippy.
 """
 
 import pathlib
@@ -46,6 +56,7 @@ ATOMIC_OP = re.compile(
 )
 FENCE = re.compile(r"\bfence\s*\(")
 TEST_MOD = re.compile(r"^\s*#\[cfg\((?:all\()?test\b")
+WEAKEN_CFG = re.compile(r"^\s*#\[cfg\(loomette_weaken\)\]")
 
 
 def code_part(line):
@@ -94,9 +105,25 @@ def has_ordering_comment(lines, op_idx):
     return False
 
 
-def audit_file(path):
+def is_weaken_site(lines, op_idx):
+    """Whether the op at `op_idx` is guarded by `#[cfg(loomette_weaken)]`:
+    the attribute sits on the statement itself, so walk up over comments
+    and other attributes only — a blank line or an earlier statement ends
+    the attribute stack."""
+    for i in range(op_idx - 1, max(-1, op_idx - 9), -1):
+        line = lines[i]
+        if WEAKEN_CFG.match(line):
+            return True
+        stripped = line.strip()
+        if stripped.startswith("//") or stripped.startswith("#["):
+            continue
+        return False
+    return False
+
+
+def audit_lines(lines, where_prefix):
+    """Audits one file's lines; returns (audited op count, violations)."""
     violations = []
-    lines = path.read_text().splitlines()
 
     # Test modules are exempt: SeqCst-everywhere is the right default for
     # test scaffolding, and stress tests need no per-op justification.
@@ -118,8 +145,12 @@ def audit_file(path):
             # Forwards a variable ordering (facade) or names none: no
             # ordering was chosen here, so nothing to justify.
             continue
+        if is_weaken_site(lines, idx):
+            # Seeded-bug site compiled only under `--cfg loomette_weaken`:
+            # deliberately wrong, covered by the loom meta-tests instead.
+            continue
         ops += 1
-        where = f"{path}:{idx + 1}"
+        where = f"{where_prefix}:{idx + 1}"
         if not has_ordering_comment(lines, idx):
             violations.append(
                 f"{where}: atomic op with ordering {'/'.join(tokens)} has no "
@@ -133,7 +164,127 @@ def audit_file(path):
     return ops, violations
 
 
+def audit_file(path):
+    return audit_lines(path.read_text().splitlines(), str(path))
+
+
+# Synthetic sources for `--self-test`: each entry is (name, source,
+# expected audited-op count, expected violation substrings).
+SELF_TEST_CASES = [
+    (
+        "justified op passes",
+        """\
+// ordering: Release — publishes the new node to the reader's Acquire.
+root.store(node, Release);
+""",
+        1,
+        [],
+    ),
+    (
+        "missing justification fails rule 1",
+        """\
+let x = 1;
+
+root.store(node, Release);
+""",
+        1,
+        ["no `// ordering:` comment"],
+    ),
+    (
+        "per-op SeqCst fails rule 2",
+        """\
+// ordering: SeqCst — placeholder.
+root.store(node, SeqCst);
+""",
+        1,
+        ["per-op SeqCst"],
+    ),
+    (
+        "fence(SeqCst) is allowed",
+        """\
+// ordering: SeqCst fence — the pin-publication Dekker.
+fence(SeqCst);
+""",
+        1,
+        [],
+    ),
+    (
+        "facade forwarding a variable ordering is vacuous",
+        """\
+pub fn load(&self, order: Ordering) -> usize {
+    self.inner.load(order)
+}
+""",
+        0,
+        [],
+    ),
+    (
+        "loomette_weaken site is exempt from both rules",
+        """\
+// ordering: Release — the audited production pairing.
+#[cfg(not(loomette_weaken))]
+status.store(0, Release);
+// Seeded bug for the model-checker meta-test: deliberately
+// unjustified and deliberately wrong.
+#[cfg(loomette_weaken)]
+status.store(0, Relaxed);
+""",
+        1,
+        [],
+    ),
+    (
+        "weaken exemption does not leak past its statement",
+        """\
+#[cfg(loomette_weaken)]
+status.store(0, Relaxed);
+
+status.store(1, Release);
+""",
+        1,
+        ["no `// ordering:` comment"],
+    ),
+    (
+        "test modules are exempt",
+        """\
+// ordering: Relaxed — counter.
+count.fetch_add(1, Relaxed);
+#[cfg(test)]
+mod tests {
+    fn f() { x.store(1, SeqCst); }
+}
+""",
+        1,
+        [],
+    ),
+]
+
+
+def self_test():
+    failures = []
+    for name, source, want_ops, want_substrings in SELF_TEST_CASES:
+        ops, violations = audit_lines(source.splitlines(), f"<{name}>")
+        if ops != want_ops:
+            failures.append(f"{name}: audited {ops} op(s), expected {want_ops}")
+        if len(violations) != len(want_substrings):
+            failures.append(
+                f"{name}: {len(violations)} violation(s) "
+                f"{violations}, expected {len(want_substrings)}"
+            )
+            continue
+        for sub, got in zip(want_substrings, violations):
+            if sub not in got:
+                failures.append(f"{name}: violation {got!r} lacks {sub!r}")
+    if failures:
+        for f in failures:
+            print(f"  self-test FAILED: {f}", file=sys.stderr)
+        sys.exit(1)
+    print(f"self-test OK: {len(SELF_TEST_CASES)} cases")
+
+
 def main():
+    if "--self-test" in sys.argv[1:]:
+        self_test()
+        return
     repo = pathlib.Path(__file__).resolve().parent.parent
     total_ops = 0
     failures = []
