@@ -42,6 +42,14 @@
 //! blocks in live memory until the batch fires. Which arena's free list
 //! a block sits on does not matter — only that its chunk is alive, and
 //! the `Arc` web above guarantees exactly that.
+//!
+//! Migration is additionally *capped*: an arena's private free list stops
+//! accepting blocks at [`FREE_CAP`]; the excess lands on the family
+//! store's shared overflow shelf, which any sibling's `alloc` drains
+//! before growing a chunk. This bounds the pathological churn pattern
+//! where one scratch does all the retiring (concentrating every free
+//! block on a list only its own writer can pop) while the allocating
+//! siblings grow the family's chunk count without limit.
 
 use std::mem::ManuallyDrop;
 use std::ptr;
@@ -50,7 +58,7 @@ use std::sync::Arc;
 
 use rcukit::{RecycleBatch, Recycler};
 
-use crate::sync::atomic::AtomicPtr;
+use crate::sync::atomic::{AtomicPtr, AtomicUsize};
 use crate::sync::Mutex;
 
 /// Blocks carved per chunk. Amortizes the chunk allocation to 1/64th of a
@@ -60,6 +68,15 @@ const CHUNK_BLOCKS: usize = 64;
 /// Cap on pooled batch buffers (one is in use per in-flight retirement; a
 /// single writer rarely has more than a handful pending).
 const BATCH_POOL_MAX: usize = 32;
+
+/// Cap on one arena's private free list. Blocks recycled past the cap are
+/// diverted to the family [`ChunkStore`]'s shared overflow shelf, where
+/// *any* sibling's `alloc` can take them. Without the cap, pathological
+/// churn (one scratch doing all the retiring while others do the
+/// allocating) concentrates every free block on one arena's list — a list
+/// only its own writer can pop — and the allocating siblings grow fresh
+/// chunks without bound even though the family is swimming in free blocks.
+const FREE_CAP: usize = 2 * CHUNK_BLOCKS;
 
 /// One arena block: either a live value or a link in the recycle list.
 /// `repr(C)` so both fields sit at offset zero — a `*mut Block<T>` and the
@@ -78,6 +95,11 @@ union Block<T> {
 /// batch (each of which pins its arena, which pins the store) are gone.
 pub(crate) struct ChunkStore<T> {
     chunks: Mutex<Vec<*mut [Block<T>]>>,
+    /// The family-wide overflow shelf: free blocks diverted from arenas
+    /// whose private lists hit [`FREE_CAP`]. Any sibling's `alloc` drains
+    /// it before growing a chunk, which is what keeps the family's chunk
+    /// count flat when churn concentrates retirements in one arena.
+    overflow: Mutex<Vec<*mut Block<T>>>,
 }
 
 // Safety: the store only owns raw storage; blocks' payloads cross threads
@@ -91,6 +113,7 @@ impl<T> ChunkStore<T> {
     pub(crate) fn new() -> Self {
         Self {
             chunks: Mutex::new(Vec::new()),
+            overflow: Mutex::new(Vec::new()),
         }
     }
 }
@@ -116,6 +139,10 @@ pub(crate) struct ArenaShared<T> {
     /// themselves. Multi-producer (any reclaiming thread pushes),
     /// single-consumer (only the writer holding the owning scratch pops).
     free: AtomicPtr<Block<T>>,
+    /// Approximate length of `free` — the [`FREE_CAP`] gauge. Heuristic:
+    /// racing pushers may briefly overshoot the cap by their count, which
+    /// only delays a handful of diversions.
+    free_len: AtomicUsize,
     /// The family chunk store backing this arena's blocks — and, because
     /// blocks migrate, possibly blocks on sibling free lists too. Held by
     /// `Arc` so a pending batch (which holds an `Arc` to this arena) pins
@@ -135,8 +162,19 @@ unsafe impl<T: Send> Send for ArenaShared<T> {}
 unsafe impl<T: Send> Sync for ArenaShared<T> {}
 
 impl<T> ArenaShared<T> {
-    /// Pushes a free block (multi-producer half of the recycle list).
+    /// Pushes a free block (multi-producer half of the recycle list),
+    /// diverting to the family overflow shelf once the private list is at
+    /// [`FREE_CAP`] — see the field docs for why concentration must not
+    /// go unbounded.
     fn push_free(&self, block: *mut Block<T>) {
+        // ordering: Relaxed — occupancy heuristic; over- or under-reading
+        // only shifts which shelf the block lands on, never its safety.
+        if self.free_len.load(Relaxed) >= FREE_CAP {
+            self.store.overflow.lock().unwrap().push(block);
+            return;
+        }
+        // ordering: Relaxed — same heuristic counter.
+        self.free_len.fetch_add(1, Relaxed);
         // ordering: Relaxed — only a seed for the CAS below, which
         // re-validates it; the link write is published by the CAS's
         // Release, not by this read.
@@ -180,10 +218,21 @@ impl<T> ArenaShared<T> {
             // load already synchronized with (single consumer, so no ABA
             // can substitute a different push of the same pointer).
             match self.free.compare_exchange(head, next, Acquire, Acquire) {
-                Ok(_) => return Some(head),
+                Ok(_) => {
+                    // ordering: Relaxed — occupancy heuristic (see
+                    // `free_len`).
+                    self.free_len.fetch_sub(1, Relaxed);
+                    return Some(head);
+                }
                 Err(h) => head = h,
             }
         }
+    }
+
+    /// Takes one block off the family overflow shelf, if any sibling's
+    /// capped list diverted one there.
+    fn pop_overflow(&self) -> Option<*mut Block<T>> {
+        self.store.overflow.lock().unwrap().pop()
     }
 
     /// Drops the payload of a retired block and returns the block to the
@@ -218,6 +267,15 @@ impl<T: Send> Recycler for ArenaShared<T> {
             pool.push(batch);
         }
     }
+
+    unsafe fn recycle_one(&self, ptr: *mut ()) {
+        // The hazard-pointer scan reclaims per pointer; going straight to
+        // the block keeps that path free of the default method's
+        // one-element batch allocation.
+        //
+        // Safety: forwarded contract — identical to a batch entry's.
+        unsafe { self.reclaim_block(ptr as *mut Block<T>) };
+    }
 }
 
 /// A writer-owned handle to a slab arena of `T` blocks. See the module
@@ -246,18 +304,23 @@ impl<T> Arena<T> {
         Self {
             shared: Arc::new(ArenaShared {
                 free: AtomicPtr::new(ptr::null_mut()),
+                free_len: AtomicUsize::new(0),
                 store,
                 batches: Mutex::new(Vec::new()),
             }),
         }
     }
 
-    /// Allocates a block holding `value`: recycle list first, a fresh
-    /// chunk only when the list is dry (warm-up). Returns a pointer valid
-    /// until the block is reclaimed (and stable across publication — the
-    /// tree hands it to readers).
+    /// Allocates a block holding `value`: recycle list first, then the
+    /// family overflow shelf, a fresh chunk only when both are dry
+    /// (warm-up). Returns a pointer valid until the block is reclaimed
+    /// (and stable across publication — the tree hands it to readers).
     pub(crate) fn alloc(&self, value: T) -> *mut T {
-        let block = match self.shared.pop_free() {
+        let block = match self
+            .shared
+            .pop_free()
+            .or_else(|| self.shared.pop_overflow())
+        {
             Some(b) => b,
             None => self.grow(),
         };
@@ -319,6 +382,20 @@ impl<T> Arena<T> {
     pub(crate) fn chunks(&self) -> usize {
         self.shared.store.chunks.lock().unwrap().len()
     }
+
+    /// Approximate length of this arena's private free list (test probe
+    /// for the [`FREE_CAP`] diversion).
+    #[cfg(test)]
+    fn free_len(&self) -> usize {
+        // ordering: Relaxed — test probe of the heuristic counter.
+        self.shared.free_len.load(Relaxed)
+    }
+
+    /// Number of blocks on the family overflow shelf (test probe).
+    #[cfg(test)]
+    fn overflow_len(&self) -> usize {
+        self.shared.store.overflow.lock().unwrap().len()
+    }
 }
 
 impl<T: Send + 'static> Arena<T> {
@@ -375,6 +452,72 @@ mod tests {
             // Safety: as above.
             unsafe { arena.reclaim_now(p) };
         }
+    }
+
+    /// The concentration cap (ROADMAP watch-item): churn that allocates
+    /// from one family arena but retires everything through a sibling
+    /// must not grow the family's chunk count without bound. Before the
+    /// [`FREE_CAP`] overflow shelf, every freed block piled up on the
+    /// retiring arena's private list — unreachable to the allocating
+    /// sibling, which grew a fresh chunk set per round.
+    #[test]
+    fn concentrated_churn_keeps_chunk_count_flat() {
+        const ROUNDS: usize = 10;
+        const BLOCKS: usize = 6 * CHUNK_BLOCKS;
+        let store = Arc::new(ChunkStore::new());
+        let a: Arena<u64> = Arena::with_store(store.clone());
+        let b: Arena<u64> = Arena::with_store(store);
+        let mut settled = 0;
+        for round in 0..ROUNDS {
+            // A allocates; everything retires through B (the worst-case
+            // one-directional migration under cross-stripe churn).
+            let live: Vec<*mut u64> = (0..BLOCKS as u64).map(|i| a.alloc(i)).collect();
+            let recycler = b.recycler();
+            for group in live.chunks(CHUNK_BLOCKS) {
+                let mut batch = b.take_batch();
+                for &p in group {
+                    batch.push(p as *mut ());
+                }
+                // Safety: every block is unreachable (the test is the
+                // sole owner) and retired exactly once.
+                unsafe { recycler.recycle(batch) };
+            }
+            // B's private list never exceeds its cap; the rest of the
+            // family's free blocks sit on the shared shelf.
+            assert!(
+                b.free_len() <= FREE_CAP,
+                "round {round}: private list above cap ({})",
+                b.free_len()
+            );
+            if round == 2 {
+                // By now A has grown the one-time make-up for the blocks
+                // parked on B's capped list; from here the shelf recirculates.
+                settled = a.chunks();
+            }
+            if round > 2 {
+                assert_eq!(
+                    a.chunks(),
+                    settled,
+                    "round {round}: concentrated churn regrew the family"
+                );
+            }
+        }
+        assert!(settled > 0);
+        assert!(b.overflow_len() > 0, "diversion never engaged");
+    }
+
+    #[test]
+    fn recycle_one_returns_the_block_directly() {
+        let arena: Arena<u64> = Arena::new();
+        let p = arena.alloc(11);
+        let recycler = arena.recycler();
+        // Safety: `p` is unreachable and retired exactly once; this test
+        // plays the hazard-pointer scan's per-pointer reclaim role.
+        unsafe { recycler.recycle_one(p as *mut ()) };
+        let q = arena.alloc(12);
+        assert_eq!(p, q, "recycled block not reused");
+        // Safety: as above.
+        unsafe { arena.reclaim_now(q) };
     }
 
     #[test]

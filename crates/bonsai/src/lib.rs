@@ -14,6 +14,13 @@
 //!   under a [`Guard`](rcukit::Guard), `insert`/`remove` behind an internal
 //!   single-writer lock; the commit itself is a CAS-with-retry, which is
 //!   what lets `RangeMap` run several writers at once.
+//!
+//!   Both layers are generic over the *reclamation backend*
+//!   ([`rcukit::ReclaimBackend`]): epoch (the default), QSBR, or hazard
+//!   pointers. Guard-based reads are the epoch read protocol; the
+//!   `*_owned` lookups ([`BonsaiTree::get_owned`],
+//!   [`RangeMap::lookup_owned`], `contains`) work on every backend, each
+//!   traversal protected by whatever that backend prescribes.
 //! * [`RangeMap`] — a VMA-style interval map over the tree, modeling the
 //!   paper's page-fault workload: `lookup(addr)` finds the mapped region
 //!   containing an address without taking any lock, while mutations take

@@ -41,11 +41,11 @@
 use std::fmt;
 use std::sync::Arc;
 
-use rcukit::{Collector, Guard};
+use rcukit::{Collector, Guard, ReclaimBackend};
 
 use crate::arena::ChunkStore;
 use crate::range_lock::{RangeLocks, RangeWriteGuard};
-use crate::tree::{with_write_session, BonsaiTree, Node, WriterScratch};
+use crate::tree::{with_write_session, BonsaiTree, Node, Probe, WriteSess, WriterScratch};
 
 /// A mapped region: keyed in the tree by its start address, carrying its
 /// exclusive end and a payload.
@@ -91,8 +91,17 @@ where
     /// Creates an empty map reclaiming through `collector`. The range-lock
     /// table is striped by the machine's available parallelism.
     pub fn new(collector: Collector) -> Self {
+        Self::with_backend(ReclaimBackend::Epoch(collector))
+    }
+
+    /// Creates an empty map reclaiming through any [`ReclaimBackend`]
+    /// (epoch, QSBR, or hazard pointers). The backend decides the
+    /// read-side protocol available: guard-based [`lookup`](Self::lookup)
+    /// requires the epoch backend, while the owned lookups and
+    /// [`contains`](Self::contains) work on every backend.
+    pub fn with_backend(backend: ReclaimBackend) -> Self {
         Self {
-            tree: BonsaiTree::new(collector),
+            tree: BonsaiTree::with_backend(backend),
             locks: RangeLocks::new(Self::scratch_factory()),
         }
     }
@@ -103,8 +112,15 @@ where
     /// geometries a machine-sized table would spread out.
     #[doc(hidden)]
     pub fn with_stripes(collector: Collector, stripes: usize) -> Self {
+        Self::with_backend_and_stripes(ReclaimBackend::Epoch(collector), stripes)
+    }
+
+    /// [`with_backend`](Self::with_backend) with an explicit range-lock
+    /// stripe count (see [`with_stripes`](Self::with_stripes)).
+    #[doc(hidden)]
+    pub fn with_backend_and_stripes(backend: ReclaimBackend, stripes: usize) -> Self {
         Self {
-            tree: BonsaiTree::new(collector),
+            tree: BonsaiTree::with_backend(backend),
             locks: RangeLocks::with_stripes(stripes, Self::scratch_factory()),
         }
     }
@@ -123,13 +139,29 @@ where
         Self::new(rcukit::default_collector().clone())
     }
 
+    /// The reclamation backend this map retires through.
+    pub fn backend(&self) -> &ReclaimBackend {
+        self.tree.backend()
+    }
+
     /// The collector backing this map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map was built on a non-epoch backend.
     pub fn collector(&self) -> &Collector {
         self.tree.collector()
     }
 
     /// Pins the current thread against the map's collector. The guard
     /// borrows the map, so the map cannot be dropped while it is live.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map was built on a non-epoch backend; use the owned
+    /// lookups ([`lookup_owned`](Self::lookup_owned),
+    /// [`translate_owned`](Self::translate_owned),
+    /// [`contains`](Self::contains)) there instead.
     pub fn pin(&self) -> Guard<'_> {
         self.tree.pin()
     }
@@ -187,16 +219,17 @@ where
         self.tree.is_empty()
     }
 
-    /// Runs `f` holding the range lock on `[lo, hi)` and a pinned guard,
-    /// in the writer session order (lock → pin → mutate → unlock → unpin;
-    /// see `with_write_session`).
+    /// Runs `f` holding the range lock on `[lo, hi)` inside a write
+    /// session for the map's backend, in the writer session order
+    /// (backend gate → lock → protect → mutate → unlock → unprotect; see
+    /// `with_write_session`).
     fn locked<R>(
         &self,
         lo: u64,
         hi: u64,
-        f: impl FnOnce(&Guard<'_>, &mut RangeWriteGuard<'_, Scratch<V>>) -> R,
+        f: impl FnOnce(&WriteSess<'_>, &mut RangeWriteGuard<'_, Scratch<V>>) -> R,
     ) -> R {
-        with_write_session(|| self.locks.acquire(lo, hi), self.tree.collector(), f)
+        with_write_session(&self.tree, || self.locks.acquire(lo, hi), f)
     }
 
     /// Maps `[start, end)` to `value`. Returns `false` (and maps nothing)
@@ -210,24 +243,24 @@ where
     /// Panics if `start >= end`.
     pub fn map(&self, start: u64, end: u64, value: V) -> bool {
         assert!(start < end, "empty or inverted range {start:#x}..{end:#x}");
-        self.locked(start, end, |guard, lock| {
+        self.locked(start, end, |sess, lock| {
             // Predecessor overlap: a region starting at or before `start`
             // that has not ended by `start`. (Reading the predecessor is
             // covered by the invariant: its overlap status is a fact about
             // coverage of byte `start`, which our lock freezes.)
-            if let Some((_, extent)) = self.tree.get_le(&start, guard) {
+            if let Some((_, extent)) = self.tree.get_le_in(&start, sess) {
                 if extent.end > start {
                     return false;
                 }
             }
             // Successor overlap: a region starting inside `[start, end)`.
-            if let Some((succ_start, _)) = self.tree.get_ge(&start, guard) {
+            if let Some((succ_start, _)) = self.tree.get_ge_in(&start, sess) {
                 if *succ_start < end {
                     return false;
                 }
             }
             self.tree
-                .insert_with(start, Extent { end, value }, guard, lock.scratch());
+                .insert_with(start, Extent { end, value }, sess, lock.scratch());
             true
         })
     }
@@ -236,27 +269,23 @@ where
     /// payload.
     ///
     /// The coverage invariant requires holding the lock over the whole
-    /// region being destroyed, whose end is only discoverable under a
-    /// guard — so the span is sized by an optimistic lock-free read and
+    /// region being destroyed, whose end is only discoverable by reading
+    /// the tree — so the span is sized by an optimistic lock-free read and
     /// revalidated under the lock, widening and retrying if the region
     /// grew in between.
     pub fn unmap(&self, start: u64) -> Option<V> {
-        let mut hi = {
-            let guard = self.pin();
-            match self.tree.get(&start, &guard) {
-                // No region starts here as of this read; a valid (and
-                // lock-free) linearization point for the miss.
-                None => return None,
-                Some(extent) => extent.end,
-            }
-        };
+        // A lock-free miss here is a valid linearization point: no region
+        // starts at `start` as of this read.
+        let mut hi = self
+            .tree
+            .read_map(&start, Probe::Eq, |_, extent| extent.end)?;
         loop {
-            let attempt = self.locked(start, hi, |guard, lock| {
-                match self.tree.get(&start, guard) {
+            let attempt = self.locked(start, hi, |sess, lock| {
+                match self.tree.get_in(&start, sess) {
                     None => Attempt::Done(None),
                     Some(extent) if extent.end <= hi => Attempt::Done(
                         self.tree
-                            .remove_with(&start, guard, lock.scratch())
+                            .remove_with(&start, sess, lock.scratch())
                             .map(|extent| extent.value),
                     ),
                     // Remapped longer since the optimistic read: the held
@@ -297,7 +326,7 @@ where
         assert!(start < end, "empty or inverted range {start:#x}..{end:#x}");
         let (mut lo, mut hi) = (start, end);
         loop {
-            let attempt = self.locked(lo, hi, |guard, lock| {
+            let attempt = self.locked(lo, hi, |sess, lock| {
                 // Discovery: the affected regions and the byte extent the
                 // invariant requires us to hold for them.
                 let (mut need_lo, mut need_hi) = (lo, hi);
@@ -305,7 +334,7 @@ where
                 // into the span.
                 let head = match start
                     .checked_sub(1)
-                    .and_then(|p| self.tree.get_le(&p, guard))
+                    .and_then(|p| self.tree.get_le_in(&p, sess))
                 {
                     Some((&a, extent)) if extent.end > start => {
                         need_lo = need_lo.min(a);
@@ -322,7 +351,7 @@ where
                 let mut inside = std::mem::take(&mut lock.scratch().addrs);
                 inside.clear();
                 let mut probe = start;
-                while let Some((&s, extent)) = self.tree.get_ge(&probe, guard) {
+                while let Some((&s, extent)) = self.tree.get_ge_in(&probe, sess) {
                     if s >= end {
                         break;
                     }
@@ -353,20 +382,28 @@ where
                 // frees the speculative path).
                 let mut affected = 0;
                 if let Some(a) = head {
-                    let extent = self
-                        .tree
-                        .get(&a, guard)
-                        .expect("straddling region vanished under its range lock");
-                    if extent.end > end {
+                    // Copy the fields out *before* the first commit: a
+                    // commit may retire the node behind this reference,
+                    // and the hazard-pointer backend can reclaim retired
+                    // nodes mid-session (no grace period covers writer
+                    // references across mutations).
+                    let (old_end, head_value) = {
+                        let extent = self
+                            .tree
+                            .get_in(&a, sess)
+                            .expect("straddling region vanished under its range lock");
+                        (extent.end, extent.value.clone())
+                    };
+                    if old_end > end {
                         // Region encloses the whole span: publish the tail
                         // piece [end, old_end) first.
                         self.tree.insert_with(
                             end,
                             Extent {
-                                end: extent.end,
-                                value: extent.value.clone(),
+                                end: old_end,
+                                value: head_value.clone(),
                             },
-                            guard,
+                            sess,
                             lock.scratch(),
                         );
                     }
@@ -378,9 +415,9 @@ where
                         a,
                         Extent {
                             end: start,
-                            value: extent.value.clone(),
+                            value: head_value,
                         },
-                        guard,
+                        sess,
                         lock.scratch(),
                     );
                     affected += 1;
@@ -388,7 +425,7 @@ where
                 for &s in &inside {
                     let extent = self
                         .tree
-                        .get(&s, guard)
+                        .get_in(&s, sess)
                         .expect("inside region vanished under its range lock");
                     if extent.end > end {
                         // Tail straddler: publish [end, old_end) before
@@ -397,10 +434,10 @@ where
                             end: extent.end,
                             value: extent.value.clone(),
                         };
-                        self.tree.insert_with(end, tail, guard, lock.scratch());
+                        self.tree.insert_with(end, tail, sess, lock.scratch());
                     }
                     self.tree
-                        .remove_with(&s, guard, lock.scratch())
+                        .remove_with(&s, sess, lock.scratch())
                         .expect("inside region vanished under its range lock");
                     affected += 1;
                 }
@@ -423,6 +460,9 @@ where
     /// Finds the region containing `addr` (the page-fault path). Lock-free;
     /// the reference is valid for the guard's critical section and borrows
     /// the map, so the map cannot be dropped while it is live.
+    ///
+    /// Epoch backend only (the guard *is* the epoch read-side protocol);
+    /// on other backends use [`lookup_owned`](Self::lookup_owned).
     pub fn lookup<'g>(&'g self, addr: u64, guard: &'g Guard<'_>) -> Option<&'g V> {
         let (_, extent) = self.tree.get_le(&addr, guard)?;
         if addr < extent.end {
@@ -432,17 +472,35 @@ where
         }
     }
 
-    /// Whether any mapped region contains `addr`. Pins internally for the
-    /// duration of the check — the self-contained page-fault probe used by
-    /// the [`AddressSpace`](crate::AddressSpace) backend abstraction. Use
+    /// Whether any mapped region contains `addr`. Protects itself for the
+    /// duration of the check using whatever read-side protocol the map's
+    /// backend prescribes (pin / online access / hazard traversal) — the
+    /// self-contained page-fault probe used by the
+    /// [`AddressSpace`](crate::AddressSpace) backend abstraction. Use
     /// [`lookup`](Self::lookup) with an explicit guard when the payload is
-    /// needed or when batching many probes under one pin.
+    /// needed or when batching many probes under one pin (epoch backend).
     pub fn contains(&self, addr: u64) -> bool {
-        let guard = self.pin();
-        self.lookup(addr, &guard).is_some()
+        self.tree
+            .read_map(&addr, Probe::Le, |_, extent| addr < extent.end)
+            .unwrap_or(false)
+    }
+
+    /// Clones out the payload of the region containing `addr`. Works on
+    /// every backend (this is the only payload lookup available on the
+    /// QSBR and hazard-pointer backends, whose read protocols cannot hand
+    /// out long-lived references).
+    pub fn lookup_owned(&self, addr: u64) -> Option<V> {
+        self.tree
+            .read_map(&addr, Probe::Le, |_, extent| {
+                (addr < extent.end).then(|| extent.value.clone())
+            })
+            .flatten()
     }
 
     /// Like [`lookup`](Self::lookup), also returning the region bounds.
+    ///
+    /// Epoch backend only; on other backends use
+    /// [`translate_owned`](Self::translate_owned).
     pub fn translate<'g>(&'g self, addr: u64, guard: &'g Guard<'_>) -> Option<(u64, u64, &'g V)> {
         let (start, extent) = self.tree.get_le(&addr, guard)?;
         if addr < extent.end {
@@ -450,6 +508,16 @@ where
         } else {
             None
         }
+    }
+
+    /// Like [`translate`](Self::translate) but cloning the payload out;
+    /// works on every backend.
+    pub fn translate_owned(&self, addr: u64) -> Option<(u64, u64, V)> {
+        self.tree
+            .read_map(&addr, Probe::Le, |start, extent| {
+                (addr < extent.end).then(|| (*start, extent.end, extent.value.clone()))
+            })
+            .flatten()
     }
 
     /// Clones the regions in address order as `(start, end, value)`.
@@ -518,6 +586,43 @@ mod tests {
                 .collect::<Vec<_>>(),
             vec![(0x1000, 0x2000), (0x2000, 0x4000), (0x4000, 0x5000)]
         );
+    }
+
+    /// The full map/lookup/unmap/unmap_range surface replayed on each
+    /// reclamation backend through the owned read API, ending with the
+    /// backend's retired==freed exit invariant.
+    #[test]
+    fn map_roundtrip_on_every_backend() {
+        use rcukit::{ReclaimBackend, ReclaimKind};
+        for kind in [ReclaimKind::Epoch, ReclaimKind::Qsbr, ReclaimKind::Hp] {
+            let backend = ReclaimBackend::new(kind);
+            let m: RangeMap<u32> = RangeMap::with_backend(backend.clone());
+            assert_eq!(m.backend().kind(), kind);
+            assert!(m.map(0x1000, 0x3000, 1), "{kind:?}");
+            assert!(m.map(0x4000, 0x6000, 2), "{kind:?}");
+            assert!(!m.map(0x2000, 0x5000, 3), "{kind:?} overlap accepted");
+            assert!(m.contains(0x2fff), "{kind:?}");
+            assert!(!m.contains(0x3000), "{kind:?}");
+            assert_eq!(m.lookup_owned(0x1000), Some(1), "{kind:?}");
+            assert_eq!(m.lookup_owned(0x0fff), None, "{kind:?}");
+            assert_eq!(
+                m.translate_owned(0x5000),
+                Some((0x4000, 0x6000, 2)),
+                "{kind:?}"
+            );
+            assert_eq!(m.unmap(0x1000), Some(1), "{kind:?}");
+            assert_eq!(m.unmap(0x1000), None, "{kind:?}");
+            // Straddling span: truncates [0x4000,0x6000) to [0x4000,0x5000).
+            assert_eq!(m.unmap_range(0x5000, 0x7000), 1, "{kind:?}");
+            assert_eq!(m.to_vec(), vec![(0x4000, 0x5000, 2)], "{kind:?}");
+            drop(m);
+            backend.synchronize();
+            let s = backend.stats();
+            assert_eq!(
+                s.objects_retired, s.objects_freed,
+                "{kind:?} leaked retired objects"
+            );
+        }
     }
 
     #[test]

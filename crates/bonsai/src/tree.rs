@@ -9,18 +9,31 @@
 //! rebalancing copy-on-write, and finally swings the root pointer with a
 //! compare-and-swap against the snapshot it rebuilt from. Only *after* a
 //! successful publication are the replaced nodes retired to the tree's
-//! [`Collector`], batched into a single [`Guard::defer`]red
-//! [`RetiredNodes`] free — retiring earlier would let a reader pin after
+//! reclamation backend — retiring earlier would let a reader pin after
 //! the retirement yet still reach the nodes through the still-published old
-//! root. Retired nodes are reclaimed only after a grace period, so
-//! concurrent readers traversing the old path never touch freed memory.
+//! root. Retired nodes are reclaimed only once the backend proves no reader
+//! can still hold them, so concurrent readers traversing the old path never
+//! touch freed memory.
 //!
 //! # Concurrency contract
 //!
-//! * Lookups ([`BonsaiTree::get`], [`get_le`](BonsaiTree::get_le),
-//!   [`get_ge`](BonsaiTree::get_ge)) take a pinned [`Guard`] from the tree's
-//!   collector and are lock-free: they only load the root pointer and walk
-//!   immutable nodes.
+//! The tree is generic over [`ReclaimBackend`]: the copy-on-write update
+//! machinery is shared, while read-side protection and the retire path
+//! dispatch per backend.
+//!
+//! * **Epoch** (the default, [`BonsaiTree::new`]): lookups
+//!   ([`BonsaiTree::get`], [`get_le`](BonsaiTree::get_le),
+//!   [`get_ge`](BonsaiTree::get_ge)) take a pinned [`Guard`] from the
+//!   tree's collector and are lock-free: they only load the root pointer
+//!   and walk immutable nodes. The `*_owned` lookups pin internally.
+//! * **QSBR**: the `*_owned` lookups run on the calling thread's cached
+//!   domain handle, which stays online and announces quiescence only at
+//!   operation boundaries — protection is ambient, so the traversal itself
+//!   costs no atomics at all. Guard-based lookups panic.
+//! * **Hazard pointers**: the `*_owned` lookups run the publish-and-
+//!   validate protocol (see [`BonsaiTree::hp_find`]); writers serialize on
+//!   a per-tree gate so the copy-on-write path needs no hazards of its
+//!   own. Guard-based lookups panic.
 //! * Updates ([`insert`](BonsaiTree::insert),
 //!   [`remove`](BonsaiTree::remove)) serialize on an internal writer mutex,
 //!   mirroring the paper's single-writer address-space lock. The *commit*
@@ -29,10 +42,12 @@
 //!   their own finer-grained serialization — `RangeMap`'s range locks —
 //!   may run several writers concurrently: a failed CAS frees the
 //!   never-published speculative path and rebuilds from the new root.
-//!   ABA on the root pointer is impossible because a writer holds a pinned
-//!   guard across the load→CAS window: the snapshot root it read cannot be
-//!   freed (let alone reallocated) until that guard drops, so the CAS
-//!   succeeding proves the root truly never changed. See
+//!   ABA on the root pointer is impossible because the write session
+//!   protects the load→CAS window per backend: an epoch writer holds a
+//!   pinned guard (the snapshot root cannot be freed, let alone
+//!   reallocated, until it drops), a QSBR writer is online and announces
+//!   no quiescent state mid-update, and HP writers are serialized outright
+//!   by the gate, so the root cannot change at all. See
 //!   `docs/CONCURRENCY.md` at the repo root for the full protocol
 //!   walkthrough.
 
@@ -42,7 +57,7 @@ use std::ptr;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use rcukit::{Collector, Guard};
+use rcukit::{Collector, Guard, HpDomain, QsbrDomain, ReclaimBackend};
 
 use crate::arena::{Arena, ChunkStore};
 use crate::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize};
@@ -53,6 +68,16 @@ use crate::sync::Mutex;
 const DELTA: usize = 3;
 /// Rotation selector: single vs. double rotation threshold.
 const RATIO: usize = 2;
+
+/// QSBR writer cadence: every Nth committed update announces a quiescent
+/// state and drives one reclaim pass. Writers are the only retirers, so
+/// tying the reclaim pass to their cadence bounds garbage at roughly
+/// N writer batches per thread without a dedicated reclaim thread.
+const QSBR_WRITE_TICK: usize = 8;
+/// QSBR reader cadence: every Nth `*_owned` lookup announces a quiescent
+/// state (readers retire nothing, so they only need to announce often
+/// enough not to stall the writers' grace periods).
+const QSBR_READ_TICK: usize = 64;
 
 /// An immutable tree node. Published nodes are never mutated; readers walk
 /// `left`/`right` as plain loads under a pinned guard. Crate-visible only
@@ -208,14 +233,17 @@ impl<K, V> Drop for DrainOnUnwind<'_, K, V> {
 
 impl<K: Send + 'static, V: Send + 'static> WriterScratch<K, V> {
     /// Publication succeeded: forget the (now published) fresh nodes and
-    /// ship the replaced path to the collector as one deferred recycle
-    /// batch — a single epoch-tag sample (and its StoreLoad fence) per
-    /// update, zero allocations once the arena's batch pool is warm. After
-    /// the grace period the arena drops each payload in place and reclaims
+    /// ship the replaced path to the session's backend as one deferred
+    /// recycle batch — a single retire-tag sample (and its StoreLoad
+    /// fence) per update, zero allocations once the arena's batch pool is
+    /// warm (on the HP backend the batch is split per pointer so each node
+    /// reclaims as soon as no slot protects *it*). After the backend's
+    /// grace condition the arena drops each payload in place and reclaims
     /// the blocks.
-    fn commit(&mut self, guard: &Guard<'_>) {
+    fn commit(&mut self, sess: &WriteSess<'_>) {
         self.fresh.clear();
         if !self.retired.is_empty() {
+            let bytes = self.retired.len() * std::mem::size_of::<Node<K, V>>();
             let mut batch = self.arena.take_batch();
             for &n in &self.retired {
                 batch.push(n as *mut ());
@@ -226,13 +254,57 @@ impl<K: Send + 'static, V: Send + 'static> WriterScratch<K, V> {
             // appears exactly once across all batches and discards, and is
             // an arena-family block holding an initialized `Node` whose
             // payload is `Send` (the `K: Send + V: Send` bounds here).
-            unsafe { guard.defer_recycle(self.arena.recycler(), batch) };
+            unsafe {
+                match sess {
+                    WriteSess::Epoch(guard) => {
+                        guard.defer_recycle(self.arena.recycler(), batch, bytes)
+                    }
+                    WriteSess::Qsbr(d) => d.defer_recycle(self.arena.recycler(), batch, bytes),
+                    WriteSess::Hp(d) => d.defer_recycle(self.arena.recycler(), batch, bytes),
+                }
+            }
         }
     }
 }
 
-/// Runs `f` with a writer lock token held and a guard pinned against
-/// `collector`, in the only safe order for a writer entry point:
+/// Which entry a tree search returns: the exact key, its predecessor
+/// (greatest `<=`), or its successor (least `>=`).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Probe {
+    /// Exact match.
+    Eq,
+    /// Greatest entry with key `<= key`.
+    Le,
+    /// Least entry with key `>= key`.
+    Ge,
+}
+
+/// Write-side protection token, one variant per reclamation backend. Held
+/// for the whole lock→load→rebuild→CAS→retire window of an update; what it
+/// proves differs per backend:
+///
+/// * `Epoch` — the session pinned a housekeeping-free guard, so the
+///   snapshot root (and everything reachable from it) cannot be reclaimed,
+///   which is also the commit CAS's ABA argument.
+/// * `Qsbr` — the calling thread's cached domain handle is online and will
+///   not announce a quiescent state until the session ends, which protects
+///   the snapshot the same way.
+/// * `Hp` — the caller holds the tree's writer gate: no concurrent commit
+///   exists at all, so writer traversals need no hazards and the root CAS
+///   cannot lose. (Readers run their own hazard protocol; the gate is
+///   writer-to-writer only.)
+pub(crate) enum WriteSess<'a> {
+    /// Epoch backend: the pinned (quiet) guard.
+    Epoch(Guard<'a>),
+    /// QSBR backend: the domain (the thread's TLS handle is online).
+    Qsbr(&'a QsbrDomain),
+    /// HP backend: the domain (the tree's writer gate is held).
+    Hp(&'a HpDomain),
+}
+
+/// Runs `f` with a writer lock token held and `tree`'s backend write-side
+/// protection established, in the only safe order for a writer entry
+/// point (stated for the epoch backend; the other arms mirror it):
 ///
 /// 1. lock first, pin second — a writer queued on a mutex or blocked on a
 ///    range lock must not hold a pin, or its wait would stall epoch advance
@@ -241,57 +313,81 @@ impl<K: Send + 'static, V: Send + 'static> WriterScratch<K, V> {
 ///    cache eviction can fire deferred callbacks, and one re-entering a
 ///    writer entry point would relock a non-reentrant lock this thread
 ///    already holds;
-/// 3. the lock token is dropped before the guard — enforced structurally
-///    (field declaration order = drop order), so it holds even when `f`
-///    unwinds — because the outermost unpin may also fire callbacks, and a
-///    callback re-entering a writer entry point must find this writer's
-///    locks already released;
+/// 3. the lock token is dropped before the guard — so it holds even when
+///    `f` unwinds — because the outermost unpin may also fire callbacks,
+///    and a callback re-entering a writer entry point must find this
+///    writer's locks already released;
 /// 4. the skipped pin-time housekeeping runs afterwards, once no lock is
 ///    held and no guard is live.
 ///
-/// Every writer entry point — the tree's mutex path ([`with_writer`]) and
-/// `RangeMap`'s range-locked path — must go through here so the ordering
-/// invariant cannot be broken in one call site. The lock token `T` is
-/// whatever RAII guard `acquire` produces: a `MutexGuard` over the tree's
+/// On QSBR the "pin" is the thread's cached online handle and the "unpin"
+/// is the quiescence announcement, paced by [`QSBR_WRITE_TICK`] and run
+/// strictly after the lock token drops (mirroring rule 3: `try_reclaim`
+/// executes deferred callbacks). On HP the protection is the per-tree
+/// writer gate, taken **before** `acquire` so the lock order
+/// gate → writer-mutex/stripe-locks is identical on every path.
+///
+/// Every writer entry point — the tree's mutex path
+/// ([`BonsaiTree::insert`]/[`BonsaiTree::remove`]) and `RangeMap`'s
+/// range-locked path — must go through here so the ordering invariants
+/// cannot be broken in one call site. The lock token `T` is whatever RAII
+/// guard `acquire` produces: a `MutexGuard` over the tree's
 /// [`WriterScratch`], or a `RangeWriteGuard` carrying a pooled scratch.
-pub(crate) fn with_write_session<T, R>(
+pub(crate) fn with_write_session<K, V, T, R>(
+    tree: &BonsaiTree<K, V>,
     acquire: impl FnOnce() -> T,
-    collector: &Collector,
-    f: impl FnOnce(&Guard<'_>, &mut T) -> R,
+    f: impl FnOnce(&WriteSess<'_>, &mut T) -> R,
 ) -> R {
-    struct Session<'a, T> {
-        token: T,
-        guard: Guard<'a>,
+    match &tree.backend {
+        ReclaimBackend::Epoch(collector) => {
+            struct Session<'a, T> {
+                token: T,
+                sess: WriteSess<'a>,
+            }
+            // Struct fields evaluate in written order: lock acquired before
+            // the pin. Drop also runs in declaration order: unlock before
+            // unpin.
+            let mut session = Session {
+                token: acquire(),
+                sess: WriteSess::Epoch(collector.pin_quiet()),
+            };
+            let out = {
+                let Session { token, sess } = &mut session;
+                f(sess, token)
+            };
+            drop(session);
+            collector.housekeep();
+            out
+        }
+        ReclaimBackend::Qsbr(d) => {
+            let mut token = acquire();
+            let sess = WriteSess::Qsbr(d);
+            // The closure keeps the thread's cached handle alive (and
+            // online) across `f`; the handle announces nothing until the
+            // tick below, so the session's snapshot cannot be reclaimed.
+            let out = d.with_tls_handle(|_| f(&sess, &mut token));
+            drop(token);
+            // Announce + reclaim strictly after the locks drop (rule 3:
+            // `try_reclaim` runs deferred callbacks, which may re-enter a
+            // writer entry point).
+            if d.with_tls_handle(|h| h.tick(QSBR_WRITE_TICK)) {
+                d.try_reclaim();
+            }
+            out
+        }
+        ReclaimBackend::Hp(d) => {
+            // Gate before `acquire`: the one lock order every HP writer
+            // path shares (gate → writer mutex, gate → stripe locks), so
+            // the gate can never deadlock against the caller's locks.
+            let gate = tree.hp_gate.lock().unwrap();
+            let mut token = acquire();
+            let sess = WriteSess::Hp(d);
+            let out = f(&sess, &mut token);
+            drop(token);
+            drop(gate);
+            out
+        }
     }
-    // Struct fields evaluate in written order: lock acquired before the
-    // pin. Drop also runs in declaration order: unlock before unpin.
-    let mut session = Session {
-        token: acquire(),
-        guard: collector.pin_quiet(),
-    };
-    let out = {
-        let Session { token, guard } = &mut session;
-        f(guard, token)
-    };
-    drop(session);
-    collector.housekeep();
-    out
-}
-
-/// The tree's single-writer entry point: [`with_write_session`] over the
-/// internal writer mutex. `f` receives the mutex-protected
-/// [`WriterScratch`] — which doubles as proof that the caller holds the
-/// lock.
-pub(crate) fn with_writer<K, V, R>(
-    lock: &Mutex<WriterScratch<K, V>>,
-    collector: &Collector,
-    f: impl FnOnce(&Guard<'_>, &mut WriterScratch<K, V>) -> R,
-) -> R {
-    with_write_session(
-        || lock.lock().unwrap(),
-        collector,
-        |guard, w| f(guard, &mut **w),
-    )
 }
 
 /// The paper's RCU-balanced tree: lock-free lookups, copy-on-write updates
@@ -317,7 +413,13 @@ pub struct BonsaiTree<K, V> {
     /// Serializes writers (the paper's per-address-space update lock) and
     /// owns the reusable retired-node scratch buffer.
     writer: Mutex<WriterScratch<K, V>>,
-    collector: Collector,
+    /// The reclamation backend nodes retire to.
+    backend: ReclaimBackend,
+    /// HP-backend writer serialization (see [`WriteSess::Hp`]). Uncontended
+    /// and never touched by the other backends; also taken by whole-tree
+    /// traversals ([`Self::to_vec`]) on HP, where finitely many hazard
+    /// slots cannot cover an unbounded snapshot.
+    hp_gate: Mutex<()>,
     len: AtomicUsize,
     /// Root-CAS commits that lost to a concurrent writer and rebuilt. Only
     /// the failure path touches these two counters, so an uncontended
@@ -341,12 +443,22 @@ where
     K: Ord + Clone + Send + Sync + 'static,
     V: Clone + Send + Sync + 'static,
 {
-    /// Creates an empty tree whose nodes are reclaimed through `collector`.
+    /// Creates an empty tree whose nodes are reclaimed through `collector`
+    /// (the epoch backend; use [`with_backend`](Self::with_backend) for
+    /// QSBR or hazard pointers).
     pub fn new(collector: Collector) -> Self {
+        Self::with_backend(ReclaimBackend::Epoch(collector))
+    }
+
+    /// Creates an empty tree over any reclamation backend. Guard-based
+    /// lookups work only on the epoch backend; the `*_owned` lookups work
+    /// on all three.
+    pub fn with_backend(backend: ReclaimBackend) -> Self {
         Self {
             root: AtomicPtr::new(ptr::null_mut()),
             writer: Mutex::new(WriterScratch::new()),
-            collector,
+            backend,
+            hp_gate: Mutex::new(()),
             len: AtomicUsize::new(0),
             cas_retries: AtomicU64::new(0),
             cas_wasted: AtomicU64::new(0),
@@ -358,15 +470,31 @@ where
         Self::new(rcukit::default_collector().clone())
     }
 
+    /// The reclamation backend this tree retires nodes to.
+    pub fn backend(&self) -> &ReclaimBackend {
+        &self.backend
+    }
+
     /// The collector this tree retires nodes to.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tree uses the epoch backend.
     pub fn collector(&self) -> &Collector {
-        &self.collector
+        self.backend
+            .as_epoch()
+            .expect("tree is not using the epoch backend")
     }
 
     /// Pins the current thread against the tree's collector. The guard
     /// borrows the tree, so the tree cannot be dropped while it is live.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tree uses the epoch backend (QSBR and HP readers
+    /// use the `*_owned` lookups, which protect internally).
     pub fn pin(&self) -> Guard<'_> {
-        self.collector.pin()
+        self.collector().pin()
     }
 
     /// Capacity of the writer's retired-node scratch buffer. Test aid for
@@ -439,10 +567,219 @@ where
     /// Panics unless `guard` is pinned against this tree's collector; a
     /// foreign guard would not protect our nodes from reclamation.
     fn check_guard(&self, guard: &Guard<'_>) {
+        let collector = self
+            .backend
+            .as_epoch()
+            .expect("guard-based reads require the epoch backend; use the *_owned lookups instead");
         assert!(
-            *guard.collector() == self.collector,
+            *guard.collector() == *collector,
             "guard is pinned against a different collector than this tree"
         );
+    }
+
+    /// Panics unless `sess` was opened against this tree's backend; a
+    /// foreign session would not protect our nodes from reclamation.
+    fn check_sess(&self, sess: &WriteSess<'_>) {
+        match (sess, &self.backend) {
+            (WriteSess::Epoch(guard), ReclaimBackend::Epoch(c)) => assert!(
+                *guard.collector() == *c,
+                "guard is pinned against a different collector than this tree"
+            ),
+            (WriteSess::Qsbr(d), ReclaimBackend::Qsbr(q)) => assert!(
+                **d == *q,
+                "session belongs to a different QSBR domain than this tree"
+            ),
+            (WriteSess::Hp(d), ReclaimBackend::Hp(h)) => assert!(
+                **d == *h,
+                "session belongs to a different HP domain than this tree"
+            ),
+            _ => panic!("write session opened against a different reclamation backend"),
+        }
+    }
+
+    /// Plain search walk over published immutable nodes. Returns the
+    /// matching node, or null on a miss.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee every node reachable from the current
+    /// root stays live across the call: a pinned epoch guard, an
+    /// online-and-silent QSBR handle, a checked [`WriteSess`], or
+    /// exclusive access. (The HP read side cannot use this walk — it must
+    /// interleave per-node protection — see [`Self::hp_find`].)
+    unsafe fn find(&self, key: &K, probe: Probe) -> *mut Node<K, V> {
+        // ordering: Acquire — pairs with the commit CAS's Release: the
+        // fully built path behind a published root is visible before the
+        // traversal dereferences it. This is the weakest sound root-load
+        // ordering (a Relaxed load could reach nodes whose fields are not
+        // yet visible on non-TSO hardware).
+        let mut cur = self.root.load(Ordering::Acquire);
+        let mut best: *mut Node<K, V> = ptr::null_mut();
+        while !cur.is_null() {
+            // Safety: `cur` is a published node the caller's protection
+            // keeps live; published nodes are immutable.
+            let node = unsafe { &*cur };
+            cur = match probe {
+                Probe::Eq => match key.cmp(&node.key) {
+                    Cmp::Equal => return cur,
+                    Cmp::Less => node.left,
+                    Cmp::Greater => node.right,
+                },
+                Probe::Le => {
+                    if *key < node.key {
+                        node.left
+                    } else {
+                        best = cur;
+                        node.right
+                    }
+                }
+                Probe::Ge => {
+                    if *key > node.key {
+                        node.right
+                    } else {
+                        best = cur;
+                        node.left
+                    }
+                }
+            };
+        }
+        best
+    }
+
+    /// Hazard-protected search: the publish-and-validate read protocol.
+    ///
+    /// Slot discipline: slot 0 pins the snapshot root for the whole
+    /// traversal, slots 1/2 alternate hand-over-hand down the path, and
+    /// slot 3 holds the current best `Le`/`Ge` candidate.
+    ///
+    /// Validation is by **root re-read**, not by re-reading the parent
+    /// link (the textbook HP validation): published nodes are immutable,
+    /// so a parent-link re-read can never fail — even after the child was
+    /// retired by a newer commit. The root, though, changes on every
+    /// commit, and while slot 0 protects the snapshot root its address can
+    /// be neither freed nor recycled — so observing the root unchanged
+    /// after a protect proves no commit has happened since the snapshot,
+    /// hence everything reachable from it (the just-protected node
+    /// included) is still unretired. Any root change restarts from
+    /// scratch, discarding the candidate.
+    fn hp_find<R>(
+        &self,
+        d: &HpDomain,
+        key: &K,
+        probe: Probe,
+        f: impl FnOnce(&K, &V) -> R,
+    ) -> Option<R> {
+        let session = d.session();
+        'restart: loop {
+            // ordering: Acquire — publication pairing; see `find`.
+            let root = self.root.load(Ordering::Acquire);
+            if root.is_null() {
+                return None;
+            }
+            session.protect(0, root.cast());
+            // ordering: Acquire — post-protect validation (see the method
+            // docs): unchanged root ⇒ the protect beat every retire of
+            // nodes it covers.
+            if self.root.load(Ordering::Acquire) != root {
+                continue 'restart;
+            }
+            let mut cur = root;
+            let mut cur_slot = 0usize;
+            let mut best: *mut Node<K, V> = ptr::null_mut();
+            let found = loop {
+                // Safety: `cur` is protected in slot `cur_slot` and was
+                // validated reachable from the still-current root, so it is
+                // live; published nodes are immutable.
+                let node = unsafe { &*cur };
+                let (next, record) = match probe {
+                    Probe::Eq => match key.cmp(&node.key) {
+                        Cmp::Equal => break cur,
+                        Cmp::Less => (node.left, false),
+                        Cmp::Greater => (node.right, false),
+                    },
+                    Probe::Le => {
+                        if *key < node.key {
+                            (node.left, false)
+                        } else {
+                            (node.right, true)
+                        }
+                    }
+                    Probe::Ge => {
+                        if *key > node.key {
+                            (node.right, false)
+                        } else {
+                            (node.left, true)
+                        }
+                    }
+                };
+                if record {
+                    // Transfer `cur` into the candidate slot. No
+                    // re-validation needed: the pointer never goes
+                    // uncovered — slot `cur_slot` still holds it, and is
+                    // first overwritten by the hand-over-hand protect
+                    // below, after this store's fence completes.
+                    session.protect(3, cur.cast());
+                    best = cur;
+                }
+                if next.is_null() {
+                    break best;
+                }
+                let next_slot = if cur_slot == 1 { 2 } else { 1 };
+                session.protect(next_slot, next.cast());
+                // ordering: Acquire — post-protect validation, as at the
+                // root protect above.
+                if self.root.load(Ordering::Acquire) != root {
+                    continue 'restart;
+                }
+                cur = next;
+                cur_slot = next_slot;
+            };
+            if found.is_null() {
+                return None;
+            }
+            // Safety: `found`'s slot was never overwritten afterwards (an
+            // `Eq` hit breaks immediately; candidates live in slot 3), so
+            // it is still protected and live here.
+            let node = unsafe { &*found };
+            return Some(f(&node.key, &node.value));
+        }
+    }
+
+    /// Backend-dispatched protected point read: finds the `probe` entry
+    /// for `key`, applies `f` under the backend's read-side protection,
+    /// and returns the owned result.
+    pub(crate) fn read_map<R>(
+        &self,
+        key: &K,
+        probe: Probe,
+        f: impl FnOnce(&K, &V) -> R,
+    ) -> Option<R> {
+        match &self.backend {
+            ReclaimBackend::Epoch(c) => {
+                let _guard = c.pin();
+                // Safety: the pinned guard protects the traversal.
+                let n = unsafe { self.find(key, probe) };
+                (!n.is_null()).then(|| {
+                    // Safety: `n` is a published node the guard protects.
+                    let node = unsafe { &*n };
+                    f(&node.key, &node.value)
+                })
+            }
+            ReclaimBackend::Qsbr(d) => d.with_tls_handle(|h| {
+                // Safety: the cached handle is online and announces
+                // quiescence only at the tick below, after the last
+                // dereference — ambient protection for the whole walk.
+                let n = unsafe { self.find(key, probe) };
+                let out = (!n.is_null()).then(|| {
+                    // Safety: `n` stays live until this thread announces.
+                    let node = unsafe { &*n };
+                    f(&node.key, &node.value)
+                });
+                h.tick(QSBR_READ_TICK);
+                out
+            }),
+            ReclaimBackend::Hp(d) => self.hp_find(d, key, probe, f),
+        }
     }
 
     /// Looks up `key`. The returned reference is valid for the guard's
@@ -461,91 +798,103 @@ where
     /// drop(t); // ERROR: `t` is still borrowed by `v`
     /// println!("{v}");
     /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tree uses the epoch backend (see
+    /// [`get_owned`](Self::get_owned) for the backend-agnostic form).
     pub fn get<'g>(&'g self, key: &K, guard: &'g Guard<'_>) -> Option<&'g V> {
         self.check_guard(guard);
-        // ordering: Acquire — pairs with the commit CAS's Release: the
-        // fully built path behind a published root is visible before the
-        // traversal dereferences it. This is the weakest sound root-load
-        // ordering (a Relaxed load could reach nodes whose fields are not
-        // yet visible on non-TSO hardware).
-        let mut cur = self.root.load(Ordering::Acquire);
-        while !cur.is_null() {
-            // Safety: `cur` is a published node; the pinned guard keeps it
-            // from being reclaimed, and published nodes are immutable.
-            let node = unsafe { &*cur };
-            match key.cmp(&node.key) {
-                Cmp::Less => cur = node.left,
-                Cmp::Greater => cur = node.right,
-                Cmp::Equal => return Some(&node.value),
-            }
-        }
-        None
+        // Safety: the checked guard pins this tree's collector.
+        let n = unsafe { self.find(key, Probe::Eq) };
+        // Safety: `n` is a published node protected by the guard.
+        (!n.is_null()).then(|| unsafe { &(*n).value })
     }
 
-    /// Whether `key` is present.
+    /// Whether `key` is present. Protects internally; works on every
+    /// backend.
     pub fn contains_key(&self, key: &K) -> bool {
-        let guard = self.pin();
-        self.get(key, &guard).is_some()
+        self.read_map(key, Probe::Eq, |_, _| ()).is_some()
     }
 
     /// Finds the greatest entry with key `<= key` (predecessor query, the
-    /// primitive behind VMA lookup). Borrows as in [`get`](Self::get).
+    /// primitive behind VMA lookup). Borrows as in [`get`](Self::get);
+    /// panics on non-epoch backends like [`get`](Self::get).
     pub fn get_le<'g>(&'g self, key: &K, guard: &'g Guard<'_>) -> Option<(&'g K, &'g V)> {
         self.check_guard(guard);
-        // ordering: Acquire — publication pairing; see `get`.
-        let mut cur = self.root.load(Ordering::Acquire);
-        let mut best: *mut Node<K, V> = ptr::null_mut();
-        while !cur.is_null() {
-            // Safety: as in `get`.
-            let node = unsafe { &*cur };
-            if *key < node.key {
-                cur = node.left;
-            } else {
-                best = cur;
-                cur = node.right;
-            }
-        }
-        if best.is_null() {
-            None
-        } else {
-            // Safety: `best` is a published node protected by the guard.
-            let node = unsafe { &*best };
-            Some((&node.key, &node.value))
-        }
+        // Safety: the checked guard pins this tree's collector.
+        let n = unsafe { self.find(key, Probe::Le) };
+        // Safety: `n` is a published node protected by the guard.
+        (!n.is_null()).then(|| unsafe { (&(*n).key, &(*n).value) })
     }
 
-    /// Finds the least entry with key `>= key` (successor query). Borrows as
-    /// in [`get`](Self::get).
+    /// Finds the least entry with key `>= key` (successor query). Borrows
+    /// as in [`get`](Self::get); panics on non-epoch backends like
+    /// [`get`](Self::get).
     pub fn get_ge<'g>(&'g self, key: &K, guard: &'g Guard<'_>) -> Option<(&'g K, &'g V)> {
         self.check_guard(guard);
-        // ordering: Acquire — publication pairing; see `get`.
-        let mut cur = self.root.load(Ordering::Acquire);
-        let mut best: *mut Node<K, V> = ptr::null_mut();
-        while !cur.is_null() {
-            // Safety: as in `get`.
-            let node = unsafe { &*cur };
-            if *key > node.key {
-                cur = node.right;
-            } else {
-                best = cur;
-                cur = node.left;
-            }
-        }
-        if best.is_null() {
-            None
-        } else {
-            // Safety: `best` is a published node protected by the guard.
-            let node = unsafe { &*best };
-            Some((&node.key, &node.value))
-        }
+        // Safety: the checked guard pins this tree's collector.
+        let n = unsafe { self.find(key, Probe::Ge) };
+        // Safety: `n` is a published node protected by the guard.
+        (!n.is_null()).then(|| unsafe { (&(*n).key, &(*n).value) })
+    }
+
+    /// [`get`](Self::get) on any backend, returning a clone. Protection is
+    /// internal: an epoch pin, the thread's QSBR handle, or the HP
+    /// publish-and-validate protocol.
+    pub fn get_owned(&self, key: &K) -> Option<V> {
+        self.read_map(key, Probe::Eq, |_, v| v.clone())
+    }
+
+    /// [`get_le`](Self::get_le) on any backend, returning clones.
+    pub fn get_le_owned(&self, key: &K) -> Option<(K, V)> {
+        self.read_map(key, Probe::Le, |k, v| (k.clone(), v.clone()))
+    }
+
+    /// [`get_ge`](Self::get_ge) on any backend, returning clones.
+    pub fn get_ge_owned(&self, key: &K) -> Option<(K, V)> {
+        self.read_map(key, Probe::Ge, |k, v| (k.clone(), v.clone()))
+    }
+
+    /// [`get`](Self::get) under a checked write session — for writer paths
+    /// (`RangeMap`) that read while already holding their backend's
+    /// write-side protection. The reference is valid for the shorter of
+    /// the session and the tree borrow.
+    pub(crate) fn get_in<'t>(&'t self, key: &K, sess: &WriteSess<'_>) -> Option<&'t V> {
+        self.check_sess(sess);
+        // Safety: a checked session protects the traversal on every
+        // backend (pin / online handle / writer gate — see `WriteSess`).
+        let n = unsafe { self.find(key, Probe::Eq) };
+        // Safety: `n` stays live for the session.
+        (!n.is_null()).then(|| unsafe { &(*n).value })
+    }
+
+    /// [`get_le`](Self::get_le) under a checked write session.
+    pub(crate) fn get_le_in<'t>(&'t self, key: &K, sess: &WriteSess<'_>) -> Option<(&'t K, &'t V)> {
+        self.check_sess(sess);
+        // Safety: as in `get_in`.
+        let n = unsafe { self.find(key, Probe::Le) };
+        // Safety: `n` stays live for the session.
+        (!n.is_null()).then(|| unsafe { (&(*n).key, &(*n).value) })
+    }
+
+    /// [`get_ge`](Self::get_ge) under a checked write session.
+    pub(crate) fn get_ge_in<'t>(&'t self, key: &K, sess: &WriteSess<'_>) -> Option<(&'t K, &'t V)> {
+        self.check_sess(sess);
+        // Safety: as in `get_in`.
+        let n = unsafe { self.find(key, Probe::Ge) };
+        // Safety: `n` stays live for the session.
+        (!n.is_null()).then(|| unsafe { (&(*n).key, &(*n).value) })
     }
 
     /// Inserts `key -> value`, returning the previous value for `key` if it
     /// was present. Takes the writer lock.
     pub fn insert(&self, key: K, value: V) -> Option<V> {
-        with_writer(&self.writer, &self.collector, |guard, scratch| {
-            self.insert_with(key, value, guard, scratch)
-        })
+        with_write_session(
+            self,
+            || self.writer.lock().unwrap(),
+            |sess, w| self.insert_with(key, value, sess, &mut **w),
+        )
     }
 
     /// [`insert`](Self::insert) against a caller-provided scratch, for
@@ -556,22 +905,24 @@ where
     /// speculative path ([`WriterScratch::discard`]) and rebuilds from the
     /// winner's root.
     ///
-    /// `guard` must be pinned against this tree's collector (checked), and
-    /// it must have been pinned *before* this call — which is what makes
-    /// the load→CAS window ABA-free: the snapshot root cannot be reclaimed,
-    /// so a re-observed equal pointer really is the unchanged root.
+    /// `sess` must have been opened against this tree's backend (checked)
+    /// and *before* this call — which is what makes the load→CAS window
+    /// ABA-free: under epoch/QSBR the snapshot root cannot be reclaimed
+    /// while the session's protection holds, so a re-observed equal
+    /// pointer really is the unchanged root; under HP the session holds
+    /// the writer gate, so the root cannot change at all.
     ///
     /// # Panics
     ///
-    /// Panics if `guard` belongs to a different collector.
+    /// Panics if `sess` belongs to a different backend or domain.
     pub(crate) fn insert_with(
         &self,
         key: K,
         value: V,
-        guard: &Guard<'_>,
+        sess: &WriteSess<'_>,
         scratch: &mut WriterScratch<K, V>,
     ) -> Option<V> {
-        self.check_guard(guard);
+        self.check_sess(sess);
         debug_assert!(scratch.is_drained());
         // Unwind safety: if a K/V clone panics mid-rebuild, the lists hold
         // a half-built speculative path. The old mutex-owned scratch was
@@ -586,8 +937,8 @@ where
         let mut root = self.root.load(Ordering::Acquire);
         let mut failures = 0u32;
         loop {
-            // Safety: `root` was published and the pinned guard keeps every
-            // node reachable from it live and immutable.
+            // Safety: `root` was published and the write session keeps
+            // every node reachable from it live and immutable.
             let (new_root, old) = unsafe { Self::insert_rec(root, &key, &value, scratch.0) };
             // ordering: AcqRel success — Release publishes the speculative
             // path's node writes to readers' Acquire root loads; Acquire
@@ -601,7 +952,7 @@ where
                     // Retire strictly after publication: until the CAS, a
                     // freshly pinned reader could still reach the replaced
                     // nodes through `self.root`.
-                    scratch.0.commit(guard);
+                    scratch.0.commit(sess);
                     if old.is_none() {
                         // ordering: Release — pairs with `len`'s Acquire so
                         // an observed count implies the commit behind it.
@@ -626,9 +977,11 @@ where
     /// Removes `key`, returning its value if it was present. Takes the
     /// writer lock.
     pub fn remove(&self, key: &K) -> Option<V> {
-        with_writer(&self.writer, &self.collector, |guard, scratch| {
-            self.remove_with(key, guard, scratch)
-        })
+        with_write_session(
+            self,
+            || self.writer.lock().unwrap(),
+            |sess, w| self.remove_with(key, sess, &mut **w),
+        )
     }
 
     /// [`remove`](Self::remove) against a caller-provided scratch; same
@@ -636,14 +989,14 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if `guard` belongs to a different collector.
+    /// Panics if `sess` belongs to a different backend or domain.
     pub(crate) fn remove_with(
         &self,
         key: &K,
-        guard: &Guard<'_>,
+        sess: &WriteSess<'_>,
         scratch: &mut WriterScratch<K, V>,
     ) -> Option<V> {
-        self.check_guard(guard);
+        self.check_sess(sess);
         debug_assert!(scratch.is_drained());
         // Unwind safety: as in `insert_with`.
         let scratch = DrainOnUnwind(scratch);
@@ -668,7 +1021,7 @@ where
                 Ok(_) => {
                     // Retire strictly after publication, as one batch; see
                     // `insert_with`.
-                    scratch.0.commit(guard);
+                    scratch.0.commit(sess);
                     // ordering: Release — count/commit pairing; see
                     // `insert_with`.
                     self.len.fetch_sub(1, Ordering::Release);
@@ -686,15 +1039,44 @@ where
         }
     }
 
+    /// Runs `f` on a root snapshot that the backend's protection keeps
+    /// live for the duration of the call — the whole-tree-traversal
+    /// analogue of [`read_map`](Self::read_map). On HP the snapshot cannot
+    /// be covered by finitely many hazard slots, so writers are excluded
+    /// via the gate instead (concurrent *scans* are still fine: they free
+    /// only retired nodes, which are unreachable from the held root).
+    fn with_snapshot<R>(&self, f: impl FnOnce(*mut Node<K, V>) -> R) -> R {
+        match &self.backend {
+            ReclaimBackend::Epoch(c) => {
+                let _guard = c.pin();
+                // ordering: Acquire — publication pairing; see `find`.
+                f(self.root.load(Ordering::Acquire))
+            }
+            ReclaimBackend::Qsbr(d) => d.with_tls_handle(|h| {
+                // ordering: Acquire — publication pairing; see `find`.
+                let out = f(self.root.load(Ordering::Acquire));
+                // Announce after the traversal: a whole-tree walk is long,
+                // so do not wait for the read-tick cadence.
+                h.quiescent();
+                out
+            }),
+            ReclaimBackend::Hp(_) => {
+                let _gate = self.hp_gate.lock().unwrap();
+                // ordering: Acquire — publication pairing; see `find`.
+                f(self.root.load(Ordering::Acquire))
+            }
+        }
+    }
+
     /// Clones the tree contents in key order. Intended for tests and
-    /// debugging; runs under a single pinned guard.
+    /// debugging; protects internally (works on every backend).
     pub fn to_vec(&self) -> Vec<(K, V)> {
-        let guard = self.pin();
-        self.check_guard(&guard);
         let mut out = Vec::with_capacity(self.len());
-        // ordering: Acquire — publication pairing; see `get`.
-        // Safety: traversal of published immutable nodes under the guard.
-        unsafe { Self::inorder(self.root.load(Ordering::Acquire), &mut out) };
+        self.with_snapshot(|root| {
+            // Safety: traversal of published immutable nodes under the
+            // snapshot's backend protection.
+            unsafe { Self::inorder(root, &mut out) }
+        });
         out
     }
 
@@ -703,11 +1085,11 @@ where
     /// active.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        let guard = self.pin();
-        self.check_guard(&guard);
-        // ordering: Acquire — publication pairing; see `get`.
-        // Safety: traversal of published immutable nodes under the guard.
-        let n = unsafe { Self::check_rec(self.root.load(Ordering::Acquire), None, None) };
+        let n = self.with_snapshot(|root| {
+            // Safety: traversal of published immutable nodes under the
+            // snapshot's backend protection.
+            unsafe { Self::check_rec(root, None, None) }
+        });
         assert_eq!(n, self.len(), "cached len disagrees with node count");
     }
 
@@ -1214,6 +1596,98 @@ mod tests {
         }
         t.check_invariants();
         assert_eq!(t.len(), N as usize / 2);
+    }
+
+    /// The same randomized differential as `matches_btreemap_under_random_ops`,
+    /// replayed against each reclamation backend through the owned
+    /// (backend-agnostic) read API — the tentpole invariant: tree behavior
+    /// is identical whatever reclaims the garbage, and every backend ends
+    /// the run with everything it retired reclaimed.
+    #[test]
+    fn matches_btreemap_on_every_backend() {
+        use rcukit::ReclaimKind;
+        for kind in [ReclaimKind::Epoch, ReclaimKind::Qsbr, ReclaimKind::Hp] {
+            let backend = ReclaimBackend::new(kind);
+            let t: BonsaiTree<u64, u64> = BonsaiTree::with_backend(backend.clone());
+            let mut model = BTreeMap::new();
+            let mut rng = Rng(0xC0FFEE ^ kind as u64);
+            const OPS: u64 = if cfg!(miri) { 200 } else { 3000 };
+            for i in 0..OPS {
+                let k = rng.next() % 256;
+                if rng.next().is_multiple_of(3) {
+                    assert_eq!(
+                        t.remove(&k),
+                        model.remove(&k),
+                        "{kind:?} op {i}: remove {k}"
+                    );
+                } else {
+                    assert_eq!(
+                        t.insert(k, i),
+                        model.insert(k, i),
+                        "{kind:?} op {i}: insert {k}"
+                    );
+                }
+                if i % 512 == 0 {
+                    t.check_invariants();
+                    let probe = rng.next() % 256;
+                    assert_eq!(
+                        t.get_owned(&probe),
+                        model.get(&probe).copied(),
+                        "{kind:?} op {i}: get {probe}"
+                    );
+                    assert_eq!(
+                        t.get_le_owned(&probe),
+                        model.range(..=probe).next_back().map(|(&k, &v)| (k, v)),
+                        "{kind:?} op {i}: get_le {probe}"
+                    );
+                    assert_eq!(
+                        t.get_ge_owned(&probe),
+                        model.range(probe..).next().map(|(&k, &v)| (k, v)),
+                        "{kind:?} op {i}: get_ge {probe}"
+                    );
+                }
+            }
+            t.check_invariants();
+            let got = t.to_vec();
+            let want: Vec<(u64, u64)> = model.into_iter().collect();
+            assert_eq!(got, want, "{kind:?} final state diverged");
+            drop(t);
+            backend.synchronize();
+            let s = backend.stats();
+            assert_eq!(
+                s.objects_retired, s.objects_freed,
+                "{kind:?} leaked retired objects"
+            );
+            assert!(s.objects_retired > 0, "{kind:?} retired nothing");
+            assert_eq!(s.bytes_retired, s.bytes_freed, "{kind:?} leaked bytes");
+            assert!(
+                s.peak_unreclaimed_bytes > 0,
+                "{kind:?} never measured outstanding garbage"
+            );
+        }
+    }
+
+    /// Guard-based reads are the epoch protocol; the other backends must
+    /// reject them loudly instead of handing out unprotected references.
+    #[test]
+    fn guard_reads_panic_on_non_epoch_backends() {
+        use rcukit::ReclaimKind;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        for kind in [ReclaimKind::Qsbr, ReclaimKind::Hp] {
+            let t: BonsaiTree<u64, u64> = BonsaiTree::with_backend(ReclaimBackend::new(kind));
+            t.insert(1, 10);
+            assert!(
+                catch_unwind(AssertUnwindSafe(|| t.pin())).is_err(),
+                "{kind:?}: pin() must panic"
+            );
+            assert!(
+                catch_unwind(AssertUnwindSafe(|| t.collector())).is_err(),
+                "{kind:?}: collector() must panic"
+            );
+            // The owned reads are the supported protocol there.
+            assert_eq!(t.get_owned(&1), Some(10));
+            assert!(t.contains_key(&1));
+        }
     }
 
     #[test]

@@ -19,9 +19,10 @@ use crate::workload::Profile;
 pub const USAGE: &str = "usage:
   rcukit-bench [readers=N] [duration_ms=N] [keys=N] [workload=tree|range|both]
   rcukit-bench --sweep [threads=1,2,4]
-               [profile=metis|metis-phased|psearchy|read-heavy|uniform|writers|all]
-               [backend=bonsai|locked|both] [ops=N] [slots=N] [pages=N]
-               [seed=N] [out=PATH|-]";
+               [profile=metis|metis-phased|psearchy|read-heavy|uniform|writers|\
+stalled-reader|all]
+               [backend=bonsai|qsbr|hp|locked|both|all] [ops=N] [slots=N]
+               [pages=N] [seed=N] [out=PATH|-]";
 
 /// Which structure(s) the legacy mode drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -134,10 +135,11 @@ fn parse_sweep(args: &[String]) -> Result<SweepConfig, String> {
                 };
             }
             Some(("backend", v)) => {
-                cfg.backends = if v == "both" {
-                    Backend::ALL.to_vec()
-                } else {
-                    vec![Backend::parse(v)?]
+                cfg.backends = match v {
+                    "all" => Backend::ALL.to_vec(),
+                    // The historical two-way comparison.
+                    "both" => Backend::BOTH.to_vec(),
+                    one => vec![Backend::parse(one)?],
                 };
             }
             Some(("ops", v)) => cfg.ops_per_thread = num(v, "ops")?,
@@ -170,8 +172,8 @@ mod tests {
         match parse_strs(&["--sweep"]) {
             Ok(Mode::Sweep(cfg)) => {
                 assert_eq!(cfg.threads, vec![1, 2, 4]);
-                assert_eq!(cfg.profiles.len(), 6);
-                assert_eq!(cfg.backends.len(), 2);
+                assert_eq!(cfg.profiles.len(), 7);
+                assert_eq!(cfg.backends.len(), 4);
                 assert_eq!(cfg.out.as_deref(), Some("BENCH_addrspace.json"));
             }
             other => panic!("expected sweep mode, got {other:?}"),

@@ -1,45 +1,75 @@
 //! The paper's evaluation sweep: replay one deterministic address-space
-//! workload against both backends across a range of thread counts.
+//! workload against every backend across a range of thread counts.
 //!
 //! For every `(profile, thread count)` point the driver generates the
 //! per-thread traces once, then replays the *identical* ops against each
-//! backend — the RCU [`RangeMap`] and the [`LockedAddressSpace`] baseline
-//! — timing the whole replay. One JSON record per `(profile, threads,
-//! backend)` point goes to stdout as it completes, and the full run is
-//! written as a `BENCH_addrspace.json` trajectory file.
+//! backend — the RCU [`RangeMap`] on each of the three reclamation
+//! backends (epoch, QSBR, hazard pointers) and the [`LockedAddressSpace`]
+//! baseline — timing the whole replay. One JSON record per `(profile,
+//! threads, backend)` point goes to stdout as it completes, and the full
+//! run is written as a `BENCH_addrspace.json` trajectory file.
 //!
 //! Replays are fixed-work (ops per thread), not fixed-duration, so a run
 //! is exactly reproducible from its seed and directly comparable across
 //! backends, machines, and repo history: only the elapsed time varies.
+//!
+//! The `stalled-reader` profile additionally parks one extra reader inside
+//! the backend's read-side protection for the whole replay; its
+//! `peak_unreclaimed_bytes` column is the bounded-garbage comparison (see
+//! [`Profile::StalledReader`]).
 
 use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use bonsai::{AddressSpace, RangeMap};
-use rcukit::Collector;
+use rcukit::{ReclaimBackend, ReclaimKind};
 
 use crate::baseline::LockedAddressSpace;
 use crate::workload::{Op, Profile, Rng, WorkloadSpec};
 
-/// Which address-space implementation a replay point runs against.
+/// Which address-space implementation a replay point runs against: the
+/// RCU `RangeMap` on one of the three reclamation backends, or the locked
+/// baseline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
-    /// The RCU Bonsai-tree `RangeMap` (lock-free faults).
+    /// The Bonsai-tree `RangeMap`, epoch-based reclamation (the default
+    /// and historical "bonsai" record).
     Bonsai,
+    /// The Bonsai-tree `RangeMap`, quiescent-state-based reclamation.
+    Qsbr,
+    /// The Bonsai-tree `RangeMap`, hazard-pointer reclamation (bounded
+    /// garbage under a stalled reader).
+    Hp,
     /// The `RwLock<BTreeMap>` baseline (lock-serialized faults).
     Locked,
 }
 
 impl Backend {
     /// All backends, in reporting order.
-    pub const ALL: [Backend; 2] = [Backend::Bonsai, Backend::Locked];
+    pub const ALL: [Backend; 4] = [Backend::Bonsai, Backend::Qsbr, Backend::Hp, Backend::Locked];
+
+    /// The historical two-backend comparison (`backend=both`).
+    pub const BOTH: [Backend; 2] = [Backend::Bonsai, Backend::Locked];
 
     /// The backend's name as used by the CLI and the JSON output.
     pub fn name(self) -> &'static str {
         match self {
             Backend::Bonsai => "bonsai",
+            Backend::Qsbr => "qsbr",
+            Backend::Hp => "hp",
             Backend::Locked => "locked",
+        }
+    }
+
+    /// The reclamation backend driving this point's `RangeMap`, or `None`
+    /// for the locked baseline.
+    pub fn reclaim_kind(self) -> Option<ReclaimKind> {
+        match self {
+            Backend::Bonsai => Some(ReclaimKind::Epoch),
+            Backend::Qsbr => Some(ReclaimKind::Qsbr),
+            Backend::Hp => Some(ReclaimKind::Hp),
+            Backend::Locked => None,
         }
     }
 
@@ -47,9 +77,11 @@ impl Backend {
     pub fn parse(s: &str) -> Result<Backend, String> {
         match s {
             "bonsai" => Ok(Backend::Bonsai),
+            "qsbr" => Ok(Backend::Qsbr),
+            "hp" => Ok(Backend::Hp),
             "locked" => Ok(Backend::Locked),
             other => Err(format!(
-                "unknown backend {other:?} (expected bonsai|locked|both)"
+                "unknown backend {other:?} (expected bonsai|qsbr|hp|locked|both|all)"
             )),
         }
     }
@@ -156,13 +188,19 @@ pub struct PointResult {
     pub elapsed: Duration,
     /// Operation tallies across all threads.
     pub tally: Tally,
-    /// Deferred retirements tagged by the collector (bonsai backend only).
+    /// Deferred retirements tagged by the reclamation backend (RCU
+    /// backends only).
     pub retired: u64,
-    /// Deferred retirements executed after the final grace period.
+    /// Deferred retirements executed after the final grace period / scan.
     pub freed: u64,
     /// `retired == freed` after a final `synchronize` — the no-leak check.
     /// Trivially true for the locked backend (nothing is deferred).
     pub reclaim_ok: bool,
+    /// High-water mark of retired-but-not-yet-reclaimed bytes over the
+    /// whole replay (RCU backends; 0 for locked). The bounded-garbage
+    /// gauge the `stalled-reader` profile compares: grace-period backends
+    /// grow it with the stalled window, hazard pointers keep it bounded.
+    pub peak_unreclaimed_bytes: u64,
     /// Root-CAS commits that lost to a concurrent writer and rebuilt
     /// (bonsai backend; always 0 at `threads == 1` and for locked). The
     /// wasted-work telemetry the bounded backoff exists to curb.
@@ -196,6 +234,7 @@ impl PointResult {
              \"unmap_ranges\":{},\"unmap_range_misses\":{},\
              \"mutations_per_sec\":{:.0},\
              \"retired\":{},\"freed\":{},\"reclaim_ok\":{},\
+             \"peak_unreclaimed_bytes\":{},\
              \"cas_retries\":{},\"cas_wasted_nodes\":{},\
              \"read_op_ns\":{:.2}}}",
             self.profile.name(),
@@ -218,6 +257,7 @@ impl PointResult {
             self.retired,
             self.freed,
             self.reclaim_ok,
+            self.peak_unreclaimed_bytes,
             self.cas_retries,
             self.cas_wasted_nodes,
             self.read_op_ns,
@@ -323,6 +363,41 @@ fn replay<A: AddressSpace + 'static>(
     (elapsed, tally)
 }
 
+/// Runs `f` with one extra reader parked inside `backend`'s read-side
+/// protection (the `stalled-reader` profile's adversary): a pinned epoch
+/// guard, a registered-but-never-announcing QSBR thread, or a hazard
+/// session protecting a pointer. The protection is held on the calling
+/// thread — which never replays ops — and released before the caller's
+/// final `synchronize`, so the drain cannot deadlock on it.
+fn with_stalled_reader<R>(backend: &ReclaimBackend, f: impl FnOnce() -> R) -> R {
+    match backend {
+        ReclaimBackend::Epoch(c) => {
+            let handle = c.register();
+            let _pin = handle.pin();
+            f()
+        }
+        ReclaimBackend::Qsbr(d) => {
+            // Registered and online, but never announcing quiescence:
+            // every grace period stalls behind it.
+            let _handle = d.register();
+            f()
+        }
+        ReclaimBackend::Hp(d) => {
+            // A session squatting on a protected pointer mid-"traversal".
+            // It occupies hazard slots but can only shield what it names —
+            // the scan frees everything else, which is the bound.
+            let parked = Box::into_raw(Box::new(0u64));
+            let session = d.session();
+            session.protect(0, parked.cast());
+            let out = f();
+            drop(session);
+            // Safety: only this function ever saw the allocation.
+            unsafe { drop(Box::from_raw(parked)) };
+            out
+        }
+    }
+}
+
 /// Runs one `(profile, threads, backend)` point.
 fn run_point(
     cfg: &SweepConfig,
@@ -332,41 +407,47 @@ fn run_point(
     traces: &Arc<Vec<Vec<Op>>>,
 ) -> PointResult {
     let spec = cfg.spec(profile, threads);
-    let (elapsed, tally, retired, freed, cas_retries, cas_wasted_nodes, read_op_ns) = match backend
-    {
-        Backend::Bonsai => {
-            let collector = Collector::new();
-            let space: Arc<RangeMap<()>> = Arc::new(RangeMap::new(collector.clone()));
-            let (elapsed, tally) = replay(Arc::clone(&space), &spec, Arc::clone(traces));
-            let read_op_ns = read_microbench(&*space, &spec);
-            collector.synchronize();
-            let stats = collector.stats();
-            (
-                elapsed,
-                tally,
-                stats.objects_retired,
-                stats.objects_freed,
-                space.cas_retries(),
-                space.cas_wasted_nodes(),
-                read_op_ns,
-            )
-        }
-        Backend::Locked => {
-            let space = Arc::new(LockedAddressSpace::new());
-            let (elapsed, tally) = replay(Arc::clone(&space), &spec, Arc::clone(traces));
-            let read_op_ns = read_microbench(&*space, &spec);
-            (elapsed, tally, 0, 0, 0, 0, read_op_ns)
-        }
-    };
+    let (elapsed, tally, stats, cas_retries, cas_wasted_nodes, read_op_ns) =
+        match backend.reclaim_kind() {
+            Some(kind) => {
+                let reclaim = ReclaimBackend::new(kind);
+                let space: Arc<RangeMap<()>> = Arc::new(RangeMap::with_backend(reclaim.clone()));
+                let (elapsed, tally) = if profile.stalls_a_reader() {
+                    with_stalled_reader(&reclaim, || {
+                        replay(Arc::clone(&space), &spec, Arc::clone(traces))
+                    })
+                } else {
+                    replay(Arc::clone(&space), &spec, Arc::clone(traces))
+                };
+                let read_op_ns = read_microbench(&*space, &spec);
+                reclaim.synchronize();
+                let stats = reclaim.stats();
+                (
+                    elapsed,
+                    tally,
+                    stats,
+                    space.cas_retries(),
+                    space.cas_wasted_nodes(),
+                    read_op_ns,
+                )
+            }
+            None => {
+                let space = Arc::new(LockedAddressSpace::new());
+                let (elapsed, tally) = replay(Arc::clone(&space), &spec, Arc::clone(traces));
+                let read_op_ns = read_microbench(&*space, &spec);
+                (elapsed, tally, Default::default(), 0, 0, read_op_ns)
+            }
+        };
     PointResult {
         profile,
         backend,
         threads,
         elapsed,
         tally,
-        retired,
-        freed,
-        reclaim_ok: retired == freed,
+        retired: stats.objects_retired,
+        freed: stats.objects_freed,
+        reclaim_ok: stats.objects_retired == stats.objects_freed,
+        peak_unreclaimed_bytes: stats.peak_unreclaimed_bytes,
         cas_retries,
         cas_wasted_nodes,
         read_op_ns,
@@ -399,15 +480,18 @@ pub fn run(cfg: &SweepConfig) -> Vec<PointResult> {
 pub fn render_trajectory(cfg: &SweepConfig, results: &[PointResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    // v4 (over v3): the `read-heavy` profile (~99% faults) and the
-    // `read_op_ns` per-record single-thread read-side microbench — the
-    // per-op pin+lookup latency point the ordering audit's payoff shows up
+    // v5 (over v4): the `qsbr` and `hp` backends (same traces, different
+    // reclamation), the adversarial `stalled-reader` profile, and the
+    // `peak_unreclaimed_bytes` per-record bounded-garbage gauge. v4 added
+    // the `read-heavy` profile (~99% faults) and the `read_op_ns`
+    // per-record single-thread read-side microbench — the per-op
+    // pin+lookup latency point the ordering audit's payoff shows up
     // in. v3 added the `metis-phased` profile (mid-trace mix shift) and
     // the `cas_retries`/`cas_wasted_nodes` telemetry from the striped
     // range-lock + arena writer path. v2 added the `writers` profile,
     // multi-region `unmap_range` ops (`unmap_ranges`/`unmap_range_misses`),
     // and range-locked parallel writers on the bonsai backend.
-    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v4\",\n");
+    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v5\",\n");
     out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
     out.push_str(&format!("  \"ops_per_thread\": {},\n", cfg.ops_per_thread));
     out.push_str(&format!(

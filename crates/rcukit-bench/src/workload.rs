@@ -105,17 +105,29 @@ pub enum Profile {
     /// workload the range-locked writer path exists for (and the one the
     /// old single-writer mutex serialized completely).
     Writers,
+    /// Adversarial reclamation stress: a mutation-heavy churn trace during
+    /// which the *harness* (not the trace) parks one extra reader inside
+    /// the backend's read-side protection for the whole replay — a pinned
+    /// epoch guard, a registered-but-silent QSBR thread, or a hazard
+    /// session holding a protected pointer. The trace itself just turns
+    /// garbage over; the point of the profile is the
+    /// `peak_unreclaimed_bytes` column: grace-period backends (epoch,
+    /// QSBR) accumulate garbage in proportion to the stalled window
+    /// (scale it with `ops`), while the hazard-pointer backend's peak
+    /// stays bounded by construction.
+    StalledReader,
 }
 
 impl Profile {
     /// All profiles, in reporting order.
-    pub const ALL: [Profile; 6] = [
+    pub const ALL: [Profile; 7] = [
         Profile::Metis,
         Profile::MetisPhased,
         Profile::Psearchy,
         Profile::ReadHeavy,
         Profile::Uniform,
         Profile::Writers,
+        Profile::StalledReader,
     ];
 
     /// The profile's name as used by the CLI and the JSON output.
@@ -127,6 +139,7 @@ impl Profile {
             Profile::ReadHeavy => "read-heavy",
             Profile::Uniform => "uniform",
             Profile::Writers => "writers",
+            Profile::StalledReader => "stalled-reader",
         }
     }
 
@@ -139,11 +152,19 @@ impl Profile {
             "read-heavy" => Ok(Profile::ReadHeavy),
             "uniform" => Ok(Profile::Uniform),
             "writers" => Ok(Profile::Writers),
+            "stalled-reader" => Ok(Profile::StalledReader),
             other => Err(format!(
                 "unknown profile {other:?} \
-                 (expected metis|metis-phased|psearchy|read-heavy|uniform|writers|all)"
+                 (expected metis|metis-phased|psearchy|read-heavy|uniform|writers|\
+                 stalled-reader|all)"
             )),
         }
+    }
+
+    /// Whether the harness parks a stalled reader inside read-side
+    /// protection for the whole replay of this profile.
+    pub fn stalls_a_reader(self) -> bool {
+        matches!(self, Profile::StalledReader)
     }
 
     /// The profile's phases, in trace order. `ops_ppk` sums to 1024.
@@ -189,6 +210,14 @@ impl Profile {
                 ops_ppk: 1024,
                 mix: (0, 512, 512),
                 locality: 1024, // no faults; vacuous
+            }],
+            Profile::StalledReader => &[Phase {
+                ops_ppk: 1024,
+                // Mutation-heavy: the profile exists to retire garbage
+                // while the harness's parked reader blocks (or, for HP,
+                // fails to block) its reclamation.
+                mix: (256, 384, 384),
+                locality: 819,
             }],
         }
     }

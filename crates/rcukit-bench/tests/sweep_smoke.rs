@@ -1,5 +1,5 @@
-//! In-process smoke test of the evaluation sweep: a tiny run against both
-//! backends must produce identical-work records, a clean reclaim check,
+//! In-process smoke test of the evaluation sweep: a tiny run against every
+//! backend must produce identical-work records, a clean reclaim check,
 //! and a well-formed JSON trajectory document.
 
 use rcukit_bench::sweep::{self, Backend, SweepConfig};
@@ -14,6 +14,7 @@ fn tiny_config() -> SweepConfig {
             Profile::Psearchy,
             Profile::ReadHeavy,
             Profile::Writers,
+            Profile::StalledReader,
         ],
         backends: Backend::ALL.to_vec(),
         ops_per_thread: 5_000,
@@ -25,7 +26,7 @@ fn tiny_config() -> SweepConfig {
 }
 
 #[test]
-fn sweep_runs_both_backends_over_identical_work() {
+fn sweep_runs_every_backend_over_identical_work() {
     let cfg = tiny_config();
     let results = sweep::run(&cfg);
     assert_eq!(
@@ -44,11 +45,18 @@ fn sweep_runs_both_backends_over_identical_work() {
         assert_eq!(point.tally.map_rejects, 0, "{point:?}");
         assert_eq!(point.tally.unmap_misses, 0, "{point:?}");
         assert_eq!(point.tally.unmap_range_misses, 0, "{point:?}");
-        // The bonsai backend must retire and free the same count after the
-        // final grace period; the locked baseline trivially passes.
+        // Every reclaiming backend must retire and free the same count
+        // after the final grace period; the locked baseline trivially
+        // passes (and never reports unreclaimed garbage).
         assert!(point.reclaim_ok, "{point:?}");
-        if point.backend == Backend::Bonsai {
+        if point.backend.reclaim_kind().is_some() {
             assert!(point.retired > 0, "writer churn must retire nodes");
+            assert!(
+                point.peak_unreclaimed_bytes > 0,
+                "retirements must register on the peak gauge: {point:?}"
+            );
+        } else {
+            assert_eq!(point.peak_unreclaimed_bytes, 0, "{point:?}");
         }
         // CAS telemetry sanity: single-threaded replays can never lose a
         // root CAS, and the locked baseline has no CAS at all.
@@ -70,20 +78,83 @@ fn sweep_runs_both_backends_over_identical_work() {
 
     // The same (profile, threads) trace replayed against each backend must
     // tally identically — only elapsed time may differ.
-    for pair in results.chunks(2) {
-        let (a, b) = (&pair[0], &pair[1]);
-        assert_eq!(a.profile, b.profile);
-        assert_eq!(a.threads, b.threads);
-        assert_eq!(a.tally.faults, b.tally.faults);
-        assert_eq!(a.tally.maps, b.tally.maps);
-        assert_eq!(a.tally.unmaps, b.tally.unmaps);
-        assert_eq!(a.tally.unmap_ranges, b.tally.unmap_ranges);
-        // Hit counts are only interleaving-independent single-threaded: a
-        // cross-arena fault races other threads' map/unmap replay.
-        if a.threads == 1 {
-            assert_eq!(a.tally.fault_hits, b.tally.fault_hits);
+    for group in results.chunks(cfg.backends.len()) {
+        let a = &group[0];
+        for b in &group[1..] {
+            assert_eq!(a.profile, b.profile);
+            assert_eq!(a.threads, b.threads);
+            assert_eq!(a.tally.faults, b.tally.faults);
+            assert_eq!(a.tally.maps, b.tally.maps);
+            assert_eq!(a.tally.unmaps, b.tally.unmaps);
+            assert_eq!(a.tally.unmap_ranges, b.tally.unmap_ranges);
+            // Hit counts are only interleaving-independent single-threaded:
+            // a cross-arena fault races other threads' map/unmap replay.
+            if a.threads == 1 {
+                assert_eq!(a.tally.fault_hits, b.tally.fault_hits);
+            }
         }
     }
+}
+
+/// The acceptance test for bounded garbage: under the `stalled-reader`
+/// profile one reader sits inside its read-side protection for the whole
+/// replay. Epoch reclamation cannot advance past the stalled reader's
+/// epoch, so its peak unreclaimed footprint scales with the stall window
+/// (here: with the number of ops replayed under the stall). Hazard
+/// pointers only ever defer what the scan threshold plus the per-slot
+/// protections can hold, so the peak stays flat no matter how long the
+/// stall lasts.
+#[test]
+fn stalled_reader_peak_grows_with_window_on_epoch_but_not_hp() {
+    fn stalled(ops: usize) -> Vec<sweep::PointResult> {
+        sweep::run(&SweepConfig {
+            threads: vec![2],
+            profiles: vec![Profile::StalledReader],
+            backends: vec![Backend::Bonsai, Backend::Hp],
+            ops_per_thread: ops,
+            slots_per_thread: 16,
+            pages_per_slot: 8,
+            seed: 7,
+            out: None,
+        })
+    }
+
+    let short = stalled(2_000);
+    let long = stalled(8_000);
+    let (epoch_short, hp_short) = (&short[0], &short[1]);
+    let (epoch_long, hp_long) = (&long[0], &long[1]);
+    assert_eq!(epoch_short.backend, Backend::Bonsai);
+    assert_eq!(hp_short.backend, Backend::Hp);
+
+    // Both backends still reclaim everything once the stall lifts.
+    for point in short.iter().chain(long.iter()) {
+        assert!(point.reclaim_ok, "{point:?}");
+        assert!(point.retired > 0, "{point:?}");
+    }
+
+    // Epoch garbage accumulates for the whole window: quadrupling the ops
+    // must at least double the peak (conservative to keep this robust).
+    assert!(
+        epoch_long.peak_unreclaimed_bytes >= 2 * epoch_short.peak_unreclaimed_bytes,
+        "epoch peak must scale with the stall window: \
+         short={} long={}",
+        epoch_short.peak_unreclaimed_bytes,
+        epoch_long.peak_unreclaimed_bytes,
+    );
+    // The HP peak is bounded by construction (scan threshold + slots), so
+    // it must not track the window and must sit far below the epoch peak.
+    assert!(
+        hp_long.peak_unreclaimed_bytes <= 4 * hp_short.peak_unreclaimed_bytes.max(4096),
+        "hp peak must not scale with the stall window: short={} long={}",
+        hp_short.peak_unreclaimed_bytes,
+        hp_long.peak_unreclaimed_bytes,
+    );
+    assert!(
+        hp_long.peak_unreclaimed_bytes * 4 < epoch_long.peak_unreclaimed_bytes,
+        "hp peak ({}) must sit well below the epoch peak ({})",
+        hp_long.peak_unreclaimed_bytes,
+        epoch_long.peak_unreclaimed_bytes,
+    );
 }
 
 #[test]
@@ -99,7 +170,7 @@ fn trajectory_document_is_well_formed_json() {
     };
     assert_eq!(
         lookup(&top, "schema"),
-        Some(&json::Value::String("rcukit-bench/addrspace-v4".into()))
+        Some(&json::Value::String("rcukit-bench/addrspace-v5".into()))
     );
     assert_eq!(lookup(&top, "seed"), Some(&json::Value::Number(7.0)));
     match lookup(&top, "results") {
@@ -117,6 +188,7 @@ fn trajectory_document_is_well_formed_json() {
                     "unmap_ranges",
                     "unmap_range_misses",
                     "reclaim_ok",
+                    "peak_unreclaimed_bytes",
                     "cas_retries",
                     "cas_wasted_nodes",
                     "read_op_ns",

@@ -37,7 +37,7 @@ use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, SeqCst};
 use std::sync::Arc;
 use std::thread;
 
-use crate::deferred::{Bag, Deferred};
+use crate::deferred::{Bag, Deferred, Retired};
 use crate::guard::Guard;
 use crate::stats::CollectorStats;
 use crate::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize};
@@ -178,12 +178,23 @@ pub(crate) struct Inner {
     next_shard: AtomicUsize,
     /// Total number of successful epoch advances.
     epochs_advanced: AtomicU64,
-    /// Total deferred callbacks retired via `defer`/`defer_free`. Units are
-    /// callbacks, not heap objects: a caller batching several frees into
-    /// one `defer` closure counts once (see [`CollectorStats`]).
+    /// Total heap objects retired via `defer`/`defer_free`/`defer_recycle`.
+    /// Units are *objects*: every pointer in a recycle batch counts
+    /// individually; an opaque `defer` closure counts as one (see
+    /// [`CollectorStats`]).
     pub(crate) retired: AtomicU64,
-    /// Total deferred callbacks executed.
+    /// Total heap objects reclaimed by executed retirements.
     freed: AtomicU64,
+    /// Total bytes retired, per the retirer's estimate (`defer_free` uses
+    /// the payload size; `defer_recycle` takes an explicit count; opaque
+    /// closures contribute 0).
+    retired_bytes: AtomicU64,
+    /// Total bytes reclaimed by executed retirements.
+    freed_bytes: AtomicU64,
+    /// Bytes retired but not yet reclaimed, and its high-water mark — the
+    /// bounded-garbage gauge the stalled-reader benchmark reads.
+    unreclaimed_bytes: AtomicU64,
+    peak_unreclaimed_bytes: AtomicU64,
     /// Diagnostic: total registry-lock acquisitions, across all shards.
     /// Reader pin/unpin must never move this counter — the hot-path
     /// regression test pins in a loop and asserts it stays flat. Counted
@@ -208,7 +219,7 @@ pub(crate) struct Inner {
     /// a fresh `Vec` keeps the steady-state write path allocation-free.
     /// Capped at [`BAG_POOL_MAX`]; a leaf lock (nothing is acquired while
     /// holding it).
-    bag_pool: Mutex<Vec<Vec<Deferred>>>,
+    bag_pool: Mutex<Vec<Vec<Retired>>>,
     /// Reusable ready-bag buffer for [`Inner::reclaim`], so the collect
     /// path stops allocating one `Vec` per reclaim pass. Taken briefly at
     /// reclaim entry (a re-entrant reclaim fired from a callback just sees
@@ -322,17 +333,21 @@ impl Inner {
             remaining |= !garbage.is_empty();
         }
         let mut n = 0;
+        let mut bytes = 0;
         for bag in ready.drain(..) {
-            let (fired, buffer) = bag.fire();
-            n += fired;
+            let (objects, b, buffer) = bag.fire();
+            n += objects;
+            bytes += b;
             self.pool_bag_buffer(buffer);
         }
         // Hand the (drained) buffer back for the next reclaim. A concurrent
         // or re-entrant pass may have installed its own in the meantime;
         // keeping either one is fine — this is a capacity cache, not state.
         *self.reclaim_scratch.lock().unwrap() = ready;
-        // ordering: Relaxed — statistics counter.
+        // ordering: Relaxed (all) — statistics counters.
         self.freed.fetch_add(n as u64, Relaxed);
+        self.freed_bytes.fetch_add(bytes as u64, Relaxed);
+        self.unreclaimed_bytes.fetch_sub(bytes as u64, Relaxed);
         (n, remaining)
     }
 
@@ -346,7 +361,7 @@ impl Inner {
 
     /// Returns a drained bag buffer to the pool, dropping it if the pool
     /// is full (bounding the cached capacity).
-    fn pool_bag_buffer(&self, buffer: Vec<Deferred>) {
+    fn pool_bag_buffer(&self, buffer: Vec<Retired>) {
         if buffer.capacity() == 0 {
             return;
         }
@@ -371,9 +386,10 @@ impl Inner {
         true
     }
 
-    /// Adds one deferred callback to `local`'s bag, tagged with the current
-    /// global epoch. Seals oversized or stale-epoch bags along the way.
-    pub(crate) fn defer(&self, local: &LocalState, d: Deferred) {
+    /// Adds one deferred retirement (standing for `objects` heap objects /
+    /// `bytes` bytes) to `local`'s bag, tagged with the current global
+    /// epoch. Seals oversized or stale-epoch bags along the way.
+    pub(crate) fn defer(&self, local: &LocalState, d: Deferred, objects: usize, bytes: usize) {
         // ordering: SeqCst fence (StoreLoad) — the caller's unlink store
         // (e.g. a Release store of a new tree root) must be globally visible
         // before the epoch tag is sampled. Without it the unlink can linger
@@ -393,7 +409,7 @@ impl Inner {
                 None
             };
             bag.epoch = tag;
-            bag.items.push(d);
+            bag.items.push(Retired { d, objects, bytes });
             let full = if bag.len() >= BAG_SEAL_THRESHOLD {
                 Some(mem::replace(&mut *bag, self.pooled_bag(tag)))
             } else {
@@ -401,8 +417,14 @@ impl Inner {
             };
             (stale, full)
         };
-        // ordering: Relaxed — statistics counter.
-        self.retired.fetch_add(1, Relaxed);
+        // ordering: Relaxed (both) — statistics counters.
+        self.retired.fetch_add(objects as u64, Relaxed);
+        self.retired_bytes.fetch_add(bytes as u64, Relaxed);
+        crate::reclaim::note_unreclaimed(
+            &self.unreclaimed_bytes,
+            &self.peak_unreclaimed_bytes,
+            bytes as u64,
+        );
         if sealed.0.is_some() || sealed.1.is_some() {
             // A bag sealed mid-critical-section leaves the local bag empty
             // at unpin, so `Guard::drop`'s `had_garbage` check alone would
@@ -468,18 +490,25 @@ impl Drop for Inner {
         // reference gone, every remaining retirement is safe to execute
         // immediately.
         let mut n = 0;
+        let mut bytes = 0;
         for shard in self.shards.iter_mut() {
             for local in shard.registry.get_mut().unwrap().drain(..) {
                 let bag = mem::replace(&mut *local.bag.lock().unwrap(), Bag::new(0));
-                n += bag.fire().0;
+                let (objects, b, _) = bag.fire();
+                n += objects;
+                bytes += b;
             }
             for bag in shard.garbage.get_mut().unwrap().drain(..) {
-                n += bag.fire().0;
+                let (objects, b, _) = bag.fire();
+                n += objects;
+                bytes += b;
             }
         }
-        // ordering: Relaxed — statistics counter, and `&mut self` proves
-        // exclusive access anyway.
+        // ordering: Relaxed (all) — statistics counters, and `&mut self`
+        // proves exclusive access anyway.
         self.freed.fetch_add(n as u64, Relaxed);
+        self.freed_bytes.fetch_add(bytes as u64, Relaxed);
+        self.unreclaimed_bytes.fetch_sub(bytes as u64, Relaxed);
     }
 }
 
@@ -619,6 +648,10 @@ impl Collector {
                 epochs_advanced: AtomicU64::new(0),
                 retired: AtomicU64::new(0),
                 freed: AtomicU64::new(0),
+                retired_bytes: AtomicU64::new(0),
+                freed_bytes: AtomicU64::new(0),
+                unreclaimed_bytes: AtomicU64::new(0),
+                peak_unreclaimed_bytes: AtomicU64::new(0),
                 registry_locks: AtomicU64::new(0),
                 tls_cached: AtomicUsize::new(0),
                 unpin_collect_period: AtomicUsize::new(UNPIN_COLLECT_PERIOD),
@@ -870,13 +903,13 @@ impl Collector {
                 let bag = local.bag.lock().unwrap();
                 if !bag.is_empty() {
                     pending_bags += 1;
-                    pending_objects += bag.len();
+                    pending_objects += bag.objects();
                 }
             }
             drop(registry);
             let garbage = self.inner.shards[shard].garbage.lock().unwrap();
             pending_bags += garbage.len();
-            pending_objects += garbage.iter().map(Bag::len).sum::<usize>();
+            pending_objects += garbage.iter().map(Bag::objects).sum::<usize>();
         }
         // ordering: Relaxed (all) — point-in-time snapshot of diagnostic
         // counters; the fields are not mutually consistent anyway.
@@ -885,6 +918,9 @@ impl Collector {
             epochs_advanced: self.inner.epochs_advanced.load(Relaxed),
             objects_retired: self.inner.retired.load(Relaxed),
             objects_freed: self.inner.freed.load(Relaxed),
+            bytes_retired: self.inner.retired_bytes.load(Relaxed),
+            bytes_freed: self.inner.freed_bytes.load(Relaxed),
+            peak_unreclaimed_bytes: self.inner.peak_unreclaimed_bytes.load(Relaxed),
             pending_bags,
             pending_objects,
             registered_threads,

@@ -98,6 +98,25 @@ pub trait Recycler: Send + Sync {
     ///
     /// [`defer_recycle`]: crate::Guard::defer_recycle
     unsafe fn recycle(&self, batch: RecycleBatch);
+
+    /// Reclaims a single pointer. Reclamation backends that decide per
+    /// pointer whether a retirement may run (the hazard-pointer scan frees
+    /// each unprotected pointer individually) call this instead of
+    /// [`recycle`](Self::recycle). The default wraps the pointer in a
+    /// one-element batch; arena-style recyclers override it to return the
+    /// block directly, keeping the per-pointer path allocation-free.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`recycle`](Self::recycle), applied to the single
+    /// pointer `ptr`.
+    unsafe fn recycle_one(&self, ptr: *mut ()) {
+        let mut batch = RecycleBatch::new();
+        batch.push(ptr);
+        // Safety: forwarded contract — `ptr` is unreachable and exclusively
+        // owned, exactly as `recycle` requires of every batch entry.
+        unsafe { self.recycle(batch) };
+    }
 }
 
 /// A deferred unit of work executed after a grace period.
@@ -137,13 +156,37 @@ impl fmt::Debug for Deferred {
     }
 }
 
-/// A batch of deferred callbacks retired during the same epoch.
+/// A retired unit plus its accounting: how many heap objects it stands for
+/// and the retirer's byte estimate. Carrying the counts through the bag is
+/// what keeps the collector's object/byte counters accurate whatever shape
+/// the retirement took — one opaque closure, one boxed allocation, or a
+/// whole recycle batch (whose entries each count as an object).
+pub(crate) struct Retired {
+    pub(crate) d: Deferred,
+    /// Heap objects this unit reclaims. A recycle batch counts every
+    /// pointer; an opaque `Call` closure counts as one.
+    pub(crate) objects: usize,
+    /// Retirer-supplied estimate of the bytes reclaimed; `0` when unknown
+    /// (an opaque closure carries no byte estimate).
+    pub(crate) bytes: usize,
+}
+
+impl fmt::Debug for Retired {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Retired")
+            .field("objects", &self.objects)
+            .field("bytes", &self.bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A batch of deferred retirements made during the same epoch.
 #[derive(Debug, Default)]
 pub(crate) struct Bag {
     /// Epoch in which the contents were retired.
     pub(crate) epoch: u64,
-    /// The retired callbacks.
-    pub(crate) items: Vec<Deferred>,
+    /// The retired units.
+    pub(crate) items: Vec<Retired>,
 }
 
 impl Bag {
@@ -157,29 +200,39 @@ impl Bag {
 
     /// Creates a bag tagged with `epoch` over a recycled (empty but
     /// warm-capacity) item buffer — see the collector's bag pool.
-    pub(crate) fn with_buffer(epoch: u64, items: Vec<Deferred>) -> Self {
+    pub(crate) fn with_buffer(epoch: u64, items: Vec<Retired>) -> Self {
         debug_assert!(items.is_empty());
         Self { epoch, items }
     }
 
-    /// Number of retired callbacks held by the bag.
+    /// Number of retired units held by the bag (the seal-threshold gauge;
+    /// see [`objects`](Self::objects) for the object count).
     pub(crate) fn len(&self) -> usize {
         self.items.len()
     }
 
-    /// Whether the bag holds no callbacks.
+    /// Number of heap objects the bag's units stand for.
+    pub(crate) fn objects(&self) -> usize {
+        self.items.iter().map(|r| r.objects).sum()
+    }
+
+    /// Whether the bag holds no retirements.
     pub(crate) fn is_empty(&self) -> bool {
         self.items.is_empty()
     }
 
-    /// Executes every callback in the bag, returning how many ran plus the
-    /// drained item buffer (for the caller to pool).
-    pub(crate) fn fire(mut self) -> (usize, Vec<Deferred>) {
-        let n = self.items.len();
-        for d in self.items.drain(..) {
-            d.call();
+    /// Executes every retirement in the bag, returning how many objects and
+    /// bytes were reclaimed plus the drained item buffer (for the caller to
+    /// pool).
+    pub(crate) fn fire(mut self) -> (usize, usize, Vec<Retired>) {
+        let mut objects = 0;
+        let mut bytes = 0;
+        for r in self.items.drain(..) {
+            objects += r.objects;
+            bytes += r.bytes;
+            r.d.call();
         }
-        (n, self.items)
+        (objects, bytes, self.items)
     }
 }
 
@@ -208,14 +261,20 @@ mod tests {
         assert!(bag.is_empty());
         for _ in 0..10 {
             let c = counter.clone();
-            bag.items.push(Deferred::new(move || {
-                c.fetch_add(1, Ordering::SeqCst);
-            }));
+            bag.items.push(Retired {
+                d: Deferred::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+                objects: 2,
+                bytes: 8,
+            });
         }
         assert_eq!(bag.len(), 10);
+        assert_eq!(bag.objects(), 20);
         assert_eq!(bag.epoch, 7);
-        let (fired, buffer) = bag.fire();
-        assert_eq!(fired, 10);
+        let (objects, bytes, buffer) = bag.fire();
+        assert_eq!(objects, 20);
+        assert_eq!(bytes, 80);
         assert_eq!(counter.load(Ordering::SeqCst), 10);
         // The drained buffer keeps its capacity for pooling.
         assert!(buffer.is_empty() && buffer.capacity() >= 10);

@@ -179,9 +179,11 @@ impl<'a> Guard<'a> {
     /// acquire a non-reentrant lock that callers hold around pin/unpin or
     /// collect/synchronize points.
     pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
+        // Accounting: an opaque closure counts as one retired object with
+        // no byte estimate (see `CollectorStats`).
         self.collector
             .inner
-            .defer(self.local.get(), Deferred::new(f));
+            .defer(self.local.get(), Deferred::new(f), 1, 0);
     }
 
     /// Retires a heap allocation: after a grace period, `ptr` is reclaimed
@@ -196,11 +198,16 @@ impl<'a> Guard<'a> {
     pub unsafe fn defer_free<T: Send + 'static>(&self, ptr: *mut T) {
         debug_assert!(!ptr.is_null());
         let addr = ptr as usize;
-        self.defer(move || {
-            // Safety: per the contract above, this is the sole owner of the
-            // allocation once the grace period has elapsed.
-            unsafe { drop(Box::from_raw(addr as *mut T)) };
-        });
+        self.collector.inner.defer(
+            self.local.get(),
+            Deferred::new(move || {
+                // Safety: per the contract above, this is the sole owner of
+                // the allocation once the grace period has elapsed.
+                unsafe { drop(Box::from_raw(addr as *mut T)) };
+            }),
+            1,
+            std::mem::size_of::<T>(),
+        );
     }
 
     /// Defers recycling `batch` to `recycler` after a grace period — the
@@ -221,10 +228,23 @@ impl<'a> Guard<'a> {
     ///   it manages, still holding an initialized value if `recycle` drops
     ///   payloads — and the pointed-to data must be safe to reclaim from
     ///   any thread (`Send` payloads).
-    pub unsafe fn defer_recycle(&self, recycler: Arc<dyn crate::Recycler>, batch: RecycleBatch) {
-        self.collector
-            .inner
-            .defer(self.local.get(), Deferred::recycle(recycler, batch));
+    ///
+    /// `bytes` is the caller's estimate of the heap bytes the batch stands
+    /// for (feeding the collector's byte counters; every batch pointer
+    /// counts as one retired object).
+    pub unsafe fn defer_recycle(
+        &self,
+        recycler: Arc<dyn crate::Recycler>,
+        batch: RecycleBatch,
+        bytes: usize,
+    ) {
+        let objects = batch.len();
+        self.collector.inner.defer(
+            self.local.get(),
+            Deferred::recycle(recycler, batch),
+            objects,
+            bytes,
+        );
     }
 
     /// Moves this thread's pending retirements into the collector's global
@@ -408,7 +428,7 @@ mod tests {
             batch.push(std::ptr::from_ref(&marks[1]).cast_mut().cast());
             // Safety: the sink never dereferences; the markers are retired
             // exactly once and reachable by no reader.
-            unsafe { g.defer_recycle(sink.clone(), batch) };
+            unsafe { g.defer_recycle(sink.clone(), batch, 2) };
             // Still pinned: the grace period cannot complete.
             for _ in 0..10 {
                 c.collect();
@@ -418,8 +438,14 @@ mod tests {
         c.synchronize();
         assert_eq!(sink.seen.load(SeqCst), 2);
         let s = c.stats();
-        assert_eq!(s.objects_retired, 1); // one batch = one deferred unit
-        assert_eq!(s.objects_freed, 1);
+        // Object units: every batch pointer counts (the PR 1 regression
+        // counted the whole batch as one), and the caller's byte estimate
+        // flows through to the byte counters.
+        assert_eq!(s.objects_retired, 2);
+        assert_eq!(s.objects_freed, 2);
+        assert_eq!(s.bytes_retired, 2);
+        assert_eq!(s.bytes_freed, 2);
+        assert_eq!(s.peak_unreclaimed_bytes, 2);
     }
 
     #[test]
@@ -436,6 +462,9 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.objects_retired, 1);
         assert_eq!(s.objects_freed, 1);
+        // `defer_free` knows the payload size.
+        assert_eq!(s.bytes_retired, std::mem::size_of::<u64>() as u64);
+        assert_eq!(s.bytes_freed, std::mem::size_of::<u64>() as u64);
     }
 
     /// The tentpole regression test for the borrow-based redesign: reader

@@ -1,0 +1,743 @@
+//! Hazard-pointer reclamation: bounded garbage by construction.
+//!
+//! Epoch and QSBR reclamation share a failure mode: one stalled reader (a
+//! stuck pin, a thread that never announces a quiescent state) blocks
+//! *every* pending retirement, so garbage grows without bound for as long
+//! as the stall lasts. Hazard pointers invert the protection granularity:
+//! a reader protects the **specific pointers** it is using, one per
+//! hazard slot, and a retirement is delayed only while some slot holds
+//! its exact pointer. A stalled reader therefore pins at most
+//! [`HP_SLOTS`] objects — everything else reclaims on the next scan — so
+//! unreclaimed garbage is bounded by
+//! `scan_threshold + records × HP_SLOTS` objects at all times (see
+//! [`HpDomain::garbage_bound_objects`]).
+//!
+//! # Protection protocol
+//!
+//! Publishing a pointer into a slot does not by itself make it safe to
+//! dereference: the owner may already have unlinked it and a scan may
+//! already have read the slot as empty. [`HpSession::protect`] therefore
+//! stores the pointer and issues a `SeqCst` fence; the caller must then
+//! **re-validate** that the pointer is still reachable (e.g. re-read the
+//! tree root it came from) before dereferencing, and restart from scratch
+//! if not. The scan side mirrors the fence before reading the slots, so in
+//! the total order of `SeqCst` fences one side always sees the other:
+//! either the scan observes the protection (and keeps the retirement), or
+//! the protector's re-validation observes the unlink (and never uses the
+//! pointer).
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ptr;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use std::sync::Arc;
+
+use crate::deferred::RecycleBatch;
+use crate::reclaim::note_unreclaimed;
+use crate::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize};
+use crate::sync::Mutex;
+use crate::Recycler;
+
+/// Hazard slots per record: how many distinct pointers one session can
+/// protect at once. Hand-over-hand tree traversal needs two (parent and
+/// child, alternating) plus one for a retained candidate; four leaves one
+/// spare for composed readers.
+pub const HP_SLOTS: usize = 4;
+
+/// Default retire-list length that triggers a scan.
+const SCAN_THRESHOLD: usize = 64;
+
+/// One thread's published hazard slots. Records live in an append-only
+/// lock-free list owned by the domain; a record is *acquired* (its
+/// `active` flag CAS'd up) for the lifetime of an [`HpSession`] and
+/// released — slots cleared — when the session drops, so the list never
+/// shrinks but is recycled across sessions.
+struct HpRecord {
+    /// The protected pointers; null = empty slot.
+    slots: [AtomicPtr<()>; HP_SLOTS],
+    /// Whether some live session owns this record.
+    active: AtomicBool,
+    /// Next record in the domain's list (immutable after publication).
+    next: *mut HpRecord,
+}
+
+/// How a retired pointer is reclaimed once no hazard slot protects it.
+enum HpFree {
+    /// A boxed callback (the general `defer` path).
+    Call(Box<dyn FnOnce() + Send>),
+    /// Hand the pointer back to an arena-style recycler, one pointer at a
+    /// time (see [`Recycler::recycle_one`]).
+    Recycle(Arc<dyn Recycler>),
+}
+
+/// One entry in the domain's retire list.
+struct HpRetired {
+    /// The pointer guarded against hazards; null for opaque callbacks
+    /// (which no reader can protect, so they free at the next scan).
+    ptr: *mut (),
+    /// Retirer-supplied byte estimate.
+    bytes: usize,
+    free: HpFree,
+}
+
+impl HpRetired {
+    /// Runs the reclamation.
+    ///
+    /// # Safety
+    ///
+    /// Caller asserts no hazard slot protects `ptr` (scan contract) and
+    /// the retire-time contract of `defer_free`/`defer_retire` holds.
+    unsafe fn run(self) {
+        match self.free {
+            HpFree::Call(f) => f(),
+            // Safety: forwarded scan contract — the pointer is unprotected
+            // and exclusively owned by the recycler now.
+            HpFree::Recycle(r) => unsafe { r.recycle_one(self.ptr) },
+        }
+    }
+}
+
+struct HpInner {
+    /// Head of the append-only record list.
+    head: AtomicPtr<HpRecord>,
+    /// Number of records ever published (the garbage-bound term).
+    records: AtomicUsize,
+    /// Retirements awaiting an unprotected scan.
+    retired: Mutex<Vec<HpRetired>>,
+    /// Retire-list length that triggers a scan.
+    scan_threshold: AtomicUsize,
+    retired_objects: AtomicU64,
+    freed_objects: AtomicU64,
+    retired_bytes: AtomicU64,
+    freed_bytes: AtomicU64,
+    /// Bytes retired but not yet reclaimed, and its high-water mark — the
+    /// gauge whose boundedness is this backend's whole point.
+    unreclaimed_bytes: AtomicU64,
+    peak_unreclaimed_bytes: AtomicU64,
+}
+
+// Safety: the raw pointers inside (`head`'s records, `HpRetired::ptr`) are
+// either owned by the domain for its whole lifetime (records, freed only
+// in `Drop` with exclusive access) or covered by the retire contract
+// (`Send` payloads reclaimable from any thread, exactly one reclaimer).
+unsafe impl Send for HpInner {}
+unsafe impl Sync for HpInner {}
+
+impl HpInner {
+    /// Collects all currently protected pointers and frees every retired
+    /// entry not among them. Returns (objects, bytes) freed.
+    fn scan(&self) -> (usize, usize) {
+        // ordering: SeqCst fence — the scan-side half of the protection
+        // Dekker, paired with the fence in `HpSession::protect`: in the SC
+        // order of fences, either this fence comes after a protector's —
+        // then the slot loads below see its published pointer and the
+        // retirement is kept — or it comes before, and the protector's
+        // post-fence re-validation sees the unlink that preceded this
+        // retirement, so it restarts without dereferencing.
+        fence(SeqCst);
+        let mut hazards: Vec<*mut ()> = Vec::new();
+        // ordering: Acquire — pairs with the Release publication CAS in
+        // `acquire_record`: the record's fields (slots, next) are fully
+        // initialized before it becomes reachable.
+        let mut rec = self.head.load(Acquire);
+        while !rec.is_null() {
+            // Safety: records are published exactly once and freed only in
+            // `Drop` (exclusive access), so the pointer is valid here.
+            let r = unsafe { &*rec };
+            for slot in &r.slots {
+                // ordering: Acquire — pairs with `HpSession`'s Release
+                // clears: a slot observed empty means the session's reads
+                // through it happen-before the frees this scan performs.
+                let p = slot.load(Acquire);
+                if !p.is_null() {
+                    hazards.push(p);
+                }
+            }
+            rec = r.next;
+        }
+        // Partition under the lock, free outside it: a reclamation callback
+        // may re-enter `defer` (which takes the same lock).
+        let ready: Vec<HpRetired> = {
+            let mut retired = self.retired.lock().unwrap();
+            let mut ready = Vec::new();
+            let mut i = 0;
+            while i < retired.len() {
+                if !retired[i].ptr.is_null() && hazards.contains(&retired[i].ptr) {
+                    i += 1;
+                } else {
+                    ready.push(retired.swap_remove(i));
+                }
+            }
+            ready
+        };
+        let objects = ready.len();
+        let mut bytes = 0;
+        for r in ready {
+            bytes += r.bytes;
+            // Safety: the post-fence slot collection proved no session
+            // protects `r.ptr`; ownership is exclusively the reclaimer's.
+            unsafe { r.run() };
+        }
+        // ordering: Relaxed (all) — statistics counters.
+        self.freed_objects.fetch_add(objects as u64, Relaxed);
+        self.freed_bytes.fetch_add(bytes as u64, Relaxed);
+        self.unreclaimed_bytes.fetch_sub(bytes as u64, Relaxed);
+        (objects, bytes)
+    }
+
+    /// Queues one retirement and scans if the list crossed the threshold.
+    fn retire(&self, entry: HpRetired) {
+        let bytes = entry.bytes;
+        // ordering: Relaxed (all) — statistics counters.
+        self.retired_objects.fetch_add(1, Relaxed);
+        self.retired_bytes.fetch_add(bytes as u64, Relaxed);
+        note_unreclaimed(
+            &self.unreclaimed_bytes,
+            &self.peak_unreclaimed_bytes,
+            bytes as u64,
+        );
+        let due = {
+            let mut retired = self.retired.lock().unwrap();
+            retired.push(entry);
+            // ordering: Relaxed — config knob; staleness shifts one scan.
+            retired.len() >= self.scan_threshold.load(Relaxed)
+        };
+        if due {
+            self.scan();
+        }
+    }
+}
+
+impl Drop for HpInner {
+    fn drop(&mut self) {
+        // No session can be alive (each holds an Arc to this inner), so
+        // every retirement is unprotected and safe to run.
+        let retired = std::mem::take(&mut *self.retired.get_mut().unwrap());
+        let objects = retired.len();
+        let mut bytes = 0;
+        for r in retired {
+            bytes += r.bytes;
+            // Safety: exclusive access — no protector exists.
+            unsafe { r.run() };
+        }
+        // ordering: Relaxed (all) — statistics counters, and `&mut self`
+        // proves exclusive access anyway.
+        self.freed_objects.fetch_add(objects as u64, Relaxed);
+        self.freed_bytes.fetch_add(bytes as u64, Relaxed);
+        self.unreclaimed_bytes.fetch_sub(bytes as u64, Relaxed);
+        // Free the record list (append-only in life, exclusively ours now).
+        // ordering: Relaxed — `&mut self`: no concurrent access exists.
+        let mut rec = self.head.load(Relaxed);
+        while !rec.is_null() {
+            // Safety: each record was published by exactly one
+            // `Box::into_raw` and is freed exactly once, here.
+            let boxed = unsafe { Box::from_raw(rec) };
+            rec = boxed.next;
+        }
+    }
+}
+
+/// A hazard-pointer reclamation domain.
+///
+/// Cheaply clonable; clones refer to the same domain. Readers protect
+/// pointers through an [`HpSession`]; writers retire through
+/// [`defer_retire`](Self::defer_retire) /
+/// [`defer_recycle`](Self::defer_recycle). Unlike the epoch collector and
+/// QSBR there is no grace period: a retirement reclaims at the first scan
+/// that finds no slot holding its pointer, which is what bounds garbage
+/// under a stalled reader.
+pub struct HpDomain {
+    inner: Arc<HpInner>,
+}
+
+impl HpDomain {
+    /// Creates an empty domain with the default scan threshold.
+    pub fn new() -> Self {
+        Self::with_scan_threshold(SCAN_THRESHOLD)
+    }
+
+    /// Creates an empty domain that scans once `threshold` retirements are
+    /// queued (minimum 1). Smaller thresholds mean tighter garbage bounds
+    /// and more frequent scans.
+    pub fn with_scan_threshold(threshold: usize) -> Self {
+        Self {
+            inner: Arc::new(HpInner {
+                head: AtomicPtr::new(ptr::null_mut()),
+                records: AtomicUsize::new(0),
+                retired: Mutex::new(Vec::new()),
+                scan_threshold: AtomicUsize::new(threshold.max(1)),
+                retired_objects: AtomicU64::new(0),
+                freed_objects: AtomicU64::new(0),
+                retired_bytes: AtomicU64::new(0),
+                freed_bytes: AtomicU64::new(0),
+                unreclaimed_bytes: AtomicU64::new(0),
+                peak_unreclaimed_bytes: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Acquires a hazard record: reuses a released one or publishes a new
+    /// one onto the append-only list.
+    fn acquire_record(&self) -> *const HpRecord {
+        // ordering: Acquire — pairs with the publication CAS's Release (the
+        // record's fields are initialized before it is reachable).
+        let mut rec = self.inner.head.load(Acquire);
+        while !rec.is_null() {
+            // Safety: records live until domain drop; the session holds a
+            // domain clone, so the pointer stays valid for its lifetime.
+            let r = unsafe { &*rec };
+            // ordering: Acquire success — pairs with the releasing
+            // session's Release store of `false`, so its slot clears are
+            // visible before we reuse the record; Relaxed failure — an
+            // occupied record is just skipped.
+            if r.active
+                .compare_exchange(false, true, Acquire, Relaxed)
+                .is_ok()
+            {
+                return rec;
+            }
+            rec = r.next;
+        }
+        // No free record: publish a fresh one.
+        let raw = Box::into_raw(Box::new(HpRecord {
+            slots: std::array::from_fn(|_| AtomicPtr::new(ptr::null_mut())),
+            active: AtomicBool::new(true),
+            next: ptr::null_mut(),
+        }));
+        // ordering: Relaxed — this load seeds the CAS below, which
+        // re-validates it on every attempt.
+        let mut head = self.inner.head.load(Relaxed);
+        loop {
+            // Safety: not yet shared — we still exclusively own the
+            // allocation until the CAS below succeeds.
+            unsafe { (*raw).next = head };
+            // ordering: Release success — publishes the initialized record
+            // (including `next`) to `scan`'s and `acquire_record`'s Acquire
+            // head loads; Acquire failure — re-reads a newer head for the
+            // retry, seeing its published fields.
+            match self
+                .inner
+                .head
+                .compare_exchange(head, raw, Release, Acquire)
+            {
+                Ok(_) => break,
+                Err(h) => head = h,
+            }
+        }
+        // ordering: Relaxed — statistics/bound counter.
+        self.inner.records.fetch_add(1, Relaxed);
+        raw
+    }
+
+    /// Opens a protection session: acquires a hazard record whose slots
+    /// the session publishes into. Sessions are per-thread (`!Send`);
+    /// dropping one clears its slots and releases the record for reuse.
+    pub fn session(&self) -> HpSession {
+        let record = self.acquire_record();
+        HpSession {
+            domain: self.clone(),
+            record,
+            _not_send: PhantomData,
+        }
+    }
+
+    /// Defers `f` until the next scan. An opaque callback has no pointer a
+    /// reader could protect, so it runs at the first scan after retirement
+    /// (accounting: one object, zero bytes).
+    pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
+        self.inner.retire(HpRetired {
+            ptr: ptr::null_mut(),
+            bytes: 0,
+            free: HpFree::Call(Box::new(f)),
+        });
+    }
+
+    /// Retires a heap allocation: once no hazard slot protects `ptr`, it is
+    /// reclaimed as a `Box<T>` (running `T`'s destructor).
+    ///
+    /// # Safety
+    ///
+    /// * `ptr` came from [`Box::into_raw`] and is freed by no other path.
+    /// * `ptr` is unreachable for sessions that start protecting *after*
+    ///   this call — i.e. it has been unlinked from every shared structure
+    ///   (a protector that published before the unlink keeps it alive; one
+    ///   that re-validates after the unlink must restart and never
+    ///   dereference it).
+    pub unsafe fn defer_free<T: Send + 'static>(&self, ptr: *mut T) {
+        debug_assert!(!ptr.is_null());
+        let addr = ptr as usize;
+        self.inner.retire(HpRetired {
+            ptr: ptr.cast(),
+            bytes: std::mem::size_of::<T>(),
+            free: HpFree::Call(Box::new(move || {
+                // Safety: sole owner per the contract above, and the scan
+                // proved no slot protects the pointer.
+                unsafe { drop(Box::from_raw(addr as *mut T)) };
+            })),
+        });
+    }
+
+    /// Retires a single pointer to a recycler ([`Recycler::recycle_one`]),
+    /// with an explicit byte estimate.
+    ///
+    /// # Safety
+    ///
+    /// Same unlink/no-double-retire contract as
+    /// [`defer_free`](Self::defer_free), plus `ptr` must be valid for
+    /// `recycler` (a block it manages, payload reclaimable from any
+    /// thread).
+    pub unsafe fn defer_retire(&self, recycler: Arc<dyn Recycler>, ptr: *mut (), bytes: usize) {
+        debug_assert!(!ptr.is_null());
+        self.inner.retire(HpRetired {
+            ptr,
+            bytes,
+            free: HpFree::Recycle(recycler),
+        });
+    }
+
+    /// Retires a whole batch to a recycler, splitting it into per-pointer
+    /// entries so each pointer reclaims as soon as *it* is unprotected —
+    /// the degrade-gracefully form of the epoch collector's
+    /// [`defer_recycle`](crate::Guard::defer_recycle) (the batch's
+    /// buffer is consumed here; `bytes` is the estimate for the whole
+    /// batch).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`defer_retire`](Self::defer_retire), for every
+    /// pointer in the batch.
+    pub unsafe fn defer_recycle(
+        &self,
+        recycler: Arc<dyn Recycler>,
+        mut batch: RecycleBatch,
+        bytes: usize,
+    ) {
+        let len = batch.len();
+        if len == 0 {
+            return;
+        }
+        let per = bytes / len;
+        let mut rem = bytes - per * len;
+        for ptr in batch.drain() {
+            let extra = std::mem::take(&mut rem);
+            self.inner.retire(HpRetired {
+                ptr,
+                bytes: per + extra,
+                free: HpFree::Recycle(Arc::clone(&recycler)),
+            });
+        }
+    }
+
+    /// Runs one scan: frees every retirement no hazard slot protects.
+    /// Returns the number of objects freed.
+    pub fn scan(&self) -> usize {
+        self.inner.scan().0
+    }
+
+    /// The hazard-pointer analogue of `synchronize`: there is no grace
+    /// period to wait out, so this simply scans — everything unprotected
+    /// reclaims immediately; entries a live session protects remain (by
+    /// design: that is the bounded set).
+    pub fn synchronize(&self) {
+        self.scan();
+    }
+
+    /// Retirements still queued (protected or below the scan threshold).
+    pub fn pending(&self) -> usize {
+        self.inner.retired.lock().unwrap().len()
+    }
+
+    /// Total objects retired.
+    pub fn retired(&self) -> u64 {
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.retired_objects.load(Relaxed)
+    }
+
+    /// Total objects freed.
+    pub fn freed(&self) -> u64 {
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.freed_objects.load(Relaxed)
+    }
+
+    /// Total bytes retired (retirer estimates).
+    pub fn bytes_retired(&self) -> u64 {
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.retired_bytes.load(Relaxed)
+    }
+
+    /// Total bytes freed.
+    pub fn bytes_freed(&self) -> u64 {
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.freed_bytes.load(Relaxed)
+    }
+
+    /// High-water mark of unreclaimed bytes over the domain's lifetime.
+    pub fn peak_unreclaimed_bytes(&self) -> u64 {
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.peak_unreclaimed_bytes.load(Relaxed)
+    }
+
+    /// Hazard records ever published (sessions recycle them).
+    pub fn records(&self) -> usize {
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.records.load(Relaxed)
+    }
+
+    /// The construction-time garbage bound, in objects: a scan frees
+    /// everything except pointers held in hazard slots, and a scan runs at
+    /// least every `scan_threshold` retirements, so the retire list never
+    /// exceeds `scan_threshold + records × HP_SLOTS` entries.
+    pub fn garbage_bound_objects(&self) -> usize {
+        // ordering: Relaxed (both) — bound computed from snapshots; the
+        // record count only grows, which only loosens the reported bound.
+        self.inner.scan_threshold.load(Relaxed) + self.records() * HP_SLOTS
+    }
+}
+
+impl Default for HpDomain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for HpDomain {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl PartialEq for HpDomain {
+    /// Two handles are equal when they refer to the same domain.
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Eq for HpDomain {}
+
+impl fmt::Debug for HpDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HpDomain")
+            .field("records", &self.records())
+            .field("pending", &self.pending())
+            .finish_non_exhaustive()
+    }
+}
+
+/// A per-thread protection session over an [`HpDomain`]'s hazard record.
+///
+/// [`protect`](Self::protect) publishes a pointer into a slot; the caller
+/// must re-validate reachability afterwards (see the [module docs](self))
+/// before dereferencing. Dropping the session clears every slot and
+/// releases the record for reuse.
+pub struct HpSession {
+    domain: HpDomain,
+    /// Valid for the session's lifetime: the domain clone above keeps the
+    /// record list alive, and `active` keeps other sessions off it.
+    record: *const HpRecord,
+    /// Sessions are single-thread: slot publication is this thread's
+    /// protocol state.
+    _not_send: PhantomData<*mut ()>,
+}
+
+impl HpSession {
+    #[inline]
+    fn record(&self) -> &HpRecord {
+        // Safety: see the field docs — the record outlives the session.
+        unsafe { &*self.record }
+    }
+
+    /// Publishes `ptr` into hazard slot `slot` and fences, so a subsequent
+    /// re-validation load by the caller decides the race against any
+    /// concurrent retire/scan.
+    ///
+    /// After this call the caller MUST re-read the shared location the
+    /// pointer came from; only if it still yields `ptr` (or a structure
+    /// root proving `ptr` reachable) may the pointer be dereferenced.
+    ///
+    /// # Panics
+    ///
+    /// If `slot >= HP_SLOTS`.
+    pub fn protect(&self, slot: usize, ptr: *mut ()) {
+        // ordering: Relaxed — the publication is ordered by the fence
+        // below; no data is transferred through the slot value itself
+        // (scans only compare it against retired pointers).
+        self.record().slots[slot].store(ptr, Relaxed);
+        // ordering: SeqCst fence — the protect-side half of the protection
+        // Dekker, paired with the fence at the top of `HpInner::scan`; see
+        // the module docs for the two-sided argument.
+        fence(SeqCst);
+    }
+
+    /// Clears hazard slot `slot`.
+    pub fn clear(&self, slot: usize) {
+        // ordering: Release — pairs with the scan's Acquire slot load:
+        // every read this session made through the protected pointer
+        // happens-before any free the cleared slot permits.
+        self.record().slots[slot].store(ptr::null_mut(), Release);
+    }
+
+    /// The currently published pointer in `slot` (diagnostic).
+    pub fn protected(&self, slot: usize) -> *mut () {
+        // ordering: Relaxed — reading our own thread's slot.
+        self.record().slots[slot].load(Relaxed)
+    }
+
+    /// The domain this session protects against.
+    pub fn domain(&self) -> &HpDomain {
+        &self.domain
+    }
+}
+
+impl Drop for HpSession {
+    fn drop(&mut self) {
+        for slot in 0..HP_SLOTS {
+            self.clear(slot);
+        }
+        // ordering: Release — pairs with `acquire_record`'s Acquire CAS:
+        // the slot clears above are visible to whoever reuses the record.
+        self.record().active.store(false, Release);
+    }
+}
+
+impl fmt::Debug for HpSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HpSession").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+
+    #[test]
+    fn unprotected_retirements_free_at_scan() {
+        let d = HpDomain::with_scan_threshold(1000);
+        let fired = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let f = Arc::clone(&fired);
+            d.defer(move || {
+                f.fetch_add(1, SeqCst);
+            });
+        }
+        assert_eq!(fired.load(SeqCst), 0);
+        assert_eq!(d.scan(), 3);
+        assert_eq!(fired.load(SeqCst), 3);
+        assert_eq!(d.retired(), 3);
+        assert_eq!(d.freed(), 3);
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn protected_pointer_survives_scan_until_cleared() {
+        let d = HpDomain::with_scan_threshold(1000);
+        let b = Box::into_raw(Box::new(7u64));
+        let s = d.session();
+        s.protect(0, b.cast());
+        // Retire while protected: the scan must keep it.
+        // Safety: never dereferenced after retire; retired exactly once.
+        unsafe { d.defer_free(b) };
+        assert_eq!(d.scan(), 0);
+        assert_eq!(d.pending(), 1);
+        assert_eq!(d.bytes_retired(), 8);
+        assert_eq!(d.bytes_freed(), 0);
+        s.clear(0);
+        assert_eq!(d.scan(), 1);
+        assert_eq!(d.pending(), 0);
+        assert_eq!(d.bytes_freed(), 8);
+        assert_eq!(d.peak_unreclaimed_bytes(), 8);
+    }
+
+    #[test]
+    fn session_drop_clears_slots_and_recycles_record() {
+        let d = HpDomain::new();
+        let b = Box::into_raw(Box::new(1u32));
+        {
+            let s = d.session();
+            s.protect(1, b.cast());
+            assert_eq!(s.protected(1), b.cast());
+        }
+        assert_eq!(d.records(), 1);
+        // Safety: sole retire of a live allocation.
+        unsafe { d.defer_free(b) };
+        assert_eq!(d.scan(), 1, "dropped session left a stale protection");
+        // A second session reuses the released record.
+        let _s2 = d.session();
+        assert_eq!(d.records(), 1);
+    }
+
+    #[test]
+    fn threshold_scan_bounds_garbage() {
+        let d = HpDomain::with_scan_threshold(8);
+        for i in 0..100u64 {
+            // Safety: each allocation retired exactly once, never reused.
+            unsafe { d.defer_free(Box::into_raw(Box::new(i))) };
+            assert!(
+                d.pending() <= d.garbage_bound_objects(),
+                "retire list exceeded the construction-time bound"
+            );
+        }
+        d.synchronize();
+        assert_eq!(d.retired(), d.freed());
+    }
+
+    #[test]
+    fn concurrent_sessions_get_distinct_records() {
+        let d = HpDomain::new();
+        let s1 = d.session();
+        let s2 = d.session();
+        s1.protect(0, 0x10 as *mut ());
+        s2.protect(0, 0x20 as *mut ());
+        assert_eq!(s1.protected(0), 0x10 as *mut ());
+        assert_eq!(s2.protected(0), 0x20 as *mut ());
+        assert_eq!(d.records(), 2);
+        drop(s1);
+        drop(s2);
+        // Both released: two new sessions reuse, count stays.
+        let _s3 = d.session();
+        let _s4 = d.session();
+        assert_eq!(d.records(), 2);
+    }
+
+    #[test]
+    fn recycle_one_routes_through_recycler() {
+        struct Sink {
+            seen: AtomicUsize,
+        }
+        impl Recycler for Sink {
+            unsafe fn recycle(&self, mut batch: RecycleBatch) {
+                self.seen.fetch_add(batch.drain().count(), SeqCst);
+            }
+        }
+        let sink = Arc::new(Sink {
+            seen: AtomicUsize::new(0),
+        });
+        let d = HpDomain::with_scan_threshold(1000);
+        let mut batch = RecycleBatch::new();
+        let marks = [0u8; 3];
+        for m in &marks {
+            batch.push(std::ptr::from_ref(m).cast_mut().cast());
+        }
+        // Safety: the sink never dereferences; markers retired once each.
+        unsafe { d.defer_recycle(sink.clone() as Arc<dyn Recycler>, batch, 30) };
+        assert_eq!(d.retired(), 3);
+        assert_eq!(d.bytes_retired(), 30);
+        assert_eq!(d.scan(), 3);
+        assert_eq!(sink.seen.load(SeqCst), 3);
+        assert_eq!(d.bytes_freed(), 30);
+    }
+
+    #[test]
+    fn domain_drop_fires_pending_garbage() {
+        static FIRED: AtomicUsize = AtomicUsize::new(0);
+        let d = HpDomain::with_scan_threshold(1000);
+        d.defer(|| {
+            FIRED.fetch_add(1, SeqCst);
+        });
+        drop(d);
+        assert_eq!(FIRED.load(SeqCst), 1);
+    }
+}

@@ -26,13 +26,18 @@
 //! locks built on top — lives in `docs/CONCURRENCY.md` at the repository
 //! root.
 //!
-//! Two reclamation flavours are provided:
+//! Three reclamation backends are provided, unified behind
+//! [`ReclaimBackend`]:
 //!
 //! * [`Collector`] — epoch-based, pin/unpin per critical section, suitable
 //!   for preemptible user space (analogous to Linux's sleepable RCU).
 //! * [`qsbr::QsbrDomain`] — quiescent-state-based, where long-running threads
 //!   periodically announce a quiescent state (analogous to classic
 //!   scheduler-driven kernel RCU).
+//! * [`hp::HpDomain`] — hazard pointers, where readers protect individual
+//!   pointers and unreclaimed garbage is *bounded by construction* even
+//!   under a stalled reader (see the [`reclaim`] module docs for the
+//!   comparison table).
 //!
 //! # Quickstart
 //!
@@ -176,7 +181,9 @@ mod collector;
 mod deferred;
 mod global_default;
 mod guard;
+pub mod hp;
 pub mod qsbr;
+pub mod reclaim;
 mod stats;
 mod sync;
 
@@ -184,6 +191,9 @@ pub use collector::{Collector, LocalHandle};
 pub use deferred::{RecycleBatch, Recycler};
 pub use global_default::{default_collector, pin, synchronize};
 pub use guard::Guard;
+pub use hp::{HpDomain, HpSession, HP_SLOTS};
+pub use qsbr::QsbrDomain;
+pub use reclaim::{ReclaimBackend, ReclaimKind, ReclaimStats};
 pub use stats::CollectorStats;
 
 /// Number of epoch advances that constitute a grace period.

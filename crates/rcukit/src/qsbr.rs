@@ -13,13 +13,15 @@
 //! `g + 1`, because observing `g + 1` requires a quiescent-state
 //! announcement that happened after the retirement.
 
+use std::cell::Cell;
 use std::fmt;
 use std::marker::PhantomData;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
 use std::sync::Arc;
 use std::thread;
 
-use crate::deferred::Deferred;
+use crate::deferred::{Deferred, RecycleBatch};
+use crate::reclaim::note_unreclaimed;
 use crate::sync::atomic::{fence, AtomicBool, AtomicU64};
 use crate::sync::Mutex;
 
@@ -33,15 +35,34 @@ struct QsbrLocal {
     online: AtomicBool,
 }
 
+/// One retired unit awaiting its grace period, with its accounting.
+struct QsbrRetired {
+    /// Grace-counter value whose completion makes the unit safe.
+    tag: u64,
+    d: Deferred,
+    /// Heap objects the unit stands for (batch pointers count
+    /// individually; an opaque closure counts as one).
+    objects: usize,
+    /// Retirer-supplied byte estimate (0 when unknown).
+    bytes: usize,
+}
+
 struct QsbrInner {
     /// The grace counter, bumped by reclaimers to start a new grace period.
     grace: AtomicU64,
     registry: Mutex<Vec<Arc<QsbrLocal>>>,
-    /// Retired callbacks, each tagged with the grace-counter value whose
+    /// Retired units, each tagged with the grace-counter value whose
     /// completion makes it safe.
-    garbage: Mutex<Vec<(u64, Deferred)>>,
+    garbage: Mutex<Vec<QsbrRetired>>,
     retired: AtomicU64,
     freed: AtomicU64,
+    retired_bytes: AtomicU64,
+    freed_bytes: AtomicU64,
+    /// Bytes retired but not yet reclaimed, and its high-water mark — the
+    /// stalled-reader gauge (for QSBR, a silent online thread grows it
+    /// without bound, like a stuck epoch pin).
+    unreclaimed_bytes: AtomicU64,
+    peak_unreclaimed_bytes: AtomicU64,
 }
 
 impl QsbrInner {
@@ -65,28 +86,64 @@ impl QsbrInner {
             .unwrap_or_else(|| self.grace.load(Relaxed))
     }
 
-    /// Runs every callback whose tag is at most `upto`. Returns the count.
+    /// Runs every retirement whose tag is at most `upto`. Returns the
+    /// object count.
     fn reclaim_upto(&self, upto: u64) -> usize {
-        let ready: Vec<Deferred> = {
+        let ready: Vec<QsbrRetired> = {
             let mut garbage = self.garbage.lock().unwrap();
             let mut ready = Vec::new();
             let mut i = 0;
             while i < garbage.len() {
-                if garbage[i].0 <= upto {
-                    ready.push(garbage.swap_remove(i).1);
+                if garbage[i].tag <= upto {
+                    ready.push(garbage.swap_remove(i));
                 } else {
                     i += 1;
                 }
             }
             ready
         };
-        let n = ready.len();
-        for d in ready {
-            d.call();
+        let mut objects = 0;
+        let mut bytes = 0;
+        for r in ready {
+            objects += r.objects;
+            bytes += r.bytes;
+            r.d.call();
         }
-        // ordering: Relaxed — statistics counter.
-        self.freed.fetch_add(n as u64, Relaxed);
-        n
+        // ordering: Relaxed (all) — statistics counters.
+        self.freed.fetch_add(objects as u64, Relaxed);
+        self.freed_bytes.fetch_add(bytes as u64, Relaxed);
+        self.unreclaimed_bytes.fetch_sub(bytes as u64, Relaxed);
+        objects
+    }
+
+    /// Queues one retirement (standing for `objects` objects / `bytes`
+    /// bytes) tagged against the next grace period. Shared tail of every
+    /// `defer_*` entry point.
+    fn push_retired(&self, d: Deferred, objects: usize, bytes: usize) {
+        // ordering: SeqCst fence (StoreLoad), as in the epoch collector's
+        // `Inner::defer`: the caller's unlink store must be globally visible
+        // before the grace counter is sampled, or a reader quiescing at
+        // `tag` could still load the stale pointer after the tag's grace
+        // period completes. It is also the retire-side half of the
+        // quiescent-announcement Dekker (see `QsbrHandle::quiescent`).
+        fence(SeqCst);
+        // ordering: Relaxed — the fence above orders the unlink before this
+        // sample; a stale (lower) value only lengthens the grace period.
+        let tag = self.grace.load(Relaxed) + 1;
+        self.garbage.lock().unwrap().push(QsbrRetired {
+            tag,
+            d,
+            objects,
+            bytes,
+        });
+        // ordering: Relaxed (both) — statistics counters.
+        self.retired.fetch_add(objects as u64, Relaxed);
+        self.retired_bytes.fetch_add(bytes as u64, Relaxed);
+        note_unreclaimed(
+            &self.unreclaimed_bytes,
+            &self.peak_unreclaimed_bytes,
+            bytes as u64,
+        );
     }
 }
 
@@ -95,13 +152,18 @@ impl Drop for QsbrInner {
         // No handle can be alive (each holds an Arc to this inner), so all
         // remaining garbage is unreachable and safe to run.
         let garbage = std::mem::take(&mut *self.garbage.get_mut().unwrap());
-        let n = garbage.len();
-        for (_, d) in garbage {
-            d.call();
+        let mut objects = 0;
+        let mut bytes = 0;
+        for r in garbage {
+            objects += r.objects;
+            bytes += r.bytes;
+            r.d.call();
         }
-        // ordering: Relaxed — statistics counter, and `&mut self` proves
-        // exclusive access anyway.
-        self.freed.fetch_add(n as u64, Relaxed);
+        // ordering: Relaxed (all) — statistics counters, and `&mut self`
+        // proves exclusive access anyway.
+        self.freed.fetch_add(objects as u64, Relaxed);
+        self.freed_bytes.fetch_add(bytes as u64, Relaxed);
+        self.unreclaimed_bytes.fetch_sub(bytes as u64, Relaxed);
     }
 }
 
@@ -123,6 +185,10 @@ impl QsbrDomain {
                 garbage: Mutex::new(Vec::new()),
                 retired: AtomicU64::new(0),
                 freed: AtomicU64::new(0),
+                retired_bytes: AtomicU64::new(0),
+                freed_bytes: AtomicU64::new(0),
+                unreclaimed_bytes: AtomicU64::new(0),
+                peak_unreclaimed_bytes: AtomicU64::new(0),
             }),
         }
     }
@@ -140,30 +206,16 @@ impl QsbrDomain {
         QsbrHandle {
             domain: self.clone(),
             local,
+            ticks: Cell::new(0),
             _not_sync: PhantomData,
         }
     }
 
     /// Defers `f` until every registered online thread has announced a
-    /// quiescent state after this call.
+    /// quiescent state after this call (accounting: one object, zero
+    /// bytes — the closure is opaque).
     pub fn defer<F: FnOnce() + Send + 'static>(&self, f: F) {
-        // ordering: SeqCst fence (StoreLoad), as in the epoch collector's
-        // `Inner::defer`: the caller's unlink store must be globally visible
-        // before the grace counter is sampled, or a reader quiescing at
-        // `tag` could still load the stale pointer after the tag's grace
-        // period completes. It is also the retire-side half of the
-        // quiescent-announcement Dekker (see `QsbrHandle::quiescent`).
-        fence(SeqCst);
-        // ordering: Relaxed — the fence above orders the unlink before this
-        // sample; a stale (lower) value only lengthens the grace period.
-        let tag = self.inner.grace.load(Relaxed) + 1;
-        self.inner
-            .garbage
-            .lock()
-            .unwrap()
-            .push((tag, Deferred::new(f)));
-        // ordering: Relaxed — statistics counter.
-        self.inner.retired.fetch_add(1, Relaxed);
+        self.inner.push_retired(Deferred::new(f), 1, 0);
     }
 
     /// Retires a heap allocation; the QSBR analogue of
@@ -177,10 +229,36 @@ impl QsbrDomain {
     pub unsafe fn defer_free<T: Send + 'static>(&self, ptr: *mut T) {
         debug_assert!(!ptr.is_null());
         let addr = ptr as usize;
-        self.defer(move || {
-            // Safety: sole owner per the contract above.
-            unsafe { drop(Box::from_raw(addr as *mut T)) };
-        });
+        self.inner.push_retired(
+            Deferred::new(move || {
+                // Safety: sole owner per the contract above.
+                unsafe { drop(Box::from_raw(addr as *mut T)) };
+            }),
+            1,
+            std::mem::size_of::<T>(),
+        );
+    }
+
+    /// Defers recycling `batch` to `recycler` after a grace period — the
+    /// QSBR analogue of
+    /// [`Guard::defer_recycle`](crate::Guard::defer_recycle), keeping the
+    /// arena path allocation-free on this backend too.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as
+    /// [`Guard::defer_recycle`](crate::Guard::defer_recycle): every batch
+    /// pointer is unlinked, retired exactly once, and valid for
+    /// `recycler`. `bytes` is the caller's estimate for the whole batch.
+    pub unsafe fn defer_recycle(
+        &self,
+        recycler: Arc<dyn crate::Recycler>,
+        batch: RecycleBatch,
+        bytes: usize,
+    ) {
+        let objects = batch.len();
+        self.inner
+            .push_retired(Deferred::recycle(recycler, batch), objects, bytes);
     }
 
     /// Starts a new grace period and reclaims whatever is already safe,
@@ -221,6 +299,24 @@ impl QsbrDomain {
         self.inner.freed.load(Relaxed)
     }
 
+    /// Total bytes retired, per retirer estimates.
+    pub fn bytes_retired(&self) -> u64 {
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.retired_bytes.load(Relaxed)
+    }
+
+    /// Total bytes reclaimed.
+    pub fn bytes_freed(&self) -> u64 {
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.freed_bytes.load(Relaxed)
+    }
+
+    /// High-water mark of bytes retired but not yet reclaimed.
+    pub fn peak_unreclaimed_bytes(&self) -> u64 {
+        // ordering: Relaxed — statistics snapshot.
+        self.inner.peak_unreclaimed_bytes.load(Relaxed)
+    }
+
     /// Retirements still waiting for a grace period.
     pub fn pending(&self) -> usize {
         self.inner.garbage.lock().unwrap().len()
@@ -230,6 +326,98 @@ impl QsbrDomain {
     pub fn registered_threads(&self) -> usize {
         self.inner.registry.lock().unwrap().len()
     }
+
+    /// A process-unique identity for this domain, stable for its lifetime.
+    fn id(&self) -> usize {
+        Arc::as_ptr(&self.inner) as usize
+    }
+
+    /// Runs `f` with a per-thread cached handle for this domain,
+    /// registering one on first use.
+    ///
+    /// This is the ergonomic read-side entry point for code that does not
+    /// want to thread a [`QsbrHandle`] around (the `bonsai` tree on this
+    /// backend). The cached handle stays registered — and therefore
+    /// *online, blocking grace periods* — until the thread exits or calls
+    /// [`offline_tls`](Self::offline_tls); callers must announce progress
+    /// via [`QsbrHandle::quiescent`] or [`QsbrHandle::tick`] inside `f` at
+    /// operation boundaries.
+    ///
+    /// Under the model checker there is no TLS cache (thread-exit
+    /// destructors run outside the scheduler, as with `Collector::pin`);
+    /// each call registers and drops a fresh handle.
+    pub fn with_tls_handle<R>(&self, f: impl FnOnce(&QsbrHandle) -> R) -> R {
+        #[cfg(loom)]
+        {
+            let h = self.register();
+            let r = f(&h);
+            h.quiescent();
+            r
+        }
+        #[cfg(not(loom))]
+        {
+            // `Option` dance: if TLS is gone (thread teardown), the closure
+            // never runs and `f` survives for the fallback path below.
+            let mut f = Some(f);
+            let outcome = QSBR_HANDLES.try_with(|cache| {
+                let mut cache = cache.borrow_mut();
+                let id = self.id();
+                let pos = match cache.iter().position(|(i, _)| *i == id) {
+                    Some(p) => p,
+                    None => {
+                        cache.push((id, self.register()));
+                        cache.len() - 1
+                    }
+                };
+                // The handle is `!Sync` but never leaves this thread, and
+                // the `RefCell` borrow outlives the call.
+                (f.take().unwrap())(&cache[pos].1)
+            });
+            match outcome {
+                Ok(r) => r,
+                // TLS destructor already ran: fall back to a throwaway
+                // registration.
+                Err(_) => {
+                    let h = self.register();
+                    let r = (f.take().unwrap())(&h);
+                    h.quiescent();
+                    r
+                }
+            }
+        }
+    }
+
+    /// Drops the calling thread's cached handle for this domain (if any),
+    /// unregistering it so it no longer blocks grace periods.
+    ///
+    /// Call before [`synchronize`](Self::synchronize) on a thread that has
+    /// used [`with_tls_handle`](Self::with_tls_handle): an online cached
+    /// handle would make the wait deadlock on its own thread. A later
+    /// `with_tls_handle` re-registers transparently.
+    pub fn offline_tls(&self) {
+        #[cfg(not(loom))]
+        {
+            let evicted = QSBR_HANDLES.try_with(|cache| {
+                let mut cache = cache.borrow_mut();
+                let id = self.id();
+                cache
+                    .iter()
+                    .position(|(i, _)| *i == id)
+                    .map(|p| cache.swap_remove(p))
+            });
+            // Dropped outside the `RefCell` borrow; unregistration takes
+            // the registry lock.
+            drop(evicted);
+        }
+    }
+}
+
+#[cfg(not(loom))]
+thread_local! {
+    /// Per-thread cache of QSBR handles, keyed by domain identity, backing
+    /// [`QsbrDomain::with_tls_handle`].
+    static QSBR_HANDLES: std::cell::RefCell<Vec<(usize, QsbrHandle)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
 }
 
 impl Default for QsbrDomain {
@@ -245,6 +433,14 @@ impl Clone for QsbrDomain {
         }
     }
 }
+
+impl PartialEq for QsbrDomain {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+impl Eq for QsbrDomain {}
 
 impl fmt::Debug for QsbrDomain {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -263,11 +459,38 @@ impl fmt::Debug for QsbrDomain {
 pub struct QsbrHandle {
     domain: QsbrDomain,
     local: Arc<QsbrLocal>,
+    /// Operation counter backing [`tick`](Self::tick).
+    ticks: Cell<usize>,
     /// `Cell` is `Send + !Sync`: one thread at a time.
     _not_sync: PhantomData<std::cell::Cell<()>>,
 }
 
 impl QsbrHandle {
+    /// Counts one operation and announces a quiescent state every
+    /// `period`-th call (period is clamped to at least 1).
+    ///
+    /// This is the amortized form of [`quiescent`](Self::quiescent) for
+    /// hot loops: the announcement costs a fence, so callers doing
+    /// millions of short operations announce only periodically. The
+    /// caller must hold no references across the call on the announcing
+    /// iteration — which in practice means: hold none across *any* call,
+    /// since which iteration announces is an implementation detail.
+    ///
+    /// Returns `true` on the announcing iterations, so a caller that also
+    /// drives reclamation (e.g. a writer loop) can pace
+    /// [`QsbrDomain::try_reclaim`] on the same cadence.
+    pub fn tick(&self, period: usize) -> bool {
+        let n = self.ticks.get() + 1;
+        if n >= period.max(1) {
+            self.ticks.set(0);
+            self.quiescent();
+            true
+        } else {
+            self.ticks.set(n);
+            false
+        }
+    }
+
     /// Announces a quiescent state: the thread holds no references obtained
     /// before this call (the analogue of `rcu_quiescent_state`).
     pub fn quiescent(&self) {
@@ -438,6 +661,69 @@ mod tests {
         stop.store(true, SeqCst);
         worker.join().unwrap();
         assert_eq!(d.registered_threads(), 0);
+    }
+
+    #[test]
+    fn tick_announces_every_period() {
+        let d = QsbrDomain::new();
+        let h = d.register();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let n = counter.clone();
+        d.defer(move || {
+            n.fetch_add(1, SeqCst);
+        });
+        d.try_reclaim();
+        // Two sub-period ticks announce nothing...
+        h.tick(3);
+        h.tick(3);
+        assert_eq!(d.try_reclaim(), 0);
+        // ...the third crosses the period and announces; one more announced
+        // tick after the bump completes the grace period.
+        h.tick(3);
+        h.tick(1);
+        assert_eq!(d.try_reclaim(), 1);
+        assert_eq!(counter.load(SeqCst), 1);
+    }
+
+    #[test]
+    fn tls_handle_is_cached_and_offlined() {
+        let d = QsbrDomain::new();
+        assert_eq!(d.registered_threads(), 0);
+        d.with_tls_handle(|h| h.quiescent());
+        d.with_tls_handle(|h| h.quiescent());
+        // One cached registration, not one per call.
+        assert_eq!(d.registered_threads(), 1);
+        // While cached (and online), the handle blocks grace periods unless
+        // it keeps announcing; offline_tls unregisters it so synchronize
+        // from this same thread cannot deadlock on itself.
+        d.offline_tls();
+        assert_eq!(d.registered_threads(), 0);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let n = counter.clone();
+        d.defer(move || {
+            n.fetch_add(1, SeqCst);
+        });
+        d.synchronize();
+        assert_eq!(counter.load(SeqCst), 1);
+        // A later call transparently re-registers.
+        d.with_tls_handle(|h| h.quiescent());
+        assert_eq!(d.registered_threads(), 1);
+        d.offline_tls();
+    }
+
+    #[test]
+    fn byte_accounting_tracks_defer_free() {
+        let d = QsbrDomain::new();
+        let p = Box::into_raw(Box::new(7u64));
+        // Safety: just unlinked, freed only here.
+        unsafe { d.defer_free(p) };
+        assert_eq!(d.retired(), 1);
+        assert_eq!(d.bytes_retired(), 8);
+        assert_eq!(d.peak_unreclaimed_bytes(), 8);
+        d.synchronize();
+        assert_eq!(d.freed(), 1);
+        assert_eq!(d.bytes_freed(), 8);
+        assert_eq!(d.peak_unreclaimed_bytes(), 8);
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! The pluggable retire/reclaim contract: one handle type over the three
+//! reclamation backends, so higher layers (the `bonsai` tree, the bench
+//! harness) choose a memory-reclamation strategy at construction time
+//! instead of hard-coding the epoch collector.
+//!
+//! | backend | protection | garbage bound under a stalled reader |
+//! |---------|------------|--------------------------------------|
+//! | [`Epoch`](ReclaimBackend::Epoch) | pinned critical sections (grace periods) | **unbounded** — one stuck pin blocks every later retirement |
+//! | [`Qsbr`](ReclaimBackend::Qsbr) | quiescent-state announcements | **unbounded** — one silent online thread blocks everything |
+//! | [`Hp`](ReclaimBackend::Hp) | per-pointer hazard slots | `scan_threshold + records × HP_SLOTS` objects, by construction |
+//!
+//! The enum is deliberately not a trait object: the backends' read-side
+//! protocols differ too much to hide behind one dynamic interface (epoch
+//! readers hold a [`Guard`](crate::Guard), QSBR readers just stay online,
+//! HP readers publish-and-validate per pointer), and callers dispatch on
+//! the variant exactly where those protocols diverge.
+
+use std::fmt;
+use std::sync::atomic::Ordering::Relaxed;
+
+use crate::sync::atomic::AtomicU64;
+use crate::{Collector, HpDomain, QsbrDomain};
+
+/// Tracks a byte-count increase against its high-water mark.
+///
+/// Shared by all three backends' retire paths. Written as a CAS loop, not
+/// `fetch_max`: the sync facade (and the model checker behind it) exposes
+/// only the audited RMW surface, and a lost race here merely under-reports
+/// a transient peak by one in-flight retirement.
+pub(crate) fn note_unreclaimed(cur: &AtomicU64, peak: &AtomicU64, bytes: u64) {
+    if bytes == 0 {
+        return;
+    }
+    // ordering: Relaxed — statistics counter; the value feeds no safety
+    // decision.
+    let now = cur.fetch_add(bytes, Relaxed) + bytes;
+    // ordering: Relaxed (all) — monotone max maintenance on a statistics
+    // counter; no data is published through it.
+    let mut seen = peak.load(Relaxed);
+    while seen < now {
+        match peak.compare_exchange(seen, now, Relaxed, Relaxed) {
+            Ok(_) => break,
+            Err(s) => seen = s,
+        }
+    }
+}
+
+/// A unified counter snapshot across backends (each backend's native stats
+/// carry more detail; these are the comparable core).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReclaimStats {
+    /// Total heap objects retired (batch pointers count individually).
+    pub objects_retired: u64,
+    /// Total heap objects reclaimed.
+    pub objects_freed: u64,
+    /// Total bytes retired, per retirer estimates.
+    pub bytes_retired: u64,
+    /// Total bytes reclaimed.
+    pub bytes_freed: u64,
+    /// High-water mark of `bytes_retired - bytes_freed` — the
+    /// bounded-garbage gauge the `stalled-reader` benchmark compares.
+    pub peak_unreclaimed_bytes: u64,
+}
+
+impl ReclaimStats {
+    /// Objects retired but not yet reclaimed.
+    pub fn outstanding(&self) -> u64 {
+        self.objects_retired - self.objects_freed
+    }
+}
+
+/// A handle to one of the three reclamation backends.
+///
+/// Cheaply clonable (each variant is itself a cheap handle); clones refer
+/// to the same underlying domain.
+#[derive(Clone, PartialEq, Eq)]
+pub enum ReclaimBackend {
+    /// Epoch-based reclamation: readers pin, retirements wait out a grace
+    /// period of two epoch advances.
+    Epoch(Collector),
+    /// Quiescent-state-based reclamation: readers are implicitly inside a
+    /// critical section until they announce quiescence.
+    Qsbr(QsbrDomain),
+    /// Hazard pointers: readers protect specific pointers; garbage is
+    /// bounded by construction.
+    Hp(HpDomain),
+}
+
+/// Which backend a [`ReclaimBackend`] wraps (a data-less mirror for match
+/// tables and config parsing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReclaimKind {
+    /// Epoch-based reclamation ([`Collector`]).
+    Epoch,
+    /// Quiescent-state-based reclamation ([`QsbrDomain`]).
+    Qsbr,
+    /// Hazard pointers ([`HpDomain`]).
+    Hp,
+}
+
+impl ReclaimKind {
+    /// The stable lowercase name used in benchmark output and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReclaimKind::Epoch => "epoch",
+            ReclaimKind::Qsbr => "qsbr",
+            ReclaimKind::Hp => "hp",
+        }
+    }
+}
+
+impl ReclaimBackend {
+    /// A fresh backend of the given kind with default tuning.
+    pub fn new(kind: ReclaimKind) -> Self {
+        match kind {
+            ReclaimKind::Epoch => ReclaimBackend::Epoch(Collector::new()),
+            ReclaimKind::Qsbr => ReclaimBackend::Qsbr(QsbrDomain::new()),
+            ReclaimKind::Hp => ReclaimBackend::Hp(HpDomain::new()),
+        }
+    }
+
+    /// Which backend this is.
+    pub fn kind(&self) -> ReclaimKind {
+        match self {
+            ReclaimBackend::Epoch(_) => ReclaimKind::Epoch,
+            ReclaimBackend::Qsbr(_) => ReclaimKind::Qsbr,
+            ReclaimBackend::Hp(_) => ReclaimKind::Hp,
+        }
+    }
+
+    /// The backend's stable name (`"epoch"` / `"qsbr"` / `"hp"`).
+    pub fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+
+    /// Drains everything currently drainable, blocking where the backend's
+    /// contract requires it:
+    ///
+    /// * epoch — waits out a full grace period (the calling thread must not
+    ///   be pinned);
+    /// * QSBR — offlines the calling thread's cached handle (it cannot wait
+    ///   on itself), then waits for every other online thread to quiesce;
+    /// * hazard pointers — runs one scan (no grace period exists; whatever
+    ///   a live session still protects remains, by design).
+    pub fn synchronize(&self) {
+        match self {
+            ReclaimBackend::Epoch(c) => c.synchronize(),
+            ReclaimBackend::Qsbr(d) => {
+                d.offline_tls();
+                d.synchronize();
+            }
+            ReclaimBackend::Hp(d) => d.synchronize(),
+        }
+    }
+
+    /// One non-blocking reclamation step (epoch advance + reclaim, a grace
+    /// bump + reclaim, or a hazard scan). Returns objects freed.
+    pub fn collect(&self) -> usize {
+        match self {
+            ReclaimBackend::Epoch(c) => c.collect(),
+            ReclaimBackend::Qsbr(d) => d.try_reclaim(),
+            ReclaimBackend::Hp(d) => d.scan(),
+        }
+    }
+
+    /// The unified counter snapshot.
+    pub fn stats(&self) -> ReclaimStats {
+        match self {
+            ReclaimBackend::Epoch(c) => {
+                let s = c.stats();
+                ReclaimStats {
+                    objects_retired: s.objects_retired,
+                    objects_freed: s.objects_freed,
+                    bytes_retired: s.bytes_retired,
+                    bytes_freed: s.bytes_freed,
+                    peak_unreclaimed_bytes: s.peak_unreclaimed_bytes,
+                }
+            }
+            ReclaimBackend::Qsbr(d) => ReclaimStats {
+                objects_retired: d.retired(),
+                objects_freed: d.freed(),
+                bytes_retired: d.bytes_retired(),
+                bytes_freed: d.bytes_freed(),
+                peak_unreclaimed_bytes: d.peak_unreclaimed_bytes(),
+            },
+            ReclaimBackend::Hp(d) => ReclaimStats {
+                objects_retired: d.retired(),
+                objects_freed: d.freed(),
+                bytes_retired: d.bytes_retired(),
+                bytes_freed: d.bytes_freed(),
+                peak_unreclaimed_bytes: d.peak_unreclaimed_bytes(),
+            },
+        }
+    }
+
+    /// The epoch collector, if that is the wrapped backend.
+    pub fn as_epoch(&self) -> Option<&Collector> {
+        match self {
+            ReclaimBackend::Epoch(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The QSBR domain, if that is the wrapped backend.
+    pub fn as_qsbr(&self) -> Option<&QsbrDomain> {
+        match self {
+            ReclaimBackend::Qsbr(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The hazard-pointer domain, if that is the wrapped backend.
+    pub fn as_hp(&self) -> Option<&HpDomain> {
+        match self {
+            ReclaimBackend::Hp(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for ReclaimBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("ReclaimBackend").field(&self.name()).finish()
+    }
+}
+
+impl From<Collector> for ReclaimBackend {
+    fn from(c: Collector) -> Self {
+        ReclaimBackend::Epoch(c)
+    }
+}
+
+impl From<QsbrDomain> for ReclaimBackend {
+    fn from(d: QsbrDomain) -> Self {
+        ReclaimBackend::Qsbr(d)
+    }
+}
+
+impl From<HpDomain> for ReclaimBackend {
+    fn from(d: HpDomain) -> Self {
+        ReclaimBackend::Hp(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+    use std::sync::Arc;
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let cur = AtomicU64::new(0);
+        let peak = AtomicU64::new(0);
+        note_unreclaimed(&cur, &peak, 10);
+        note_unreclaimed(&cur, &peak, 5);
+        assert_eq!(peak.load(Relaxed), 15);
+        // Drain and retire less: the peak must hold.
+        cur.fetch_sub(15, Relaxed);
+        note_unreclaimed(&cur, &peak, 3);
+        assert_eq!(peak.load(Relaxed), 15);
+        assert_eq!(cur.load(Relaxed), 3);
+    }
+
+    #[test]
+    fn every_backend_drains_at_synchronize() {
+        for kind in [ReclaimKind::Epoch, ReclaimKind::Qsbr, ReclaimKind::Hp] {
+            let backend = ReclaimBackend::new(kind);
+            assert_eq!(backend.kind(), kind);
+            let fired = Arc::new(AtomicUsize::new(0));
+            for _ in 0..4 {
+                let f = Arc::clone(&fired);
+                match &backend {
+                    ReclaimBackend::Epoch(c) => {
+                        let h = c.register();
+                        h.pin().defer(move || {
+                            f.fetch_add(1, SeqCst);
+                        });
+                    }
+                    ReclaimBackend::Qsbr(d) => d.defer(move || {
+                        f.fetch_add(1, SeqCst);
+                    }),
+                    ReclaimBackend::Hp(d) => d.defer(move || {
+                        f.fetch_add(1, SeqCst);
+                    }),
+                }
+            }
+            backend.synchronize();
+            assert_eq!(fired.load(SeqCst), 4, "{} did not drain", backend.name());
+            let s = backend.stats();
+            assert_eq!(s.objects_retired, 4);
+            assert_eq!(s.objects_freed, 4);
+            assert_eq!(s.outstanding(), 0);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ReclaimBackend::new(ReclaimKind::Epoch).name(), "epoch");
+        assert_eq!(ReclaimBackend::new(ReclaimKind::Qsbr).name(), "qsbr");
+        assert_eq!(ReclaimBackend::new(ReclaimKind::Hp).name(), "hp");
+    }
+}

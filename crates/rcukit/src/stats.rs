@@ -3,12 +3,14 @@
 /// A point-in-time snapshot of a collector's counters, from
 /// [`Collector::stats`](crate::Collector::stats).
 ///
-/// All `objects_*` counters are in units of *deferred callbacks*, not
-/// heap allocations: one `defer_free` retires one allocation, but a caller
-/// batching several frees into one `defer` closure (as `bonsai` does for a
-/// whole replaced tree path) counts once. `objects_retired - objects_freed`
-/// equals the number of retirements still waiting for a grace period (also
-/// broken out as `pending_objects`). After a
+/// All `objects_*` counters are in units of *heap objects*: one
+/// `defer_free` retires one allocation, and every pointer in a
+/// `defer_recycle` batch counts individually (a PR 1 regression counted
+/// the whole batch as one unit; fixed). The one opaque case is a plain
+/// `defer` closure, which counts as a single object with a byte estimate
+/// of zero — the collector cannot see inside it. `objects_retired -
+/// objects_freed` equals the number of objects still waiting for a grace
+/// period (also broken out as `pending_objects`). After a
 /// [`synchronize`](crate::Collector::synchronize) with no concurrent
 /// writers, retired and freed converge.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -17,14 +19,26 @@ pub struct CollectorStats {
     pub global_epoch: u64,
     /// Total number of successful epoch advances since creation.
     pub epochs_advanced: u64,
-    /// Total deferred callbacks retired via `defer` / `defer_free` (see the
-    /// struct docs: a batched `defer` counts once).
+    /// Total heap objects retired via `defer` / `defer_free` /
+    /// `defer_recycle` (see the struct docs: batch pointers count
+    /// individually; an opaque closure counts once).
     pub objects_retired: u64,
-    /// Total deferred callbacks that have been executed.
+    /// Total heap objects reclaimed by executed retirements.
     pub objects_freed: u64,
+    /// Total bytes retired, per the retirer's estimate: `defer_free`
+    /// contributes the payload size, `defer_recycle` the caller's explicit
+    /// byte count, an opaque `defer` closure zero.
+    pub bytes_retired: u64,
+    /// Total bytes reclaimed by executed retirements.
+    pub bytes_freed: u64,
+    /// High-water mark of `bytes_retired - bytes_freed` over the
+    /// collector's lifetime — the bounded-garbage gauge: under a stalled
+    /// reader this grows without bound for epoch-based reclamation, which
+    /// is exactly what the `stalled-reader` benchmark profile measures.
+    pub peak_unreclaimed_bytes: u64,
     /// Bags (local and sealed) still holding retirements.
     pub pending_bags: usize,
-    /// Deferred callbacks still waiting for their grace period.
+    /// Heap objects still waiting for their grace period.
     pub pending_objects: usize,
     /// Threads currently registered with the collector.
     pub registered_threads: usize,

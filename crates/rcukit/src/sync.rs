@@ -132,6 +132,48 @@ pub(crate) mod atomic {
     counting_atomic!(AtomicBool, bool, std::sync::atomic::AtomicBool);
     counting_fetch_arith!(AtomicU64, u64);
     counting_fetch_arith!(AtomicUsize, usize);
+
+    /// Generic pointer atomic feeding the same census (the
+    /// `counting_atomic!` macro cannot mint a generic type, so this one is
+    /// written out by hand).
+    #[repr(transparent)]
+    pub(crate) struct AtomicPtr<T>(std::sync::atomic::AtomicPtr<T>);
+
+    #[allow(dead_code)] // facade: not every user touches every method
+    impl<T> AtomicPtr<T> {
+        #[inline]
+        pub(crate) const fn new(v: *mut T) -> Self {
+            Self(std::sync::atomic::AtomicPtr::new(v))
+        }
+
+        #[inline]
+        pub(crate) fn load(&self, order: Ordering) -> *mut T {
+            self.0.load(order)
+        }
+
+        #[inline]
+        pub(crate) fn store(&self, val: *mut T, order: Ordering) {
+            self.0.store(val, order);
+        }
+
+        #[inline]
+        pub(crate) fn swap(&self, val: *mut T, order: Ordering) -> *mut T {
+            note_rmw(order);
+            self.0.swap(val, order)
+        }
+
+        #[inline]
+        pub(crate) fn compare_exchange(
+            &self,
+            current: *mut T,
+            new: *mut T,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            note_rmw(success);
+            self.0.compare_exchange(current, new, success, failure)
+        }
+    }
 }
 
 #[cfg(loom)]
@@ -139,5 +181,5 @@ pub(crate) use loomette::sync::{Mutex, MutexGuard};
 
 #[cfg(loom)]
 pub(crate) mod atomic {
-    pub(crate) use loomette::sync::atomic::{fence, AtomicBool, AtomicU64, AtomicUsize};
+    pub(crate) use loomette::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize};
 }

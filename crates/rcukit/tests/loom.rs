@@ -25,6 +25,14 @@ use std::sync::Arc;
 /// got simpler. Every model leg must clear it at the CI preemption bounds.
 const MIN_SCHEDULES: usize = 500;
 
+/// The stalled-reader scenarios hold their protection across the writer's
+/// entire spawn-to-join lifetime, so both ends of each scenario are
+/// deliberately sequential and the explorable window is much smaller than
+/// the free-running protocol scenarios' (tens of schedules at the local
+/// preemption bound, not thousands). The floor still catches degeneration
+/// to a handful of schedules.
+const MIN_SCHEDULES_STALLED: usize = 25;
+
 #[test]
 fn loom_pin_publication() {
     let runs = loomette::Explorer::default().explore(scenarios::pin_publication);
@@ -61,6 +69,36 @@ fn loom_guard_free_callback_gate() {
     eprintln!("guard_free_callback_gate: {runs} schedules");
     assert!(
         runs > MIN_SCHEDULES,
+        "exploration degenerated to {runs} schedule(s)"
+    );
+}
+
+#[test]
+fn loom_stalled_reader_epoch() {
+    let runs = loomette::Explorer::default().explore(scenarios::stalled_reader_epoch);
+    eprintln!("stalled_reader_epoch: {runs} schedules");
+    assert!(
+        runs > MIN_SCHEDULES_STALLED,
+        "exploration degenerated to {runs} schedule(s)"
+    );
+}
+
+#[test]
+fn loom_stalled_reader_qsbr() {
+    let runs = loomette::Explorer::default().explore(scenarios::stalled_reader_qsbr);
+    eprintln!("stalled_reader_qsbr: {runs} schedules");
+    assert!(
+        runs > MIN_SCHEDULES_STALLED,
+        "exploration degenerated to {runs} schedule(s)"
+    );
+}
+
+#[test]
+fn loom_stalled_reader_hp() {
+    let runs = loomette::Explorer::default().explore(scenarios::stalled_reader_hp);
+    eprintln!("stalled_reader_hp: {runs} schedules");
+    assert!(
+        runs > MIN_SCHEDULES_STALLED,
         "exploration degenerated to {runs} schedule(s)"
     );
 }

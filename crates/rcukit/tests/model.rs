@@ -40,3 +40,24 @@ fn stress_guard_free_callback_gate() {
         scenarios::guard_free_callback_gate();
     }
 }
+
+#[test]
+fn stress_stalled_reader_epoch() {
+    for _ in 0..ITERS {
+        scenarios::stalled_reader_epoch();
+    }
+}
+
+#[test]
+fn stress_stalled_reader_qsbr() {
+    for _ in 0..ITERS {
+        scenarios::stalled_reader_qsbr();
+    }
+}
+
+#[test]
+fn stress_stalled_reader_hp() {
+    for _ in 0..ITERS {
+        scenarios::stalled_reader_hp();
+    }
+}

@@ -31,7 +31,7 @@ use std::cell::Cell;
 use std::sync::atomic::Ordering::SeqCst;
 use std::sync::Arc;
 
-use rcukit::Collector;
+use rcukit::{Collector, HpDomain, QsbrDomain};
 
 /// Pin publication vs. epoch advance: a reader that observed a slot under
 /// a pinned guard must never see that slot's retirement callback fire
@@ -222,6 +222,173 @@ pub fn retire_publish_unpin_collect() {
         "writer-unpin collects never drained the queue"
     );
     assert!(!freed[2].load(SeqCst), "live object was reclaimed");
+}
+
+/// The stalled-reader window on the epoch backend: the main thread pins a
+/// guard *before* the writer exists and holds it across the writer's whole
+/// retire-and-collect lifetime. No schedule may free the retirement while
+/// the pin is held — the grace period cannot elapse past a pinned reader —
+/// and a bounded drain must free it once the pin drops.
+///
+/// This is the protocol shape behind the sweep's `stalled-reader` profile:
+/// on this backend the stalled pin makes unreclaimed garbage grow with the
+/// stall window (here: one object, asserted unreclaimed; in the sweep: a
+/// peak-bytes gauge that scales with ops).
+pub fn stalled_reader_epoch() {
+    let c = Collector::with_shards(1);
+    let freed = Arc::new(AtomicBool::new(false));
+    // The stall: pinned before the writer spawns, held past its join.
+    let h = c.register();
+    let stall = h.pin();
+
+    let writer = {
+        let c = c.clone();
+        let freed = Arc::clone(&freed);
+        spawn(move || {
+            let h = c.register();
+            {
+                let g = h.pin();
+                let freed = Arc::clone(&freed);
+                g.defer(move || freed.store(true, SeqCst));
+            }
+            // Reclaim attempts racing the stall: all must fail to free.
+            for _ in 0..4 {
+                c.collect();
+            }
+        })
+    };
+    writer.join().unwrap();
+    assert!(
+        !freed.load(SeqCst),
+        "epoch reclaim freed a retirement under a stalled reader pin"
+    );
+
+    drop(stall);
+    for _ in 0..4 {
+        c.collect();
+    }
+    assert!(
+        freed.load(SeqCst),
+        "retirement never freed after the stalled pin dropped"
+    );
+}
+
+/// The stalled-reader window on the QSBR backend: the main thread's handle
+/// registers before the writer spawns and never announces a quiescent
+/// state while the writer retires and drives `try_reclaim`. No schedule
+/// may reclaim past the silent handle; once it announces, a bounded
+/// quiesce/reclaim drain must free everything.
+pub fn stalled_reader_qsbr() {
+    let d = QsbrDomain::new();
+    let freed = Arc::new(AtomicBool::new(false));
+    // The stall: registered (online) and silent for the writer's lifetime.
+    let stalled = d.register();
+
+    let writer = {
+        let d = d.clone();
+        let freed = Arc::clone(&freed);
+        spawn(move || {
+            let freed = Arc::clone(&freed);
+            d.defer(move || freed.store(true, SeqCst));
+            // Grace-period bumps racing the stall: `min_seen` is pinned at
+            // the stalled handle's registration epoch, so none may free.
+            for _ in 0..4 {
+                d.try_reclaim();
+            }
+        })
+    };
+    writer.join().unwrap();
+    assert!(
+        !freed.load(SeqCst),
+        "qsbr reclaim freed a retirement before the stalled reader quiesced"
+    );
+
+    // The stall lifts: two announce+reclaim rounds bound the drain (one
+    // announces past the retirement's tag, the next reclaims behind it).
+    for _ in 0..2 {
+        stalled.quiescent();
+        d.try_reclaim();
+    }
+    assert!(
+        freed.load(SeqCst),
+        "retirement never freed after the stalled handle quiesced"
+    );
+}
+
+/// A canary allocation whose drop flips a shared flag — how the HP
+/// scenario observes *when* a retired pointer is actually reclaimed.
+struct DropCanary(Arc<AtomicBool>);
+
+impl Drop for DropCanary {
+    fn drop(&mut self) {
+        self.0.store(true, SeqCst);
+    }
+}
+
+/// The stalled-reader window on the hazard-pointer backend, plus the
+/// bounded-garbage guarantee the backend exists for: the main thread
+/// protects a node in a hazard slot across the writer's whole lifetime.
+/// The writer retires that node *and* a burst of unprotected dummies past
+/// the scan threshold. In every schedule:
+///
+/// * the protected node must survive every scan while the slot holds it;
+/// * the unprotected dummies reclaim without any reader progress — unlike
+///   epoch/QSBR, the stall does not grow garbage, and the retire queue
+///   never exceeds `garbage_bound_objects()`.
+pub fn stalled_reader_hp() {
+    // Threshold 2: the dummy burst crosses it, forcing auto-scans while
+    // the stall holds.
+    let d = HpDomain::with_scan_threshold(2);
+    let freed = Arc::new(AtomicBool::new(false));
+    let node = Box::into_raw(Box::new(DropCanary(Arc::clone(&freed))));
+    // The stall: slot 0 protects the node before the writer spawns.
+    let session = d.session();
+    session.protect(0, node.cast());
+
+    let writer = {
+        let d = d.clone();
+        let addr = node as usize;
+        spawn(move || {
+            // Retire the protected node...
+            // Safety: `node` came from Box::into_raw, is reachable only
+            // through the stalled session's slot, and is retired once.
+            unsafe { d.defer_free(addr as *mut DropCanary) };
+            // ...and a burst of unprotected dummies crossing the scan
+            // threshold, so auto-scans run under the stall.
+            for _ in 0..4 {
+                // Safety: fresh allocation, never shared, retired once.
+                unsafe { d.defer_free(Box::into_raw(Box::new(0u64))) };
+            }
+            d.scan();
+        })
+    };
+    writer.join().unwrap();
+    assert!(
+        !freed.load(SeqCst),
+        "hp scan freed a pointer while a hazard slot protected it"
+    );
+    // Bounded garbage under the stall: one deterministic scan leaves only
+    // the protected node queued, far inside the construction-time bound.
+    d.scan();
+    assert_eq!(
+        d.pending(),
+        1,
+        "unprotected retirements survived a scan under the stall"
+    );
+    assert!(
+        d.pending() <= d.garbage_bound_objects(),
+        "retire queue exceeded the bounded-garbage guarantee"
+    );
+
+    // The stall lifts: the node reclaims at the next scan.
+    drop(session);
+    d.scan();
+    assert!(
+        freed.load(SeqCst),
+        "protected node never freed after its session dropped"
+    );
+    assert_eq!(d.pending(), 0);
+    assert_eq!(d.retired(), d.freed());
 }
 
 thread_local! {

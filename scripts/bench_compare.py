@@ -24,7 +24,15 @@ the bonsai backend); both are likewise optional, so a v3 baseline diffs
 against a v4 candidate — the new profile's points report as new, and
 `read_op_ns` deltas print informationally when both sides carry the field
 (latency is inverted: lower is better, so it is never gated by the
-throughput threshold).
+throughput threshold). v5 adds the `qsbr` and `hp` backends, the
+`stalled-reader` profile, and `peak_unreclaimed_bytes` (high-water mark of
+bytes retired but not yet reclaimed). The peak field is optional — absent
+in v4 baselines — but hard-checked when present: a non-negative integer,
+exactly 0 on the `locked` backend (it retires nothing), and strictly
+positive on any reclaiming backend that reported retirements. Pass
+`--hp-peak-bound BYTES` to additionally fail if any `hp` record's peak
+exceeds the bound — the backend's whole point is that a stalled reader
+cannot make its garbage grow, so CI can pin that down with a number.
 
 Intended uses: `bench_compare.py <old-commit's json> BENCH_addrspace.json`
 during review, and the CI smoke invocation that diffs the committed
@@ -73,6 +81,13 @@ def main():
         default="ops_per_sec",
         help="record field to compare (default ops_per_sec)",
     )
+    ap.add_argument(
+        "--hp-peak-bound",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="fail if any hp record's peak_unreclaimed_bytes exceeds this",
+    )
     args = ap.parse_args()
 
     old = load_points(args.old)
@@ -111,6 +126,37 @@ def main():
             failures.append(
                 f"{label}: cas_retries = {rec['cas_retries']} at threads=1"
             )
+        # v5 unreclaimed-garbage gauge: optional (absent in v4 files), but
+        # when present it must be coherent with the backend: the locked
+        # baseline never retires (peak 0), and a reclaiming backend that
+        # retired anything must have registered a positive peak.
+        if "peak_unreclaimed_bytes" in rec:
+            peak = rec["peak_unreclaimed_bytes"]
+            if not isinstance(peak, int) or peak < 0:
+                failures.append(
+                    f"{label}: peak_unreclaimed_bytes = {peak!r} (want int >= 0)"
+                )
+            elif rec.get("backend") == "locked":
+                if peak != 0:
+                    failures.append(
+                        f"{label}: locked backend reports peak_unreclaimed_bytes"
+                        f" = {peak} (must be 0)"
+                    )
+            else:
+                if rec.get("retired", 0) > 0 and peak == 0:
+                    failures.append(
+                        f"{label}: retired {rec['retired']} objects but"
+                        f" peak_unreclaimed_bytes = 0"
+                    )
+                if (
+                    args.hp_peak_bound is not None
+                    and rec.get("backend") == "hp"
+                    and peak > args.hp_peak_bound
+                ):
+                    failures.append(
+                        f"{label}: hp peak_unreclaimed_bytes = {peak} exceeds"
+                        f" bound {args.hp_peak_bound}"
+                    )
         if key not in old:
             print(f"note: {label} only in {args.new}")
             continue
