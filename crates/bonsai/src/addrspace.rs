@@ -61,6 +61,14 @@ pub trait AddressSpace: Send + Sync {
 
     /// Number of currently mapped regions.
     fn regions(&self) -> usize;
+
+    /// Forks the address space: the child starts with an identical mapping
+    /// set and the two diverge independently — the `fork()` of the process
+    /// analogy. On the [`RangeMap`] backend this is an O(depth) structural-
+    /// sharing snapshot (see [`RangeMap::fork`]); a lock-serialized
+    /// implementation deep-copies under its exclusive lock, which is
+    /// exactly the asymmetry the fork-storm benchmark profile measures.
+    fn fork(&self) -> Box<dyn AddressSpace>;
 }
 
 impl<V> AddressSpace for RangeMap<V>
@@ -85,6 +93,10 @@ where
 
     fn regions(&self) -> usize {
         self.len()
+    }
+
+    fn fork(&self) -> Box<dyn AddressSpace> {
+        Box::new(RangeMap::fork(self))
     }
 }
 

@@ -376,6 +376,24 @@ impl<T> Arena<T> {
             .unwrap_or_default()
     }
 
+    /// Returns a drained batch buffer to the pool — the counterpart of
+    /// [`Self::take_batch`] for updates that turned out to retire nothing
+    /// (an insert into an untouched spot of a shared tree, say), so the
+    /// warm capacity is not lost.
+    pub(crate) fn put_batch(&self, batch: RecycleBatch) {
+        debug_assert!(batch.is_empty());
+        let mut pool = self.shared.batches.lock().unwrap();
+        if pool.len() < BATCH_POOL_MAX {
+            pool.push(batch);
+        }
+    }
+
+    /// The family chunk store this arena belongs to — how a forked tree's
+    /// scratch joins its parent's block-lifetime family.
+    pub(crate) fn store(&self) -> Arc<ChunkStore<T>> {
+        self.shared.store.clone()
+    }
+
     /// Number of chunks allocated by the whole family so far — the
     /// capacity-flat proxy for the allocation-diet tests: steady-state
     /// churn must stop moving this.

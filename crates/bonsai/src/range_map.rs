@@ -78,6 +78,13 @@ enum Attempt<T> {
 /// docs and `docs/CONCURRENCY.md`.
 pub struct RangeMap<V> {
     tree: BonsaiTree<u64, Extent<V>>,
+    /// The arena family every scratch of this map — the tree's mutex-owned
+    /// one and the range-lock pool's alike — allocates from. Held here so
+    /// [`fork`](Self::fork) can put the child lineage's scratches in the
+    /// same family: lineages share nodes, so they must share the blocks'
+    /// lifetime story too (a pending recycle batch pins only its own
+    /// arena's store).
+    store: Arc<ChunkStore<Node<u64, Extent<V>>>>,
     /// The range-lock manager: writer mutual exclusion by byte span, plus
     /// the pool of per-holder scratch buffers (the map's share of the
     /// writer-path allocation diet).
@@ -100,10 +107,7 @@ where
     /// requires the epoch backend, while the owned lookups and
     /// [`contains`](Self::contains) work on every backend.
     pub fn with_backend(backend: ReclaimBackend) -> Self {
-        Self {
-            tree: BonsaiTree::with_backend(backend),
-            locks: RangeLocks::new(Self::scratch_factory()),
-        }
+        Self::build(backend, None)
     }
 
     /// [`new`](Self::new) with an explicit range-lock stripe count
@@ -119,19 +123,61 @@ where
     /// stripe count (see [`with_stripes`](Self::with_stripes)).
     #[doc(hidden)]
     pub fn with_backend_and_stripes(backend: ReclaimBackend, stripes: usize) -> Self {
-        Self {
-            tree: BonsaiTree::with_backend(backend),
-            locks: RangeLocks::with_stripes(stripes, Self::scratch_factory()),
-        }
+        Self::build(backend, Some(stripes))
     }
 
-    /// The pool-miss scratch factory: every scratch of this map joins one
-    /// arena family (one shared chunk store), so retired blocks may
-    /// migrate between pooled scratches while any pending recycle batch
-    /// keeps all their backing chunks alive (see `crate::arena`).
-    fn scratch_factory() -> impl Fn() -> Scratch<V> + Send + Sync + 'static {
+    /// Shared constructor body: one fresh arena family (one chunk store)
+    /// for the whole map, joined by the tree's mutex-owned scratch and
+    /// every pooled range-lock scratch, so retired blocks may migrate
+    /// between them while any pending recycle batch keeps all their
+    /// backing chunks alive (see `crate::arena`).
+    fn build(backend: ReclaimBackend, stripes: Option<usize>) -> Self {
         let store: Arc<ChunkStore<Node<u64, Extent<V>>>> = Arc::new(ChunkStore::new());
-        move || Scratch::with_store(store.clone())
+        let tree = BonsaiTree::with_scratch(backend, Scratch::with_store(store.clone()));
+        Self::assemble(tree, store, stripes)
+    }
+
+    /// Wraps an already-built tree (fresh or forked) in a map whose
+    /// pool-miss scratch factory joins `store`'s family.
+    fn assemble(
+        tree: BonsaiTree<u64, Extent<V>>,
+        store: Arc<ChunkStore<Node<u64, Extent<V>>>>,
+        stripes: Option<usize>,
+    ) -> Self {
+        let factory = {
+            let store = store.clone();
+            move || Scratch::with_store(store.clone())
+        };
+        let locks = match stripes {
+            Some(n) => RangeLocks::with_stripes(n, factory),
+            None => RangeLocks::new(factory),
+        };
+        Self { tree, store, locks }
+    }
+
+    /// Snapshots the map in O(1) — the `fork()` of the paper's
+    /// address-space analogy: the child starts as an identical map sharing
+    /// every tree node with the parent, and the two diverge copy-on-write
+    /// from there (see [`BonsaiTree::fork`]). The child keeps the parent's
+    /// backend, arena family, and stripe geometry.
+    ///
+    /// The fork acquires the *full* address range, excluding every
+    /// concurrent writer: a composite mutation (`unmap_range` removing
+    /// several regions, a truncation's remove+reinsert pair) is atomic
+    /// only with respect to writers, and the child must never be born
+    /// inside one's intermediate state. Readers of the parent are
+    /// undisturbed.
+    pub fn fork(&self) -> Self {
+        with_write_session(
+            &self.tree,
+            || self.locks.acquire(0, u64::MAX),
+            |sess, _lock| {
+                let tree = self
+                    .tree
+                    .fork_in(sess, Scratch::with_store(self.store.clone()));
+                Self::assemble(tree, self.store.clone(), Some(self.locks.stripe_count()))
+            },
+        )
     }
 
     /// Creates an empty map on the process-wide default collector.

@@ -15,6 +15,23 @@
 //! can still hold them, so concurrent readers traversing the old path never
 //! touch freed memory.
 //!
+//! # Structural sharing and forks
+//!
+//! Every node carries a reference count: one reference per parent link
+//! (across every published version and every forked lineage that reaches
+//! it) plus one per tree whose root pointer is exactly that node.
+//! [`BonsaiTree::fork`] snapshots a tree in O(1) by taking one extra
+//! reference on the current root; the two lineages then diverge
+//! copy-on-write, sharing every untouched subtree. A committed update does
+//! not retire "the replaced path" by listing it — it *releases* the old
+//! version's root reference ([`release`]), and the resulting cascade
+//! retires exactly the nodes no remaining root can reach, stopping at
+//! subtrees another lineage still shares. Reclamation *timing* is
+//! unchanged: a node whose count hits zero ships to the backend's grace
+//! period like before, because a reader that pinned before the unlinking
+//! commit may still be traversing it. See `docs/CONCURRENCY.md` §9 for
+//! the per-backend lifetime argument.
+//!
 //! # Concurrency contract
 //!
 //! The tree is generic over [`ReclaimBackend`]: the copy-on-write update
@@ -57,7 +74,7 @@ use std::ptr;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use rcukit::{Collector, Guard, HpDomain, QsbrDomain, ReclaimBackend};
+use rcukit::{Collector, Guard, HpDomain, QsbrDomain, ReclaimBackend, RecycleBatch, Recycler};
 
 use crate::arena::{Arena, ChunkStore};
 use crate::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize};
@@ -86,6 +103,20 @@ const QSBR_READ_TICK: usize = 64;
 pub(crate) struct Node<K, V> {
     /// Number of nodes in the subtree rooted here (including this node).
     size: usize,
+    /// References on this node: one per parent link across every
+    /// published version and forked lineage that reaches it, plus one per
+    /// tree whose root pointer is exactly this node. Links are counted at
+    /// *commit* time, never speculatively: a node is born at zero (the
+    /// not-yet-accounted marker, visible to no other thread) and receives
+    /// its counts in the publishing commit's accounting walk, under the
+    /// tree's commit gate — so a count can only be incremented by a
+    /// thread whose own lineage already holds a counted chain to the
+    /// node, never resurrected from zero. The node is retired when the
+    /// count returns to zero ([`release`]), which is what makes
+    /// structural sharing across forks sound: replacing or dropping a
+    /// node in one lineage can never free state another lineage still
+    /// reaches.
+    rc: AtomicUsize,
     key: K,
     value: V,
     left: *mut Node<K, V>,
@@ -98,22 +129,117 @@ pub(crate) struct Node<K, V> {
 // followed — so sending a node requires exactly `K: Send + V: Send`.
 unsafe impl<K: Send, V: Send> Send for Node<K, V> {}
 
+/// Takes one reference to `n` (a committed child link, or a root pointer
+/// being published or forked). No-op on null.
+///
+/// # Safety
+///
+/// `n` must be null or a node whose count the caller can prove is
+/// *currently positive and cannot concurrently reach zero*: the caller's
+/// own lineage holds a counted chain to `n` that no concurrent release
+/// can sever (the old version's, until this commit itself releases it),
+/// or writer exclusion rules releases out entirely (fork). Incrementing
+/// from zero would resurrect a node another thread already batched.
+unsafe fn acquire<K, V>(n: *mut Node<K, V>) {
+    if !n.is_null() {
+        // ordering: Relaxed — as in `Arc::clone`: the new reference only
+        // becomes visible to other threads through a later Release (the
+        // publishing root CAS, or the lock handoff protecting a fork),
+        // which carries the count with it; the count synchronizes nothing
+        // itself until the paired `release`'s AcqRel decrement.
+        unsafe { (*n).rc.fetch_add(1, Ordering::Relaxed) };
+    }
+}
+
+/// Drops one reference to `n`. When the last reference is gone the node
+/// leaves the graph: it is pushed into `batch` for reclamation and its
+/// child references die with it (the cascade recurses, stopping at any
+/// subtree some other version or lineage still references). No-op on null.
+///
+/// # Safety
+///
+/// `n` must be null or a live node the caller holds one reference to,
+/// which this call consumes. Every pointer that lands in `batch` has
+/// refcount zero — unreachable from every root — and must be handed to
+/// grace-period reclamation (or, for provably unpublished nodes, freed
+/// directly) exactly once.
+unsafe fn release<K, V>(n: *mut Node<K, V>, batch: &mut RecycleBatch) {
+    if n.is_null() {
+        return;
+    }
+    // ordering: AcqRel — as in `Arc::drop`: Release so this holder's
+    // accesses to the node happen-before the reclamation the final
+    // decrement triggers; Acquire (effective on the final decrement,
+    // through the RMW chain over all decrements) so the retiring thread
+    // sees every prior holder's accesses as complete before the payload
+    // drops.
+    if unsafe { (*n).rc.fetch_sub(1, Ordering::AcqRel) } == 1 {
+        // Safety: we held the last reference, so the node (still live
+        // until its batch fires) is ours to read and its child links are
+        // ours to consume.
+        let (left, right) = unsafe { ((*n).left, (*n).right) };
+        batch.push(n as *mut ());
+        unsafe { release(left, batch) };
+        unsafe { release(right, batch) };
+    }
+}
+
+/// The publishing commit's accounting walk: descends from the just-
+/// published root, entering only this update's fresh nodes (count still
+/// zero, the birth marker). Each fresh node reached takes exactly one
+/// reference — its parent link in the new tree, or the root pointer — and
+/// each *published* node newly linked from a fresh parent (or republished
+/// untouched as the root) gains one. Fresh nodes the walk never reaches
+/// were rotated away within the update and stay at zero for the caller to
+/// free. Runs before the old version's release, so every published node
+/// it acquires still holds its old-version chain.
+///
+/// # Safety
+///
+/// `n` must be null or the root the caller just published (or a fresh
+/// node's child) on a tree whose commit gate the caller holds: the gate
+/// orders accounting in version order, so zero counts here mean "this
+/// update's fresh node" and every positive count is held up by the
+/// still-unreleased old version.
+unsafe fn account<K, V>(n: *mut Node<K, V>) {
+    if n.is_null() {
+        return;
+    }
+    // ordering: Relaxed — the zero marker is thread-private until this
+    // walk assigns the real count (fresh nodes become reachable to other
+    // committers only through the gate handoff, which orders these plain
+    // stores before their loads; readers never touch counts).
+    if unsafe { (*n).rc.load(Ordering::Relaxed) } == 0 {
+        // ordering: Relaxed — see above; the node's single new-tree
+        // reference (parent link or root pointer).
+        unsafe { (*n).rc.store(1, Ordering::Relaxed) };
+        let (left, right) = unsafe { ((*n).left, (*n).right) };
+        unsafe { account(left) };
+        unsafe { account(right) };
+    } else {
+        // Safety: a positive count here is held up by the old version's
+        // still-unreleased chain (see the function contract).
+        unsafe { acquire(n) };
+    }
+}
+
 /// Writer-owned scratch state, only reachable while holding a writer lock
 /// (the tree's internal mutex, or one of `RangeMap`'s range locks, whose
 /// manager pools one scratch per concurrently held lock).
 ///
-/// The two buffers are the CAS-retry bookkeeping, and together with the
-/// scratch's [`Arena`] they are the whole allocation-free write path:
+/// The `fresh` buffer is the CAS-retry bookkeeping, and together with the
+/// scratch's [`Arena`] it is the whole allocation-free write path:
 ///
-/// * `retired` collects the published nodes an update replaces. On a
-///   successful commit they ship as one [`rcukit::RecycleBatch`] (buffer
-///   pooled by the arena) back to the arena after their grace period
-///   ([`Self::commit`]); on a failed CAS they are still published and are
-///   simply forgotten.
-/// * `fresh` records every node the update allocated. On success the new
-///   path is published and the list is discarded; on a failed CAS nothing
-///   in it was ever visible to any reader, so [`Self::discard`] returns it
-///   to the arena immediately — no grace period needed.
+/// * `fresh` records every node the update allocated, each born with a
+///   zero reference count (nothing counts speculative links). On a
+///   successful commit ([`Self::commit`]) the accounting walk
+///   ([`account`]) assigns the new version's counts, rotated-away fresh
+///   nodes (still at zero) return to the arena immediately, and releasing
+///   the old root retires exactly the nodes no remaining root reaches —
+///   replaced *published* nodes are not listed anywhere. On a failed CAS
+///   nothing in `fresh` was ever visible to any reader and no count was
+///   ever touched, so [`Self::discard`] returns every fresh node to the
+///   arena immediately.
 /// * `arena` feeds every node allocation ([`BonsaiTree::mk`]) and pools
 ///   the batch buffers; once warm, an update performs zero heap
 ///   allocations (the node blocks, the batch buffer, and — see
@@ -121,7 +247,6 @@ unsafe impl<K: Send, V: Send> Send for Node<K, V> {}
 ///
 /// Capacity persists across updates (amortized zero growth once warm).
 pub(crate) struct WriterScratch<K, V> {
-    retired: Vec<*mut Node<K, V>>,
     fresh: Vec<*mut Node<K, V>>,
     /// The slab arena this scratch allocates nodes from and retires them
     /// to. Sibling scratches' nodes may also recycle here; see
@@ -132,13 +257,12 @@ pub(crate) struct WriterScratch<K, V> {
     pub(crate) addrs: Vec<u64>,
 }
 
-// Safety: both pointer buffers are drained before the writer lock is
-// released (every update either commits — shipping `retired` into a
-// recycle batch and clearing `fresh` — or discards), so a `WriterScratch`
-// observed outside a critical section never carries pointers; moving the
-// empty buffers (and the `Send + Sync` arena handle) across threads is
-// sound, and inside a critical section the scratch is confined to the
-// lock-holding thread.
+// Safety: the pointer buffer is drained before the writer lock is
+// released (every update either commits or discards), so a
+// `WriterScratch` observed outside a critical section never carries
+// pointers; moving the empty buffer (and the `Send + Sync` arena handle)
+// across threads is sound, and inside a critical section the scratch is
+// confined to the lock-holding thread.
 unsafe impl<K: Send, V: Send> Send for WriterScratch<K, V> {}
 
 impl<K, V> Default for WriterScratch<K, V> {
@@ -161,18 +285,23 @@ impl<K, V> WriterScratch<K, V> {
     /// keeps every block's chunk alive. See `crate::arena`.
     pub(crate) fn with_store(store: Arc<ChunkStore<Node<K, V>>>) -> Self {
         Self {
-            retired: Vec::new(),
             fresh: Vec::new(),
             arena: Arena::with_store(store),
             addrs: Vec::new(),
         }
     }
 
-    /// Capacity of the retired-node buffer — exposed (via doc-hidden tree /
+    /// The family chunk store this scratch's arena belongs to — how forked
+    /// trees and sibling scratches join the same block-lifetime family.
+    pub(crate) fn store(&self) -> Arc<ChunkStore<Node<K, V>>> {
+        self.arena.store()
+    }
+
+    /// Capacity of the fresh-node buffer — exposed (via doc-hidden tree /
     /// map accessors) so tests can assert steady-state updates stop growing
-    /// it.
+    /// it (it tracks the workload's peak rebuilt-path length).
     pub(crate) fn capacity(&self) -> usize {
-        self.retired.capacity()
+        self.fresh.capacity()
     }
 
     /// Chunks allocated by this scratch's arena — the capacity-flat proxy
@@ -182,23 +311,23 @@ impl<K, V> WriterScratch<K, V> {
         self.arena.chunks()
     }
 
-    /// Whether both buffers are empty — every update must start and end in
-    /// this state.
+    /// Whether the fresh buffer is empty — every update must start and end
+    /// in this state.
     fn is_drained(&self) -> bool {
-        self.retired.is_empty() && self.fresh.is_empty()
+        self.fresh.is_empty()
     }
 
-    /// Publication failed (another writer's CAS won): return every node
-    /// this attempt allocated to the arena — none was ever reachable by a
-    /// reader, so no grace period is needed — and forget the replaced list
-    /// (those nodes are still published).
+    /// Publication failed (another writer's CAS won) or the attempt
+    /// unwound pre-CAS: return every node this attempt allocated to the
+    /// arena — none was ever reachable by a reader, so no grace period is
+    /// needed, and no reference count was ever touched (links are counted
+    /// only at commit), so there is nothing to unwind.
     ///
     /// # Safety
     ///
-    /// The caller's CAS must have failed, so nothing in `fresh` was
-    /// published; each pointer in `fresh` appears exactly once (every
-    /// allocation site is [`BonsaiTree::mk`], which records each node
-    /// once).
+    /// Nothing in `fresh` was published (failed CAS, or unwind before the
+    /// CAS); each pointer appears exactly once (every allocation site is
+    /// [`BonsaiTree::mk`], which records each node once).
     unsafe fn discard(&mut self) {
         for &n in &self.fresh {
             // Safety: allocated by `mk` this attempt from this scratch's
@@ -208,16 +337,14 @@ impl<K, V> WriterScratch<K, V> {
             unsafe { self.arena.reclaim_now(n) };
         }
         self.fresh.clear();
-        self.retired.clear();
     }
 }
 
 /// Unwind guard for a commit attempt: if the attempt leaves the scratch
 /// undrained — only possible when a `K`/`V` clone panicked mid-rebuild,
-/// before any publication — free the speculative nodes and clear both
-/// lists, so the scratch returns to its pool (or poisoned mutex) clean and
-/// the next writer can never defer the aborted attempt's still-published
-/// `retired` entries.
+/// before any publication — free the speculative nodes, so the scratch
+/// returns to its pool (or poisoned mutex) clean and the next writer
+/// inherits no stale pointers.
 struct DrainOnUnwind<'a, K, V>(&'a mut WriterScratch<K, V>);
 
 impl<K, V> Drop for DrainOnUnwind<'_, K, V> {
@@ -232,36 +359,82 @@ impl<K, V> Drop for DrainOnUnwind<'_, K, V> {
 }
 
 impl<K: Send + 'static, V: Send + 'static> WriterScratch<K, V> {
-    /// Publication succeeded: forget the (now published) fresh nodes and
-    /// ship the replaced path to the session's backend as one deferred
-    /// recycle batch — a single retire-tag sample (and its StoreLoad
-    /// fence) per update, zero allocations once the arena's batch pool is
-    /// warm (on the HP backend the batch is split per pointer so each node
-    /// reclaims as soon as no slot protects *it*). After the backend's
-    /// grace condition the arena drops each payload in place and reclaims
-    /// the blocks.
-    fn commit(&mut self, sess: &WriteSess<'_>) {
-        self.fresh.clear();
-        if !self.retired.is_empty() {
-            let bytes = self.retired.len() * std::mem::size_of::<Node<K, V>>();
-            let mut batch = self.arena.take_batch();
-            for &n in &self.retired {
-                batch.push(n as *mut ());
+    /// Publication succeeded: settle the reference counts, in the only
+    /// sound order and under the tree's commit gate (held by the caller
+    /// across CAS → commit, so accounting runs in version order).
+    ///
+    /// 1. [`account`] the new version from `new_root`: kept fresh nodes
+    ///    take their single new-tree reference, published nodes newly
+    ///    linked from fresh parents (or republished untouched as the
+    ///    root) gain one. This precedes every release — each published
+    ///    node acquired here is meanwhile held up by the old version's
+    ///    not-yet-released chain.
+    /// 2. Free rotated-away fresh nodes (count still zero: absent from
+    ///    the new tree, never published) back to the arena immediately.
+    /// 3. Release the old version's root reference; the cascade retires
+    ///    exactly the nodes no remaining root — this tree's new version,
+    ///    or any forked lineage — can reach.
+    ///
+    /// Everything that hit zero ships as one deferred recycle batch — a
+    /// single retire-tag sample (and its StoreLoad fence) per update,
+    /// zero allocations once the arena's batch pool is warm (on the HP
+    /// backend the batch is split per pointer so each node reclaims as
+    /// soon as no slot protects *it*). After the backend's grace
+    /// condition the arena drops each payload in place and reclaims the
+    /// blocks.
+    fn commit(
+        &mut self,
+        sess: &WriteSess<'_>,
+        old_root: *mut Node<K, V>,
+        new_root: *mut Node<K, V>,
+    ) {
+        // Safety: `new_root` was just published under the held commit
+        // gate; fresh children are this update's own, published ones are
+        // held up by the old version until the release below.
+        unsafe { account(new_root) };
+        let mut batch = self.arena.take_batch();
+        for &n in &self.fresh {
+            // ordering: Relaxed — the accounting walk above ran on this
+            // thread; zero means it never reached `n`.
+            if unsafe { (*n).rc.load(Ordering::Relaxed) } == 0 {
+                // Safety: rotated away within this update — absent from
+                // the new tree, so never published and never referenced;
+                // freed exactly once here.
+                unsafe { self.arena.reclaim_now(n) };
             }
-            self.retired.clear();
-            // Safety: every pointer was unlinked by the publishing root
-            // store (unreachable to readers pinning after this call),
-            // appears exactly once across all batches and discards, and is
-            // an arena-family block holding an initialized `Node` whose
-            // payload is `Send` (the `K: Send + V: Send` bounds here).
-            unsafe {
-                match sess {
-                    WriteSess::Epoch(guard) => {
-                        guard.defer_recycle(self.arena.recycler(), batch, bytes)
-                    }
-                    WriteSess::Qsbr(d) => d.defer_recycle(self.arena.recycler(), batch, bytes),
-                    WriteSess::Hp(d) => d.defer_recycle(self.arena.recycler(), batch, bytes),
-                }
+        }
+        self.fresh.clear();
+        // Safety: dropping the replaced version's root-pointer reference;
+        // the cascade stops at subtrees the new version or a forked
+        // lineage still references.
+        unsafe { release(old_root, &mut batch) };
+        // Safety: every batched pointer hit a zero count under a
+        // still-held write session: no root reaches it anymore, so only
+        // readers already inside a critical section can, and the grace
+        // period covers exactly those.
+        unsafe { self.defer_batch(sess, batch) };
+    }
+
+    /// Ships `batch` to the session's backend for grace-period
+    /// reclamation, or returns an empty buffer to the arena's pool.
+    ///
+    /// # Safety
+    ///
+    /// Every pointer in `batch` is an arena-family block holding an
+    /// initialized `Node` at refcount zero (unreachable from every root),
+    /// batched exactly once; the payload is `Send` (the bounds here).
+    unsafe fn defer_batch(&mut self, sess: &WriteSess<'_>, batch: RecycleBatch) {
+        if batch.is_empty() {
+            self.arena.put_batch(batch);
+            return;
+        }
+        let bytes = batch.len() * std::mem::size_of::<Node<K, V>>();
+        // Safety: forwarded contract.
+        unsafe {
+            match sess {
+                WriteSess::Epoch(guard) => guard.defer_recycle(self.arena.recycler(), batch, bytes),
+                WriteSess::Qsbr(d) => d.defer_recycle(self.arena.recycler(), batch, bytes),
+                WriteSess::Hp(d) => d.defer_recycle(self.arena.recycler(), batch, bytes),
             }
         }
     }
@@ -420,6 +593,15 @@ pub struct BonsaiTree<K, V> {
     /// traversals ([`Self::to_vec`]) on HP, where finitely many hazard
     /// slots cannot cover an unbounded snapshot.
     hp_gate: Mutex<()>,
+    /// Serializes the commit point — each CAS attempt plus, on success,
+    /// the reference-count accounting behind it ([`WriterScratch::commit`])
+    /// — so accounting runs in version order: version N+1's release
+    /// cascade must not run before version N's accounting has counted the
+    /// links holding N's nodes up. Held only across CAS → account/release
+    /// (O(path)); the expensive speculative rebuild stays outside it, so
+    /// disjoint `RangeMap` writers still overlap where it matters. A
+    /// *leaf* lock: nothing is acquired while it is held.
+    commit_gate: Mutex<()>,
     len: AtomicUsize,
     /// Root-CAS commits that lost to a concurrent writer and rebuilt. Only
     /// the failure path touches these two counters, so an uncontended
@@ -428,6 +610,11 @@ pub struct BonsaiTree<K, V> {
     /// Speculative nodes discarded by those failed commits — the wasted
     /// rebuild work the backoff exists to bound.
     cas_wasted: AtomicU64,
+    /// The writer scratch's arena recycler, cached at construction (where
+    /// the `K: Send + 'static, V: Send + 'static` bounds are in scope) so
+    /// the unbounded [`Drop`] impl can defer the final release cascade
+    /// through the backend.
+    recycler: Arc<dyn Recycler>,
 }
 
 // Safety: the raw node pointers are owned by the tree (plus the collector's
@@ -454,20 +641,90 @@ where
     /// lookups work only on the epoch backend; the `*_owned` lookups work
     /// on all three.
     pub fn with_backend(backend: ReclaimBackend) -> Self {
+        Self::with_scratch(backend, WriterScratch::new())
+    }
+
+    /// Creates an empty tree over `backend` whose mutex-owned writer
+    /// scratch is `scratch` — the seam that lets `RangeMap` put the
+    /// tree's scratch in the same arena family ([`ChunkStore`]) as its
+    /// pooled range-lock scratches, and lets [`Self::fork_in`] put a
+    /// child lineage in its parent's.
+    pub(crate) fn with_scratch(backend: ReclaimBackend, scratch: WriterScratch<K, V>) -> Self {
+        let recycler = scratch.arena.recycler();
         Self {
             root: AtomicPtr::new(ptr::null_mut()),
-            writer: Mutex::new(WriterScratch::new()),
+            writer: Mutex::new(scratch),
             backend,
             hp_gate: Mutex::new(()),
+            commit_gate: Mutex::new(()),
             len: AtomicUsize::new(0),
             cas_retries: AtomicU64::new(0),
             cas_wasted: AtomicU64::new(0),
+            recycler,
         }
     }
 
     /// Creates an empty tree on the process-wide default collector.
     pub fn with_default() -> Self {
         Self::new(rcukit::default_collector().clone())
+    }
+
+    /// Snapshots the tree in O(1): the child starts at the parent's
+    /// current root — one extra reference on one node, no copying — and
+    /// the two lineages diverge copy-on-write from there, sharing every
+    /// subtree neither has since replaced. The per-node refcounts keep a
+    /// shared node alive (and unretired) until the *last* lineage that
+    /// reaches it replaces or drops it; see the module docs and
+    /// `docs/CONCURRENCY.md` §9.
+    ///
+    /// The child retires to the same reclamation backend and allocates
+    /// from the same arena family as the parent, so shared nodes have a
+    /// single block-lifetime story wherever they end up released from.
+    /// Concurrent readers of the parent are undisturbed; the fork itself
+    /// briefly takes the parent's writer lock (it must observe a root no
+    /// in-flight commit is about to replace).
+    pub fn fork(&self) -> Self {
+        with_write_session(
+            self,
+            || self.writer.lock().unwrap(),
+            |sess, w| self.fork_in(sess, WriterScratch::with_store(w.store())),
+        )
+    }
+
+    /// [`fork`](Self::fork) against a caller-provided scratch and write
+    /// session — for `RangeMap`, whose fork runs under a full-range lock.
+    ///
+    /// The caller must hold, for the duration of the call, whatever lock
+    /// excludes this tree's committers (the writer mutex, or every range
+    /// lock): that is what makes the loaded root current and keeps its
+    /// root reference from being released while the child takes its own.
+    /// `scratch` must belong to the parent's arena family — the child's
+    /// deferred batches may carry blocks holding nodes the parent
+    /// allocated, and a pending batch pins only its *own* arena's chunk
+    /// store.
+    pub(crate) fn fork_in(&self, sess: &WriteSess<'_>, scratch: WriterScratch<K, V>) -> Self {
+        self.check_sess(sess);
+        // ordering: Acquire — publication pairing, as in `find`: the child
+        // republishes this snapshot to its own readers.
+        let root = self.root.load(Ordering::Acquire);
+        // Safety: writer exclusion (see above) keeps `root` the current
+        // root — its root-pointer reference cannot be released before the
+        // child takes its own here.
+        unsafe { acquire(root) };
+        let recycler = scratch.arena.recycler();
+        Self {
+            root: AtomicPtr::new(root),
+            writer: Mutex::new(scratch),
+            backend: self.backend.clone(),
+            hp_gate: Mutex::new(()),
+            commit_gate: Mutex::new(()),
+            // ordering: Acquire — pairs with the commit-path Release; exact
+            // under the caller's writer exclusion.
+            len: AtomicUsize::new(self.len.load(Ordering::Acquire)),
+            cas_retries: AtomicU64::new(0),
+            cas_wasted: AtomicU64::new(0),
+            recycler,
+        }
     }
 
     /// The reclamation backend this tree retires nodes to.
@@ -497,7 +754,7 @@ where
         self.collector().pin()
     }
 
-    /// Capacity of the writer's retired-node scratch buffer. Test aid for
+    /// Capacity of the writer's fresh-node scratch buffer. Test aid for
     /// the allocation-diet regression: steady-state updates must not keep
     /// growing it.
     #[doc(hidden)]
@@ -662,6 +919,13 @@ where
     /// hence everything reachable from it (the just-protected node
     /// included) is still unretired. Any root change restarts from
     /// scratch, discarding the candidate.
+    ///
+    /// Forked lineages do not weaken the argument: every node reachable
+    /// from *this* tree's current root has a positive refcount chain down
+    /// from that root, so another lineage's commits can never retire it —
+    /// a node this tree reaches leaves the graph only through a commit on
+    /// this tree, which changes this root, which is exactly what the
+    /// re-read detects.
     fn hp_find<R>(
         &self,
         d: &HpDomain,
@@ -924,13 +1188,12 @@ where
     ) -> Option<V> {
         self.check_sess(sess);
         debug_assert!(scratch.is_drained());
-        // Unwind safety: if a K/V clone panics mid-rebuild, the lists hold
+        // Unwind safety: if a K/V clone panics mid-rebuild, `fresh` holds
         // a half-built speculative path. The old mutex-owned scratch was
-        // covered by lock poisoning; `RangeMap`'s pooled scratches are not,
-        // and lending a dirty scratch to the next writer would let its
-        // commit defer the aborted attempt's still-published `retired`
-        // entries — a use-after-free in release builds. Drain on the way
-        // out instead (freeing only the unpublished `fresh` nodes).
+        // covered by lock poisoning; `RangeMap`'s pooled scratches are
+        // not, and lending a dirty scratch to the next writer would leak
+        // those nodes (or worse, let stale pointers be freed twice).
+        // Discard on the way out instead.
         let scratch = DrainOnUnwind(scratch);
         // ordering: Acquire — publication pairing, as in `get`: the rebuild
         // below dereferences nodes behind this root.
@@ -940,6 +1203,9 @@ where
             // Safety: `root` was published and the write session keeps
             // every node reachable from it live and immutable.
             let (new_root, old) = unsafe { Self::insert_rec(root, &key, &value, scratch.0) };
+            // The commit point is gated so accounting runs in version
+            // order (see `commit_gate`); the rebuild above stayed outside.
+            let gate = self.commit_gate.lock().unwrap();
             // ordering: AcqRel success — Release publishes the speculative
             // path's node writes to readers' Acquire root loads; Acquire
             // orders this commit after the prior one it replaces. Acquire
@@ -952,7 +1218,8 @@ where
                     // Retire strictly after publication: until the CAS, a
                     // freshly pinned reader could still reach the replaced
                     // nodes through `self.root`.
-                    scratch.0.commit(sess);
+                    scratch.0.commit(sess, root, new_root);
+                    drop(gate);
                     if old.is_none() {
                         // ordering: Release — pairs with `len`'s Acquire so
                         // an observed count implies the commit behind it.
@@ -961,6 +1228,7 @@ where
                     return old;
                 }
                 Err(current) => {
+                    drop(gate);
                     // Another writer published first. Nothing this attempt
                     // built was ever visible.
                     failures += 1;
@@ -1012,6 +1280,8 @@ where
                 debug_assert!(scratch.0.is_drained());
                 return None;
             }
+            // Commit-point gate, as in `insert_with`.
+            let gate = self.commit_gate.lock().unwrap();
             // ordering: AcqRel success / Acquire failure — commit
             // publication pairing; see `insert_with`.
             match self
@@ -1021,13 +1291,15 @@ where
                 Ok(_) => {
                     // Retire strictly after publication, as one batch; see
                     // `insert_with`.
-                    scratch.0.commit(sess);
+                    scratch.0.commit(sess, root, new_root);
+                    drop(gate);
                     // ordering: Release — count/commit pairing; see
                     // `insert_with`.
                     self.len.fetch_sub(1, Ordering::Release);
                     return old;
                 }
                 Err(current) => {
+                    drop(gate);
                     failures += 1;
                     let wasted = scratch.0.fresh.len();
                     // Safety: the CAS failed, so `fresh` is unpublished.
@@ -1121,6 +1393,10 @@ where
     ) -> *mut Node<K, V> {
         let n = scratch.arena.alloc(Node {
             size: 1 + Self::size_of(left) + Self::size_of(right),
+            // Born unaccounted: links are counted only by a successful
+            // commit's accounting walk ([`account`]), so a failed CAS has
+            // nothing to unwind.
+            rc: AtomicUsize::new(0),
             key,
             value,
             left,
@@ -1128,25 +1404,6 @@ where
         });
         scratch.fresh.push(n);
         n
-    }
-
-    /// Marks a replaced node for retirement. The node is only handed to the
-    /// collector (as part of the update's single [`RetiredNodes`] batch,
-    /// freed by [`Guard::defer`]) by a *successful* commit, strictly after
-    /// the root CAS — retiring mid-rebuild would let a reader pin after the
-    /// retirement yet still reach the node through the old root, defeating
-    /// the grace-period argument — and a failed commit forgets the list
-    /// (the nodes are still published). Also used for nodes created and
-    /// then discarded within the same update: on success their deferred
-    /// free is merely a little lazy, never wrong, and on failure they are
-    /// freed through the `fresh` list instead (retired entries are
-    /// *forgotten*, not freed, on that path).
-    ///
-    /// `n` must be absent from the about-to-be-published tree and pushed at
-    /// most once.
-    #[inline]
-    fn retire(n: *mut Node<K, V>, scratch: &mut WriterScratch<K, V>) {
-        scratch.retired.push(n);
     }
 
     /// Builds a balanced node over `l`, `(key, value)`, `r`, where the two
@@ -1179,10 +1436,9 @@ where
                 // Safety: `r` valid; its fields are cloned, not moved.
                 let (rk, rv) = unsafe { ((*r).key.clone(), (*r).value.clone()) };
                 let inner = Self::mk(scratch, l, key, value, rl);
-                let out = Self::mk(scratch, inner, rk, rv, rr);
-                // `r` is replaced by `out` and unlinked.
-                Self::retire(r, scratch);
-                out
+                // `r` is replaced by `out` and unlinked; the release
+                // cascade retires it.
+                Self::mk(scratch, inner, rk, rv, rr)
             } else {
                 // Double left rotation; `rl` is non-null because
                 // size(rl) >= RATIO * size(rr) and sizes sum to >= 2.
@@ -1192,11 +1448,9 @@ where
                 let (rll, rlr) = unsafe { ((*rl).left, (*rl).right) };
                 let left = Self::mk(scratch, l, key, value, rll);
                 let right = Self::mk(scratch, rlr, rk, rv, rr);
-                let out = Self::mk(scratch, left, rlk, rlv, right);
-                // Both are replaced by `out` and unlinked.
-                Self::retire(rl, scratch);
-                Self::retire(r, scratch);
-                out
+                // `r` and `rl` are replaced by `out` and unlinked; the
+                // release cascade retires them.
+                Self::mk(scratch, left, rlk, rlv, right)
             }
         } else if sl > DELTA * sr {
             // Left-heavy: rotate right (mirror image).
@@ -1206,10 +1460,9 @@ where
                 // Safety: `l` valid; fields cloned.
                 let (lk, lv) = unsafe { ((*l).key.clone(), (*l).value.clone()) };
                 let inner = Self::mk(scratch, lr, key, value, r);
-                let out = Self::mk(scratch, ll, lk, lv, inner);
-                // `l` is replaced by `out` and unlinked.
-                Self::retire(l, scratch);
-                out
+                // `l` is replaced by `out` and unlinked; the release
+                // cascade retires it.
+                Self::mk(scratch, ll, lk, lv, inner)
             } else {
                 // Safety: `l` and `lr` are valid nodes.
                 let (lk, lv) = unsafe { ((*l).key.clone(), (*l).value.clone()) };
@@ -1217,11 +1470,9 @@ where
                 let (lrl, lrr) = unsafe { ((*lr).left, (*lr).right) };
                 let left = Self::mk(scratch, ll, lk, lv, lrl);
                 let right = Self::mk(scratch, lrr, key, value, r);
-                let out = Self::mk(scratch, left, lrk, lrv, right);
-                // Both are replaced by `out` and unlinked.
-                Self::retire(lr, scratch);
-                Self::retire(l, scratch);
-                out
+                // `l` and `lr` are replaced by `out` and unlinked; the
+                // release cascade retires them.
+                Self::mk(scratch, left, lrk, lrv, right)
             }
         } else {
             Self::mk(scratch, l, key, value, r)
@@ -1259,8 +1510,8 @@ where
             Cmp::Equal => {
                 let old = node.value.clone();
                 let out = Self::mk(scratch, node.left, key.clone(), value.clone(), node.right);
-                // `n` is replaced by `out`.
-                Self::retire(n, scratch);
+                // `n` is replaced by `out`; the old version's release
+                // cascade retires it once no root reaches it.
                 (out, Some(old))
             }
             Cmp::Less => {
@@ -1270,8 +1521,8 @@ where
                     // Safety: `nl` is owned by this update, `node.right` is
                     // published; both valid.
                     unsafe { Self::balance(nl, node.key.clone(), node.value.clone(), node.right, scratch) };
-                // `n` is replaced by `out`.
-                Self::retire(n, scratch);
+                // `n` is replaced by `out`; the old version's release
+                // cascade retires it once no root reaches it.
                 (out, old)
             }
             Cmp::Greater => {
@@ -1280,8 +1531,8 @@ where
                 let out =
                     // Safety: as in the `Less` arm, mirrored.
                     unsafe { Self::balance(node.left, node.key.clone(), node.value.clone(), nr, scratch) };
-                // `n` is replaced by `out`.
-                Self::retire(n, scratch);
+                // `n` is replaced by `out`; the old version's release
+                // cascade retires it once no root reaches it.
                 (out, old)
             }
         }
@@ -1308,8 +1559,8 @@ where
                 let old = node.value.clone();
                 // Safety: joining the two published child subtrees.
                 let out = unsafe { Self::join(node.left, node.right, scratch) };
-                // `n` is replaced by `out`.
-                Self::retire(n, scratch);
+                // `n` is replaced by `out`; the old version's release
+                // cascade retires it once no root reaches it.
                 (out, Some(old))
             }
             Cmp::Less => {
@@ -1328,8 +1579,8 @@ where
                         scratch,
                     )
                 };
-                // `n` is replaced by `out`.
-                Self::retire(n, scratch);
+                // `n` is replaced by `out`; the old version's release
+                // cascade retires it once no root reaches it.
                 (out, old)
             }
             Cmp::Greater => {
@@ -1342,8 +1593,8 @@ where
                 let out = unsafe {
                     Self::balance(node.left, node.key.clone(), node.value.clone(), nr, scratch)
                 };
-                // `n` is replaced by `out`.
-                Self::retire(n, scratch);
+                // `n` is replaced by `out`; the old version's release
+                // cascade retires it once no root reaches it.
                 (out, old)
             }
         }
@@ -1386,10 +1637,9 @@ where
         // Safety: `n` is valid and non-null per the contract.
         let node = unsafe { &*n };
         if node.left.is_null() {
-            let out = (node.key.clone(), node.value.clone(), node.right);
-            // `n` is unlinked; its right child is reused.
-            Self::retire(n, scratch);
-            out
+            // `n` is unlinked (its right child is reused); the release
+            // cascade retires it.
+            (node.key.clone(), node.value.clone(), node.right)
         } else {
             // Safety: `node.left` is non-null and valid.
             let (k, v, nl) = unsafe { Self::extract_min(node.left, scratch) };
@@ -1403,8 +1653,7 @@ where
                     scratch,
                 )
             };
-            // `n` is replaced by `out`.
-            Self::retire(n, scratch);
+            // `n` is replaced by `out`; the release cascade retires it.
             (k, v, out)
         }
     }
@@ -1463,33 +1712,48 @@ where
 
 impl<K, V> Drop for BonsaiTree<K, V> {
     fn drop(&mut self) {
-        // Drops the published tree's payloads immediately, without a grace
-        // period. Sound because no reference into the tree can outlive it:
-        // lookups require `&self` for their whole traversal, and the
-        // references they return borrow `&'g self` (not just the guard),
-        // so holding one keeps the tree borrowed and `drop` unreachable.
-        // Nodes already retired to the collector are owned by its deferred
-        // batches and are NOT touched here. Node *storage* belongs to
-        // arena chunks, which outlive this body: this tree's own arena is
-        // a field (dropped after the custom `Drop`), and a `RangeMap`'s
-        // pooled arenas drop after its tree field — so only the payloads
-        // are dropped here, in place.
-        fn free<K, V>(n: *mut Node<K, V>) {
-            if n.is_null() {
-                return;
-            }
-            // Safety: exclusive access per the reasoning above; each node
-            // is reachable exactly once, and its block stays allocated
-            // until the owning arena drops, strictly after this.
-            let (left, right) = unsafe { ((*n).left, (*n).right) };
-            unsafe { ptr::drop_in_place(n) };
-            free::<K, V>(left);
-            free::<K, V>(right);
-        }
+        // Dropping a tree releases its root-pointer reference — it must
+        // NOT free the tree outright, for two independent reasons: a
+        // forked lineage may still reach any shared subtree (the cascade
+        // stops there), and a reader of *that* lineage — pinned before
+        // some commit over there unlinked a node both lineages once
+        // shared — may still be traversing nodes this release is last to
+        // drop. So the cascade's batch takes the backend's grace period
+        // like any commit's. `&mut self` guarantees only that *this*
+        // tree has no readers or writers left.
+        let scratch = self.writer.get_mut().unwrap_or_else(|e| e.into_inner());
+        let mut batch = scratch.arena.take_batch();
         // ordering: Relaxed — `&mut self` proves exclusive access, so no
         // concurrent writer exists (and loomette's atomics have no
         // `get_mut`; an unordered load is the same thing here).
-        free(self.root.load(Ordering::Relaxed));
+        let root = self.root.load(Ordering::Relaxed);
+        // Safety: dropping this tree's root-pointer reference, held since
+        // the commit (or fork) that published `root`.
+        unsafe { release(root, &mut batch) };
+        if batch.is_empty() {
+            scratch.arena.put_batch(batch);
+            return;
+        }
+        let bytes = batch.len() * std::mem::size_of::<Node<K, V>>();
+        let recycler = self.recycler.clone();
+        // Safety: every batched pointer hit refcount zero, so no remaining
+        // lineage reaches it; only readers of other lineages already
+        // inside a critical section can, and the grace period covers
+        // exactly those. `recycler` was cached at construction, where the
+        // `K: Send + 'static, V: Send + 'static` bounds every constructor
+        // carries were in scope — so the payload is `Send`.
+        unsafe {
+            match &self.backend {
+                ReclaimBackend::Epoch(c) => {
+                    // Quiet pin: pin-time housekeeping could run deferred
+                    // callbacks while we hold `self` half-destroyed.
+                    let guard = c.pin_quiet();
+                    guard.defer_recycle(recycler, batch, bytes);
+                }
+                ReclaimBackend::Qsbr(d) => d.defer_recycle(recycler, batch, bytes),
+                ReclaimBackend::Hp(d) => d.defer_recycle(recycler, batch, bytes),
+            }
+        }
     }
 }
 

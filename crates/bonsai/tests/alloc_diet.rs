@@ -19,7 +19,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 
-use bonsai::RangeMap;
+use bonsai::{BonsaiTree, RangeMap};
 use rcukit::Collector;
 
 /// Counts every allocation (alloc/realloc/alloc_zeroed) passed through to
@@ -116,4 +116,135 @@ fn steady_state_churn_allocates_nothing() {
     let stats = collector.stats();
     assert_eq!(stats.objects_retired, stats.objects_freed);
     assert!(stats.objects_retired > 0);
+}
+
+/// `fork()` must be O(1)/O(depth), not O(n): snapshotting a 100k-entry
+/// tree copies **zero nodes** — the child takes one extra reference on
+/// the root and shares every subtree — so the allocation count is a
+/// small constant, far under the tree's height (~2·log₂ n ≈ 34 for
+/// 100k), and identical for a 100k-entry tree and a 100-entry one.
+#[cfg_attr(miri, ignore)]
+#[test]
+fn fork_allocates_o_depth_not_o_n() {
+    let collector = Collector::new();
+    let big: BonsaiTree<u64, u64> = BonsaiTree::new(collector.clone());
+    for k in 0..100_000u64 {
+        big.insert(k, k);
+    }
+    let small: BonsaiTree<u64, u64> = BonsaiTree::new(collector.clone());
+    for k in 0..100u64 {
+        small.insert(k, k);
+    }
+    // Warm the fork path once (collector TLS, first-touch laziness), so
+    // the measured runs count only what a fork inherently allocates.
+    drop(small.fork());
+
+    let before = ALLOCS.load(Relaxed);
+    let big_child = big.fork();
+    let big_fork_allocs = ALLOCS.load(Relaxed) - before;
+
+    let before = ALLOCS.load(Relaxed);
+    let small_child = small.fork();
+    let small_fork_allocs = ALLOCS.load(Relaxed) - before;
+
+    assert!(
+        big_fork_allocs <= 34,
+        "forking a 100k-entry tree allocated {big_fork_allocs} times \
+         (> height bound 34 — fork is copying, not sharing)"
+    );
+    assert_eq!(
+        big_fork_allocs, small_fork_allocs,
+        "fork cost depends on tree size ({big_fork_allocs} vs {small_fork_allocs} allocs)"
+    );
+
+    // The children are real, independent trees over the shared structure.
+    assert_eq!(big_child.len(), 100_000);
+    assert_eq!(big_child.get_owned(&54_321), Some(54_321));
+    big_child.insert(200_000, 1);
+    assert_eq!(big.get_owned(&200_000), None);
+    drop((big, big_child, small, small_child));
+    collector.synchronize();
+    let stats = collector.stats();
+    assert_eq!(stats.objects_retired, stats.objects_freed);
+}
+
+/// Same bound one layer up: `RangeMap::fork` is O(stripes) (the child's
+/// pooled per-stripe scratches), never O(regions) — a 100k-region map
+/// forks with the same allocation count as a 100-region one.
+#[cfg_attr(miri, ignore)]
+#[test]
+fn range_map_fork_allocates_o_stripes_not_o_regions() {
+    let big: RangeMap<u64> = RangeMap::with_default();
+    for slot in 0..100_000u64 {
+        assert!(big.map(slot * 2 * PAGE, slot * 2 * PAGE + PAGE, slot));
+    }
+    let small: RangeMap<u64> = RangeMap::with_default();
+    for slot in 0..100u64 {
+        assert!(small.map(slot * 2 * PAGE, slot * 2 * PAGE + PAGE, slot));
+    }
+    drop(small.fork());
+
+    let before = ALLOCS.load(Relaxed);
+    let big_child = big.fork();
+    let big_fork_allocs = ALLOCS.load(Relaxed) - before;
+
+    let before = ALLOCS.load(Relaxed);
+    let small_child = small.fork();
+    let small_fork_allocs = ALLOCS.load(Relaxed) - before;
+
+    assert_eq!(
+        big_fork_allocs, small_fork_allocs,
+        "map fork cost depends on region count ({big_fork_allocs} vs {small_fork_allocs} allocs)"
+    );
+    // Stripe-proportional slack: scratches, lock table, tree handle.
+    let bound = 16 * big.lock_stripes() as u64 + 64;
+    assert!(
+        big_fork_allocs <= bound,
+        "forking a 100k-region map allocated {big_fork_allocs} times (> {bound})"
+    );
+
+    assert_eq!(big_child.len(), 100_000);
+    assert!(big_child.unmap(0).is_some());
+    assert!(big.contains(0), "child unmap leaked into the parent");
+    drop((big_child, small_child));
+}
+
+/// Double-free/leak regression across fork lineages, at byte accuracy:
+/// after every lineage is gone — in orderings that drop a forked child
+/// early, the parent early, and interleave further mutation in between —
+/// the backend's `ReclaimStats` balance exactly (`retired == freed`,
+/// objects *and* bytes). A shared node retired twice trips the counters
+/// (or the allocator) here; one never retired leaves `freed` short.
+#[cfg_attr(miri, ignore)]
+#[test]
+fn fork_lineages_reclaim_exactly_once() {
+    for parent_first in [false, true] {
+        let collector = Collector::new();
+        let m: RangeMap<u64> = RangeMap::new(collector.clone());
+        churn(&m, 8);
+        let child = m.fork();
+        // Both lineages diverge over the shared snapshot.
+        churn(&m, 8);
+        churn(&child, 8);
+        if parent_first {
+            drop(m);
+            churn(&child, 4); // the survivor keeps mutating shared subtrees
+            drop(child);
+        } else {
+            drop(child);
+            churn(&m, 4);
+            drop(m);
+        }
+        collector.synchronize();
+        let stats = collector.stats();
+        assert!(stats.objects_retired > 0);
+        assert_eq!(
+            stats.objects_retired, stats.objects_freed,
+            "parent_first={parent_first}: object leak or double retirement"
+        );
+        assert_eq!(
+            stats.bytes_retired, stats.bytes_freed,
+            "parent_first={parent_first}: byte accounting diverged"
+        );
+    }
 }

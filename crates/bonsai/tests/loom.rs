@@ -53,3 +53,17 @@ fn loom_treiber_recycle_push_vs_alloc_pop() {
     eprintln!("treiber_recycle_push_vs_alloc_pop: {runs} schedules");
     assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
 }
+
+#[test]
+fn loom_fork_vs_writer() {
+    let runs = loomette::Explorer::default().explore(scenarios::fork_vs_writer);
+    eprintln!("fork_vs_writer: {runs} schedules");
+    assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
+}
+
+#[test]
+fn loom_shared_subtree_retire() {
+    let runs = loomette::Explorer::default().explore(scenarios::shared_subtree_retire);
+    eprintln!("shared_subtree_retire: {runs} schedules");
+    assert!(runs > 500, "exploration degenerated to {runs} schedule(s)");
+}

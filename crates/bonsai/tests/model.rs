@@ -44,3 +44,17 @@ fn stress_treiber_recycle_push_vs_alloc_pop() {
         scenarios::treiber_recycle_push_vs_alloc_pop();
     }
 }
+
+#[test]
+fn stress_fork_vs_writer() {
+    for _ in 0..ITERS {
+        scenarios::fork_vs_writer();
+    }
+}
+
+#[test]
+fn stress_shared_subtree_retire() {
+    for _ in 0..ITERS {
+        scenarios::shared_subtree_retire();
+    }
+}

@@ -86,6 +86,15 @@ impl AddressSpace for LockedAddressSpace {
     fn regions(&self) -> usize {
         self.regions.read().unwrap().len()
     }
+
+    fn fork(&self) -> Box<dyn AddressSpace> {
+        // The design being argued against has no structural sharing to
+        // lean on: fork is a deep copy of the whole region map, O(n),
+        // under the shared lock (blocking every mutator for the duration).
+        Box::new(LockedAddressSpace {
+            regions: RwLock::new(self.regions.read().unwrap().clone()),
+        })
+    }
 }
 
 #[cfg(test)]

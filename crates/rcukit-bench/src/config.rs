@@ -20,9 +20,9 @@ pub const USAGE: &str = "usage:
   rcukit-bench [readers=N] [duration_ms=N] [keys=N] [workload=tree|range|both]
   rcukit-bench --sweep [threads=1,2,4]
                [profile=metis|metis-phased|psearchy|read-heavy|uniform|writers|\
-stalled-reader|all]
+stalled-reader|fork-storm|all]
                [backend=bonsai|qsbr|hp|locked|both|all] [ops=N] [slots=N]
-               [pages=N] [seed=N] [out=PATH|-]";
+               [pages=N] [seed=N] [forks=N] [live=N] [out=PATH|-]";
 
 /// Which structure(s) the legacy mode drives.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,6 +116,8 @@ fn parse_sweep(args: &[String]) -> Result<SweepConfig, String> {
         slots_per_thread: 64,
         pages_per_slot: 16,
         seed: 42,
+        forks_per_thread: 256,
+        live_per_thread: 64,
         out: Some("BENCH_addrspace.json".to_string()),
     };
     for arg in args {
@@ -146,6 +148,8 @@ fn parse_sweep(args: &[String]) -> Result<SweepConfig, String> {
             Some(("slots", v)) => cfg.slots_per_thread = num(v, "slots")?,
             Some(("pages", v)) => cfg.pages_per_slot = num(v, "pages")?,
             Some(("seed", v)) => cfg.seed = num(v, "seed")?,
+            Some(("forks", v)) => cfg.forks_per_thread = num(v, "forks")?,
+            Some(("live", v)) => cfg.live_per_thread = num(v, "live")?,
             Some(("out", v)) => cfg.out = (v != "-").then(|| v.to_string()),
             _ => return Err(format!("unknown argument: {arg}")),
         }
@@ -172,12 +176,28 @@ mod tests {
         match parse_strs(&["--sweep"]) {
             Ok(Mode::Sweep(cfg)) => {
                 assert_eq!(cfg.threads, vec![1, 2, 4]);
-                assert_eq!(cfg.profiles.len(), 7);
+                assert_eq!(cfg.profiles.len(), 8);
                 assert_eq!(cfg.backends.len(), 4);
+                assert_eq!(cfg.forks_per_thread, 256);
+                assert_eq!(cfg.live_per_thread, 64);
                 assert_eq!(cfg.out.as_deref(), Some("BENCH_addrspace.json"));
             }
             other => panic!("expected sweep mode, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn sweep_parses_fork_storm_knobs() {
+        match parse_strs(&["--sweep", "profile=fork-storm", "forks=128", "live=32"]) {
+            Ok(Mode::Sweep(cfg)) => {
+                assert_eq!(cfg.profiles, vec![Profile::ForkStorm]);
+                assert_eq!(cfg.forks_per_thread, 128);
+                assert_eq!(cfg.live_per_thread, 32);
+            }
+            other => panic!("expected sweep mode, got {other:?}"),
+        }
+        assert!(parse_strs(&["--sweep", "forks=0"]).is_err());
+        assert!(parse_strs(&["--sweep", "live=0"]).is_err());
     }
 
     #[test]

@@ -17,7 +17,19 @@
 //! the backend's read-side protection for the whole replay; its
 //! `peak_unreclaimed_bytes` column is the bounded-garbage comparison (see
 //! [`Profile::StalledReader`]).
+//!
+//! The `fork-storm` profile replays through a multi-tenant process
+//! lifecycle instead of straight through: each thread runs
+//! `forks_per_thread` fork/exec/exit cycles — `fork()` the youngest
+//! lineage (timed per call), replay that lifecycle's chunk of the trace
+//! against the child, keep a ring of `live_per_thread` live children,
+//! exit the oldest — so hundreds of concurrent address spaces share
+//! subtrees against one collector. Its records carry the fork count, the
+//! peak live-space gauge, and fork-latency percentiles (see
+//! [`Profile::ForkStorm`]).
 
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -104,6 +116,12 @@ pub struct SweepConfig {
     pub pages_per_slot: u64,
     /// Master seed for trace generation.
     pub seed: u64,
+    /// Fork/exec/exit cycles per thread under the `fork-storm` profile
+    /// (ignored by the others).
+    pub forks_per_thread: usize,
+    /// Live children each thread keeps before exiting the oldest, under
+    /// the `fork-storm` profile (ignored by the others).
+    pub live_per_thread: usize,
     /// Trajectory file path, or `None` for stdout-only.
     pub out: Option<String>,
 }
@@ -119,6 +137,12 @@ impl SweepConfig {
         }
         if self.backends.is_empty() {
             return Err("sweep needs at least one backend".into());
+        }
+        if self.forks_per_thread == 0 {
+            return Err("forks per thread must be >= 1".into());
+        }
+        if self.live_per_thread == 0 {
+            return Err("live children per thread must be >= 1".into());
         }
         for &threads in &self.threads {
             self.spec(self.profiles[0], threads).validate()?;
@@ -214,6 +238,30 @@ pub struct PointResult {
     /// targets; for the locked backend, lock + lookup. Same address
     /// stream for every backend at a given `(profile, threads)` point.
     pub read_op_ns: f64,
+    /// Fork-lifecycle metrics (`fork-storm` profile; all zeros elsewhere).
+    pub fork: ForkMetrics,
+}
+
+/// Fork-latency and multi-tenancy metrics from a `fork-storm` replay.
+/// All-zero for profiles that never fork.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ForkMetrics {
+    /// Address spaces forked over the whole replay (threads ×
+    /// `forks_per_thread`).
+    pub forks: u64,
+    /// Peak number of concurrently live *forked* spaces across all
+    /// threads (the shared parent is not counted).
+    pub live_spaces_peak: u64,
+    /// Median per-`fork()` latency in nanoseconds — O(depth) structural
+    /// sharing on the RCU backends vs. the locked baseline's O(n) deep
+    /// copy.
+    pub fork_p50_ns: u64,
+    /// 90th-percentile fork latency in nanoseconds.
+    pub fork_p90_ns: u64,
+    /// 99th-percentile fork latency in nanoseconds.
+    pub fork_p99_ns: u64,
+    /// Slowest single fork in nanoseconds.
+    pub fork_max_ns: u64,
 }
 
 impl PointResult {
@@ -236,7 +284,10 @@ impl PointResult {
              \"retired\":{},\"freed\":{},\"reclaim_ok\":{},\
              \"peak_unreclaimed_bytes\":{},\
              \"cas_retries\":{},\"cas_wasted_nodes\":{},\
-             \"read_op_ns\":{:.2}}}",
+             \"read_op_ns\":{:.2},\
+             \"forks\":{},\"live_spaces_peak\":{},\
+             \"fork_p50_ns\":{},\"fork_p90_ns\":{},\"fork_p99_ns\":{},\
+             \"fork_max_ns\":{}}}",
             self.profile.name(),
             self.backend.name(),
             self.threads,
@@ -261,6 +312,12 @@ impl PointResult {
             self.cas_retries,
             self.cas_wasted_nodes,
             self.read_op_ns,
+            self.fork.forks,
+            self.fork.live_spaces_peak,
+            self.fork.fork_p50_ns,
+            self.fork.fork_p90_ns,
+            self.fork.fork_p99_ns,
+            self.fork.fork_max_ns,
         )
     }
 }
@@ -287,6 +344,40 @@ fn read_microbench<A: AddressSpace>(space: &A, spec: &WorkloadSpec) -> f64 {
     let elapsed = started.elapsed();
     std::hint::black_box(hits);
     elapsed.as_nanos() as f64 / READ_SAMPLE as f64
+}
+
+/// Replays one op slice against one address space, updating `tally` —
+/// the inner loop shared by the straight-through replay (whole trace,
+/// one space) and the fork-storm lifecycle (per-child chunks).
+fn replay_ops(space: &dyn AddressSpace, ops: &[Op], tally: &mut Tally) {
+    for op in ops {
+        match *op {
+            Op::Fault(addr) => {
+                tally.faults += 1;
+                if space.fault(addr) {
+                    tally.fault_hits += 1;
+                }
+            }
+            Op::Map(start, end) => {
+                tally.maps += 1;
+                if !space.map(start, end) {
+                    tally.map_rejects += 1;
+                }
+            }
+            Op::Unmap(start) => {
+                tally.unmaps += 1;
+                if !space.unmap(start) {
+                    tally.unmap_misses += 1;
+                }
+            }
+            Op::UnmapRange(start, end) => {
+                tally.unmap_ranges += 1;
+                if space.unmap_range(start, end) == 0 {
+                    tally.unmap_range_misses += 1;
+                }
+            }
+        }
+    }
 }
 
 /// Replays pre-generated traces against `space`, one thread per trace,
@@ -316,34 +407,7 @@ fn replay<A: AddressSpace + 'static>(
             let mut tally = Tally::default();
             barrier.wait();
             let started = Instant::now();
-            for op in &traces[t] {
-                match *op {
-                    Op::Fault(addr) => {
-                        tally.faults += 1;
-                        if space.fault(addr) {
-                            tally.fault_hits += 1;
-                        }
-                    }
-                    Op::Map(start, end) => {
-                        tally.maps += 1;
-                        if !space.map(start, end) {
-                            tally.map_rejects += 1;
-                        }
-                    }
-                    Op::Unmap(start) => {
-                        tally.unmaps += 1;
-                        if !space.unmap(start) {
-                            tally.unmap_misses += 1;
-                        }
-                    }
-                    Op::UnmapRange(start, end) => {
-                        tally.unmap_ranges += 1;
-                        if space.unmap_range(start, end) == 0 {
-                            tally.unmap_range_misses += 1;
-                        }
-                    }
-                }
-            }
+            replay_ops(&*space, &traces[t], &mut tally);
             (started, Instant::now(), tally)
         }));
     }
@@ -361,6 +425,112 @@ fn replay<A: AddressSpace + 'static>(
         _ => Duration::ZERO,
     };
     (elapsed, tally)
+}
+
+/// The `fork-storm` lifecycle replay: each thread runs `forks_per_thread`
+/// fork/exec/exit cycles against its own lineage chain, all over one
+/// shared collector.
+///
+/// Per cycle, a worker `fork()`s its *youngest* child (the first cycle
+/// forks the shared parent) with the call timed in nanoseconds, replays
+/// that lifecycle's contiguous chunk of the thread's trace against the
+/// new child (the exec remap burst and run phase of
+/// [`Profile::ForkStorm`]'s trace shape), pushes the child onto a ring of
+/// at most `live_per_thread` live spaces, and exits (drops) the oldest
+/// when the ring overflows. Chunks partition the trace in order and each
+/// mutates only the newest lineage, so the generator's sequential state
+/// model stays exact — zero rejects/misses still means a correct backend
+/// — while every older child in the ring is a frozen snapshot sharing
+/// subtrees with the live tip until its exit retires whatever it alone
+/// still references.
+///
+/// The parent space is never mutated after its initial regions, so every
+/// thread's chain (which also inherits the other threads' initial arenas)
+/// sees deterministic state regardless of interleaving.
+fn replay_fork_storm<A: AddressSpace + 'static>(
+    space: Arc<A>,
+    spec: &WorkloadSpec,
+    traces: Arc<Vec<Vec<Op>>>,
+    forks_per_thread: usize,
+    live_per_thread: usize,
+) -> (Duration, Tally, ForkMetrics) {
+    for t in 0..spec.threads {
+        for (start, end) in spec.initial_regions(t) {
+            assert!(space.map(start, end), "initial region overlap");
+        }
+    }
+    let barrier = Arc::new(Barrier::new(spec.threads));
+    // Cross-thread live-space gauge: +1 per fork, -1 per exit, peak kept
+    // via fetch_max. Relaxed everywhere — telemetry, no data published.
+    let live_now = Arc::new(AtomicU64::new(0));
+    let live_peak = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::with_capacity(spec.threads);
+    for t in 0..spec.threads {
+        let space = space.clone();
+        let traces = traces.clone();
+        let barrier = barrier.clone();
+        let live_now = live_now.clone();
+        let live_peak = live_peak.clone();
+        workers.push(thread::spawn(move || {
+            let trace = &traces[t];
+            let mut tally = Tally::default();
+            let mut fork_ns = Vec::with_capacity(forks_per_thread);
+            let mut ring: VecDeque<Box<dyn AddressSpace>> =
+                VecDeque::with_capacity(live_per_thread + 1);
+            barrier.wait();
+            let started = Instant::now();
+            for f in 0..forks_per_thread {
+                let fork_start = Instant::now();
+                let child = match ring.back() {
+                    Some(tip) => tip.fork(),
+                    None => space.fork(),
+                };
+                fork_ns.push(fork_start.elapsed().as_nanos() as u64);
+                let n = live_now.fetch_add(1, Relaxed) + 1;
+                live_peak.fetch_max(n, Relaxed);
+                let lo = f * trace.len() / forks_per_thread;
+                let hi = (f + 1) * trace.len() / forks_per_thread;
+                replay_ops(&*child, &trace[lo..hi], &mut tally);
+                ring.push_back(child);
+                if ring.len() > live_per_thread {
+                    drop(ring.pop_front());
+                    live_now.fetch_sub(1, Relaxed);
+                }
+            }
+            // Exit every still-live child before the clock stops: the
+            // storm's teardown (and its retirement burst) is part of the
+            // measured lifecycle, not an afterthought.
+            live_now.fetch_sub(ring.len() as u64, Relaxed);
+            ring.clear();
+            (started, Instant::now(), tally, fork_ns)
+        }));
+    }
+    let mut tally = Tally::default();
+    let mut all_fork_ns = Vec::with_capacity(spec.threads * forks_per_thread);
+    let mut first_start: Option<Instant> = None;
+    let mut last_finish: Option<Instant> = None;
+    for worker in workers {
+        let (started, finished, t, fork_ns) = worker.join().expect("fork-storm thread panicked");
+        tally.add(&t);
+        all_fork_ns.extend(fork_ns);
+        first_start = Some(first_start.map_or(started, |s| s.min(started)));
+        last_finish = Some(last_finish.map_or(finished, |f| f.max(finished)));
+    }
+    let elapsed = match (first_start, last_finish) {
+        (Some(s), Some(f)) => f.duration_since(s),
+        _ => Duration::ZERO,
+    };
+    all_fork_ns.sort_unstable();
+    let pct = |p: usize| all_fork_ns[(all_fork_ns.len() - 1) * p / 100];
+    let fork = ForkMetrics {
+        forks: all_fork_ns.len() as u64,
+        live_spaces_peak: live_peak.load(Relaxed),
+        fork_p50_ns: pct(50),
+        fork_p90_ns: pct(90),
+        fork_p99_ns: pct(99),
+        fork_max_ns: *all_fork_ns.last().expect("at least one fork per thread"),
+    };
+    (elapsed, tally, fork)
 }
 
 /// Runs `f` with one extra reader parked inside `backend`'s read-side
@@ -407,17 +577,27 @@ fn run_point(
     traces: &Arc<Vec<Vec<Op>>>,
 ) -> PointResult {
     let spec = cfg.spec(profile, threads);
-    let (elapsed, tally, stats, cas_retries, cas_wasted_nodes, read_op_ns) =
+    let (elapsed, tally, fork, stats, cas_retries, cas_wasted_nodes, read_op_ns) =
         match backend.reclaim_kind() {
             Some(kind) => {
                 let reclaim = ReclaimBackend::new(kind);
                 let space: Arc<RangeMap<()>> = Arc::new(RangeMap::with_backend(reclaim.clone()));
-                let (elapsed, tally) = if profile.stalls_a_reader() {
-                    with_stalled_reader(&reclaim, || {
+                let (elapsed, tally, fork) = if profile.forks_processes() {
+                    replay_fork_storm(
+                        Arc::clone(&space),
+                        &spec,
+                        Arc::clone(traces),
+                        cfg.forks_per_thread,
+                        cfg.live_per_thread,
+                    )
+                } else if profile.stalls_a_reader() {
+                    let (elapsed, tally) = with_stalled_reader(&reclaim, || {
                         replay(Arc::clone(&space), &spec, Arc::clone(traces))
-                    })
+                    });
+                    (elapsed, tally, ForkMetrics::default())
                 } else {
-                    replay(Arc::clone(&space), &spec, Arc::clone(traces))
+                    let (elapsed, tally) = replay(Arc::clone(&space), &spec, Arc::clone(traces));
+                    (elapsed, tally, ForkMetrics::default())
                 };
                 let read_op_ns = read_microbench(&*space, &spec);
                 reclaim.synchronize();
@@ -425,6 +605,7 @@ fn run_point(
                 (
                     elapsed,
                     tally,
+                    fork,
                     stats,
                     space.cas_retries(),
                     space.cas_wasted_nodes(),
@@ -433,9 +614,20 @@ fn run_point(
             }
             None => {
                 let space = Arc::new(LockedAddressSpace::new());
-                let (elapsed, tally) = replay(Arc::clone(&space), &spec, Arc::clone(traces));
+                let (elapsed, tally, fork) = if profile.forks_processes() {
+                    replay_fork_storm(
+                        Arc::clone(&space),
+                        &spec,
+                        Arc::clone(traces),
+                        cfg.forks_per_thread,
+                        cfg.live_per_thread,
+                    )
+                } else {
+                    let (elapsed, tally) = replay(Arc::clone(&space), &spec, Arc::clone(traces));
+                    (elapsed, tally, ForkMetrics::default())
+                };
                 let read_op_ns = read_microbench(&*space, &spec);
-                (elapsed, tally, Default::default(), 0, 0, read_op_ns)
+                (elapsed, tally, fork, Default::default(), 0, 0, read_op_ns)
             }
         };
     PointResult {
@@ -451,6 +643,7 @@ fn run_point(
         cas_retries,
         cas_wasted_nodes,
         read_op_ns,
+        fork,
     }
 }
 
@@ -480,9 +673,13 @@ pub fn run(cfg: &SweepConfig) -> Vec<PointResult> {
 pub fn render_trajectory(cfg: &SweepConfig, results: &[PointResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    // v5 (over v4): the `qsbr` and `hp` backends (same traces, different
-    // reclamation), the adversarial `stalled-reader` profile, and the
-    // `peak_unreclaimed_bytes` per-record bounded-garbage gauge. v4 added
+    // v6 (over v5): the multi-tenant `fork-storm` profile (per-thread
+    // fork/exec/exit lifecycles over structurally shared address spaces)
+    // and its per-record `forks`, `live_spaces_peak`, and
+    // `fork_p50/p90/p99/max_ns` latency columns — zeros on profiles that
+    // never fork. v5 added the `qsbr` and `hp` backends (same traces,
+    // different reclamation), the adversarial `stalled-reader` profile,
+    // and the `peak_unreclaimed_bytes` per-record gauge. v4 added
     // the `read-heavy` profile (~99% faults) and the `read_op_ns`
     // per-record single-thread read-side microbench — the per-op
     // pin+lookup latency point the ordering audit's payoff shows up
@@ -491,9 +688,17 @@ pub fn render_trajectory(cfg: &SweepConfig, results: &[PointResult]) -> String {
     // range-lock + arena writer path. v2 added the `writers` profile,
     // multi-region `unmap_range` ops (`unmap_ranges`/`unmap_range_misses`),
     // and range-locked parallel writers on the bonsai backend.
-    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v5\",\n");
+    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v6\",\n");
     out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
     out.push_str(&format!("  \"ops_per_thread\": {},\n", cfg.ops_per_thread));
+    out.push_str(&format!(
+        "  \"forks_per_thread\": {},\n",
+        cfg.forks_per_thread
+    ));
+    out.push_str(&format!(
+        "  \"live_per_thread\": {},\n",
+        cfg.live_per_thread
+    ));
     out.push_str(&format!(
         "  \"slots_per_thread\": {},\n",
         cfg.slots_per_thread

@@ -116,11 +116,24 @@ pub enum Profile {
     /// (scale it with `ops`), while the hazard-pointer backend's peak
     /// stays bounded by construction.
     StalledReader,
+    /// Multi-tenant process-lifecycle stress: each replaying thread runs
+    /// repeated fork/exec/exit cycles against one shared collector — the
+    /// harness `fork()`s a child address space off the thread's parent
+    /// space (timed; the O(depth) structural-sharing snapshot vs. the
+    /// baseline's O(n) deep copy), replays a chunk of this trace against
+    /// the child (the *exec* remap burst, then the *run* fault phase
+    /// below), keeps a bounded ring of live children per thread, and
+    /// `exit`s the oldest — so hundreds of concurrent address spaces
+    /// share subtrees with their parents while churning and retiring.
+    /// The trace itself is the per-child lifecycle; the fork/exit
+    /// structure lives in the harness, like `stalled-reader`'s parked
+    /// reader.
+    ForkStorm,
 }
 
 impl Profile {
     /// All profiles, in reporting order.
-    pub const ALL: [Profile; 7] = [
+    pub const ALL: [Profile; 8] = [
         Profile::Metis,
         Profile::MetisPhased,
         Profile::Psearchy,
@@ -128,6 +141,7 @@ impl Profile {
         Profile::Uniform,
         Profile::Writers,
         Profile::StalledReader,
+        Profile::ForkStorm,
     ];
 
     /// The profile's name as used by the CLI and the JSON output.
@@ -140,6 +154,7 @@ impl Profile {
             Profile::Uniform => "uniform",
             Profile::Writers => "writers",
             Profile::StalledReader => "stalled-reader",
+            Profile::ForkStorm => "fork-storm",
         }
     }
 
@@ -153,10 +168,11 @@ impl Profile {
             "uniform" => Ok(Profile::Uniform),
             "writers" => Ok(Profile::Writers),
             "stalled-reader" => Ok(Profile::StalledReader),
+            "fork-storm" => Ok(Profile::ForkStorm),
             other => Err(format!(
                 "unknown profile {other:?} \
                  (expected metis|metis-phased|psearchy|read-heavy|uniform|writers|\
-                 stalled-reader|all)"
+                 stalled-reader|fork-storm|all)"
             )),
         }
     }
@@ -165,6 +181,13 @@ impl Profile {
     /// protection for the whole replay of this profile.
     pub fn stalls_a_reader(self) -> bool {
         matches!(self, Profile::StalledReader)
+    }
+
+    /// Whether the harness drives fork/exec/exit process lifecycles for
+    /// this profile (each thread's trace replayed in chunks against forked
+    /// child spaces instead of straight through against one space).
+    pub fn forks_processes(self) -> bool {
+        matches!(self, Profile::ForkStorm)
     }
 
     /// The profile's phases, in trace order. `ops_ppk` sums to 1024.
@@ -219,6 +242,22 @@ impl Profile {
                 mix: (256, 384, 384),
                 locality: 819,
             }],
+            Profile::ForkStorm => &[
+                // Exec: the fresh child tears down and rebuilds mappings
+                // hard — a remap burst over the inherited (shared) image.
+                Phase {
+                    ops_ppk: 256,
+                    mix: (102, 461, 461),
+                    locality: 1024, // the child works its own arena
+                },
+                // Run: the process mostly faults over its now-private
+                // mappings, with residual churn keeping retirement going.
+                Phase {
+                    ops_ppk: 768,
+                    mix: (819, 102, 103),
+                    locality: 819,
+                },
+            ],
         }
     }
 

@@ -2,7 +2,7 @@
 //! backend must produce identical-work records, a clean reclaim check,
 //! and a well-formed JSON trajectory document.
 
-use rcukit_bench::sweep::{self, Backend, SweepConfig};
+use rcukit_bench::sweep::{self, Backend, PointResult, SweepConfig};
 use rcukit_bench::workload::Profile;
 
 fn tiny_config() -> SweepConfig {
@@ -15,13 +15,106 @@ fn tiny_config() -> SweepConfig {
             Profile::ReadHeavy,
             Profile::Writers,
             Profile::StalledReader,
+            Profile::ForkStorm,
         ],
         backends: Backend::ALL.to_vec(),
         ops_per_thread: 5_000,
         slots_per_thread: 16,
         pages_per_slot: 8,
         seed: 7,
+        forks_per_thread: 64,
+        live_per_thread: 16,
         out: None,
+    }
+}
+
+/// The per-record sanity contract, shared by every test that runs a sweep
+/// (and mirrored by CI's trajectory sanity step): one place asserts every
+/// field of the v6 record shape, so a new column gets its checks here
+/// exactly once.
+fn check_record(point: &PointResult, cfg: &SweepConfig) {
+    // Fixed-work replay: every thread performs exactly its trace (the
+    // fork-storm chunks partition it, so the total is identical).
+    assert_eq!(
+        point.total_ops(),
+        (point.threads * cfg.ops_per_thread) as u64,
+        "{point:?}"
+    );
+    // Traces are valid by construction; rejects/misses mean backend bugs.
+    assert_eq!(point.tally.map_rejects, 0, "{point:?}");
+    assert_eq!(point.tally.unmap_misses, 0, "{point:?}");
+    assert_eq!(point.tally.unmap_range_misses, 0, "{point:?}");
+    // Every reclaiming backend must retire and free the same count
+    // after the final grace period; the locked baseline trivially
+    // passes (and never reports unreclaimed garbage).
+    assert!(point.reclaim_ok, "{point:?}");
+    if point.backend.reclaim_kind().is_some() {
+        assert!(point.retired > 0, "writer churn must retire nodes");
+        assert!(
+            point.peak_unreclaimed_bytes > 0,
+            "retirements must register on the peak gauge: {point:?}"
+        );
+    } else {
+        assert_eq!(point.peak_unreclaimed_bytes, 0, "{point:?}");
+    }
+    // CAS telemetry sanity: single-threaded replays can never lose a
+    // root CAS, and the locked baseline has no CAS at all.
+    if point.threads == 1 || point.backend == Backend::Locked {
+        assert_eq!(point.cas_retries, 0, "{point:?}");
+        assert_eq!(point.cas_wasted_nodes, 0, "{point:?}");
+    }
+    // Wasted nodes exist only where retries do.
+    if point.cas_retries == 0 {
+        assert_eq!(point.cas_wasted_nodes, 0, "{point:?}");
+    }
+    // The read-side microbench ran and produced a plausible latency:
+    // positive, and well under a millisecond per lookup.
+    assert!(
+        point.read_op_ns > 0.0 && point.read_op_ns < 1e6,
+        "{point:?}"
+    );
+    // Fork metrics: populated exactly on fork-storm records, zero
+    // elsewhere — and internally consistent where populated.
+    if point.profile == Profile::ForkStorm {
+        assert_eq!(
+            point.fork.forks,
+            (point.threads * cfg.forks_per_thread) as u64,
+            "{point:?}"
+        );
+        assert!(point.fork.live_spaces_peak > 0, "{point:?}");
+        assert!(
+            point.fork.live_spaces_peak <= (point.threads * (cfg.live_per_thread + 1)) as u64,
+            "live gauge exceeded every thread's ring bound: {point:?}"
+        );
+        if cfg.forks_per_thread > cfg.live_per_thread {
+            // Each thread forks more than its ring holds, so at least one
+            // ring must have filled: the storm genuinely ran concurrent
+            // tenants, it didn't fork-and-exit one space at a time.
+            assert!(
+                point.fork.live_spaces_peak >= cfg.live_per_thread as u64,
+                "no thread's live ring ever filled: {point:?}"
+            );
+        }
+        assert!(
+            point.fork.fork_p50_ns > 0,
+            "fork timer never ran: {point:?}"
+        );
+        assert!(
+            point.fork.fork_p50_ns <= point.fork.fork_p90_ns,
+            "{point:?}"
+        );
+        assert!(
+            point.fork.fork_p90_ns <= point.fork.fork_p99_ns,
+            "{point:?}"
+        );
+        assert!(
+            point.fork.fork_p99_ns <= point.fork.fork_max_ns,
+            "{point:?}"
+        );
+    } else {
+        assert_eq!(point.fork.forks, 0, "{point:?}");
+        assert_eq!(point.fork.live_spaces_peak, 0, "{point:?}");
+        assert_eq!(point.fork.fork_max_ns, 0, "{point:?}");
     }
 }
 
@@ -35,45 +128,7 @@ fn sweep_runs_every_backend_over_identical_work() {
     );
 
     for point in &results {
-        // Fixed-work replay: every thread performs exactly its trace.
-        assert_eq!(
-            point.total_ops(),
-            (point.threads * cfg.ops_per_thread) as u64,
-            "{point:?}"
-        );
-        // Traces are valid by construction; rejects/misses mean backend bugs.
-        assert_eq!(point.tally.map_rejects, 0, "{point:?}");
-        assert_eq!(point.tally.unmap_misses, 0, "{point:?}");
-        assert_eq!(point.tally.unmap_range_misses, 0, "{point:?}");
-        // Every reclaiming backend must retire and free the same count
-        // after the final grace period; the locked baseline trivially
-        // passes (and never reports unreclaimed garbage).
-        assert!(point.reclaim_ok, "{point:?}");
-        if point.backend.reclaim_kind().is_some() {
-            assert!(point.retired > 0, "writer churn must retire nodes");
-            assert!(
-                point.peak_unreclaimed_bytes > 0,
-                "retirements must register on the peak gauge: {point:?}"
-            );
-        } else {
-            assert_eq!(point.peak_unreclaimed_bytes, 0, "{point:?}");
-        }
-        // CAS telemetry sanity: single-threaded replays can never lose a
-        // root CAS, and the locked baseline has no CAS at all.
-        if point.threads == 1 || point.backend == Backend::Locked {
-            assert_eq!(point.cas_retries, 0, "{point:?}");
-            assert_eq!(point.cas_wasted_nodes, 0, "{point:?}");
-        }
-        // Wasted nodes exist only where retries do.
-        if point.cas_retries == 0 {
-            assert_eq!(point.cas_wasted_nodes, 0, "{point:?}");
-        }
-        // The read-side microbench ran and produced a plausible latency:
-        // positive, and well under a millisecond per lookup.
-        assert!(
-            point.read_op_ns > 0.0 && point.read_op_ns < 1e6,
-            "{point:?}"
-        );
+        check_record(point, &cfg);
     }
 
     // The same (profile, threads) trace replayed against each backend must
@@ -106,8 +161,8 @@ fn sweep_runs_every_backend_over_identical_work() {
 /// stall lasts.
 #[test]
 fn stalled_reader_peak_grows_with_window_on_epoch_but_not_hp() {
-    fn stalled(ops: usize) -> Vec<sweep::PointResult> {
-        sweep::run(&SweepConfig {
+    fn stalled(ops: usize) -> (SweepConfig, Vec<sweep::PointResult>) {
+        let cfg = SweepConfig {
             threads: vec![2],
             profiles: vec![Profile::StalledReader],
             backends: vec![Backend::Bonsai, Backend::Hp],
@@ -115,21 +170,28 @@ fn stalled_reader_peak_grows_with_window_on_epoch_but_not_hp() {
             slots_per_thread: 16,
             pages_per_slot: 8,
             seed: 7,
+            forks_per_thread: 1,
+            live_per_thread: 1,
             out: None,
-        })
+        };
+        let results = sweep::run(&cfg);
+        (cfg, results)
     }
 
-    let short = stalled(2_000);
-    let long = stalled(8_000);
+    let (short_cfg, short) = stalled(2_000);
+    let (long_cfg, long) = stalled(8_000);
     let (epoch_short, hp_short) = (&short[0], &short[1]);
     let (epoch_long, hp_long) = (&long[0], &long[1]);
     assert_eq!(epoch_short.backend, Backend::Bonsai);
     assert_eq!(hp_short.backend, Backend::Hp);
 
-    // Both backends still reclaim everything once the stall lifts.
-    for point in short.iter().chain(long.iter()) {
-        assert!(point.reclaim_ok, "{point:?}");
-        assert!(point.retired > 0, "{point:?}");
+    // Both backends still reclaim everything once the stall lifts (the
+    // shared record contract covers reclaim_ok / retired > 0).
+    for point in &short {
+        check_record(point, &short_cfg);
+    }
+    for point in &long {
+        check_record(point, &long_cfg);
     }
 
     // Epoch garbage accumulates for the whole window: quadrupling the ops
@@ -170,9 +232,17 @@ fn trajectory_document_is_well_formed_json() {
     };
     assert_eq!(
         lookup(&top, "schema"),
-        Some(&json::Value::String("rcukit-bench/addrspace-v5".into()))
+        Some(&json::Value::String("rcukit-bench/addrspace-v6".into()))
     );
     assert_eq!(lookup(&top, "seed"), Some(&json::Value::Number(7.0)));
+    assert_eq!(
+        lookup(&top, "forks_per_thread"),
+        Some(&json::Value::Number(64.0))
+    );
+    assert_eq!(
+        lookup(&top, "live_per_thread"),
+        Some(&json::Value::Number(16.0))
+    );
     match lookup(&top, "results") {
         Some(json::Value::Array(records)) => {
             assert_eq!(records.len(), results.len());
@@ -192,6 +262,12 @@ fn trajectory_document_is_well_formed_json() {
                     "cas_retries",
                     "cas_wasted_nodes",
                     "read_op_ns",
+                    "forks",
+                    "live_spaces_peak",
+                    "fork_p50_ns",
+                    "fork_p90_ns",
+                    "fork_p99_ns",
+                    "fork_max_ns",
                 ] {
                     assert!(lookup(fields, key).is_some(), "record missing {key}");
                 }

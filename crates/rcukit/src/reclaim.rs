@@ -14,6 +14,22 @@
 //! readers hold a [`Guard`](crate::Guard), QSBR readers just stay online,
 //! HP readers publish-and-validate per pointer), and callers dispatch on
 //! the variant exactly where those protocols diverge.
+//!
+//! # Share-aware retirement (what "retired" promises)
+//!
+//! Every backend's retire path assumes one thing of its callers: a
+//! retired object is **unreachable from every published entry point** at
+//! the moment of the retire call, so only readers already inside a
+//! critical section can still hold it — the grace condition then covers
+//! exactly those readers. Callers whose objects are shared between
+//! several entry points (the `bonsai` tree's structurally-shared forks,
+//! where one node may be reachable from many roots) must therefore retire
+//! an object only when its *last* referent drops it — which is why the
+//! tree retires through per-node reference counts and hands a node over
+//! only at count zero, never merely "when this lineage replaced it". The
+//! backends themselves need no change for sharing: reachability
+//! bookkeeping happens above, the grace period below, and this line is
+//! the contract between them (`docs/CONCURRENCY.md` §9).
 
 use std::fmt;
 use std::sync::atomic::Ordering::Relaxed;

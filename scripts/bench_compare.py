@@ -33,6 +33,16 @@ positive on any reclaiming backend that reported retirements. Pass
 `--hp-peak-bound BYTES` to additionally fail if any `hp` record's peak
 exceeds the bound — the backend's whole point is that a stalled reader
 cannot make its garbage grow, so CI can pin that down with a number.
+v6 adds the multi-tenant `fork-storm` profile and per-record fork metrics
+(`forks`, `live_spaces_peak`, `fork_p50/p90/p99/max_ns`). The fields are
+optional — absent in v2–v5 baselines — but hard-checked when present: a
+`fork-storm` record must report `forks > 0`, a positive live-space peak,
+and positive, monotone latency percentiles (p50 <= p90 <= p99 <= max),
+while every other profile's record must report all six as exactly 0 (a
+nonzero value there means the harness forked where it had no business
+to). Fork latency, like read latency, prints informationally and is never
+gated by the throughput threshold — baselines across machines differ too
+much; gate deliberately with `--metric fork_p50_ns` if you want it.
 
 Intended uses: `bench_compare.py <old-commit's json> BENCH_addrspace.json`
 during review, and the CI smoke invocation that diffs the committed
@@ -157,6 +167,49 @@ def main():
                         f"{label}: hp peak_unreclaimed_bytes = {peak} exceeds"
                         f" bound {args.hp_peak_bound}"
                     )
+        # v6 fork metrics: optional (absent in older files), but when
+        # present they must match the record's profile — populated and
+        # coherent on fork-storm, all-zero everywhere else.
+        fork_fields = (
+            "forks",
+            "live_spaces_peak",
+            "fork_p50_ns",
+            "fork_p90_ns",
+            "fork_p99_ns",
+            "fork_max_ns",
+        )
+        if any(f in rec for f in fork_fields):
+            values = {}
+            for field in fork_fields:
+                value = rec.get(field, 0)
+                if not isinstance(value, int) or value < 0:
+                    failures.append(f"{label}: {field} = {value!r} (want int >= 0)")
+                    value = 0
+                values[field] = value
+            if rec.get("profile") == "fork-storm":
+                if values["forks"] == 0:
+                    failures.append(f"{label}: fork-storm record has forks = 0")
+                if values["live_spaces_peak"] == 0:
+                    failures.append(f"{label}: fork-storm live_spaces_peak = 0")
+                if values["fork_p50_ns"] == 0:
+                    failures.append(f"{label}: fork-storm fork_p50_ns = 0")
+                if not (
+                    values["fork_p50_ns"]
+                    <= values["fork_p90_ns"]
+                    <= values["fork_p99_ns"]
+                    <= values["fork_max_ns"]
+                ):
+                    failures.append(
+                        f"{label}: fork latency percentiles not monotone: "
+                        f"{values['fork_p50_ns']}/{values['fork_p90_ns']}/"
+                        f"{values['fork_p99_ns']}/{values['fork_max_ns']}"
+                    )
+            else:
+                nonzero = [f for f in fork_fields if values[f] != 0]
+                if nonzero:
+                    failures.append(
+                        f"{label}: non-fork-storm record has nonzero {nonzero}"
+                    )
         if key not in old:
             print(f"note: {label} only in {args.new}")
             continue
@@ -195,7 +248,17 @@ def main():
                 lat = f"  read_op_ns {old[key]['read_op_ns']:.0f} -> {rec['read_op_ns']:.0f}"
             else:
                 lat = f"  read_op_ns - -> {rec['read_op_ns']:.0f}"
-        print(f"{label}: {before:.0f} -> {after:.0f} ({delta_pct:+.1f}%){cas}{lat}{marker}")
+        # Informational fork-latency delta on fork-storm records (v6; older
+        # baselines omit it). Lower is better, never threshold-gated here.
+        fork = ""
+        if rec.get("profile") == "fork-storm" and "fork_p50_ns" in rec:
+            if "fork_p50_ns" in old[key]:
+                fork = f"  fork_p50_ns {old[key]['fork_p50_ns']} -> {rec['fork_p50_ns']}"
+            else:
+                fork = f"  fork_p50_ns - -> {rec['fork_p50_ns']}"
+        print(
+            f"{label}: {before:.0f} -> {after:.0f} ({delta_pct:+.1f}%){cas}{lat}{fork}{marker}"
+        )
 
     if compared == 0:
         sys.exit("no matching (profile, threads, backend) points to compare")
