@@ -316,6 +316,10 @@ impl<T> Arena<T> {
     /// (warm-up). Returns a pointer valid until the block is reclaimed
     /// (and stable across publication — the tree hands it to readers).
     pub(crate) fn alloc(&self, value: T) -> *mut T {
+        // Failpoint: models allocation failure (as Rust's infallible
+        // allocator surfaces it — an unwind) before any free-list state
+        // moves, so an injected failure leaves the arena untouched.
+        rcukit::faults::maybe_panic(rcukit::faults::site::ARENA_ALLOC);
         let block = match self
             .shared
             .pop_free()

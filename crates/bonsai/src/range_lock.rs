@@ -280,6 +280,23 @@ impl<S> RangeLocks<S> {
         pos < held.len() && held[pos].0 < end
     }
 
+    /// Total held-span records across all stripes (a span is recorded
+    /// once per covering stripe). Chaos-tier probe: at quiescence this
+    /// must be zero — an unwinding writer releases its span through the
+    /// guard's drop, so a panicked operation can never leak one.
+    pub(crate) fn held_records(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|stripe| {
+                // Poison-recoverable for the same reason the table stays
+                // consistent under unwinds: no failpoint sits inside a
+                // stripe-mutex critical section.
+                let table = stripe.table.lock().unwrap_or_else(|e| e.into_inner());
+                table.held.len()
+            })
+            .sum()
+    }
+
     /// Total acquisitions that waited at least once (diagnostic).
     pub(crate) fn contended_acquires(&self) -> u64 {
         // ordering: Relaxed — diagnostic snapshot.

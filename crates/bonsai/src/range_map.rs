@@ -234,6 +234,14 @@ where
         self.locks.stripe_count()
     }
 
+    /// Held range-lock records across all stripes. Chaos-tier probe: at
+    /// quiescence this must be zero even after injected panics — an
+    /// unwinding writer's guard releases its span on drop.
+    #[doc(hidden)]
+    pub fn held_range_locks(&self) -> usize {
+        self.locks.held_records()
+    }
+
     /// Largest arena chunk count among the pooled writer scratches — the
     /// capacity-flat proxy for the zero-allocation write path. Call while
     /// no writer is active (lent scratches are invisible to the probe).
@@ -401,6 +409,14 @@ where
                     if s >= end {
                         break;
                     }
+                    // Failpoint: unwind mid-discovery, while the address
+                    // buffer is checked out of the pooled scratch and the
+                    // range lock is held — nothing is mutated yet, so the
+                    // map must come out untouched, the lock released, and
+                    // the next writer lent a clean scratch (the taken
+                    // buffer is dropped; the scratch keeps the fresh empty
+                    // one `take` left, merely cold).
+                    rcukit::faults::maybe_panic(rcukit::faults::site::UNMAP_DISCOVERY);
                     need_hi = need_hi.max(extent.end);
                     inside.push(s);
                     probe = s + 1; // s < end <= u64::MAX: no overflow
@@ -640,7 +656,12 @@ mod tests {
     #[test]
     fn map_roundtrip_on_every_backend() {
         use rcukit::{ReclaimBackend, ReclaimKind};
-        for kind in [ReclaimKind::Epoch, ReclaimKind::Qsbr, ReclaimKind::Hp] {
+        for kind in [
+            ReclaimKind::Epoch,
+            ReclaimKind::Qsbr,
+            ReclaimKind::Hp,
+            ReclaimKind::Hybrid,
+        ] {
             let backend = ReclaimBackend::new(kind);
             let m: RangeMap<u32> = RangeMap::with_backend(backend.clone());
             assert_eq!(m.backend().kind(), kind);

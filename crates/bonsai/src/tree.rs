@@ -51,6 +51,11 @@
 //!   validate protocol (see [`BonsaiTree::hp_find`]); writers serialize on
 //!   a per-tree gate so the copy-on-write path needs no hazards of its
 //!   own. Guard-based lookups panic.
+//! * **Hybrid**: the `*_owned` lookups pin an era interval and validate
+//!   the root once (see [`BonsaiTree::hybrid_find`]) — the whole snapshot
+//!   is then covered, so the walk itself is plain loads; writers
+//!   serialize on the same per-tree gate as HP. Guard-based lookups
+//!   panic.
 //! * Updates ([`insert`](BonsaiTree::insert),
 //!   [`remove`](BonsaiTree::remove)) serialize on an internal writer mutex,
 //!   mirroring the paper's single-writer address-space lock. The *commit*
@@ -74,7 +79,9 @@ use std::ptr;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use rcukit::{Collector, Guard, HpDomain, QsbrDomain, ReclaimBackend, RecycleBatch, Recycler};
+use rcukit::{
+    Collector, Guard, HpDomain, HybridDomain, QsbrDomain, ReclaimBackend, RecycleBatch, Recycler,
+};
 
 use crate::arena::{Arena, ChunkStore};
 use crate::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize};
@@ -117,6 +124,13 @@ pub(crate) struct Node<K, V> {
     /// node in one lineage can never free state another lineage still
     /// reaches.
     rc: AtomicUsize,
+    /// Era the node was created in, sampled from the hybrid domain at the
+    /// start of the writer entry that built it (0 under the other
+    /// backends). An under-approximation of the publish era, which is the
+    /// safe direction for the hybrid interval rule — and what lets churn
+    /// reclaim past a stalled reader: nodes born after its pinned interval
+    /// can never be blocked by it.
+    birth: u64,
     key: K,
     value: V,
     left: *mut Node<K, V>,
@@ -255,6 +269,10 @@ pub(crate) struct WriterScratch<K, V> {
     /// Reusable address buffer lent to `RangeMap::unmap_range`'s discovery
     /// pass, so composite unmaps stay allocation-free too.
     pub(crate) addrs: Vec<u64>,
+    /// Birth era stamped into every node `mk` builds this writer entry —
+    /// the hybrid domain's era sampled when the entry began; 0 under the
+    /// other backends (they ignore it).
+    birth_era: u64,
 }
 
 // Safety: the pointer buffer is drained before the writer lock is
@@ -288,6 +306,7 @@ impl<K, V> WriterScratch<K, V> {
             fresh: Vec::new(),
             arena: Arena::with_store(store),
             addrs: Vec::new(),
+            birth_era: 0,
         }
     }
 
@@ -355,6 +374,38 @@ impl<K, V> Drop for DrainOnUnwind<'_, K, V> {
             // everything in `fresh` is unpublished.
             unsafe { self.0.discard() };
         }
+    }
+}
+
+/// Unwind guard for the post-CAS window: once the root CAS succeeds the
+/// new version is published, so the commit accounting (retire the
+/// replaced version, settle reference counts) and the length update are
+/// owed no matter how the attempt exits — an injected `tree.post_cas`
+/// panic included. Runs both on drop, while the caller's commit gate is
+/// still held (locals unwind innermost-first), preserving version-order
+/// accounting; `commit` leaves the scratch drained, so the outer
+/// [`DrainOnUnwind`] then has nothing to discard.
+struct CommitOnUnwind<'a, 's, K: Send + 'static, V: Send + 'static> {
+    scratch: &'a mut WriterScratch<K, V>,
+    sess: &'a WriteSess<'s>,
+    old_root: *mut Node<K, V>,
+    new_root: *mut Node<K, V>,
+    len: &'a AtomicUsize,
+    /// `+1` for an insert of a new key, `-1` for a remove, `0` for a
+    /// replacement.
+    delta: i8,
+}
+
+impl<K: Send + 'static, V: Send + 'static> Drop for CommitOnUnwind<'_, '_, K, V> {
+    fn drop(&mut self) {
+        self.scratch.commit(self.sess, self.old_root, self.new_root);
+        // ordering: Release — pairs with `len`'s Acquire so an observed
+        // count implies the commit behind it.
+        match self.delta {
+            1 => self.len.fetch_add(1, Ordering::Release),
+            -1 => self.len.fetch_sub(1, Ordering::Release),
+            _ => 0,
+        };
     }
 }
 
@@ -429,15 +480,32 @@ impl<K: Send + 'static, V: Send + 'static> WriterScratch<K, V> {
             return;
         }
         let bytes = batch.len() * std::mem::size_of::<Node<K, V>>();
-        // Safety: forwarded contract.
+        // Safety: forwarded contract. The hybrid arm additionally reads
+        // each node's birth stamp out of the retired block — still valid
+        // here, its grace period starts with this call — and the stamp
+        // never exceeds the publish era (`mk` samples it at writer entry).
         unsafe {
             match sess {
                 WriteSess::Epoch(guard) => guard.defer_recycle(self.arena.recycler(), batch, bytes),
                 WriteSess::Qsbr(d) => d.defer_recycle(self.arena.recycler(), batch, bytes),
                 WriteSess::Hp(d) => d.defer_recycle(self.arena.recycler(), batch, bytes),
+                WriteSess::Hybrid(d) => {
+                    d.defer_recycle_with(self.arena.recycler(), batch, bytes, node_birth::<K, V>)
+                }
             }
         }
     }
+}
+
+/// Reads a retired node's birth-era stamp for the hybrid backend's
+/// interval rule.
+///
+/// Sound to call only from `defer_batch`: the batched pointers are
+/// initialized nodes whose grace period starts with the defer itself, so
+/// they are still valid when the domain samples their births.
+fn node_birth<K, V>(p: *mut ()) -> u64 {
+    // Safety: see above — an initialized, still-valid `Node` block.
+    unsafe { (*p.cast::<Node<K, V>>()).birth }
 }
 
 /// Which entry a tree search returns: the exact key, its predecessor
@@ -473,6 +541,26 @@ pub(crate) enum WriteSess<'a> {
     Qsbr(&'a QsbrDomain),
     /// HP backend: the domain (the tree's writer gate is held).
     Hp(&'a HpDomain),
+    /// Hybrid backend: the domain (the tree's writer gate is held — the
+    /// same writer-exclusion argument as HP: a gate-held writer traverses
+    /// only current-root-reachable nodes, which its own exclusion keeps
+    /// alive, so writers need no era reservation of their own).
+    Hybrid(&'a HybridDomain),
+}
+
+impl WriteSess<'_> {
+    /// Era stamp for the nodes an update builds under this session
+    /// ([`Node`]'s `birth` field): the hybrid domain's current era,
+    /// sampled at writer entry — so the stamp can only under-approximate
+    /// the node's eventual publish era, the safe direction for the
+    /// interval rule — or 0 ("born before every era") on the backends
+    /// that ignore the field.
+    fn birth_era(&self) -> u64 {
+        match self {
+            WriteSess::Hybrid(d) => d.current_era(),
+            _ => 0,
+        }
+    }
 }
 
 /// Runs `f` with a writer lock token held and `tree`'s backend write-side
@@ -552,9 +640,21 @@ pub(crate) fn with_write_session<K, V, T, R>(
             // Gate before `acquire`: the one lock order every HP writer
             // path shares (gate → writer mutex, gate → stripe locks), so
             // the gate can never deadlock against the caller's locks.
-            let gate = tree.hp_gate.lock().unwrap();
+            let gate = tree.hp_gate.lock().unwrap_or_else(|e| e.into_inner());
             let mut token = acquire();
             let sess = WriteSess::Hp(d);
+            let out = f(&sess, &mut token);
+            drop(token);
+            drop(gate);
+            out
+        }
+        ReclaimBackend::Hybrid(d) => {
+            // Same shape as HP: the writer gate is the write-side
+            // protection (writers fully serialized; readers run their own
+            // pin/protect protocol against the domain).
+            let gate = tree.hp_gate.lock().unwrap_or_else(|e| e.into_inner());
+            let mut token = acquire();
+            let sess = WriteSess::Hybrid(d);
             let out = f(&sess, &mut token);
             drop(token);
             drop(gate);
@@ -584,14 +684,20 @@ pub(crate) fn with_write_session<K, V, T, R>(
 pub struct BonsaiTree<K, V> {
     root: AtomicPtr<Node<K, V>>,
     /// Serializes writers (the paper's per-address-space update lock) and
-    /// owns the reusable retired-node scratch buffer.
+    /// owns the reusable retired-node scratch buffer. Lock sites recover
+    /// from poisoning (`into_inner`): [`DrainOnUnwind`] guarantees an
+    /// unwinding update leaves the scratch drained and the post-CAS guard
+    /// completes any published commit, so a poisoned mutex still guards a
+    /// clean scratch — the fault-injection tier treats panics as normal
+    /// operation and asserts no writer path stays wedged afterwards.
     writer: Mutex<WriterScratch<K, V>>,
     /// The reclamation backend nodes retire to.
     backend: ReclaimBackend,
-    /// HP-backend writer serialization (see [`WriteSess::Hp`]). Uncontended
-    /// and never touched by the other backends; also taken by whole-tree
-    /// traversals ([`Self::to_vec`]) on HP, where finitely many hazard
-    /// slots cannot cover an unbounded snapshot.
+    /// HP/hybrid-backend writer serialization (see [`WriteSess::Hp`] and
+    /// [`WriteSess::Hybrid`]). Uncontended and never touched by the other
+    /// backends; on HP it is also taken by whole-tree traversals
+    /// ([`Self::to_vec`]), where finitely many hazard slots cannot cover
+    /// an unbounded snapshot (hybrid snapshots pin an interval instead).
     hp_gate: Mutex<()>,
     /// Serializes the commit point — each CAS attempt plus, on success,
     /// the reference-count accounting behind it ([`WriterScratch::commit`])
@@ -686,7 +792,7 @@ where
     pub fn fork(&self) -> Self {
         with_write_session(
             self,
-            || self.writer.lock().unwrap(),
+            || self.writer.lock().unwrap_or_else(|e| e.into_inner()),
             |sess, w| self.fork_in(sess, WriterScratch::with_store(w.store())),
         )
     }
@@ -759,14 +865,20 @@ where
     /// growing it.
     #[doc(hidden)]
     pub fn writer_scratch_capacity(&self) -> usize {
-        self.writer.lock().unwrap().capacity()
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .capacity()
     }
 
     /// Chunks allocated by the writer scratch's node arena — the
     /// capacity-flat proxy for the zero-allocation write path.
     #[doc(hidden)]
     pub fn writer_arena_chunks(&self) -> usize {
-        self.writer.lock().unwrap().arena_chunks()
+        self.writer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .arena_chunks()
     }
 
     /// Root-CAS commits that lost to a concurrent writer and had to
@@ -850,6 +962,10 @@ where
                 **d == *h,
                 "session belongs to a different HP domain than this tree"
             ),
+            (WriteSess::Hybrid(d), ReclaimBackend::Hybrid(h)) => assert!(
+                **d == *h,
+                "session belongs to a different hybrid domain than this tree"
+            ),
             _ => panic!("write session opened against a different reclamation backend"),
         }
     }
@@ -870,7 +986,23 @@ where
         // traversal dereferences it. This is the weakest sound root-load
         // ordering (a Relaxed load could reach nodes whose fields are not
         // yet visible on non-TSO hardware).
-        let mut cur = self.root.load(Ordering::Acquire);
+        let root = self.root.load(Ordering::Acquire);
+        // Safety: forwarded caller obligation — every node reachable from
+        // the loaded root stays live across the walk.
+        unsafe { Self::walk_from(root, key, probe) }
+    }
+
+    /// The search loop of [`find`](Self::find) against a caller-supplied
+    /// snapshot root, for backends that validate the root load themselves
+    /// (the hybrid read side protects-and-validates it before walking).
+    ///
+    /// # Safety
+    ///
+    /// As in [`find`](Self::find): every node reachable from `root` must
+    /// stay live across the call, and `root` must have been loaded with
+    /// (at least) `Acquire` so the published path behind it is visible.
+    unsafe fn walk_from(root: *mut Node<K, V>, key: &K, probe: Probe) -> *mut Node<K, V> {
+        let mut cur = root;
         let mut best: *mut Node<K, V> = ptr::null_mut();
         while !cur.is_null() {
             // Safety: `cur` is a published node the caller's protection
@@ -1009,6 +1141,48 @@ where
         }
     }
 
+    /// Interval-protected search: the hybrid (IBR) read protocol.
+    ///
+    /// One protected load suffices for the whole walk — unlike HP, which
+    /// must re-validate hand-over-hand. `protect` returns a root pointer
+    /// validated against the guard's reservation `[lo, hi]`:
+    ///
+    /// - every node reachable from that root carries a birth era ≤ the
+    ///   validated era (COW builds children before parents, and a node's
+    ///   birth stamp is taken before its root publishes), so `birth ≤ hi`;
+    /// - a reachable node is unretired at validation time, so its eventual
+    ///   retire era is ≥ the validated era ≥ `lo`.
+    ///
+    /// Both interval-overlap conditions hold for the entire subtree, so
+    /// the domain's free rule keeps all of it live and the plain
+    /// [`walk_from`](Self::walk_from) loop is sound with no per-node
+    /// protection.
+    fn hybrid_find<R>(
+        &self,
+        d: &HybridDomain,
+        key: &K,
+        probe: Probe,
+        f: impl FnOnce(&K, &V) -> R,
+    ) -> Option<R> {
+        let guard = d.pin();
+        // Failpoint: slow this reader down while its reservation is live —
+        // the stall the degradation protocol must tolerate.
+        rcukit::faults::maybe_stall(rcukit::faults::site::READER_STALL);
+        // ordering: Acquire — publication pairing; see `find`. `protect`
+        // re-runs the load until the era validates, making the returned
+        // snapshot covered by the guard's reservation interval.
+        let root = guard.protect(|| self.root.load(Ordering::Acquire));
+        // Safety: the validated root's whole subtree is covered by the
+        // reservation (see the method docs); published nodes are immutable.
+        let n = unsafe { Self::walk_from(root, key, probe) };
+        (!n.is_null()).then(|| {
+            // Safety: `n` is reachable from the protected root, hence live
+            // for the guard's lifetime.
+            let node = unsafe { &*n };
+            f(&node.key, &node.value)
+        })
+    }
+
     /// Backend-dispatched protected point read: finds the `probe` entry
     /// for `key`, applies `f` under the backend's read-side protection,
     /// and returns the owned result.
@@ -1021,6 +1195,9 @@ where
         match &self.backend {
             ReclaimBackend::Epoch(c) => {
                 let _guard = c.pin();
+                // Failpoint: slow this reader down while pinned — the
+                // stall that makes epoch garbage grow unboundedly.
+                rcukit::faults::maybe_stall(rcukit::faults::site::READER_STALL);
                 // Safety: the pinned guard protects the traversal.
                 let n = unsafe { self.find(key, probe) };
                 (!n.is_null()).then(|| {
@@ -1043,6 +1220,7 @@ where
                 out
             }),
             ReclaimBackend::Hp(d) => self.hp_find(d, key, probe, f),
+            ReclaimBackend::Hybrid(d) => self.hybrid_find(d, key, probe, f),
         }
     }
 
@@ -1156,7 +1334,7 @@ where
     pub fn insert(&self, key: K, value: V) -> Option<V> {
         with_write_session(
             self,
-            || self.writer.lock().unwrap(),
+            || self.writer.lock().unwrap_or_else(|e| e.into_inner()),
             |sess, w| self.insert_with(key, value, sess, &mut **w),
         )
     }
@@ -1188,6 +1366,7 @@ where
     ) -> Option<V> {
         self.check_sess(sess);
         debug_assert!(scratch.is_drained());
+        scratch.birth_era = sess.birth_era();
         // Unwind safety: if a K/V clone panics mid-rebuild, `fresh` holds
         // a half-built speculative path. The old mutex-owned scratch was
         // covered by lock poisoning; `RangeMap`'s pooled scratches are
@@ -1203,28 +1382,48 @@ where
             // Safety: `root` was published and the write session keeps
             // every node reachable from it live and immutable.
             let (new_root, old) = unsafe { Self::insert_rec(root, &key, &value, scratch.0) };
+            // Failpoint: unwind before anything publishes — must leak
+            // nothing (`DrainOnUnwind` discards the speculative path).
+            rcukit::faults::maybe_panic(rcukit::faults::site::TREE_PRE_PUBLISH);
             // The commit point is gated so accounting runs in version
             // order (see `commit_gate`); the rebuild above stayed outside.
-            let gate = self.commit_gate.lock().unwrap();
+            // A poisoned gate is recoverable: the post-CAS unwind guard
+            // below completes the poisoning attempt's accounting before
+            // the gate is released, so the protected state is consistent.
+            let gate = self.commit_gate.lock().unwrap_or_else(|e| e.into_inner());
+            // Failpoint: a forced CAS failure exercises the retry path
+            // without a competing writer — skip the CAS, root unchanged.
             // ordering: AcqRel success — Release publishes the speculative
             // path's node writes to readers' Acquire root loads; Acquire
             // orders this commit after the prior one it replaces. Acquire
             // failure — the reloaded root is dereferenced on the retry.
-            match self
-                .root
-                .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
-            {
+            let cas = if rcukit::faults::should_fail(rcukit::faults::site::TREE_CAS) {
+                Err(root)
+            } else {
+                self.root
+                    .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
+            };
+            match cas {
                 Ok(_) => {
                     // Retire strictly after publication: until the CAS, a
                     // freshly pinned reader could still reach the replaced
-                    // nodes through `self.root`.
-                    scratch.0.commit(sess, root, new_root);
+                    // nodes through `self.root`. The new root is now
+                    // visible, so the accounting and the length update are
+                    // owed no matter how this attempt exits — the guard
+                    // runs them even if the failpoint below unwinds.
+                    let done = CommitOnUnwind {
+                        scratch: &mut *scratch.0,
+                        sess,
+                        old_root: root,
+                        new_root,
+                        len: &self.len,
+                        delta: if old.is_none() { 1 } else { 0 },
+                    };
+                    // Failpoint: unwind after publication but before
+                    // accounting — the atomicity hole the guard closes.
+                    rcukit::faults::maybe_panic(rcukit::faults::site::TREE_POST_CAS);
+                    drop(done);
                     drop(gate);
-                    if old.is_none() {
-                        // ordering: Release — pairs with `len`'s Acquire so
-                        // an observed count implies the commit behind it.
-                        self.len.fetch_add(1, Ordering::Release);
-                    }
                     return old;
                 }
                 Err(current) => {
@@ -1247,7 +1446,7 @@ where
     pub fn remove(&self, key: &K) -> Option<V> {
         with_write_session(
             self,
-            || self.writer.lock().unwrap(),
+            || self.writer.lock().unwrap_or_else(|e| e.into_inner()),
             |sess, w| self.remove_with(key, sess, &mut **w),
         )
     }
@@ -1266,6 +1465,7 @@ where
     ) -> Option<V> {
         self.check_sess(sess);
         debug_assert!(scratch.is_drained());
+        scratch.birth_era = sess.birth_era();
         // Unwind safety: as in `insert_with`.
         let scratch = DrainOnUnwind(scratch);
         // ordering: Acquire — publication pairing; see `insert_with`.
@@ -1280,22 +1480,35 @@ where
                 debug_assert!(scratch.0.is_drained());
                 return None;
             }
-            // Commit-point gate, as in `insert_with`.
-            let gate = self.commit_gate.lock().unwrap();
-            // ordering: AcqRel success / Acquire failure — commit
-            // publication pairing; see `insert_with`.
-            match self
-                .root
-                .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
-            {
+            // Failpoint: pre-publish unwind; see `insert_with`.
+            rcukit::faults::maybe_panic(rcukit::faults::site::TREE_PRE_PUBLISH);
+            // Commit-point gate (poison-recoverable); see `insert_with`.
+            let gate = self.commit_gate.lock().unwrap_or_else(|e| e.into_inner());
+            // Failpoint + ordering: AcqRel success / Acquire failure —
+            // forced-failure and commit publication pairing; see
+            // `insert_with`.
+            let cas = if rcukit::faults::should_fail(rcukit::faults::site::TREE_CAS) {
+                Err(root)
+            } else {
+                self.root
+                    .compare_exchange(root, new_root, Ordering::AcqRel, Ordering::Acquire)
+            };
+            match cas {
                 Ok(_) => {
-                    // Retire strictly after publication, as one batch; see
-                    // `insert_with`.
-                    scratch.0.commit(sess, root, new_root);
+                    // Retire strictly after publication, as one batch, via
+                    // the post-CAS unwind guard; see `insert_with`.
+                    let done = CommitOnUnwind {
+                        scratch: &mut *scratch.0,
+                        sess,
+                        old_root: root,
+                        new_root,
+                        len: &self.len,
+                        delta: -1,
+                    };
+                    // Failpoint: post-CAS unwind; see `insert_with`.
+                    rcukit::faults::maybe_panic(rcukit::faults::site::TREE_POST_CAS);
+                    drop(done);
                     drop(gate);
-                    // ordering: Release — count/commit pairing; see
-                    // `insert_with`.
-                    self.len.fetch_sub(1, Ordering::Release);
                     return old;
                 }
                 Err(current) => {
@@ -1333,9 +1546,17 @@ where
                 out
             }),
             ReclaimBackend::Hp(_) => {
-                let _gate = self.hp_gate.lock().unwrap();
+                let _gate = self.hp_gate.lock().unwrap_or_else(|e| e.into_inner());
                 // ordering: Acquire — publication pairing; see `find`.
                 f(self.root.load(Ordering::Acquire))
+            }
+            ReclaimBackend::Hybrid(d) => {
+                let guard = d.pin();
+                // ordering: Acquire — publication pairing; see `find`. The
+                // validated snapshot's whole subtree is covered by the
+                // guard's interval (see `hybrid_find`), however large — the
+                // advantage over finite hazard slots.
+                f(guard.protect(|| self.root.load(Ordering::Acquire)))
             }
         }
     }
@@ -1397,6 +1618,7 @@ where
             // commit's accounting walk ([`account`]), so a failed CAS has
             // nothing to unwind.
             rc: AtomicUsize::new(0),
+            birth: scratch.birth_era,
             key,
             value,
             left,
@@ -1752,6 +1974,12 @@ impl<K, V> Drop for BonsaiTree<K, V> {
                 }
                 ReclaimBackend::Qsbr(d) => d.defer_recycle(recycler, batch, bytes),
                 ReclaimBackend::Hp(d) => d.defer_recycle(recycler, batch, bytes),
+                ReclaimBackend::Hybrid(d) => {
+                    // Batched nodes are still-valid blocks whose grace
+                    // period starts here, so their birth stamps are
+                    // readable — the `node_birth` contract.
+                    d.defer_recycle_with(recycler, batch, bytes, node_birth::<K, V>)
+                }
             }
         }
     }
@@ -1870,7 +2098,12 @@ mod tests {
     #[test]
     fn matches_btreemap_on_every_backend() {
         use rcukit::ReclaimKind;
-        for kind in [ReclaimKind::Epoch, ReclaimKind::Qsbr, ReclaimKind::Hp] {
+        for kind in [
+            ReclaimKind::Epoch,
+            ReclaimKind::Qsbr,
+            ReclaimKind::Hp,
+            ReclaimKind::Hybrid,
+        ] {
             let backend = ReclaimBackend::new(kind);
             let t: BonsaiTree<u64, u64> = BonsaiTree::with_backend(backend.clone());
             let mut model = BTreeMap::new();
@@ -1937,7 +2170,7 @@ mod tests {
     fn guard_reads_panic_on_non_epoch_backends() {
         use rcukit::ReclaimKind;
         use std::panic::{catch_unwind, AssertUnwindSafe};
-        for kind in [ReclaimKind::Qsbr, ReclaimKind::Hp] {
+        for kind in [ReclaimKind::Qsbr, ReclaimKind::Hp, ReclaimKind::Hybrid] {
             let t: BonsaiTree<u64, u64> = BonsaiTree::with_backend(ReclaimBackend::new(kind));
             t.insert(1, 10);
             assert!(

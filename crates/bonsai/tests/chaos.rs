@@ -1,0 +1,712 @@
+//! Chaos tier: randomized fault injection over fork/mutate/unmap
+//! lineages, diffed against a `BTreeMap` model (the `fork_diff`
+//! methodology under injected faults).
+//!
+//! Builds only with `--features faults`. Each leg arms the process-global
+//! failpoint registry (`rcukit::faults`) with a fixed seed, runs a
+//! deterministic single-threaded workload in which any write may panic at
+//! an injected protocol edge (arena allocation, forced CAS failure,
+//! pre-publish / post-CAS panic, mid-discovery panic), catches every
+//! unwind, and asserts the panic-atomicity contract after each one:
+//!
+//! * a panicked tree update left the tree in exactly its pre-op or
+//!   post-op state — never torn, never violating the tree invariants;
+//! * a panicked map operation leaked no range lock and lent the next
+//!   writer a clean scratch (the next operation simply proceeds);
+//! * a panicked `unmap_range` never lost coverage of bytes outside the
+//!   requested span, and retrying the call converges to the full unmap;
+//! * after teardown the backend drains to `retired == freed`, objects
+//!   and bytes — no leak, no double free, on all four backends.
+//!
+//! Every leg prints `FAULT_REPLAY=<token>` if its assertions fail, and
+//! the token replays the exact fault schedule via `faults::arm_token`
+//! (see `chaos_runs_are_replayable_from_their_token`).
+
+#![cfg(feature = "faults")]
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, Once};
+
+use bonsai::{BonsaiTree, RangeMap};
+use rcukit::{faults, HybridDomain, ReclaimBackend, ReclaimKind};
+
+const ALL_KINDS: [ReclaimKind; 4] = [
+    ReclaimKind::Epoch,
+    ReclaimKind::Qsbr,
+    ReclaimKind::Hp,
+    ReclaimKind::Hybrid,
+];
+
+/// Small deterministic RNG (xorshift64*), as in `fork_diff`.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// The failpoint registry is process-global, so chaos tests serialize on
+/// one lock instead of corrupting each other's arming.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Silences the default panic printout for *injected* panics only (the
+/// workload catches them; the backtrace spam would drown real failures).
+/// Installed once for the whole test binary; genuine assertion panics
+/// still print through the previous hook.
+fn silence_injected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            if !msg.starts_with("injected fault:") {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Prints the replay token if the harness itself fails, so every chaos
+/// failure is reproducible: `FAULT_REPLAY=<token>` → `faults::arm_token`.
+struct ReplayOnFailure;
+impl Drop for ReplayOnFailure {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("FAULT_REPLAY={}", faults::replay_token());
+        }
+    }
+}
+
+const KEY_SPACE: u64 = 256;
+
+fn model_vec(model: &BTreeMap<u64, u64>) -> Vec<(u64, u64)> {
+    model.iter().map(|(&k, &v)| (k, v)).collect()
+}
+
+/// One fork/mutate lineage chaos run on `kind`, `steps` ops at
+/// `per_mille`/1000 fault probability per probe.
+fn run_tree_chaos(kind: ReclaimKind, seed: u64, steps: u64, per_mille: u32) {
+    let _replay = ReplayOnFailure;
+    faults::arm(seed, per_mille);
+    let backend = ReclaimBackend::new(kind);
+    let mut rng = Rng(seed | 1);
+    let mut injected = 0u64;
+
+    let mut lineages: Vec<(BonsaiTree<u64, u64>, BTreeMap<u64, u64>)> =
+        vec![(BonsaiTree::with_backend(backend.clone()), BTreeMap::new())];
+
+    for step in 0..steps {
+        let roll = rng.next() % 100;
+        let li = (rng.next() as usize) % lineages.len();
+        if roll < 4 && lineages.len() < 6 {
+            // Fork: the child must be a structural twin even when its
+            // parent's history includes recovered panics.
+            let child_tree = lineages[li].0.fork();
+            let child_model = lineages[li].1.clone();
+            assert_eq!(
+                child_tree.to_vec(),
+                model_vec(&child_model),
+                "{kind:?}: fork diverged"
+            );
+            lineages.push((child_tree, child_model));
+            continue;
+        }
+        if roll < 7 && lineages.len() > 1 {
+            drop(lineages.swap_remove(li));
+            continue;
+        }
+        let (tree, model) = &mut lineages[li];
+        let key = rng.next() % KEY_SPACE;
+        let remove = rng.next().is_multiple_of(3);
+        let val = rng.next();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if remove {
+                tree.remove(&key)
+            } else {
+                tree.insert(key, val)
+            }
+        }));
+        match outcome {
+            Ok(old) => {
+                let expect = if remove {
+                    model.remove(&key)
+                } else {
+                    model.insert(key, val)
+                };
+                assert_eq!(
+                    old, expect,
+                    "{kind:?} step {step}: clean op diverged from model"
+                );
+            }
+            Err(_) => {
+                // Panic-atomicity: the tree is in exactly the pre-op or
+                // the post-op state, and structurally intact either way.
+                injected += 1;
+                tree.check_invariants();
+                let mut post = model.clone();
+                if remove {
+                    post.remove(&key);
+                } else {
+                    post.insert(key, val);
+                }
+                let contents = tree.to_vec();
+                if contents == model_vec(&post) {
+                    *model = post;
+                } else {
+                    assert_eq!(
+                        contents,
+                        model_vec(model),
+                        "{kind:?} step {step}: injected panic left a torn tree"
+                    );
+                }
+            }
+        }
+        // Reads after recovered panics stay consistent.
+        let probe = rng.next() % KEY_SPACE;
+        let (tree, model) = &lineages[li];
+        assert_eq!(
+            tree.get_owned(&probe),
+            model.get(&probe).copied(),
+            "{kind:?} step {step}"
+        );
+        if step % 128 == 0 {
+            for (tree, model) in &lineages {
+                assert_eq!(
+                    tree.to_vec(),
+                    model_vec(model),
+                    "{kind:?} step {step}: full diff"
+                );
+            }
+        }
+    }
+    assert!(
+        injected > 0,
+        "{kind:?}: chaos run injected no faults — probe wiring broken?"
+    );
+    faults::disarm();
+
+    // Post-chaos liveness: every writer path must still work (no wedged
+    // lock, no poisoned-and-unrecoverable mutex) after the panics.
+    for (tree, model) in &mut lineages {
+        assert_eq!(tree.insert(KEY_SPACE + 1, 7), None);
+        model.insert(KEY_SPACE + 1, 7);
+        assert_eq!(tree.to_vec(), model_vec(model));
+    }
+
+    drop(lineages);
+    backend.synchronize();
+    let s = backend.stats();
+    assert!(s.objects_retired > 0, "{kind:?}: nothing retired");
+    assert_eq!(
+        s.objects_retired, s.objects_freed,
+        "{kind:?}: injected faults leaked or double-retired objects"
+    );
+    assert_eq!(
+        s.bytes_retired, s.bytes_freed,
+        "{kind:?}: byte accounting diverged"
+    );
+}
+
+#[test]
+fn tree_chaos_is_panic_atomic_on_every_backend() {
+    let _s = serial();
+    silence_injected_panics();
+    let steps = if cfg!(miri) { 150 } else { 1500 };
+    for kind in ALL_KINDS {
+        run_tree_chaos(kind, 0xc4a0_0001 ^ kind as u64, steps, 35);
+    }
+}
+
+// ---- range-map chaos ----
+
+const PAGE: u64 = 0x1000;
+const PAGES: u64 = 128;
+
+type MapModel = BTreeMap<u64, (u64, u64)>;
+
+fn map_model_vec(model: &MapModel) -> Vec<(u64, u64, u64)> {
+    model.iter().map(|(&s, &(e, v))| (s, e, v)).collect()
+}
+
+fn model_overlaps(model: &MapModel, start: u64, end: u64) -> bool {
+    if let Some((_, &(pred_end, _))) = model.range(..=start).next_back() {
+        if pred_end > start {
+            return true;
+        }
+    }
+    model.range(start..end).next().is_some()
+}
+
+/// Applies a full `unmap_range` to the model, returning the number of
+/// regions removed or truncated (the map's contract).
+fn model_unmap_range(model: &mut MapModel, start: u64, end: u64) -> usize {
+    let mut affected = 0;
+    if let Some((&s, &(e, v))) = model.range(..start).next_back() {
+        if e > start {
+            model.insert(s, (start, v));
+            if e > end {
+                model.insert(end, (e, v));
+            }
+            affected += 1;
+        }
+    }
+    let inside: Vec<u64> = model.range(start..end).map(|(&s, _)| s).collect();
+    for s in inside {
+        let (e, v) = model.remove(&s).expect("inside key vanished");
+        if e > end {
+            model.insert(end, (e, v));
+        }
+        affected += 1;
+    }
+    affected
+}
+
+/// Coverage outside `[start, end)` as a page → value mapping — the thing
+/// a panicked `unmap_range` must never change. A mapping (not an interval
+/// list) because the documented panic contract allows a transiently
+/// duplicated tail piece: the same outside bytes covered by two regions,
+/// which must then agree on the value. All chaos boundaries are
+/// page-aligned, so page granularity is exact.
+fn outside_coverage(contents: &[(u64, u64, u64)], start: u64, end: u64) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for &(s, e, v) in contents {
+        let mut page = s;
+        while page < e {
+            if page < start || page >= end {
+                if let Some(prev) = out.insert(page, v) {
+                    assert_eq!(prev, v, "duplicated coverage of page {page:#x} disagrees");
+                }
+            }
+            page += PAGE;
+        }
+    }
+    out
+}
+
+fn run_map_chaos(kind: ReclaimKind, seed: u64, steps: u64, per_mille: u32) {
+    let _replay = ReplayOnFailure;
+    faults::arm(seed, per_mille);
+    let backend = ReclaimBackend::new(kind);
+    let mut rng = Rng(seed | 1);
+    let mut injected = 0u64;
+
+    let mut lineages: Vec<(RangeMap<u64>, MapModel)> =
+        vec![(RangeMap::with_backend(backend.clone()), MapModel::new())];
+
+    for step in 0..steps {
+        let roll = rng.next() % 100;
+        let li = (rng.next() as usize) % lineages.len();
+        if roll < 4 && lineages.len() < 4 {
+            let child = lineages[li].0.fork();
+            let model = lineages[li].1.clone();
+            assert_eq!(
+                child.to_vec(),
+                map_model_vec(&model),
+                "{kind:?}: fork diverged"
+            );
+            lineages.push((child, model));
+            continue;
+        }
+        if roll < 7 && lineages.len() > 1 {
+            drop(lineages.swap_remove(li));
+            continue;
+        }
+        let (map, model) = &mut lineages[li];
+        let start = (rng.next() % PAGES) * PAGE;
+        match rng.next() % 4 {
+            0 => {
+                // map()
+                let end = start + (1 + rng.next() % 4) * PAGE;
+                let val = rng.next();
+                let expect = !model_overlaps(model, start, end);
+                match catch_unwind(AssertUnwindSafe(|| map.map(start, end, val))) {
+                    Ok(mapped) => {
+                        assert_eq!(mapped, expect, "{kind:?} step {step}: map() diverged");
+                        if mapped {
+                            model.insert(start, (end, val));
+                        }
+                    }
+                    Err(_) => {
+                        injected += 1;
+                        // Atomic: mapped fully or not at all.
+                        let mut post = model.clone();
+                        if expect {
+                            post.insert(start, (end, val));
+                        }
+                        let contents = map.to_vec();
+                        if contents == map_model_vec(&post) {
+                            *model = post;
+                        } else {
+                            assert_eq!(
+                                contents,
+                                map_model_vec(model),
+                                "{kind:?} step {step}: injected panic tore map()"
+                            );
+                        }
+                    }
+                }
+            }
+            1 => {
+                // unmap() — exact-start removal.
+                match catch_unwind(AssertUnwindSafe(|| map.unmap(start))) {
+                    Ok(got) => {
+                        assert_eq!(
+                            got,
+                            model.remove(&start).map(|(_, v)| v),
+                            "{kind:?} step {step}: unmap() diverged"
+                        );
+                    }
+                    Err(_) => {
+                        injected += 1;
+                        let mut post = model.clone();
+                        post.remove(&start);
+                        let contents = map.to_vec();
+                        if contents == map_model_vec(&post) {
+                            *model = post;
+                        } else {
+                            assert_eq!(
+                                contents,
+                                map_model_vec(model),
+                                "{kind:?} step {step}: injected panic tore unmap()"
+                            );
+                        }
+                    }
+                }
+            }
+            2 => {
+                // unmap_range() — composite: a panic may leave it
+                // partially applied, but never lose coverage outside the
+                // span, and a retry must converge.
+                let end = start + (1 + rng.next() % 8) * PAGE;
+                match catch_unwind(AssertUnwindSafe(|| map.unmap_range(start, end))) {
+                    Ok(n) => {
+                        let expect = model_unmap_range(model, start, end);
+                        assert_eq!(
+                            n, expect,
+                            "{kind:?} step {step}: unmap_range count diverged"
+                        );
+                    }
+                    Err(_) => {
+                        injected += 1;
+                        let outside = outside_coverage(&map_model_vec(model), start, end);
+                        let now = outside_coverage(&map.to_vec(), start, end);
+                        assert_eq!(
+                            now,
+                            outside,
+                            "{kind:?} step {step}: panicked unmap_range({start:#x}, {end:#x}) \
+                             disturbed coverage outside the span; map={:?} model={:?}",
+                            map.to_vec(),
+                            map_model_vec(model),
+                        );
+                        // Crash-recovery contract: retrying completes the
+                        // unmap (bounded retries — consecutive injected
+                        // failures are vanishingly unlikely at this rate).
+                        let mut done = false;
+                        for _ in 0..64 {
+                            if catch_unwind(AssertUnwindSafe(|| map.unmap_range(start, end)))
+                                .is_ok()
+                            {
+                                done = true;
+                                break;
+                            }
+                            injected += 1;
+                        }
+                        assert!(
+                            done,
+                            "{kind:?} step {step}: unmap_range retry never converged"
+                        );
+                        model_unmap_range(model, start, end);
+                        assert_eq!(
+                            map.to_vec(),
+                            map_model_vec(model),
+                            "{kind:?} step {step}: unmap_range retry did not converge to the model"
+                        );
+                    }
+                }
+            }
+            _ => {
+                let addr = start + rng.next() % PAGE;
+                let expect = model
+                    .range(..=addr)
+                    .next_back()
+                    .and_then(|(_, &(end, v))| (addr < end).then_some(v));
+                assert_eq!(
+                    map.lookup_owned(addr),
+                    expect,
+                    "{kind:?} step {step}: lookup"
+                );
+            }
+        }
+        // No panicked writer may leak its span: the lock table must be
+        // empty whenever no operation is in flight.
+        for (map, _) in &lineages {
+            assert_eq!(
+                map.held_range_locks(),
+                0,
+                "{kind:?} step {step}: leaked range lock"
+            );
+        }
+        if step % 128 == 0 {
+            for (map, model) in &lineages {
+                assert_eq!(
+                    map.to_vec(),
+                    map_model_vec(model),
+                    "{kind:?} step {step}: full diff"
+                );
+            }
+        }
+    }
+    assert!(
+        injected > 0,
+        "{kind:?}: chaos run injected no faults — probe wiring broken?"
+    );
+    faults::disarm();
+
+    // Post-chaos liveness, then drain.
+    for (map, model) in &mut lineages {
+        let s = (PAGES + 32) * PAGE; // beyond any reachable region end
+        assert!(map.map(s, s + PAGE, 1));
+        model.insert(s, (s + PAGE, 1));
+        assert_eq!(map.to_vec(), map_model_vec(model));
+        assert_eq!(map.held_range_locks(), 0);
+    }
+    drop(lineages);
+    backend.synchronize();
+    let s = backend.stats();
+    assert!(s.objects_retired > 0, "{kind:?}: nothing retired");
+    assert_eq!(
+        s.objects_retired, s.objects_freed,
+        "{kind:?}: injected faults leaked or double-retired objects"
+    );
+    assert_eq!(
+        s.bytes_retired, s.bytes_freed,
+        "{kind:?}: byte accounting diverged"
+    );
+}
+
+#[test]
+fn range_map_chaos_is_panic_atomic_on_every_backend() {
+    let _s = serial();
+    silence_injected_panics();
+    let steps = if cfg!(miri) { 120 } else { 1200 };
+    for kind in ALL_KINDS {
+        run_map_chaos(kind, 0xc4a0_0002 ^ kind as u64, steps, 30);
+    }
+}
+
+/// The PR 5 hole, pinned by a failpoint instead of a hand-built scenario:
+/// an allocation-failure panic injected mid-`unmap_range` (first leg:
+/// mid-discovery, before any mutation; second leg: mid-mutation, between
+/// the composite's commits) must leave no torn state the documented
+/// contract does not allow, leak no range lock, and retry to completion.
+#[test]
+fn unmap_range_survives_injected_failures_mid_flight() {
+    let _s = serial();
+    silence_injected_panics();
+    let _replay = ReplayOnFailure;
+
+    let build = || {
+        let m: RangeMap<u64> = RangeMap::new(rcukit::Collector::new());
+        assert!(m.map(0x1000, 0x3000, 1)); // head straddler
+        assert!(m.map(0x3000, 0x4000, 2)); // inside
+        assert!(m.map(0x4000, 0x5000, 3)); // inside
+        assert!(m.map(0x6000, 0x9000, 4)); // tail straddler
+        m
+    };
+    let full: Vec<(u64, u64, u64)> = vec![
+        (0x1000, 0x3000, 1),
+        (0x3000, 0x4000, 2),
+        (0x4000, 0x5000, 3),
+        (0x6000, 0x9000, 4),
+    ];
+    let after_unmap: Vec<(u64, u64, u64)> = vec![(0x1000, 0x2000, 1), (0x7000, 0x9000, 4)];
+
+    // Leg 1: panic mid-discovery (second inside region), before any
+    // mutation — the map must come out byte-identical.
+    let m = build();
+    faults::arm_schedule(&[(faults::site::UNMAP_DISCOVERY, 1)]);
+    let err = catch_unwind(AssertUnwindSafe(|| m.unmap_range(0x2000, 0x7000)));
+    assert!(err.is_err(), "scheduled discovery fault did not fire");
+    faults::disarm();
+    assert_eq!(m.to_vec(), full, "mid-discovery panic mutated the map");
+    assert_eq!(
+        m.held_range_locks(),
+        0,
+        "mid-discovery panic leaked a range lock"
+    );
+    assert_eq!(
+        m.unmap_range(0x2000, 0x7000),
+        4,
+        "retry after discovery panic"
+    );
+    assert_eq!(m.to_vec(), after_unmap);
+
+    // Leg 2: allocation failure mid-mutation. First measure how many
+    // arena allocations the identical unmap makes (armed at probability
+    // zero — hits are counted, nothing fires), then inject halfway.
+    let m = build();
+    faults::arm(0, 0);
+    assert_eq!(m.unmap_range(0x2000, 0x7000), 4);
+    let allocs = faults::hits(faults::site::ARENA_ALLOC);
+    assert!(allocs >= 2, "unmap_range made too few allocations to split");
+    faults::disarm();
+
+    let m = build();
+    faults::arm_schedule(&[(faults::site::ARENA_ALLOC, allocs / 2)]);
+    let err = catch_unwind(AssertUnwindSafe(|| m.unmap_range(0x2000, 0x7000)));
+    assert!(
+        err.is_err(),
+        "scheduled mid-mutation alloc fault did not fire"
+    );
+    faults::disarm();
+    assert_eq!(
+        m.held_range_locks(),
+        0,
+        "mid-mutation panic leaked a range lock"
+    );
+    // The composite may be partially applied, but coverage outside the
+    // span is untouched...
+    assert_eq!(
+        outside_coverage(&m.to_vec(), 0x2000, 0x7000),
+        outside_coverage(&full, 0x2000, 0x7000),
+        "mid-mutation panic disturbed coverage outside the span"
+    );
+    // ...and the retry completes the unmap.
+    m.unmap_range(0x2000, 0x7000);
+    assert_eq!(m.to_vec(), after_unmap, "retry did not converge");
+}
+
+/// Graceful degradation end-to-end: a reader pinned across heavy churn on
+/// the hybrid backend keeps `peak_unreclaimed_bytes` bounded (the epoch
+/// backends grow without bound here), and once the blocked garbage
+/// crosses the domain's budget the stall is detected and surfaced.
+#[test]
+fn stalled_reader_on_hybrid_backend_is_bounded_and_detected() {
+    let _s = serial();
+    silence_injected_panics();
+    let _replay = ReplayOnFailure;
+
+    // Small budget so the blocked residue provably crosses it.
+    let domain = HybridDomain::with_budget(16 * 1024);
+    let backend = ReclaimBackend::Hybrid(domain.clone());
+    let tree: BonsaiTree<u64, u64> = BonsaiTree::with_backend(backend.clone());
+    let initial = if cfg!(miri) { 256 } else { 2048 };
+    for k in 0..initial {
+        tree.insert(k, k);
+    }
+
+    // Pin a reader and never let it go while the writer churns: every
+    // node alive at the pin and retired after it stays blocked, but
+    // garbage born *after* the pin's reservation is freed regardless —
+    // the interval rule routes around the stalled reader.
+    let guard = domain.pin();
+    let _root = guard.protect(std::ptr::null_mut::<u8>);
+    for k in 0..initial {
+        tree.remove(&k); // pre-pin nodes: blocked behind the guard
+    }
+    let churn = if cfg!(miri) { 2_000 } else { 40_000 };
+    for i in 0..churn {
+        let k = initial + (i % 64);
+        tree.insert(k, i);
+        tree.remove(&k);
+    }
+
+    let stats = backend.stats();
+    // Bounded: the blocked set is at most the pre-pin working set (plus
+    // scan-granularity slack) — churn garbage does not accumulate. An
+    // unbounded backend would be tens of MB here.
+    let node_bytes = 64u64; // generous per-node lower-bound granularity
+    let bound = (initial + 4096) * node_bytes * 4;
+    assert!(
+        stats.peak_unreclaimed_bytes < bound,
+        "hybrid stalled-reader garbage not bounded: peak {} >= {}",
+        stats.peak_unreclaimed_bytes,
+        bound
+    );
+    // Detected: the blocked bytes crossed the tiny budget, so the scan
+    // marked the pin stalled and retirements started counting degraded.
+    assert!(guard.is_stalled(), "over-budget pin never marked stalled");
+    assert!(stats.stall_events >= 1, "stall not surfaced in stats");
+    assert!(stats.degraded_ops > 0, "degraded ops not surfaced in stats");
+    assert!(domain.peak_unreclaimed_bytes() == stats.peak_unreclaimed_bytes);
+
+    // Release the reader: everything drains, nothing leaked.
+    drop(guard);
+    drop(tree);
+    backend.synchronize();
+    let s = backend.stats();
+    assert_eq!(
+        s.objects_retired, s.objects_freed,
+        "stalled-reader leg leaked"
+    );
+    assert_eq!(s.bytes_retired, s.bytes_freed);
+}
+
+/// Determinism: re-arming from a chaos run's replay token reproduces the
+/// exact fault schedule — same fired sites, same hit indices, same final
+/// tree state.
+#[test]
+fn chaos_runs_are_replayable_from_their_token() {
+    let _s = serial();
+    silence_injected_panics();
+    let _replay = ReplayOnFailure;
+
+    let run = || {
+        let tree: BonsaiTree<u64, u64> =
+            BonsaiTree::with_backend(ReclaimBackend::new(ReclaimKind::Epoch));
+        let mut rng = Rng(0xdeed);
+        let mut panics = 0u64;
+        for _ in 0..400 {
+            let key = rng.next() % 64;
+            let val = rng.next();
+            if catch_unwind(AssertUnwindSafe(|| {
+                if val.is_multiple_of(3) {
+                    tree.remove(&key);
+                } else {
+                    tree.insert(key, val);
+                }
+            }))
+            .is_err()
+            {
+                panics += 1;
+            }
+        }
+        (tree.to_vec(), panics)
+    };
+
+    faults::arm(0x5eed_cafe, 60);
+    let (contents, panics) = run();
+    let token = faults::replay_token();
+    assert!(panics > 0, "seeded run fired no faults");
+    assert!(token.contains(';'), "malformed replay token {token:?}");
+
+    // Replay from the token: schedule mode, yet bit-identical behavior.
+    faults::arm_token(&token);
+    let (replayed, replayed_panics) = run();
+    let replay_fired = faults::replay_token();
+    faults::disarm();
+    assert_eq!(
+        panics, replayed_panics,
+        "replay fired a different number of faults"
+    );
+    assert_eq!(contents, replayed, "replay diverged from the recorded run");
+    assert_eq!(
+        token.rsplit(';').next(),
+        replay_fired.rsplit(';').next(),
+        "replay fired a different schedule"
+    );
+}

@@ -17,7 +17,7 @@
 //! `freed < retired`... and a double retirement as a double free long
 //! before the counters disagree.
 //!
-//! Everything runs on all three reclamation backends.
+//! Everything runs on all four reclamation backends.
 
 use std::collections::BTreeMap;
 
@@ -181,7 +181,12 @@ fn run_tree_diff(kind: ReclaimKind, seed: u64, steps: u64) {
 
 #[test]
 fn forked_tree_lineages_match_independent_models() {
-    for kind in [ReclaimKind::Epoch, ReclaimKind::Qsbr, ReclaimKind::Hp] {
+    for kind in [
+        ReclaimKind::Epoch,
+        ReclaimKind::Qsbr,
+        ReclaimKind::Hp,
+        ReclaimKind::Hybrid,
+    ] {
         run_tree_diff(kind, 0x5eed_0001 ^ kind as u64, 1500);
     }
 }
@@ -332,7 +337,12 @@ fn run_map_diff(kind: ReclaimKind, seed: u64, steps: u64) {
 
 #[test]
 fn forked_range_map_lineages_match_independent_models() {
-    for kind in [ReclaimKind::Epoch, ReclaimKind::Qsbr, ReclaimKind::Hp] {
+    for kind in [
+        ReclaimKind::Epoch,
+        ReclaimKind::Qsbr,
+        ReclaimKind::Hp,
+        ReclaimKind::Hybrid,
+    ] {
         run_map_diff(kind, 0x5eed_0002 ^ kind as u64, 1200);
     }
 }
@@ -342,7 +352,12 @@ fn forked_range_map_lineages_match_independent_models() {
 #[test]
 fn fork_chain_drop_orderings_balance_reclaim_stats() {
     for order in [[0usize, 1, 2], [2, 1, 0], [1, 0, 2], [1, 2, 0]] {
-        for kind in [ReclaimKind::Epoch, ReclaimKind::Qsbr, ReclaimKind::Hp] {
+        for kind in [
+            ReclaimKind::Epoch,
+            ReclaimKind::Qsbr,
+            ReclaimKind::Hp,
+            ReclaimKind::Hybrid,
+        ] {
             let backend = ReclaimBackend::new(kind);
             let a: BonsaiTree<u64, u64> = BonsaiTree::with_backend(backend.clone());
             for k in 0..200 {

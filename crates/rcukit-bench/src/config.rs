@@ -21,7 +21,7 @@ pub const USAGE: &str = "usage:
   rcukit-bench --sweep [threads=1,2,4]
                [profile=metis|metis-phased|psearchy|read-heavy|uniform|writers|\
 stalled-reader|fork-storm|all]
-               [backend=bonsai|qsbr|hp|locked|both|all] [ops=N] [slots=N]
+               [backend=bonsai|qsbr|hp|hybrid|locked|both|all] [ops=N] [slots=N]
                [pages=N] [seed=N] [forks=N] [live=N] [out=PATH|-]";
 
 /// Which structure(s) the legacy mode drives.
@@ -177,7 +177,7 @@ mod tests {
             Ok(Mode::Sweep(cfg)) => {
                 assert_eq!(cfg.threads, vec![1, 2, 4]);
                 assert_eq!(cfg.profiles.len(), 8);
-                assert_eq!(cfg.backends.len(), 4);
+                assert_eq!(cfg.backends.len(), 5);
                 assert_eq!(cfg.forks_per_thread, 256);
                 assert_eq!(cfg.live_per_thread, 64);
                 assert_eq!(cfg.out.as_deref(), Some("BENCH_addrspace.json"));

@@ -3,9 +3,9 @@
 //!
 //! For every `(profile, thread count)` point the driver generates the
 //! per-thread traces once, then replays the *identical* ops against each
-//! backend — the RCU [`RangeMap`] on each of the three reclamation
-//! backends (epoch, QSBR, hazard pointers) and the [`LockedAddressSpace`]
-//! baseline — timing the whole replay. One JSON record per `(profile,
+//! backend — the RCU [`RangeMap`] on each of the four reclamation
+//! backends (epoch, QSBR, hazard pointers, hybrid interval-based) and the
+//! [`LockedAddressSpace`] baseline — timing the whole replay. One JSON record per `(profile,
 //! threads, backend)` point goes to stdout as it completes, and the full
 //! run is written as a `BENCH_addrspace.json` trajectory file.
 //!
@@ -41,7 +41,7 @@ use crate::baseline::LockedAddressSpace;
 use crate::workload::{Op, Profile, Rng, WorkloadSpec};
 
 /// Which address-space implementation a replay point runs against: the
-/// RCU `RangeMap` on one of the three reclamation backends, or the locked
+/// RCU `RangeMap` on one of the four reclamation backends, or the locked
 /// baseline.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Backend {
@@ -53,13 +53,25 @@ pub enum Backend {
     /// The Bonsai-tree `RangeMap`, hazard-pointer reclamation (bounded
     /// garbage under a stalled reader).
     Hp,
+    /// The Bonsai-tree `RangeMap`, hybrid interval-based reclamation:
+    /// grace-period-cheap reads that degrade gracefully — a stalled
+    /// reader blocks only garbage born before its pin, so
+    /// `peak_unreclaimed_bytes` stays bounded while `stall_events` /
+    /// `degraded_ops` record the degradation.
+    Hybrid,
     /// The `RwLock<BTreeMap>` baseline (lock-serialized faults).
     Locked,
 }
 
 impl Backend {
     /// All backends, in reporting order.
-    pub const ALL: [Backend; 4] = [Backend::Bonsai, Backend::Qsbr, Backend::Hp, Backend::Locked];
+    pub const ALL: [Backend; 5] = [
+        Backend::Bonsai,
+        Backend::Qsbr,
+        Backend::Hp,
+        Backend::Hybrid,
+        Backend::Locked,
+    ];
 
     /// The historical two-backend comparison (`backend=both`).
     pub const BOTH: [Backend; 2] = [Backend::Bonsai, Backend::Locked];
@@ -70,6 +82,7 @@ impl Backend {
             Backend::Bonsai => "bonsai",
             Backend::Qsbr => "qsbr",
             Backend::Hp => "hp",
+            Backend::Hybrid => "hybrid",
             Backend::Locked => "locked",
         }
     }
@@ -81,6 +94,7 @@ impl Backend {
             Backend::Bonsai => Some(ReclaimKind::Epoch),
             Backend::Qsbr => Some(ReclaimKind::Qsbr),
             Backend::Hp => Some(ReclaimKind::Hp),
+            Backend::Hybrid => Some(ReclaimKind::Hybrid),
             Backend::Locked => None,
         }
     }
@@ -91,9 +105,10 @@ impl Backend {
             "bonsai" => Ok(Backend::Bonsai),
             "qsbr" => Ok(Backend::Qsbr),
             "hp" => Ok(Backend::Hp),
+            "hybrid" => Ok(Backend::Hybrid),
             "locked" => Ok(Backend::Locked),
             other => Err(format!(
-                "unknown backend {other:?} (expected bonsai|qsbr|hp|locked|both|all)"
+                "unknown backend {other:?} (expected bonsai|qsbr|hp|hybrid|locked|both|all)"
             )),
         }
     }
@@ -223,8 +238,18 @@ pub struct PointResult {
     /// High-water mark of retired-but-not-yet-reclaimed bytes over the
     /// whole replay (RCU backends; 0 for locked). The bounded-garbage
     /// gauge the `stalled-reader` profile compares: grace-period backends
-    /// grow it with the stalled window, hazard pointers keep it bounded.
+    /// grow it with the stalled window; hazard pointers and the hybrid
+    /// backend keep it bounded.
     pub peak_unreclaimed_bytes: u64,
+    /// Readers the hybrid backend's scan declared stalled after their
+    /// blocked garbage aged past the domain budget (hybrid backend only;
+    /// 0 elsewhere). Nonzero on the `stalled-reader` profile is the
+    /// degradation protocol firing as designed.
+    pub stall_events: u64,
+    /// Retirements performed while at least one reader was flagged
+    /// stalled — ops served in degraded (bounded-garbage) mode rather
+    /// than blocking on the stalled grace period (hybrid backend only).
+    pub degraded_ops: u64,
     /// Root-CAS commits that lost to a concurrent writer and rebuilt
     /// (bonsai backend; always 0 at `threads == 1` and for locked). The
     /// wasted-work telemetry the bounded backoff exists to curb.
@@ -283,6 +308,7 @@ impl PointResult {
              \"mutations_per_sec\":{:.0},\
              \"retired\":{},\"freed\":{},\"reclaim_ok\":{},\
              \"peak_unreclaimed_bytes\":{},\
+             \"stall_events\":{},\"degraded_ops\":{},\
              \"cas_retries\":{},\"cas_wasted_nodes\":{},\
              \"read_op_ns\":{:.2},\
              \"forks\":{},\"live_spaces_peak\":{},\
@@ -309,6 +335,8 @@ impl PointResult {
             self.freed,
             self.reclaim_ok,
             self.peak_unreclaimed_bytes,
+            self.stall_events,
+            self.degraded_ops,
             self.cas_retries,
             self.cas_wasted_nodes,
             self.read_op_ns,
@@ -565,6 +593,16 @@ fn with_stalled_reader<R>(backend: &ReclaimBackend, f: impl FnOnce() -> R) -> R 
             unsafe { drop(Box::from_raw(parked)) };
             out
         }
+        ReclaimBackend::Hybrid(d) => {
+            // A pin parked at its birth era for the whole replay. It can
+            // only block garbage born at or before that era — everything
+            // the replay itself creates and retires is freed regardless
+            // (the interval rule), and once the blocked residue ages past
+            // the domain budget the scan flags the pin stalled
+            // (`stall_events`) and retirements count as `degraded_ops`.
+            let _pin = d.pin();
+            f()
+        }
     }
 }
 
@@ -640,6 +678,8 @@ fn run_point(
         freed: stats.objects_freed,
         reclaim_ok: stats.objects_retired == stats.objects_freed,
         peak_unreclaimed_bytes: stats.peak_unreclaimed_bytes,
+        stall_events: stats.stall_events,
+        degraded_ops: stats.degraded_ops,
         cas_retries,
         cas_wasted_nodes,
         read_op_ns,
@@ -673,7 +713,11 @@ pub fn run(cfg: &SweepConfig) -> Vec<PointResult> {
 pub fn render_trajectory(cfg: &SweepConfig, results: &[PointResult]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    // v6 (over v5): the multi-tenant `fork-storm` profile (per-thread
+    // v7 (over v6): the `hybrid` interval-based reclamation backend
+    // (stall-tolerant graceful degradation) and the per-record
+    // `stall_events` / `degraded_ops` columns surfacing when a stalled
+    // reader tripped the degradation protocol — zeros on the other
+    // backends. v6 added the multi-tenant `fork-storm` profile (per-thread
     // fork/exec/exit lifecycles over structurally shared address spaces)
     // and its per-record `forks`, `live_spaces_peak`, and
     // `fork_p50/p90/p99/max_ns` latency columns — zeros on profiles that
@@ -688,7 +732,7 @@ pub fn render_trajectory(cfg: &SweepConfig, results: &[PointResult]) -> String {
     // range-lock + arena writer path. v2 added the `writers` profile,
     // multi-region `unmap_range` ops (`unmap_ranges`/`unmap_range_misses`),
     // and range-locked parallel writers on the bonsai backend.
-    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v6\",\n");
+    out.push_str("  \"schema\": \"rcukit-bench/addrspace-v7\",\n");
     out.push_str(&format!("  \"seed\": {},\n", cfg.seed));
     out.push_str(&format!("  \"ops_per_thread\": {},\n", cfg.ops_per_thread));
     out.push_str(&format!(

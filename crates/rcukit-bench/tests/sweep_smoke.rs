@@ -30,7 +30,7 @@ fn tiny_config() -> SweepConfig {
 
 /// The per-record sanity contract, shared by every test that runs a sweep
 /// (and mirrored by CI's trajectory sanity step): one place asserts every
-/// field of the v6 record shape, so a new column gets its checks here
+/// field of the v7 record shape, so a new column gets its checks here
 /// exactly once.
 fn check_record(point: &PointResult, cfg: &SweepConfig) {
     // Fixed-work replay: every thread performs exactly its trace (the
@@ -56,6 +56,14 @@ fn check_record(point: &PointResult, cfg: &SweepConfig) {
         );
     } else {
         assert_eq!(point.peak_unreclaimed_bytes, 0, "{point:?}");
+    }
+    // Degradation telemetry belongs to the hybrid backend alone, and
+    // degraded retirements can only be counted after a stall was declared.
+    if point.backend != Backend::Hybrid {
+        assert_eq!(point.stall_events, 0, "{point:?}");
+        assert_eq!(point.degraded_ops, 0, "{point:?}");
+    } else if point.degraded_ops > 0 {
+        assert!(point.stall_events > 0, "{point:?}");
     }
     // CAS telemetry sanity: single-threaded replays can never lose a
     // root CAS, and the locked baseline has no CAS at all.
@@ -158,14 +166,17 @@ fn sweep_runs_every_backend_over_identical_work() {
 /// (here: with the number of ops replayed under the stall). Hazard
 /// pointers only ever defer what the scan threshold plus the per-slot
 /// protections can hold, so the peak stays flat no matter how long the
-/// stall lasts.
+/// stall lasts. The hybrid interval-based backend is bounded for a
+/// different reason: a pin can only block garbage born at or before its
+/// reservation, so everything the replay itself creates and retires is
+/// freed regardless of the stalled reader.
 #[test]
-fn stalled_reader_peak_grows_with_window_on_epoch_but_not_hp() {
+fn stalled_reader_peak_grows_with_window_on_epoch_but_not_hp_or_hybrid() {
     fn stalled(ops: usize) -> (SweepConfig, Vec<sweep::PointResult>) {
         let cfg = SweepConfig {
             threads: vec![2],
             profiles: vec![Profile::StalledReader],
-            backends: vec![Backend::Bonsai, Backend::Hp],
+            backends: vec![Backend::Bonsai, Backend::Hp, Backend::Hybrid],
             ops_per_thread: ops,
             slots_per_thread: 16,
             pages_per_slot: 8,
@@ -180,10 +191,11 @@ fn stalled_reader_peak_grows_with_window_on_epoch_but_not_hp() {
 
     let (short_cfg, short) = stalled(2_000);
     let (long_cfg, long) = stalled(8_000);
-    let (epoch_short, hp_short) = (&short[0], &short[1]);
-    let (epoch_long, hp_long) = (&long[0], &long[1]);
+    let (epoch_short, hp_short, hybrid_short) = (&short[0], &short[1], &short[2]);
+    let (epoch_long, hp_long, hybrid_long) = (&long[0], &long[1], &long[2]);
     assert_eq!(epoch_short.backend, Backend::Bonsai);
     assert_eq!(hp_short.backend, Backend::Hp);
+    assert_eq!(hybrid_short.backend, Backend::Hybrid);
 
     // Both backends still reclaim everything once the stall lifts (the
     // shared record contract covers reclaim_ok / retired > 0).
@@ -217,6 +229,21 @@ fn stalled_reader_peak_grows_with_window_on_epoch_but_not_hp() {
         hp_long.peak_unreclaimed_bytes,
         epoch_long.peak_unreclaimed_bytes,
     );
+    // The hybrid backend degrades gracefully: the stalled pin blocks only
+    // pre-pin garbage, so the peak must neither track the window nor
+    // approach the epoch backend's runaway growth.
+    assert!(
+        hybrid_long.peak_unreclaimed_bytes <= 4 * hybrid_short.peak_unreclaimed_bytes.max(4096),
+        "hybrid peak must not scale with the stall window: short={} long={}",
+        hybrid_short.peak_unreclaimed_bytes,
+        hybrid_long.peak_unreclaimed_bytes,
+    );
+    assert!(
+        hybrid_long.peak_unreclaimed_bytes * 4 < epoch_long.peak_unreclaimed_bytes,
+        "hybrid peak ({}) must sit well below the epoch peak ({})",
+        hybrid_long.peak_unreclaimed_bytes,
+        epoch_long.peak_unreclaimed_bytes,
+    );
 }
 
 #[test]
@@ -232,7 +259,7 @@ fn trajectory_document_is_well_formed_json() {
     };
     assert_eq!(
         lookup(&top, "schema"),
-        Some(&json::Value::String("rcukit-bench/addrspace-v6".into()))
+        Some(&json::Value::String("rcukit-bench/addrspace-v7".into()))
     );
     assert_eq!(lookup(&top, "seed"), Some(&json::Value::Number(7.0)));
     assert_eq!(
@@ -259,6 +286,8 @@ fn trajectory_document_is_well_formed_json() {
                     "unmap_range_misses",
                     "reclaim_ok",
                     "peak_unreclaimed_bytes",
+                    "stall_events",
+                    "degraded_ops",
                     "cas_retries",
                     "cas_wasted_nodes",
                     "read_op_ns",

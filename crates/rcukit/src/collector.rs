@@ -191,6 +191,10 @@ pub(crate) struct Inner {
     retired_bytes: AtomicU64,
     /// Total bytes reclaimed by executed retirements.
     freed_bytes: AtomicU64,
+    /// Deferred `Call` callbacks that panicked while the reclaim loop
+    /// drained them. The panic is caught in `Bag::fire` so the rest of the
+    /// bag still reclaims; this counter is the only trace it leaves.
+    callback_panics: AtomicU64,
     /// Bytes retired but not yet reclaimed, and its high-water mark — the
     /// bounded-garbage gauge the stalled-reader benchmark reads.
     unreclaimed_bytes: AtomicU64,
@@ -334,10 +338,12 @@ impl Inner {
         }
         let mut n = 0;
         let mut bytes = 0;
+        let mut panics = 0;
         for bag in ready.drain(..) {
-            let (objects, b, buffer) = bag.fire();
+            let (objects, b, p, buffer) = bag.fire();
             n += objects;
             bytes += b;
+            panics += p;
             self.pool_bag_buffer(buffer);
         }
         // Hand the (drained) buffer back for the next reclaim. A concurrent
@@ -348,6 +354,7 @@ impl Inner {
         self.freed.fetch_add(n as u64, Relaxed);
         self.freed_bytes.fetch_add(bytes as u64, Relaxed);
         self.unreclaimed_bytes.fetch_sub(bytes as u64, Relaxed);
+        self.callback_panics.fetch_add(panics, Relaxed);
         (n, remaining)
     }
 
@@ -491,17 +498,20 @@ impl Drop for Inner {
         // immediately.
         let mut n = 0;
         let mut bytes = 0;
+        let mut panics = 0;
         for shard in self.shards.iter_mut() {
             for local in shard.registry.get_mut().unwrap().drain(..) {
                 let bag = mem::replace(&mut *local.bag.lock().unwrap(), Bag::new(0));
-                let (objects, b, _) = bag.fire();
+                let (objects, b, p, _) = bag.fire();
                 n += objects;
                 bytes += b;
+                panics += p;
             }
             for bag in shard.garbage.get_mut().unwrap().drain(..) {
-                let (objects, b, _) = bag.fire();
+                let (objects, b, p, _) = bag.fire();
                 n += objects;
                 bytes += b;
+                panics += p;
             }
         }
         // ordering: Relaxed (all) — statistics counters, and `&mut self`
@@ -509,6 +519,7 @@ impl Drop for Inner {
         self.freed.fetch_add(n as u64, Relaxed);
         self.freed_bytes.fetch_add(bytes as u64, Relaxed);
         self.unreclaimed_bytes.fetch_sub(bytes as u64, Relaxed);
+        self.callback_panics.fetch_add(panics, Relaxed);
     }
 }
 
@@ -650,6 +661,7 @@ impl Collector {
                 freed: AtomicU64::new(0),
                 retired_bytes: AtomicU64::new(0),
                 freed_bytes: AtomicU64::new(0),
+                callback_panics: AtomicU64::new(0),
                 unreclaimed_bytes: AtomicU64::new(0),
                 peak_unreclaimed_bytes: AtomicU64::new(0),
                 registry_locks: AtomicU64::new(0),
@@ -921,6 +933,7 @@ impl Collector {
             bytes_retired: self.inner.retired_bytes.load(Relaxed),
             bytes_freed: self.inner.freed_bytes.load(Relaxed),
             peak_unreclaimed_bytes: self.inner.peak_unreclaimed_bytes.load(Relaxed),
+            callback_panics: self.inner.callback_panics.load(Relaxed),
             pending_bags,
             pending_objects,
             registered_threads,

@@ -141,7 +141,10 @@ impl Deferred {
     /// Runs the deferred work, consuming the unit.
     pub(crate) fn call(self) {
         match self {
-            Deferred::Call(f) => f(),
+            Deferred::Call(f) => {
+                crate::faults::maybe_panic(crate::faults::site::DEFERRED_CALLBACK);
+                f()
+            }
             // Safety: `call` runs only at reclamation points, after the
             // grace period of the defer that queued this unit — exactly
             // the contract `Recycler::recycle` requires.
@@ -222,17 +225,29 @@ impl Bag {
     }
 
     /// Executes every retirement in the bag, returning how many objects and
-    /// bytes were reclaimed plus the drained item buffer (for the caller to
-    /// pool).
-    pub(crate) fn fire(mut self) -> (usize, usize, Vec<Retired>) {
+    /// bytes were reclaimed, how many `Call` callbacks panicked, plus the
+    /// drained item buffer (for the caller to pool).
+    ///
+    /// A panicking callback is caught here rather than unwinding into the
+    /// reclaim loop: the rest of the bag still drains (a buggy destructor
+    /// must not turn into a leak of every later retirement), and the panic
+    /// count is surfaced through `CollectorStats::callback_panics`. The
+    /// unit still counts as reclaimed — its heap object was consumed by the
+    /// unwinding closure.
+    pub(crate) fn fire(mut self) -> (usize, usize, u64, Vec<Retired>) {
         let mut objects = 0;
         let mut bytes = 0;
+        let mut panics = 0;
         for r in self.items.drain(..) {
             objects += r.objects;
             bytes += r.bytes;
-            r.d.call();
+            // AssertUnwindSafe: the closure is consumed whether or not it
+            // unwinds, and the bag shares no state with it.
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| r.d.call())).is_err() {
+                panics += 1;
+            }
         }
-        (objects, bytes, self.items)
+        (objects, bytes, panics, self.items)
     }
 }
 
@@ -272,12 +287,41 @@ mod tests {
         assert_eq!(bag.len(), 10);
         assert_eq!(bag.objects(), 20);
         assert_eq!(bag.epoch, 7);
-        let (objects, bytes, buffer) = bag.fire();
+        let (objects, bytes, panics, buffer) = bag.fire();
         assert_eq!(objects, 20);
         assert_eq!(bytes, 80);
+        assert_eq!(panics, 0);
         assert_eq!(counter.load(Ordering::SeqCst), 10);
         // The drained buffer keeps its capacity for pooling.
         assert!(buffer.is_empty() && buffer.capacity() >= 10);
+    }
+
+    #[test]
+    fn bag_keeps_draining_past_a_panicking_callback() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut bag = Bag::new(0);
+        for i in 0..6 {
+            let c = counter.clone();
+            bag.items.push(Retired {
+                d: Deferred::new(move || {
+                    if i % 2 == 0 {
+                        panic!("deliberate callback panic");
+                    }
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+                objects: 1,
+                bytes: 4,
+            });
+        }
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+        let (objects, bytes, panics, _) = bag.fire();
+        std::panic::set_hook(prev);
+        assert_eq!(objects, 6);
+        assert_eq!(bytes, 24);
+        assert_eq!(panics, 3);
+        // Every non-panicking callback after a panicking one still ran.
+        assert_eq!(counter.load(Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //! locks built on top — lives in `docs/CONCURRENCY.md` at the repository
 //! root.
 //!
-//! Three reclamation backends are provided, unified behind
+//! Four reclamation backends are provided, unified behind
 //! [`ReclaimBackend`]:
 //!
 //! * [`Collector`] — epoch-based, pin/unpin per critical section, suitable
@@ -38,6 +38,10 @@
 //!   pointers and unreclaimed garbage is *bounded by construction* even
 //!   under a stalled reader (see the [`reclaim`] module docs for the
 //!   comparison table).
+//! * [`hybrid::HybridDomain`] — interval-based hybrid: epoch-cheap reads
+//!   with per-pin era intervals, degrading gracefully under a stalled
+//!   reader by quarantining it instead of halting reclamation (the
+//!   `stall_events` / `degraded_ops` counters record the degradation).
 //!
 //! # Quickstart
 //!
@@ -179,9 +183,11 @@
 
 mod collector;
 mod deferred;
+pub mod faults;
 mod global_default;
 mod guard;
 pub mod hp;
+pub mod hybrid;
 pub mod qsbr;
 pub mod reclaim;
 mod stats;
@@ -192,6 +198,7 @@ pub use deferred::{RecycleBatch, Recycler};
 pub use global_default::{default_collector, pin, synchronize};
 pub use guard::Guard;
 pub use hp::{HpDomain, HpSession, HP_SLOTS};
+pub use hybrid::{HybridDomain, HybridGuard};
 pub use qsbr::QsbrDomain;
 pub use reclaim::{ReclaimBackend, ReclaimKind, ReclaimStats};
 pub use stats::CollectorStats;

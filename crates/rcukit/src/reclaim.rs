@@ -1,4 +1,4 @@
-//! The pluggable retire/reclaim contract: one handle type over the three
+//! The pluggable retire/reclaim contract: one handle type over the four
 //! reclamation backends, so higher layers (the `bonsai` tree, the bench
 //! harness) choose a memory-reclamation strategy at construction time
 //! instead of hard-coding the epoch collector.
@@ -8,6 +8,7 @@
 //! | [`Epoch`](ReclaimBackend::Epoch) | pinned critical sections (grace periods) | **unbounded** — one stuck pin blocks every later retirement |
 //! | [`Qsbr`](ReclaimBackend::Qsbr) | quiescent-state announcements | **unbounded** — one silent online thread blocks everything |
 //! | [`Hp`](ReclaimBackend::Hp) | per-pointer hazard slots | `scan_threshold + records × HP_SLOTS` objects, by construction |
+//! | [`Hybrid`](ReclaimBackend::Hybrid) | pinned era intervals (IBR) | the stall-time live set — new retirements route around the stalled pin (budgeted, observable via `stall_events`/`degraded_ops`) |
 //!
 //! The enum is deliberately not a trait object: the backends' read-side
 //! protocols differ too much to hide behind one dynamic interface (epoch
@@ -35,11 +36,11 @@ use std::fmt;
 use std::sync::atomic::Ordering::Relaxed;
 
 use crate::sync::atomic::AtomicU64;
-use crate::{Collector, HpDomain, QsbrDomain};
+use crate::{Collector, HpDomain, HybridDomain, QsbrDomain};
 
 /// Tracks a byte-count increase against its high-water mark.
 ///
-/// Shared by all three backends' retire paths. Written as a CAS loop, not
+/// Shared by all the backends' retire paths. Written as a CAS loop, not
 /// `fetch_max`: the sync facade (and the model checker behind it) exposes
 /// only the audited RMW surface, and a lost race here merely under-reports
 /// a transient peak by one in-flight retirement.
@@ -76,6 +77,12 @@ pub struct ReclaimStats {
     /// High-water mark of `bytes_retired - bytes_freed` — the
     /// bounded-garbage gauge the `stalled-reader` benchmark compares.
     pub peak_unreclaimed_bytes: u64,
+    /// Times a reader pin was declared stalled (hybrid backend only; the
+    /// other backends report 0 — they have no degradation protocol).
+    pub stall_events: u64,
+    /// Retirements performed while a stalled pin was active (hybrid
+    /// backend only).
+    pub degraded_ops: u64,
 }
 
 impl ReclaimStats {
@@ -85,7 +92,7 @@ impl ReclaimStats {
     }
 }
 
-/// A handle to one of the three reclamation backends.
+/// A handle to one of the four reclamation backends.
 ///
 /// Cheaply clonable (each variant is itself a cheap handle); clones refer
 /// to the same underlying domain.
@@ -100,6 +107,9 @@ pub enum ReclaimBackend {
     /// Hazard pointers: readers protect specific pointers; garbage is
     /// bounded by construction.
     Hp(HpDomain),
+    /// Hybrid interval-based reclamation: epoch-cheap pins that degrade
+    /// gracefully (budgeted, observable) under a stalled reader.
+    Hybrid(HybridDomain),
 }
 
 /// Which backend a [`ReclaimBackend`] wraps (a data-less mirror for match
@@ -112,6 +122,8 @@ pub enum ReclaimKind {
     Qsbr,
     /// Hazard pointers ([`HpDomain`]).
     Hp,
+    /// Hybrid interval-based reclamation ([`HybridDomain`]).
+    Hybrid,
 }
 
 impl ReclaimKind {
@@ -121,6 +133,7 @@ impl ReclaimKind {
             ReclaimKind::Epoch => "epoch",
             ReclaimKind::Qsbr => "qsbr",
             ReclaimKind::Hp => "hp",
+            ReclaimKind::Hybrid => "hybrid",
         }
     }
 }
@@ -132,6 +145,7 @@ impl ReclaimBackend {
             ReclaimKind::Epoch => ReclaimBackend::Epoch(Collector::new()),
             ReclaimKind::Qsbr => ReclaimBackend::Qsbr(QsbrDomain::new()),
             ReclaimKind::Hp => ReclaimBackend::Hp(HpDomain::new()),
+            ReclaimKind::Hybrid => ReclaimBackend::Hybrid(HybridDomain::new()),
         }
     }
 
@@ -141,10 +155,12 @@ impl ReclaimBackend {
             ReclaimBackend::Epoch(_) => ReclaimKind::Epoch,
             ReclaimBackend::Qsbr(_) => ReclaimKind::Qsbr,
             ReclaimBackend::Hp(_) => ReclaimKind::Hp,
+            ReclaimBackend::Hybrid(_) => ReclaimKind::Hybrid,
         }
     }
 
-    /// The backend's stable name (`"epoch"` / `"qsbr"` / `"hp"`).
+    /// The backend's stable name (`"epoch"` / `"qsbr"` / `"hp"` /
+    /// `"hybrid"`).
     pub fn name(&self) -> &'static str {
         self.kind().name()
     }
@@ -157,7 +173,9 @@ impl ReclaimBackend {
     /// * QSBR — offlines the calling thread's cached handle (it cannot wait
     ///   on itself), then waits for every other online thread to quiesce;
     /// * hazard pointers — runs one scan (no grace period exists; whatever
-    ///   a live session still protects remains, by design).
+    ///   a live session still protects remains, by design);
+    /// * hybrid — runs one scan (likewise: whatever a live pin's interval
+    ///   overlaps remains — the budgeted blocked set).
     pub fn synchronize(&self) {
         match self {
             ReclaimBackend::Epoch(c) => c.synchronize(),
@@ -166,6 +184,7 @@ impl ReclaimBackend {
                 d.synchronize();
             }
             ReclaimBackend::Hp(d) => d.synchronize(),
+            ReclaimBackend::Hybrid(d) => d.synchronize(),
         }
     }
 
@@ -176,6 +195,7 @@ impl ReclaimBackend {
             ReclaimBackend::Epoch(c) => c.collect(),
             ReclaimBackend::Qsbr(d) => d.try_reclaim(),
             ReclaimBackend::Hp(d) => d.scan(),
+            ReclaimBackend::Hybrid(d) => d.scan(),
         }
     }
 
@@ -190,6 +210,7 @@ impl ReclaimBackend {
                     bytes_retired: s.bytes_retired,
                     bytes_freed: s.bytes_freed,
                     peak_unreclaimed_bytes: s.peak_unreclaimed_bytes,
+                    ..Default::default()
                 }
             }
             ReclaimBackend::Qsbr(d) => ReclaimStats {
@@ -198,6 +219,7 @@ impl ReclaimBackend {
                 bytes_retired: d.bytes_retired(),
                 bytes_freed: d.bytes_freed(),
                 peak_unreclaimed_bytes: d.peak_unreclaimed_bytes(),
+                ..Default::default()
             },
             ReclaimBackend::Hp(d) => ReclaimStats {
                 objects_retired: d.retired(),
@@ -205,6 +227,16 @@ impl ReclaimBackend {
                 bytes_retired: d.bytes_retired(),
                 bytes_freed: d.bytes_freed(),
                 peak_unreclaimed_bytes: d.peak_unreclaimed_bytes(),
+                ..Default::default()
+            },
+            ReclaimBackend::Hybrid(d) => ReclaimStats {
+                objects_retired: d.retired(),
+                objects_freed: d.freed(),
+                bytes_retired: d.bytes_retired(),
+                bytes_freed: d.bytes_freed(),
+                peak_unreclaimed_bytes: d.peak_unreclaimed_bytes(),
+                stall_events: d.stall_events(),
+                degraded_ops: d.degraded_ops(),
             },
         }
     }
@@ -229,6 +261,14 @@ impl ReclaimBackend {
     pub fn as_hp(&self) -> Option<&HpDomain> {
         match self {
             ReclaimBackend::Hp(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The hybrid domain, if that is the wrapped backend.
+    pub fn as_hybrid(&self) -> Option<&HybridDomain> {
+        match self {
+            ReclaimBackend::Hybrid(d) => Some(d),
             _ => None,
         }
     }
@@ -258,6 +298,12 @@ impl From<HpDomain> for ReclaimBackend {
     }
 }
 
+impl From<HybridDomain> for ReclaimBackend {
+    fn from(d: HybridDomain) -> Self {
+        ReclaimBackend::Hybrid(d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,7 +326,12 @@ mod tests {
 
     #[test]
     fn every_backend_drains_at_synchronize() {
-        for kind in [ReclaimKind::Epoch, ReclaimKind::Qsbr, ReclaimKind::Hp] {
+        for kind in [
+            ReclaimKind::Epoch,
+            ReclaimKind::Qsbr,
+            ReclaimKind::Hp,
+            ReclaimKind::Hybrid,
+        ] {
             let backend = ReclaimBackend::new(kind);
             assert_eq!(backend.kind(), kind);
             let fired = Arc::new(AtomicUsize::new(0));
@@ -299,6 +350,9 @@ mod tests {
                     ReclaimBackend::Hp(d) => d.defer(move || {
                         f.fetch_add(1, SeqCst);
                     }),
+                    ReclaimBackend::Hybrid(d) => d.defer(move || {
+                        f.fetch_add(1, SeqCst);
+                    }),
                 }
             }
             backend.synchronize();
@@ -315,5 +369,6 @@ mod tests {
         assert_eq!(ReclaimBackend::new(ReclaimKind::Epoch).name(), "epoch");
         assert_eq!(ReclaimBackend::new(ReclaimKind::Qsbr).name(), "qsbr");
         assert_eq!(ReclaimBackend::new(ReclaimKind::Hp).name(), "hp");
+        assert_eq!(ReclaimBackend::new(ReclaimKind::Hybrid).name(), "hybrid");
     }
 }

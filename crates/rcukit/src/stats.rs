@@ -36,6 +36,11 @@ pub struct CollectorStats {
     /// reader this grows without bound for epoch-based reclamation, which
     /// is exactly what the `stalled-reader` benchmark profile measures.
     pub peak_unreclaimed_bytes: u64,
+    /// Deferred `Call` callbacks that panicked while the reclaim loop ran
+    /// them. The panic is caught inside the bag drain (the rest of the bag
+    /// still reclaims, and the unit still counts as freed — its closure was
+    /// consumed); a nonzero value means a retirement destructor is buggy.
+    pub callback_panics: u64,
     /// Bags (local and sealed) still holding retirements.
     pub pending_bags: usize,
     /// Heap objects still waiting for their grace period.
@@ -93,6 +98,35 @@ mod tests {
         if cfg!(debug_assertions) {
             assert!(after.registry_locks > before.registry_locks);
         }
+    }
+
+    #[test]
+    fn panicking_callback_is_counted_and_bag_still_drains() {
+        let c = Collector::new();
+        let h = c.register();
+        let ran = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        {
+            let g = h.pin();
+            let r = ran.clone();
+            g.defer(move || {
+                r.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+            g.defer(|| panic!("deliberate callback panic"));
+            let r = ran.clone();
+            g.defer(move || {
+                r.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        }
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        c.synchronize();
+        std::panic::set_hook(prev);
+        let s = c.stats();
+        // The panicking unit did not abort the drain: everything freed.
+        assert_eq!(s.objects_retired, 3);
+        assert_eq!(s.objects_freed, 3);
+        assert_eq!(s.callback_panics, 1);
+        assert_eq!(ran.load(std::sync::atomic::Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -43,12 +43,29 @@ nonzero value there means the harness forked where it had no business
 to). Fork latency, like read latency, prints informationally and is never
 gated by the throughput threshold — baselines across machines differ too
 much; gate deliberately with `--metric fork_p50_ns` if you want it.
+v7 adds the `hybrid` interval-based backend and per-record degradation
+telemetry (`stall_events`, `degraded_ops`). Both fields are optional —
+absent in older baselines — but hard-checked when present: non-negative
+integers, exactly 0 on every backend except `hybrid` (only its scan
+declares stalls), and `degraded_ops > 0` requires `stall_events > 0`
+(degraded retirements are only counted after a stall was declared). Pass
+`--hybrid-peak-bound BYTES` to additionally fail if any `hybrid` record's
+`peak_unreclaimed_bytes` exceeds the bound — the degradation protocol's
+whole point is that a stalled reader cannot make hybrid garbage grow, so
+CI pins that down with a number, mirroring `--hp-peak-bound`.
 
 Intended uses: `bench_compare.py <old-commit's json> BENCH_addrspace.json`
 during review, and the CI smoke invocation that diffs the committed
 trajectory against the one the CI box just produced — which also keeps
 this script from rotting. Absolute numbers vary by machine, so CI uses a
 generous threshold; the strict 20% default is for same-machine A/Bs.
+
+A missing, empty, or truncated trajectory file is a clean one-line error
+(exit 1), not a traceback — the usual way to hit it is a sweep that died
+before writing its output, and the diagnosis should say so. Run with
+`--self-test` (no file arguments) to exercise this script against
+synthetic trajectories, including those error paths; CI runs it before
+trusting the real comparison.
 
 No dependencies outside the standard library.
 """
@@ -59,8 +76,19 @@ import sys
 
 
 def load_points(path):
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            text = f.read()
+    except OSError as e:
+        sys.exit(f"{path}: cannot read trajectory file ({e.strerror or e}) — did the sweep run?")
+    if not text.strip():
+        sys.exit(f"{path}: trajectory file is empty — the sweep died before writing results?")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: not valid JSON ({e}) — truncated sweep output?")
+    if not isinstance(doc, dict):
+        sys.exit(f"{path}: expected a trajectory object, got {type(doc).__name__}")
     schema = doc.get("schema", "")
     if not schema.startswith("rcukit-bench/addrspace-v"):
         sys.exit(f"{path}: unrecognized schema {schema!r}")
@@ -75,10 +103,112 @@ def load_points(path):
     return points
 
 
+def _record(**overrides):
+    """A well-formed v7 record with every hard-checked field populated."""
+    rec = {
+        "profile": "metis",
+        "backend": "bonsai",
+        "threads": 2,
+        "ops_per_sec": 1_000_000,
+        "map_rejects": 0,
+        "unmap_misses": 0,
+        "unmap_range_misses": 0,
+        "reclaim_ok": True,
+        "retired": 1000,
+        "peak_unreclaimed_bytes": 4096,
+        "stall_events": 0,
+        "degraded_ops": 0,
+        "cas_retries": 5,
+        "cas_wasted_nodes": 12,
+        "read_op_ns": 120.0,
+        "forks": 0,
+        "live_spaces_peak": 0,
+        "fork_p50_ns": 0,
+        "fork_p90_ns": 0,
+        "fork_p99_ns": 0,
+        "fork_max_ns": 0,
+    }
+    rec.update(overrides)
+    return rec
+
+
+def self_test():
+    """Exercises the CLI — including its graceful-error paths — against
+    synthetic trajectories, by re-invoking this script as a subprocess
+    (so exit codes and messages are tested exactly as CI sees them)."""
+    import os
+    import subprocess
+    import tempfile
+
+    def doc(records):
+        return json.dumps(
+            {"schema": "rcukit-bench/addrspace-v7", "results": records}
+        )
+
+    def run(argv, want_exit, want_text):
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__), *argv],
+            capture_output=True,
+            text=True,
+        )
+        output = proc.stdout + proc.stderr
+        assert proc.returncode == want_exit, (
+            f"{argv}: exit {proc.returncode}, want {want_exit}\n{output}"
+        )
+        assert want_text in output, f"{argv}: missing {want_text!r} in:\n{output}"
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def path(name, content=None):
+            p = os.path.join(tmp, name)
+            if content is not None:
+                with open(p, "w") as f:
+                    f.write(content)
+            return p
+
+        base = path("base.json", doc([_record()]))
+        path("empty.json", "")
+        path("garbage.json", "{not json")
+
+        # Graceful errors, never tracebacks: missing, empty, truncated.
+        run([path("missing.json"), base], 1, "cannot read trajectory file")
+        run([path("empty.json"), base], 1, "trajectory file is empty")
+        run([path("garbage.json"), base], 1, "not valid JSON")
+        run([base, path("norecords.json", doc([]))], 1, "no result records")
+
+        # Matching healthy trajectories pass.
+        run([base, base], 0, "OK: 1 matching points")
+
+        # A throughput regression past the threshold fails.
+        slow = path("slow.json", doc([_record(ops_per_sec=100_000)]))
+        run([base, slow, "--threshold", "20"], 1, "regressed")
+
+        # v7 coherence: stall telemetry on a non-hybrid backend fails.
+        bad_stall = path("bad_stall.json", doc([_record(stall_events=3)]))
+        run([base, bad_stall], 1, "non-hybrid backend reports stall_events")
+        # Degraded retirements require a declared stall.
+        hybrid = _record(backend="hybrid", cas_retries=0, cas_wasted_nodes=0)
+        bad_degraded = path(
+            "bad_degraded.json",
+            doc([_record(), dict(hybrid, degraded_ops=7)]),
+        )
+        run([base, bad_degraded], 1, "degradation without a declared stall")
+
+        # The hybrid peak bound gates exactly like the hp one.
+        fat = path(
+            "fat_hybrid.json",
+            doc([_record(), dict(hybrid, peak_unreclaimed_bytes=1 << 30)]),
+        )
+        run([base, fat, "--hybrid-peak-bound", str(1 << 20)], 1, "exceeds bound")
+        ok_hybrid = path("ok_hybrid.json", doc([_record(), hybrid]))
+        run([base, ok_hybrid, "--hybrid-peak-bound", str(1 << 20)], 0, "OK:")
+
+    print("self-test: all cases passed")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("old", help="baseline trajectory JSON")
-    ap.add_argument("new", help="candidate trajectory JSON")
+    ap.add_argument("old", nargs="?", help="baseline trajectory JSON")
+    ap.add_argument("new", nargs="?", help="candidate trajectory JSON")
     ap.add_argument(
         "--threshold",
         type=float,
@@ -98,7 +228,25 @@ def main():
         metavar="BYTES",
         help="fail if any hp record's peak_unreclaimed_bytes exceeds this",
     )
+    ap.add_argument(
+        "--hybrid-peak-bound",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="fail if any hybrid record's peak_unreclaimed_bytes exceeds this",
+    )
+    ap.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run built-in checks against synthetic trajectories and exit",
+    )
     args = ap.parse_args()
+
+    if args.self_test:
+        self_test()
+        return
+    if args.old is None or args.new is None:
+        ap.error("OLD and NEW trajectory files are required (or pass --self-test)")
 
     old = load_points(args.old)
     new = load_points(args.new)
@@ -167,6 +315,34 @@ def main():
                         f"{label}: hp peak_unreclaimed_bytes = {peak} exceeds"
                         f" bound {args.hp_peak_bound}"
                     )
+                if (
+                    args.hybrid_peak_bound is not None
+                    and rec.get("backend") == "hybrid"
+                    and peak > args.hybrid_peak_bound
+                ):
+                    failures.append(
+                        f"{label}: hybrid peak_unreclaimed_bytes = {peak}"
+                        f" exceeds bound {args.hybrid_peak_bound}"
+                    )
+        # v7 degradation telemetry: optional (absent in older files), but
+        # when present it must be coherent — only the hybrid backend's scan
+        # declares stalls, and degraded retirements are only counted after
+        # a stall was declared.
+        for field in ("stall_events", "degraded_ops"):
+            if field in rec:
+                value = rec[field]
+                if not isinstance(value, int) or value < 0:
+                    failures.append(f"{label}: {field} = {value!r} (want int >= 0)")
+                elif rec.get("backend") != "hybrid" and value != 0:
+                    failures.append(
+                        f"{label}: non-hybrid backend reports {field} = {value}"
+                        f" (must be 0)"
+                    )
+        if rec.get("degraded_ops", 0) > 0 and rec.get("stall_events", 0) == 0:
+            failures.append(
+                f"{label}: degraded_ops = {rec['degraded_ops']} with"
+                f" stall_events = 0 (degradation without a declared stall)"
+            )
         # v6 fork metrics: optional (absent in older files), but when
         # present they must match the record's profile — populated and
         # coherent on fork-storm, all-zero everywhere else.
